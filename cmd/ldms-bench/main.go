@@ -1,0 +1,68 @@
+// Command ldms-bench regenerates the paper's tables and figures: one
+// experiment per evaluation artifact, each printing result lines and
+// paper-vs-measured checks. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded outcomes.
+//
+// Usage:
+//
+//	ldms-bench -list
+//	ldms-bench -all [-short]
+//	ldms-bench -exp hsn-stalls [-seed 7] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldms/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		all   = flag.Bool("all", false, "run every experiment")
+		exp   = flag.String("exp", "", "experiment id to run (more ids may follow as args)")
+		short = flag.Bool("short", false, "reduced scale for quick runs")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		out   = flag.String("out", "", "scratch directory for stores (default: temp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-14s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	var ids []string
+	if *all {
+		ids = experiments.IDs()
+	}
+	if *exp != "" {
+		ids = append(ids, *exp)
+	}
+	ids = append(ids, flag.Args()...)
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "ldms-bench: nothing to run; use -list, -all or -exp <id>")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Short: *short, Seed: *seed, OutDir: *out}
+	failed := 0
+	for _, id := range ids {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldms-bench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		rep.Write(os.Stdout)
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ldms-bench: %d experiment(s) with failing checks\n", failed)
+		os.Exit(1)
+	}
+}

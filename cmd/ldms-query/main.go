@@ -1,0 +1,175 @@
+// Command ldms-query inspects data written by the store_sos plugin and
+// renders the paper's §VI characterization views from it: raw rows, value
+// statistics, and node×time heatmaps with feature extraction (sustained
+// per-node bands and system-wide bursts).
+//
+// Usage:
+//
+//	ldms-query -store /data/sos-gpcdr -schema
+//	ldms-query -store /data/sos-gpcdr -metric X+_stalled_pct -stats
+//	ldms-query -store /data/sos-gpcdr -metric X+_stalled_pct -heatmap -bucket 60
+//	ldms-query -store /data/sos-meminfo -metric Active -comp 42 -list -limit 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"goldms/internal/analysis"
+	"goldms/internal/sos"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "SOS container directory (required)")
+		schema   = flag.Bool("schema", false, "print the container's schema and exit")
+		metricN  = flag.String("metric", "", "metric name to query")
+		comp     = flag.Uint64("comp", 0, "component id filter (0 = all)")
+		from     = flag.Int64("from", 0, "start time (unix seconds, 0 = unbounded)")
+		to       = flag.Int64("to", 0, "end time (unix seconds, 0 = unbounded)")
+		list     = flag.Bool("list", false, "list matching rows")
+		limit    = flag.Int("limit", 50, "row limit for -list")
+		stats    = flag.Bool("stats", false, "print min/mean/max for the metric")
+		heatmap  = flag.Bool("heatmap", false, "render a component x time heatmap")
+		bucket   = flag.Int("bucket", 60, "heatmap time bucket in seconds")
+		bandMin  = flag.Int("bandmin", 10, "minimum band length (buckets) for feature extraction")
+		thresh   = flag.Float64("threshold", 0, "feature threshold (0 = half of max)")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fail(fmt.Errorf("-store is required"))
+	}
+	c, err := sos.Open(*storeDir, nil)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	if *schema {
+		fmt.Printf("schema %s (%d metrics):\n", c.Schema(), len(c.MetricNames()))
+		for _, n := range c.MetricNames() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+	if *metricN == "" {
+		fail(fmt.Errorf("-metric is required (or use -schema)"))
+	}
+	idx := -1
+	for i, n := range c.MetricNames() {
+		if n == *metricN {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		fail(fmt.Errorf("metric %q not in schema %s", *metricN, c.Schema()))
+	}
+
+	var fromT, toT time.Time
+	if *from != 0 {
+		fromT = time.Unix(*from, 0)
+	}
+	if *to != 0 {
+		toT = time.Unix(*to, 0)
+	}
+	it, err := c.Query(fromT, toT, *comp)
+	if err != nil {
+		fail(err)
+	}
+
+	type sample struct {
+		t    time.Time
+		comp uint64
+		v    float64
+	}
+	var samples []sample
+	n := 0
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			break
+		}
+		s := sample{rec.Time, rec.CompID, rec.Values[idx].F64()}
+		if *list && n < *limit {
+			fmt.Printf("%d %d %g\n", s.t.Unix(), s.comp, s.v)
+		}
+		samples = append(samples, s)
+		n++
+	}
+	if *list {
+		if n > *limit {
+			fmt.Printf("... (%d more rows)\n", n-*limit)
+		}
+		return
+	}
+	if len(samples) == 0 {
+		fail(fmt.Errorf("no rows matched"))
+	}
+
+	if *stats {
+		min, max, sum := samples[0].v, samples[0].v, 0.0
+		var maxAt sample
+		for _, s := range samples {
+			if s.v < min {
+				min = s.v
+			}
+			if s.v > max {
+				max = s.v
+				maxAt = s
+			}
+			sum += s.v
+		}
+		fmt.Printf("%s: %d samples, min %g, mean %g, max %g (comp %d at %s)\n",
+			*metricN, len(samples), min, sum/float64(len(samples)), max,
+			maxAt.comp, maxAt.t.UTC().Format(time.RFC3339))
+	}
+
+	if *heatmap {
+		// Map components and buckets onto a matrix.
+		comps := map[uint64]int{}
+		t0 := samples[0].t
+		tEnd := samples[0].t
+		for _, s := range samples {
+			if s.t.Before(t0) {
+				t0 = s.t
+			}
+			if s.t.After(tEnd) {
+				tEnd = s.t
+			}
+			if _, ok := comps[s.comp]; !ok {
+				comps[s.comp] = len(comps)
+			}
+		}
+		cols := int(tEnd.Sub(t0).Seconds())/(*bucket) + 1
+		m := analysis.NewMatrix(len(comps), cols)
+		for _, s := range samples {
+			m.Set(comps[s.comp], int(s.t.Sub(t0).Seconds())/(*bucket), s.v)
+		}
+		m.RenderASCII(os.Stdout, 24, 100)
+
+		maxV, _, _ := m.Max()
+		th := *thresh
+		if th == 0 {
+			th = maxV / 2
+		}
+		bands := m.Bands(th, *bandMin)
+		fmt.Printf("bands above %.3g lasting >= %d buckets: %d", th, *bandMin, len(bands))
+		if len(bands) > 0 {
+			fmt.Printf(" (longest %d buckets)", bands[0].Len())
+		}
+		fmt.Println()
+		if bursts := m.Bursts(th, 0.8); len(bursts) > 0 {
+			fmt.Printf("system-wide bursts at buckets: %v\n", bursts)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ldms-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command ldmsctl controls a running ldmsd through its UNIX-domain
+// control socket, in the manner of the paper's ldmsd_controller: "The
+// owner of an LDMS instance controls it through a local UNIX Domain
+// socket" (§IV-G).
+//
+// Usage:
+//
+//	ldmsctl -S /tmp/ldmsd.sock load name=meminfo
+//	ldmsctl -S /tmp/ldmsd.sock start name=meminfo interval=1000000
+//	echo -e "dir\nstats" | ldmsctl -S /tmp/ldmsd.sock -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goldms/internal/ldmsd"
+)
+
+func main() {
+	sock := flag.String("S", "", "control socket path (required)")
+	flag.Parse()
+	if *sock == "" {
+		fmt.Fprintln(os.Stderr, "ldmsctl: -S <socket> is required")
+		os.Exit(2)
+	}
+	c, err := ldmsd.DialControl(*sock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldmsctl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "-" {
+		// Read commands from stdin, one per line.
+		sc := bufio.NewScanner(os.Stdin)
+		status := 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := exec(c, line); err != nil {
+				status = 1
+			}
+		}
+		os.Exit(status)
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "ldmsctl: no command; pass a command or '-' for stdin")
+		os.Exit(2)
+	}
+	if err := exec(c, strings.Join(args, " ")); err != nil {
+		os.Exit(1)
+	}
+}
+
+func exec(c *ldmsd.ControlClient, cmd string) error {
+	out, err := c.Exec(cmd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldmsctl: %s: %v\n", cmd, err)
+		return err
+	}
+	if out != "" {
+		fmt.Println(out)
+	}
+	return nil
+}

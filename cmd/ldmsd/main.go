@@ -1,0 +1,130 @@
+// Command ldmsd runs one LDMS daemon: a sampler on compute nodes, an
+// aggregator (with optional stores) on service nodes. Differentiation is
+// entirely configuration, exactly as in the paper (§IV-B).
+//
+// Configuration uses the ldmsd_controller-style text commands, either from
+// a file at startup (-c) or at runtime over the UNIX-domain control socket
+// (-S), which ldmsctl speaks.
+//
+// Example sampler:
+//
+//	ldmsd -x sock:127.0.0.1:10444 -S /tmp/ldmsd.sock -c sampler.conf
+//
+// with sampler.conf:
+//
+//	load name=meminfo
+//	config name=meminfo component_id=42
+//	start name=meminfo interval=1000000
+//
+// Example aggregator:
+//
+//	ldmsd -S /tmp/agg.sock -m 64000000 -c agg.conf
+//
+// with agg.conf:
+//
+//	prdcr_add name=n1 xprt=sock host=127.0.0.1:10444 interval=2000000
+//	prdcr_start name=n1
+//	updtr_add name=all interval=1000000
+//	updtr_prdcr_add name=all prdcr=n1
+//	updtr_start name=all
+//	strgp_add name=store plugin=store_csv schema=meminfo container=/tmp/meminfo.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"goldms/internal/core"
+	"goldms/internal/ldmsd"
+	"goldms/internal/transport"
+)
+
+func main() {
+	var (
+		name    = flag.String("n", hostnameOr("ldmsd"), "daemon name (component/producer name)")
+		listen  = flag.String("x", "", "listen on transport:address, e.g. sock:0.0.0.0:10444 (repeatable via commas)")
+		ctlSock = flag.String("S", "", "UNIX-domain control socket path")
+		conf    = flag.String("c", "", "configuration script to run at startup")
+		mem     = flag.Int("m", ldmsd.DefaultMemory, "metric set memory budget in bytes")
+		workers = flag.Int("P", 4, "worker thread count")
+		compID  = flag.Uint64("i", 0, "default component id for sampler sets")
+		version = flag.Bool("V", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("ldmsd (goldms)", core.Version)
+		return
+	}
+
+	d, err := ldmsd.New(ldmsd.Options{
+		Name:    *name,
+		Workers: *workers,
+		Memory:  *mem,
+		CompID:  *compID,
+		Transports: []transport.Factory{
+			transport.SockFactory{},
+			transport.RDMAFactory{Kind: "rdma"},
+			transport.RDMAFactory{Kind: "ugni"},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Stop()
+
+	if *listen != "" {
+		for _, spec := range strings.Split(*listen, ",") {
+			parts := strings.SplitN(spec, ":", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("ldmsd: bad -x %q (want transport:address)", spec))
+			}
+			addr, err := d.Listen(parts[0], parts[1])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("ldmsd %s: listening on %s:%s\n", *name, parts[0], addr)
+		}
+	}
+	if *ctlSock != "" {
+		cs, err := d.ServeControl(*ctlSock)
+		if err != nil {
+			fatal(err)
+		}
+		defer cs.Close()
+		fmt.Printf("ldmsd %s: control socket %s\n", *name, *ctlSock)
+	}
+	if *conf != "" {
+		script, err := os.ReadFile(*conf)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := d.ExecScript(string(script))
+		if out != "" {
+			fmt.Print(out)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("ldmsd %s: shutting down\n", *name)
+}
+
+func hostnameOr(def string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package goldms is a from-scratch Go reproduction of the Lightweight
+// Distributed Metric Service (LDMS) from Agelastos et al., SC '14: a
+// scalable infrastructure for continuous monitoring of large scale
+// computing systems and applications.
+//
+// The implementation lives under internal/: the metric-set format
+// (internal/metric), the daemon engine (internal/ldmsd), transports
+// (internal/transport), sampling plugins (internal/sampler), storage
+// plugins (internal/store, internal/sos), and the simulated substrates and
+// experiment harness that regenerate the paper's evaluation
+// (internal/gemini, internal/simcluster, internal/appsim,
+// internal/experiments). Binaries are under cmd/ and runnable examples
+// under examples/. See README.md, DESIGN.md and EXPERIMENTS.md.
+package goldms

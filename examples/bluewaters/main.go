@@ -1,0 +1,256 @@
+// Blue Waters deployment example (paper §IV-F, Fig. 3), scaled down.
+//
+// A Cray XE/XK-style machine is simulated as a Gemini 3-D torus with two
+// nodes per router. Every node runs a sampler ldmsd collecting the gpcdr
+// HSN metrics (with the derived percent-time-stalled and percent-bandwidth
+// metrics) at one-minute synchronous intervals. Four aggregators pull over
+// the simulated ugni (RDMA) transport, distributed across the Z dimension,
+// with redundant standby connections for fast failover: halfway through,
+// aggregator 0 "dies" and the watchdog activates its standby, so no node's
+// data stream is lost.
+//
+// The run executes in virtual time (hours of monitoring in about a
+// second), then prints a congestion view of the torus.
+//
+// Run it:
+//
+//	go run ./examples/bluewaters
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"goldms/internal/analysis"
+	"goldms/internal/gemini"
+	"goldms/internal/isc"
+	"goldms/internal/ldmsd"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/transport"
+	"goldms/internal/watchdog"
+)
+
+const (
+	torusX, torusY, torusZ = 6, 6, 6
+	hours                  = 4
+	nAggs                  = 4
+)
+
+func main() {
+	start := time.Unix(1_400_000_000, 0).Truncate(time.Minute)
+	cluster, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileBlueWaters,
+		TorusX:  torusX, TorusY: torusY, TorusZ: torusZ,
+		Seed: 42, Start: start,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tor := cluster.Torus
+	nNodes := cluster.NumNodes()
+	sch := sched.NewVirtual(start)
+	net := transport.NewNetwork()
+	fmt.Printf("simulated Cray: %dx%dx%d Gemini torus, %d compute nodes\n",
+		torusX, torusY, torusZ, nNodes)
+
+	// Samplers: gpcdr at 1-minute synchronous intervals, boot-image style
+	// (identical configuration on every node).
+	for i := 0; i < nNodes; i++ {
+		d, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("nid%05d", i), Scheduler: sch, FS: cluster.Node(i).FS,
+			CompID:     uint64(i),
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "ugni"}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Stop()
+		if _, err := d.Listen("ugni", d.Name()); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.ExecScript(`
+			load name=gpcdr
+			start name=gpcdr interval=60000000 offset=1000000 synchronous=1
+		`); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Aggregators with redundant (standby) connections: aggregator a is
+	// primary for Z-slab a and standby for slab a+1's nodes.
+	outDir, err := os.MkdirTemp("", "goldms-bw-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(outDir)
+
+	aggs := make([]*ldmsd.Daemon, nAggs)
+	for a := 0; a < nAggs; a++ {
+		agg, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("agg%d", a), Scheduler: sch, Memory: 32 << 20,
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "ugni"}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agg.Stop()
+		if _, err := agg.AddUpdater("u", time.Minute, 2*time.Second, true); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := agg.AddStoragePolicy("sos", "store_sos", "gpcdr",
+			fmt.Sprintf("%s/agg%d", outDir, a), nil); err != nil {
+			log.Fatal(err)
+		}
+		// Fig. 3's ISC path: the aggregator also writes CSV, which is
+		// forwarded (syslog-ng style) into the Integrated System Console
+		// after the run below.
+		if _, err := agg.AddStoragePolicy("csv", "store_csv", "gpcdr",
+			fmt.Sprintf("%s/agg%d.csv", outDir, a), nil); err != nil {
+			log.Fatal(err)
+		}
+		// Serve the aggregator's own registry so daisy-chained levels (or
+		// a watchdog) can reach it.
+		if _, err := agg.Listen("ugni", agg.Name()); err != nil {
+			log.Fatal(err)
+		}
+		aggs[a] = agg
+	}
+	slabOf := func(node int) int {
+		_, _, rz := tor.Coord(tor.RouterOf(node))
+		s := rz * nAggs / torusZ
+		if s >= nAggs {
+			s = nAggs - 1
+		}
+		return s
+	}
+	for i := 0; i < nNodes; i++ {
+		name := fmt.Sprintf("nid%05d", i)
+		primary := slabOf(i)
+		backup := (primary + 1) % nAggs
+		for a, standby := range map[int]bool{primary: false, backup: true} {
+			flag := ""
+			if standby {
+				flag = " standby=1"
+			}
+			script := fmt.Sprintf("prdcr_add name=%s xprt=ugni host=%s interval=1m%s\nprdcr_start name=%s\nupdtr_prdcr_add name=u prdcr=%s",
+				name, name, flag, name, name)
+			if _, err := aggs[a].ExecScript(script); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, agg := range aggs {
+		if err := agg.Updater("u").Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Workload: an application whose X-direction communication congests a
+	// ring of links for two hours.
+	var ring []int
+	for x := 0; x < torusX; x++ {
+		ring = append(ring, 2*tor.RouterAt(x, 2, 2))
+	}
+	if _, err := cluster.StartJob(1001, ring, hours*time.Hour, simcluster.CommHeavy{
+		BytesPerNodePerSec: 3 * gemini.BWXMBps * 1e6,
+		Pattern:            simcluster.PatternXStream, HopDistance: 1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The external watchdog (paper §IV-B: standby activation "is
+	// accomplished either manually or by an external watchdog program"):
+	// probe aggregator 0's transport; on failure, activate the standby
+	// producers for its slab on aggregator 1.
+	wd := watchdog.New(sch, watchdog.Config{
+		Name:     "agg0-watch",
+		Probe:    watchdog.DialProbe(transport.MemFactory{Net: net}, "agg0"),
+		Failures: 2,
+		Interval: time.Minute,
+		OnFail: func() {
+			fmt.Println("watchdog: agg0 unresponsive; activating standby connections on agg1")
+			for i := 0; i < nNodes; i++ {
+				if slabOf(i) == 0 {
+					if p := aggs[1].Producer(fmt.Sprintf("nid%05d", i)); p != nil {
+						p.Activate()
+					}
+				}
+			}
+		},
+	})
+	defer wd.Stop()
+
+	minutes := hours * 60
+	for m := 0; m < minutes; m++ {
+		if m == minutes/2 {
+			fmt.Printf("minute %d: aggregator 0 fails\n", m)
+			aggs[0].Stop()
+		}
+		cluster.Step(time.Minute)
+		sch.AdvanceTo(cluster.Now())
+	}
+
+	// Report: pulls per aggregator, and the congestion snapshot as seen
+	// from the stored gpcdr data of one slab-0 node (served by the
+	// standby after the failover).
+	fmt.Printf("\n%d virtual hours of monitoring complete\n", hours)
+	for a, agg := range aggs {
+		st := agg.Stats()
+		fmt.Printf("  agg%d: %d fresh pulls, %d stored rows\n", a, st.UpdatesFresh, st.StoredRows)
+	}
+
+	// Live congestion view straight from a node's current gpcdr set.
+	snap := analysis.NewTorusSnapshot(torusX, torusY, torusZ)
+	for r := 0; r < tor.NumRouters(); r++ {
+		snap.Values[r] = tor.LinkStallPct(r, gemini.XPlus)
+	}
+	v, x, y, z := snap.Max()
+	fmt.Printf("\ncurrent X+ credit-stall maximum: %.0f%% at router (%d,%d,%d)\n", v, x, y, z)
+	regions := snap.Regions(30)
+	if len(regions) > 0 {
+		fmt.Printf("congested region: %d routers, wraps around X: %v\n",
+			regions[0].Size(), regions[0].WrapsX)
+	}
+	var sb strings.Builder
+	snap.RenderASCII(&sb, 50)
+	// Print only the planes with content.
+	for _, block := range strings.Split(sb.String(), "z=") {
+		if strings.ContainsAny(block, "@+") {
+			fmt.Print("z=" + block)
+		}
+	}
+
+	// Forward the CSV streams into the ISC (Fig. 3): 24 h live window +
+	// archive, queryable immediately.
+	console := isc.New(isc.Options{Window: 24 * time.Hour})
+	for a := 1; a < nAggs; a++ { // agg0 died mid-run; its file may be partial
+		aggs[a].StoragePolicy("csv").Flush()
+		f, err := os.Open(fmt.Sprintf("%s/agg%d.csv", outDir, a))
+		if err != nil {
+			continue
+		}
+		if err := console.Run(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	rows, _, latest := console.Stats()
+	pts := console.LiveQuery("X+_stalled_pct", uint64(2*tor.RouterAt(0, 2, 2)), time.Time{}, time.Time{})
+	fmt.Printf("\nISC: %d rows loaded, latest %s; live query of the congested node returned %d points (peak %.0f%%)\n",
+		rows, latest.UTC().Format(time.RFC3339), len(pts), peakOf(pts))
+}
+
+// peakOf returns the maximum live-query value.
+func peakOf(pts []isc.Point) float64 {
+	var m float64
+	for _, p := range pts {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}

@@ -1,0 +1,137 @@
+// Quickstart: the smallest complete LDMS pipeline, in one process.
+//
+// A sampler daemon reads this machine's real /proc (falling back to a
+// simulated node off Linux), an aggregator pulls the metric sets over a
+// real TCP (sock transport) connection once a second, and a CSV store
+// records every fresh, consistent sample. After a few seconds the program
+// prints an ldms_ls-style listing and the head of the CSV.
+//
+// Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"goldms/internal/ldmsd"
+	"goldms/internal/procfs"
+	"goldms/internal/simcluster"
+	"goldms/internal/transport"
+)
+
+func main() {
+	// --- The sampler daemon: one per compute node in production. ---
+	fs, err := nodeFS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	smp, err := ldmsd.New(ldmsd.Options{
+		Name:       "node1",
+		FS:         fs,
+		CompID:     1,
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer smp.Stop()
+	addr, err := smp.Listen("sock", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sampling plugins are loaded and scheduled with the same text
+	// commands ldmsctl sends over the control socket.
+	if _, err := smp.ExecScript(`
+		load name=meminfo
+		config name=meminfo component_id=1
+		start name=meminfo interval=1000000 synchronous=1
+		load name=loadavg
+		start name=loadavg interval=1000000
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The aggregator: one per few thousand nodes in production. ---
+	dir, err := os.MkdirTemp("", "goldms-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "meminfo.csv")
+
+	agg, err := ldmsd.New(ldmsd.Options{
+		Name:       "agg1",
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agg.Stop()
+	if _, err := agg.ExecScript(fmt.Sprintf(`
+		prdcr_add name=node1 xprt=sock host=%s interval=1s
+		prdcr_start name=node1
+		updtr_add name=all interval=1s
+		updtr_prdcr_add name=all prdcr=node1
+		updtr_start name=all
+		strgp_add name=store plugin=store_csv schema=meminfo container=%s
+	`, addr, csvPath)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pipeline running: node1 --sock-->", "agg1 --csv-->", csvPath)
+	time.Sleep(5 * time.Second)
+
+	// --- Inspect what flowed. ---
+	out, err := agg.Exec("ls name=node1/meminfo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) > 8 {
+		lines = lines[:8]
+	}
+	fmt.Println("\naggregator's mirror of node1/meminfo (ldms_ls style):")
+	fmt.Println(strings.Join(lines, "\n"))
+
+	stats, _ := agg.Exec("stats")
+	fmt.Println("\naggregator counters:", stats)
+
+	agg.StoragePolicy("store").Flush()
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	fmt.Printf("\n%s (%d rows):\n", csvPath, len(csvLines)-1)
+	for i, l := range csvLines {
+		if i > 3 {
+			fmt.Println("...")
+			break
+		}
+		if len(l) > 100 {
+			l = l[:100] + "..."
+		}
+		fmt.Println(l)
+	}
+}
+
+// nodeFS returns the real /proc on Linux, or a simulated node elsewhere.
+func nodeFS() (procfs.FS, error) {
+	if _, err := os.Stat("/proc/meminfo"); err == nil {
+		return procfs.OSFS{}, nil
+	}
+	c, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama, Nodes: 1, Start: time.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.Node(0).FS, nil
+}

@@ -1,0 +1,3 @@
+module goldms
+
+go 1.22

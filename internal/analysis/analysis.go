@@ -1,0 +1,171 @@
+// Package analysis provides the OVIS-side characterization views of §VI:
+// node×time matrices of metric values with feature extraction (persistent
+// per-node bands, system-wide bursts, maxima), 3-D torus snapshots with
+// region detection, loop-time histograms, and job profiles built by
+// joining metric data with scheduler records.
+//
+// The paper's figures are plots; here each view renders as ASCII plus a
+// machine-checkable feature summary, which is what the experiment harness
+// asserts against ("features of interest can be discerned even in simple
+// representations", §VI).
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Matrix is a rows×cols grid of float64 samples — rows are nodes, columns
+// are time buckets in the §VI 2-D views.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.data[r*m.Cols+c] = v }
+
+// At returns the value at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.data[r*m.Cols+c] }
+
+// Max returns the maximum value and its position.
+func (m *Matrix) Max() (v float64, row, col int) {
+	v = math.Inf(-1)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if x := m.At(r, c); x > v {
+				v, row, col = x, r, c
+			}
+		}
+	}
+	return
+}
+
+// Band is a contiguous run of above-threshold values in one row: the
+// horizontal lines of Figs. 9 and 11 ("significant and sustained level of
+// opens from a few nodes"; "significant congestion can persist for many
+// hours").
+type Band struct {
+	Row        int
+	Start, End int // column range, inclusive
+	MeanValue  float64
+}
+
+// Len returns the band's column extent.
+func (b Band) Len() int { return b.End - b.Start + 1 }
+
+// Bands finds, per row, every run of ≥ minLen consecutive columns with
+// values above threshold, sorted by descending length.
+func (m *Matrix) Bands(threshold float64, minLen int) []Band {
+	var bands []Band
+	for r := 0; r < m.Rows; r++ {
+		start := -1
+		sum := 0.0
+		flush := func(end int) {
+			if start >= 0 && end-start+1 >= minLen {
+				bands = append(bands, Band{Row: r, Start: start, End: end, MeanValue: sum / float64(end-start+1)})
+			}
+			start, sum = -1, 0
+		}
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c) > threshold {
+				if start < 0 {
+					start = c
+				}
+				sum += m.At(r, c)
+			} else {
+				flush(c - 1)
+			}
+		}
+		flush(m.Cols - 1)
+	}
+	sort.Slice(bands, func(i, j int) bool { return bands[i].Len() > bands[j].Len() })
+	return bands
+}
+
+// Bursts finds columns where at least frac of all rows exceed threshold —
+// the vertical lines of Fig. 11 ("times when Lustre opens occur across
+// most nodes of the system").
+func (m *Matrix) Bursts(threshold, frac float64) []int {
+	var cols []int
+	need := int(frac * float64(m.Rows))
+	if need < 1 {
+		need = 1
+	}
+	for c := 0; c < m.Cols; c++ {
+		n := 0
+		for r := 0; r < m.Rows; r++ {
+			if m.At(r, c) > threshold {
+				n++
+			}
+		}
+		if n >= need {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// CountAbove returns how many cells exceed threshold.
+func (m *Matrix) CountAbove(threshold float64) int {
+	n := 0
+	for _, v := range m.data {
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// asciiRamp maps magnitude to a glyph.
+var asciiRamp = []byte(" .:-=+*#%@")
+
+// RenderASCII draws the matrix as a heatmap, downsampling to at most
+// maxRows×maxCols glyphs (max-pooling so features survive downsampling, as
+// the paper plots points "larger than the natural point size").
+func (m *Matrix) RenderASCII(w io.Writer, maxRows, maxCols int) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range m.data {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	rows, cols := m.Rows, m.Cols
+	if rows > maxRows {
+		rows = maxRows
+	}
+	if cols > maxCols {
+		cols = maxCols
+	}
+	for gr := 0; gr < rows; gr++ {
+		line := make([]byte, cols)
+		r0, r1 := gr*m.Rows/rows, (gr+1)*m.Rows/rows
+		for gc := 0; gc < cols; gc++ {
+			c0, c1 := gc*m.Cols/cols, (gc+1)*m.Cols/cols
+			peak := math.Inf(-1)
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					peak = math.Max(peak, m.At(r, c))
+				}
+			}
+			idx := int((peak - lo) / (hi - lo) * float64(len(asciiRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			line[gc] = asciiRamp[idx]
+		}
+		fmt.Fprintf(w, "|%s|\n", line)
+	}
+	fmt.Fprintf(w, "scale: min=%.3g max=%.3g\n", lo, hi)
+}

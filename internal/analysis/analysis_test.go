@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 5.5)
+	m.Set(2, 3, -1)
+	if m.At(1, 2) != 5.5 {
+		t.Error("Set/At")
+	}
+	v, r, c := m.Max()
+	if v != 5.5 || r != 1 || c != 2 {
+		t.Errorf("Max = %g at (%d,%d)", v, r, c)
+	}
+	if m.CountAbove(0) != 1 {
+		t.Errorf("CountAbove = %d", m.CountAbove(0))
+	}
+}
+
+func TestBandsDetectSustainedRows(t *testing.T) {
+	// Row 2 has a 10-column band above threshold; row 0 has isolated
+	// blips only.
+	m := NewMatrix(4, 20)
+	for c := 5; c < 15; c++ {
+		m.Set(2, c, 80)
+	}
+	m.Set(0, 3, 90)
+	bands := m.Bands(50, 5)
+	if len(bands) != 1 {
+		t.Fatalf("bands = %+v", bands)
+	}
+	b := bands[0]
+	if b.Row != 2 || b.Start != 5 || b.End != 14 || b.Len() != 10 {
+		t.Errorf("band = %+v", b)
+	}
+	if b.MeanValue != 80 {
+		t.Errorf("band mean = %g", b.MeanValue)
+	}
+	// Lower minLen picks up the blip too.
+	if len(m.Bands(50, 1)) != 2 {
+		t.Error("short band not found with minLen=1")
+	}
+}
+
+func TestBandSplitByGap(t *testing.T) {
+	m := NewMatrix(1, 10)
+	for _, c := range []int{0, 1, 2, 6, 7, 8, 9} {
+		m.Set(0, c, 10)
+	}
+	bands := m.Bands(5, 2)
+	if len(bands) != 2 {
+		t.Fatalf("bands = %+v", bands)
+	}
+	if bands[0].Len() != 4 || bands[1].Len() != 3 {
+		t.Errorf("band lengths = %d, %d", bands[0].Len(), bands[1].Len())
+	}
+}
+
+func TestBurstsDetectSystemWideColumns(t *testing.T) {
+	m := NewMatrix(10, 8)
+	// Column 3: all rows high. Column 6: only two rows.
+	for r := 0; r < 10; r++ {
+		m.Set(r, 3, 100)
+	}
+	m.Set(0, 6, 100)
+	m.Set(1, 6, 100)
+	bursts := m.Bursts(50, 0.8)
+	if len(bursts) != 1 || bursts[0] != 3 {
+		t.Errorf("bursts = %v", bursts)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	m := NewMatrix(100, 200)
+	m.Set(50, 100, 42)
+	var sb strings.Builder
+	m.RenderASCII(&sb, 10, 40)
+	out := sb.String()
+	if !strings.Contains(out, "@") {
+		t.Error("peak glyph missing from downsampled render")
+	}
+	if !strings.Contains(out, "max=42") {
+		t.Errorf("scale line missing: %s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 11 {
+		t.Error("render row count wrong")
+	}
+}
+
+func TestTorusSnapshotMaxAndRegions(t *testing.T) {
+	s := NewTorusSnapshot(8, 4, 4)
+	// A region spanning the X wraparound at y=1,z=2.
+	s.Set(7, 1, 2, 85)
+	s.Set(0, 1, 2, 70)
+	s.Set(1, 1, 2, 60)
+	// An isolated router elsewhere.
+	s.Set(3, 3, 0, 55)
+	v, x, y, z := s.Max()
+	if v != 85 || x != 7 || y != 1 || z != 2 {
+		t.Errorf("max %g at (%d,%d,%d)", v, x, y, z)
+	}
+	regions := s.Regions(50)
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if regions[0].Size() != 3 || !regions[0].WrapsX {
+		t.Errorf("wrap region = %+v", regions[0])
+	}
+	if regions[1].Size() != 1 || regions[1].WrapsX {
+		t.Errorf("isolated region = %+v", regions[1])
+	}
+	if regions[0].Peak != 85 {
+		t.Errorf("region peak = %g", regions[0].Peak)
+	}
+}
+
+func TestTorusRegionsConnectivityAcrossYZ(t *testing.T) {
+	s := NewTorusSnapshot(4, 4, 4)
+	s.Set(1, 0, 0, 10)
+	s.Set(1, 3, 0, 10) // Y wraparound neighbor of (1,0,0)
+	s.Set(1, 0, 3, 10) // Z wraparound neighbor
+	regions := s.Regions(5)
+	if len(regions) != 1 || regions[0].Size() != 3 {
+		t.Errorf("torus connectivity broken: %+v", regions)
+	}
+}
+
+func TestTorusRender(t *testing.T) {
+	s := NewTorusSnapshot(4, 2, 2)
+	s.Set(0, 0, 0, 99)
+	var sb strings.Builder
+	s.RenderASCII(&sb, 50)
+	if !strings.Contains(sb.String(), "@") || !strings.Contains(sb.String(), "z=1") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func mkProfile() *JobProfile {
+	base := time.Unix(1000, 0)
+	p := &JobProfile{JobID: 9, UID: 100, Metric: "Active", Start: base, End: base.Add(time.Hour), EndNote: "oom-killed"}
+	for n := 0; n < 4; n++ {
+		s := Series{Node: n, CompID: uint64(n)}
+		for i := 0; i < 60; i++ {
+			s.Times = append(s.Times, base.Add(time.Duration(i)*time.Minute))
+			s.Values = append(s.Values, float64(1000+(n+1)*i*10))
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p
+}
+
+func TestJobProfileFeatures(t *testing.T) {
+	p := mkProfile()
+	// Node 3 ramps 4x faster than node 0: imbalance well above 1.
+	imb := p.Imbalance()
+	if imb < 1.5 {
+		t.Errorf("imbalance = %g", imb)
+	}
+	if g := p.GrowthFraction(); g <= 0 {
+		t.Errorf("growth = %g", g)
+	}
+	var sb strings.Builder
+	p.Render(&sb, 40)
+	out := sb.String()
+	if !strings.Contains(out, "oom-killed") || !strings.Contains(out, "node     3") {
+		t.Errorf("profile render:\n%s", out)
+	}
+}
+
+func TestJobProfileEmpty(t *testing.T) {
+	p := &JobProfile{}
+	if !math.IsNaN(p.Imbalance()) {
+		t.Error("empty imbalance should be NaN")
+	}
+	if p.GrowthFraction() != 0 {
+		t.Error("empty growth should be 0")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Values: []float64{1, 5, 3}}
+	if s.Last() != 3 || s.Peak() != 5 {
+		t.Errorf("last=%g peak=%g", s.Last(), s.Peak())
+	}
+	e := Series{}
+	if !math.IsNaN(e.Last()) || !math.IsNaN(e.Peak()) {
+		t.Error("empty series should be NaN")
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	cs := NewCounterSamples(2, 5, 60)
+	// Row 0: steady 600 opens per bucket -> 10/s.
+	for c := 0; c < 5; c++ {
+		cs.Observe(0, c, float64(600*c))
+	}
+	// Row 1: a gap at bucket 2 and a counter reset at bucket 4.
+	cs.Observe(1, 0, 100)
+	cs.Observe(1, 1, 160)
+	cs.Observe(1, 3, 280)
+	cs.Observe(1, 4, 10)
+	m := cs.Rates()
+	if got := m.At(0, 1); got != 10 {
+		t.Errorf("steady rate = %g want 10", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("first bucket rate = %g want 0 (no previous)", got)
+	}
+	if got := m.At(1, 1); got != 1 {
+		t.Errorf("row1 rate = %g want 1", got)
+	}
+	// Across the gap: 120 counts over 2 buckets = 1/s.
+	if got := m.At(1, 3); got != 1 {
+		t.Errorf("gap rate = %g want 1", got)
+	}
+	if got := m.At(1, 2); got != 0 {
+		t.Errorf("missing bucket rate = %g want 0", got)
+	}
+	// Reset: decrease yields zero, not a negative rate.
+	if got := m.At(1, 4); got != 0 {
+		t.Errorf("reset rate = %g want 0", got)
+	}
+}
+
+func TestCounterRatesOutOfRangeIgnored(t *testing.T) {
+	cs := NewCounterSamples(1, 2, 1)
+	cs.Observe(-1, 0, 5)
+	cs.Observe(0, 99, 5)
+	cs.Observe(5, 0, 5)
+	m := cs.Rates()
+	if m.CountAbove(0) != 0 {
+		t.Error("out-of-range observations leaked")
+	}
+}

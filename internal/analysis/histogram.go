@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Histogram maps integer buckets (microseconds in the PSNAP figures) to
+// occurrence counts.
+type Histogram map[int]int64
+
+// Total sums the counts.
+func (h Histogram) Total() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// Merge adds other's counts into h.
+func (h Histogram) Merge(other Histogram) {
+	for b, c := range other {
+		h[b] += c
+	}
+}
+
+// Rebin coarsens the histogram to buckets of the given width.
+func (h Histogram) Rebin(width int) Histogram {
+	if width <= 1 {
+		return h
+	}
+	out := make(Histogram)
+	for b, c := range h {
+		out[b/width*width] += c
+	}
+	return out
+}
+
+// Render draws the histogram with log-scaled bars (the paper's Fig. 5/8
+// use a log count axis so single-sample tail events remain visible).
+// Buckets with zero count are omitted; maxRows caps the output by
+// coarsening bins as needed.
+func (h Histogram) Render(w io.Writer, maxRows int) {
+	hh := h
+	width := 1
+	for len(nonzero(hh)) > maxRows && width < 1<<20 {
+		width *= 2
+		hh = h.Rebin(width)
+	}
+	buckets := nonzero(hh)
+	sort.Ints(buckets)
+	var maxCount int64
+	for _, b := range buckets {
+		if hh[b] > maxCount {
+			maxCount = hh[b]
+		}
+	}
+	if maxCount == 0 {
+		fmt.Fprintln(w, "(empty histogram)")
+		return
+	}
+	logMax := math.Log10(float64(maxCount) + 1)
+	for _, b := range buckets {
+		c := hh[b]
+		barLen := int(math.Log10(float64(c)+1) / logMax * 50)
+		if barLen < 1 {
+			barLen = 1
+		}
+		bar := make([]byte, barLen)
+		for i := range bar {
+			bar[i] = '#'
+		}
+		label := fmt.Sprintf("%d", b)
+		if width > 1 {
+			label = fmt.Sprintf("%d-%d", b, b+width-1)
+		}
+		fmt.Fprintf(w, "%12s us %10d %s\n", label, c, bar)
+	}
+}
+
+// nonzero returns the buckets with nonzero counts.
+func nonzero(h Histogram) []int {
+	var bs []int
+	for b, c := range h {
+		if c > 0 {
+			bs = append(bs, b)
+		}
+	}
+	return bs
+}

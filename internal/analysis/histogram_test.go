@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := Histogram{100: 1000, 101: 500, 500: 3}
+	if h.Total() != 1503 {
+		t.Errorf("total = %d", h.Total())
+	}
+	h.Merge(Histogram{100: 1, 900: 2})
+	if h[100] != 1001 || h[900] != 2 {
+		t.Errorf("merge result = %v", h)
+	}
+}
+
+func TestHistogramRebin(t *testing.T) {
+	h := Histogram{100: 5, 101: 5, 102: 5, 110: 1}
+	r := h.Rebin(10)
+	if r[100] != 15 || r[110] != 1 {
+		t.Errorf("rebinned = %v", r)
+	}
+	if got := h.Rebin(1); got[101] != 5 {
+		t.Error("width 1 should be identity")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := Histogram{100: 100000, 500: 1}
+	var sb strings.Builder
+	h.Render(&sb, 20)
+	out := sb.String()
+	if !strings.Contains(out, "100") || !strings.Contains(out, "500") {
+		t.Errorf("render missing buckets:\n%s", out)
+	}
+	// Log scaling keeps the single-count tail visible.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "500") && !strings.Contains(line, "#") {
+			t.Errorf("tail bucket has no bar: %q", line)
+		}
+	}
+}
+
+func TestHistogramRenderCoarsens(t *testing.T) {
+	h := Histogram{}
+	for i := 0; i < 500; i++ {
+		h[i] = 1
+	}
+	var sb strings.Builder
+	h.Render(&sb, 8)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) > 8 {
+		t.Errorf("render rows = %d want <= 8", len(lines))
+	}
+	if !strings.Contains(lines[0], "-") {
+		t.Errorf("coarsened label missing range: %q", lines[0])
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	Histogram{}.Render(&sb, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty render = %q", sb.String())
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Series is one node's time series within a job profile.
+type Series struct {
+	Node   int
+	CompID uint64
+	Times  []time.Time
+	Values []float64
+}
+
+// Last returns the final value, or NaN when empty.
+func (s Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Peak returns the maximum value, or NaN when empty.
+func (s Series) Peak() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	v := s.Values[0]
+	for _, x := range s.Values {
+		if x > v {
+			v = x
+		}
+	}
+	return v
+}
+
+// JobProfile is the §VI-B application profile: per-node metric series over
+// a job's lifetime (plus limited pre/post windows "to verify the state of
+// the nodes upon entering and exiting the job"), built by joining LDMS
+// data with scheduler records.
+type JobProfile struct {
+	JobID      uint64
+	UID        uint64
+	Metric     string
+	Start, End time.Time
+	EndNote    string
+	Series     []Series
+}
+
+// Imbalance reports max/min of per-node peak values — the memory imbalance
+// "readily apparent" in Fig. 12. It returns 1 for balanced profiles and
+// +Inf when a node's peak is zero.
+func (p *JobProfile) Imbalance() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		v := s.Peak()
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(hi, -1) {
+		return math.NaN()
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// GrowthFraction reports the mean (last-first)/first value across nodes —
+// positive for the Fig. 12 ramp toward OOM.
+func (p *JobProfile) GrowthFraction() float64 {
+	var sum float64
+	n := 0
+	for _, s := range p.Series {
+		if len(s.Values) < 2 || s.Values[0] == 0 {
+			continue
+		}
+		sum += (s.Last() - s.Values[0]) / s.Values[0]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render writes a textual profile: one sparkline-style row per node.
+func (p *JobProfile) Render(w io.Writer, width int) {
+	fmt.Fprintf(w, "job %d (uid %d) metric %s: %s .. %s (%s)\n",
+		p.JobID, p.UID, p.Metric,
+		p.Start.UTC().Format(time.RFC3339), p.End.UTC().Format(time.RFC3339), p.EndNote)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for _, s := range p.Series {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i, v := range s.Values {
+			c := i * width / max(len(s.Values), 1)
+			if c >= width {
+				c = width - 1
+			}
+			idx := int((v - lo) / (hi - lo) * float64(len(asciiRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			if asciiRamp[idx] != ' ' || line[c] == ' ' {
+				line[c] = asciiRamp[idx]
+			}
+		}
+		fmt.Fprintf(w, " node %5d |%s| peak %.3g\n", s.Node, line, s.Peak())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package analysis
+
+// CounterSamples accumulates (entity, time-bucket, counter-value) samples
+// of a monotonically increasing counter — e.g. Lustre opens per node — and
+// differentiates them into a per-second rate matrix. This is the standard
+// post-processing step for LDMS counter metrics, whose samplers store raw
+// counters and leave rate derivation to analysis (except where the paper
+// derives in the sampler, as gpcdr does).
+type CounterSamples struct {
+	rows, cols    int
+	bucketSeconds float64
+	value         *Matrix
+	seen          *Matrix
+}
+
+// NewCounterSamples sizes the accumulator: rows entities, cols time
+// buckets of bucketSeconds each.
+func NewCounterSamples(rows, cols int, bucketSeconds float64) *CounterSamples {
+	return &CounterSamples{
+		rows: rows, cols: cols, bucketSeconds: bucketSeconds,
+		value: NewMatrix(rows, cols),
+		seen:  NewMatrix(rows, cols),
+	}
+}
+
+// Observe records the counter value of an entity in a time bucket. Later
+// observations in the same bucket overwrite earlier ones.
+func (cs *CounterSamples) Observe(row, col int, counter float64) {
+	if row < 0 || row >= cs.rows || col < 0 || col >= cs.cols {
+		return
+	}
+	cs.value.Set(row, col, counter)
+	cs.seen.Set(row, col, 1)
+}
+
+// Rates differentiates the counters: cell (r, c) holds the per-second rate
+// between the previous observed bucket and bucket c. Missing buckets and
+// counter resets (decreases) yield zero.
+func (cs *CounterSamples) Rates() *Matrix {
+	m := NewMatrix(cs.rows, cs.cols)
+	for r := 0; r < cs.rows; r++ {
+		prev := 0.0
+		prevCol := -1
+		for c := 0; c < cs.cols; c++ {
+			if cs.seen.At(r, c) == 0 {
+				continue
+			}
+			v := cs.value.At(r, c)
+			if prevCol >= 0 && v >= prev {
+				dt := float64(c-prevCol) * cs.bucketSeconds
+				if dt > 0 {
+					m.Set(r, c, (v-prev)/dt)
+				}
+			}
+			prev, prevCol = v, c
+		}
+	}
+	return m
+}

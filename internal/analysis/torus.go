@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TorusSnapshot is a per-router scalar field at one instant in the Gemini
+// mesh coordinate space (the Fig. 9/10 bottom views). Values is indexed
+// router-major as gemini.Torus lays routers out: (z*Y + y)*X + x.
+type TorusSnapshot struct {
+	X, Y, Z int
+	Values  []float64
+}
+
+// NewTorusSnapshot allocates a zero field.
+func NewTorusSnapshot(x, y, z int) *TorusSnapshot {
+	return &TorusSnapshot{X: x, Y: y, Z: z, Values: make([]float64, x*y*z)}
+}
+
+// At returns the value at mesh coordinates.
+func (s *TorusSnapshot) At(x, y, z int) float64 {
+	return s.Values[(z*s.Y+y)*s.X+x]
+}
+
+// Set stores a value at mesh coordinates.
+func (s *TorusSnapshot) Set(x, y, z int, v float64) {
+	s.Values[(z*s.Y+y)*s.X+x] = v
+}
+
+// Max returns the maximum value and its coordinates.
+func (s *TorusSnapshot) Max() (v float64, x, y, z int) {
+	v = s.Values[0]
+	for i, val := range s.Values {
+		if val > v {
+			v = val
+			x = i % s.X
+			y = (i / s.X) % s.Y
+			z = i / (s.X * s.Y)
+		}
+	}
+	return
+}
+
+// Region is a connected set of above-threshold routers. WrapsX reports
+// whether the region crosses the X torus wraparound — the Fig. 9 label C
+// feature ("because of the toroidal connectivity, this group wraps in X").
+type Region struct {
+	Coords [][3]int
+	Peak   float64
+	WrapsX bool
+}
+
+// Size returns the router count of the region.
+func (r Region) Size() int { return len(r.Coords) }
+
+// Regions finds the connected components of routers above threshold,
+// using 6-neighbor torus connectivity, sorted by descending size.
+func (s *TorusSnapshot) Regions(threshold float64) []Region {
+	n := s.X * s.Y * s.Z
+	seen := make([]bool, n)
+	idx := func(x, y, z int) int { return (z*s.Y+y)*s.X + x }
+	var regions []Region
+	for start := 0; start < n; start++ {
+		if seen[start] || s.Values[start] <= threshold {
+			continue
+		}
+		var reg Region
+		stack := []int{start}
+		seen[start] = true
+		minX, maxX := s.X, -1
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x := cur % s.X
+			y := (cur / s.X) % s.Y
+			z := cur / (s.X * s.Y)
+			reg.Coords = append(reg.Coords, [3]int{x, y, z})
+			if s.Values[cur] > reg.Peak {
+				reg.Peak = s.Values[cur]
+			}
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			for _, d := range [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+				nx := (x + d[0] + s.X) % s.X
+				ny := (y + d[1] + s.Y) % s.Y
+				nz := (z + d[2] + s.Z) % s.Z
+				ni := idx(nx, ny, nz)
+				if !seen[ni] && s.Values[ni] > threshold {
+					seen[ni] = true
+					stack = append(stack, ni)
+				}
+			}
+		}
+		// A region wraps in X when it touches both x=0 and x=X-1 (and has
+		// more than one distinct x, so full-ring regions count too).
+		if minX == 0 && maxX == s.X-1 && s.X > 1 {
+			reg.WrapsX = true
+		}
+		regions = append(regions, reg)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Size() > regions[j].Size() })
+	return regions
+}
+
+// RenderASCII draws each Z plane of the snapshot as a small heatmap.
+func (s *TorusSnapshot) RenderASCII(w io.Writer, threshold float64) {
+	for z := 0; z < s.Z; z++ {
+		fmt.Fprintf(w, "z=%d\n", z)
+		for y := 0; y < s.Y; y++ {
+			row := make([]byte, s.X)
+			for x := 0; x < s.X; x++ {
+				v := s.At(x, y, z)
+				switch {
+				case v > threshold:
+					row[x] = '@'
+				case v > threshold/2:
+					row[x] = '+'
+				case v > 0:
+					row[x] = '.'
+				default:
+					row[x] = ' '
+				}
+			}
+			fmt.Fprintf(w, " %s\n", row)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package appsim models the execution-time behaviour of the paper's
+// benchmark applications under monitoring load.
+//
+// The paper's impact experiments (§V) ask one question: does a sampler
+// that wakes every period P and runs for S (~400 µs of combined sampling
+// work per firing) measurably lengthen bulk-synchronous applications? The
+// model captures exactly the mechanisms those experiments probe:
+//
+//   - Per node and iteration, compute time is the base time plus intrinsic
+//     jitter plus OS-noise events plus monitoring interruptions that land
+//     inside the busy window.
+//   - Collective phases propagate per-node delays: an iteration ends when
+//     its slowest participant arrives ("an MPI application might wait upon
+//     processes on other nodes", §V-A1), attenuated by NoiseSensitivity
+//     for codes that overlap or amortize synchronization.
+//   - Synchronized (wall-clock aligned) sampling makes all nodes take the
+//     interruption in the same iteration, bounding the number of affected
+//     iterations; unsynchronized sampling spreads hits across iterations.
+//   - Aggregation traffic ("net" variants of Fig. 6) perturbs
+//     communication time by its measured share of link bandwidth, which is
+//     deliberately negligible (paper §IV-D: ~5 MB per 20 s across the
+//     whole fabric).
+//
+// These are the proprietary applications' synthetic equivalents; absolute
+// times are representative, the response to monitoring is the modelled
+// quantity.
+package appsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// MonitorConfig describes the LDMS deployment an application runs under.
+type MonitorConfig struct {
+	// Enabled turns monitoring on.
+	Enabled bool
+	// Period is the sampling interval (1 s, 20 s, 60 s in the paper).
+	Period time.Duration
+	// SampleCost is the CPU time a sampler firing steals from the
+	// application core ("the known sampling execution time of order
+	// 400 µs", §V-A1).
+	SampleCost time.Duration
+	// SamplerFraction scales SampleCost for partial plugin sets
+	// (HM_HALF in Fig. 8 runs about half the samplers).
+	SamplerFraction float64
+	// Synchronous aligns sampler firings across nodes.
+	Synchronous bool
+	// NetworkAggregation models the pull traffic of the aggregation tier
+	// ("no net" variants of Fig. 6 disable aggregation and storage).
+	NetworkAggregation bool
+	// Absorption is the probability that a sampler firing does not perturb
+	// the application at all because it executes on an idle core. LDMS
+	// runs per node, not per core, and "can be bound to a core using a
+	// variety of platform specific mechanisms (e.g., numactl)" (§IV-D);
+	// the Fig. 6 benchmarks left cores free (e.g. 24 tasks on 32-core XE
+	// nodes), so hits rarely steal application cycles. Fully-packed runs
+	// (PSNAP with one task per core) use 0.
+	Absorption float64
+}
+
+// NoMonitor is the unmonitored baseline.
+var NoMonitor = MonitorConfig{}
+
+// Monitor returns a standard monitored configuration at the given period.
+func Monitor(period time.Duration, net bool) MonitorConfig {
+	return MonitorConfig{
+		Enabled:            true,
+		Period:             period,
+		SampleCost:         400 * time.Microsecond,
+		SamplerFraction:    1,
+		NetworkAggregation: net,
+	}
+}
+
+// cost returns the effective per-firing cost.
+func (m MonitorConfig) cost() float64 {
+	f := m.SamplerFraction
+	if f == 0 {
+		f = 1
+	}
+	return m.SampleCost.Seconds() * f
+}
+
+// aggPerturb returns the fractional communication-time perturbation from
+// aggregation traffic: the paper's Chama numbers are 4 kB per node per 20 s
+// over ~3 GB/s links — order 1e-7 — so this is negligible by construction.
+func (m MonitorConfig) aggPerturb() float64 {
+	if !m.Enabled || !m.NetworkAggregation || m.Period <= 0 {
+		return 0
+	}
+	const setBytes = 4096.0
+	const linkBytesPerSec = 3e9
+	return setBytes / m.Period.Seconds() / linkBytesPerSec * 1e3 // route sharing factor
+}
+
+// AppSpec describes one bulk-synchronous application.
+type AppSpec struct {
+	// Name labels results.
+	Name string
+	// Nodes is the allocation size.
+	Nodes int
+	// Iterations is the number of outer timesteps.
+	Iterations int
+	// ComputePerIter is the per-node busy time per iteration.
+	ComputePerIter time.Duration
+	// CommPerIter is network time per iteration (halo exchanges, sends).
+	CommPerIter time.Duration
+	// SyncPerIter is collective/barrier time per iteration.
+	SyncPerIter time.Duration
+	// IntrinsicJitter is the stddev of per-node compute jitter as a
+	// fraction of ComputePerIter (application's natural variability).
+	IntrinsicJitter float64
+	// OSNoiseProb is the per-node-iteration probability of an OS noise
+	// event (kernel daemons etc.), independent of monitoring.
+	OSNoiseProb float64
+	// OSNoiseMean is the mean duration of such an event.
+	OSNoiseMean time.Duration
+	// NoiseSensitivity in [0,1]: how fully the slowest node's delay
+	// propagates through the collective (1 = hard barrier every
+	// iteration).
+	NoiseSensitivity float64
+	// CommSensitivity scales how network perturbation multiplies
+	// communication time.
+	CommSensitivity float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Name     string
+	WallTime time.Duration
+	Compute  time.Duration // sum over iterations of the critical-path compute
+	Comm     time.Duration
+	Sync     time.Duration
+	// MonitorHits counts sampler firings that landed in busy windows,
+	// summed over nodes.
+	MonitorHits int64
+}
+
+// Run executes the model. Runs with the same seed and inputs are
+// reproducible.
+func Run(spec AppSpec, mon MonitorConfig, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{Name: spec.Name}
+
+	base := spec.ComputePerIter.Seconds()
+	comm := spec.CommPerIter.Seconds() * (1 + mon.aggPerturb()*spec.CommSensitivity)
+	sync := spec.SyncPerIter.Seconds()
+	period := mon.Period.Seconds()
+	cost := mon.cost()
+
+	// Per-node sampler phase: synchronized sampling fires everywhere at
+	// once; otherwise phases are uniform over the period.
+	phases := make([]float64, spec.Nodes)
+	if mon.Enabled && !mon.Synchronous {
+		for i := range phases {
+			phases[i] = rng.Float64() * period
+		}
+	}
+
+	now := 0.0 // global clock, seconds
+	var wall, computeSum, commSum, syncSum float64
+	for it := 0; it < spec.Iterations; it++ {
+		meanT, maxT := 0.0, 0.0
+		for n := 0; n < spec.Nodes; n++ {
+			t := base
+			if spec.IntrinsicJitter > 0 {
+				t += base * spec.IntrinsicJitter * rng.NormFloat64()
+			}
+			if spec.OSNoiseProb > 0 && rng.Float64() < spec.OSNoiseProb {
+				t += spec.OSNoiseMean.Seconds() * rng.ExpFloat64()
+			}
+			if mon.Enabled && period > 0 {
+				hits := firingsIn(phases[n], period, now, t)
+				for h := 0; h < hits; h++ {
+					if mon.Absorption > 0 && rng.Float64() < mon.Absorption {
+						continue // the firing ran on a spare core
+					}
+					t += cost
+					res.MonitorHits++
+				}
+			}
+			if t < 0 {
+				t = 0
+			}
+			meanT += t
+			if t > maxT {
+				maxT = t
+			}
+		}
+		meanT /= float64(spec.Nodes)
+		iterCompute := meanT + (maxT-meanT)*spec.NoiseSensitivity
+		iterTotal := iterCompute + comm + sync
+		computeSum += iterCompute
+		commSum += comm
+		syncSum += sync
+		wall += iterTotal
+		now += iterTotal
+	}
+	res.WallTime = secs(wall)
+	res.Compute = secs(computeSum)
+	res.Comm = secs(commSum)
+	res.Sync = secs(syncSum)
+	return res
+}
+
+// firingsIn counts sampler firings with phase φ and period P inside the
+// window [start, start+dur).
+func firingsIn(phase, period, start, dur float64) int {
+	if period <= 0 || dur <= 0 {
+		return 0
+	}
+	// First firing at or after start: phase + k*period >= start.
+	k := math.Ceil((start - phase) / period)
+	if k < 0 {
+		k = 0
+	}
+	first := phase + k*period
+	if first >= start+dur {
+		return 0
+	}
+	return int((start+dur-first)/period) + 1
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Repeat runs the model n times with distinct seeds and returns the
+// results, the paper's repetition methodology for error bars.
+func Repeat(spec AppSpec, mon MonitorConfig, seed int64, n int) []Result {
+	out := make([]Result, n)
+	for i := range out {
+		out[i] = Run(spec, mon, seed+int64(i)*7919)
+	}
+	return out
+}
+
+// MeanWall returns the mean and min/max wall time of a result set.
+func MeanWall(rs []Result) (mean, min, max time.Duration) {
+	if len(rs) == 0 {
+		return
+	}
+	min, max = rs[0].WallTime, rs[0].WallTime
+	var sum time.Duration
+	for _, r := range rs {
+		sum += r.WallTime
+		if r.WallTime < min {
+			min = r.WallTime
+		}
+		if r.WallTime > max {
+			max = r.WallTime
+		}
+	}
+	return sum / time.Duration(len(rs)), min, max
+}

@@ -1,0 +1,206 @@
+package appsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFiringsIn(t *testing.T) {
+	// Period 1.0, phase 0.25: firings at 0.25, 1.25, 2.25...
+	cases := []struct {
+		start, dur float64
+		want       int
+	}{
+		{0, 1, 1},      // catches 0.25
+		{0.3, 0.5, 0},  // between firings
+		{0.2, 2.3, 3},  // 0.25, 1.25, 2.25
+		{1.25, 0.1, 1}, // boundary inclusive at start
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := firingsIn(0.25, 1.0, c.start, c.dur); got != c.want {
+			t.Errorf("firingsIn(start=%g dur=%g) = %d want %d", c.start, c.dur, got, c.want)
+		}
+	}
+	if firingsIn(0, 0, 0, 1) != 0 {
+		t.Error("zero period should yield no firings")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec := MILC(64)
+	a := Run(spec, Monitor(time.Second, true), 42)
+	b := Run(spec, Monitor(time.Second, true), 42)
+	if a.WallTime != b.WallTime {
+		t.Error("same seed produced different wall times")
+	}
+}
+
+func TestMonitoringImpactSmall(t *testing.T) {
+	// The paper's central claim: ≤1 s sampling at ~400 µs cost has no
+	// practical impact (well under the 1% SNL requirement, §III-B).
+	spec := MiniGhost(256)
+	spec.IntrinsicJitter = 0 // isolate the monitoring effect
+	spec.OSNoiseProb = 0
+	un := Run(spec, NoMonitor, 1)
+	mon := Run(spec, Monitor(time.Second, true), 1)
+	slow := mon.WallTime.Seconds()/un.WallTime.Seconds() - 1
+	if slow < 0 {
+		t.Errorf("monitored run faster without noise: %g", slow)
+	}
+	if slow > 0.01 {
+		t.Errorf("slowdown %.4f exceeds 1%%", slow)
+	}
+	if mon.MonitorHits == 0 {
+		t.Error("monitoring produced no hits at all")
+	}
+}
+
+func TestCoarserPeriodFewerHits(t *testing.T) {
+	spec := CTH(128)
+	m1 := Run(spec, Monitor(time.Second, false), 5)
+	m60 := Run(spec, Monitor(time.Minute, false), 5)
+	if m60.MonitorHits >= m1.MonitorHits {
+		t.Errorf("60 s hits (%d) should be far fewer than 1 s hits (%d)",
+			m60.MonitorHits, m1.MonitorHits)
+	}
+}
+
+func TestSynchronousBoundsAffectedIterations(t *testing.T) {
+	// With synchronized sampling all nodes are hit in the same iteration,
+	// so the barrier absorbs one delay; unsynchronized sampling spreads
+	// hits over many iterations, each of which pays at the barrier.
+	spec := AppSpec{
+		Name: "sync-test", Nodes: 512, Iterations: 200,
+		ComputePerIter:   100 * time.Millisecond,
+		NoiseSensitivity: 1.0,
+	}
+	monAsync := Monitor(time.Second, false)
+	monSync := monAsync
+	monSync.Synchronous = true
+	async := Run(spec, monAsync, 7)
+	syncd := Run(spec, monSync, 7)
+	if syncd.WallTime > async.WallTime {
+		t.Errorf("synchronized sampling (%v) should not be slower than unsynchronized (%v)",
+			syncd.WallTime, async.WallTime)
+	}
+}
+
+func TestNaluVarianceDwarfsMonitoring(t *testing.T) {
+	// §V-B1: the 8,192 PE Nalu runs vary more intrinsically than any
+	// monitoring effect.
+	spec := Nalu(1024) // scaled down for test speed
+	spec.Nodes = 1024
+	un := Repeat(spec, NoMonitor, 3, 3)
+	hm := Repeat(spec, Monitor(time.Second, true), 30, 3)
+	_, unMin, unMax := MeanWall(un)
+	unSpread := unMax - unMin
+	unMean, _, _ := MeanWall(un)
+	hmMean, _, _ := MeanWall(hm)
+	delta := hmMean - unMean
+	if delta < 0 {
+		delta = -delta
+	}
+	if unSpread == 0 {
+		t.Fatal("no intrinsic spread simulated")
+	}
+	if delta > 2*unSpread {
+		t.Errorf("monitoring delta %v not dwarfed by intrinsic spread %v", delta, unSpread)
+	}
+}
+
+func TestCatalogShapes(t *testing.T) {
+	if CTH(7200).Iterations != 1200 || CTH(1024).Iterations != 600 {
+		t.Error("CTH iteration counts per §V-B3")
+	}
+	if Nalu(8192).IntrinsicJitter <= Nalu(1536).IntrinsicJitter {
+		t.Error("Nalu at scale must have larger intrinsic variance")
+	}
+	lt := LinkTest()
+	if lt.Iterations != 10000 {
+		t.Error("LinkTest runs 10,000 iterations")
+	}
+	for _, spec := range []AppSpec{MILC(64), MiniGhost(64), IMBAllReduce(64), Nalu(64), CTH(64), Adagio(64)} {
+		r := Run(spec, NoMonitor, 11)
+		if r.WallTime <= 0 {
+			t.Errorf("%s wall time = %v", spec.Name, r.WallTime)
+		}
+	}
+}
+
+func TestPSNAPScaleHistogram(t *testing.T) {
+	loop := 100 * time.Microsecond
+	un := PSNAPScale(4, 50000, loop, NoMonitor, 99)
+	mon := PSNAPScale(4, 50000, loop, Monitor(time.Second, false), 99)
+	if HistTotal(un) != 200000 || HistTotal(mon) != 200000 {
+		t.Fatalf("totals: %d / %d", HistTotal(un), HistTotal(mon))
+	}
+	// Both center on 100 µs.
+	if un[100]+un[99]+un[101] < 190000 {
+		t.Errorf("unmonitored histogram not centered: %d near 100", un[100]+un[99]+un[101])
+	}
+	// Monitored run has a distinct tail near 100 µs + ~400 µs sampling
+	// cost; unmonitored does not.
+	unTail := HistTail(un, 300)
+	monTail := HistTail(mon, 300)
+	if monTail <= unTail {
+		t.Errorf("monitored tail (%d) not heavier than unmonitored (%d)", monTail, unTail)
+	}
+	// The extra events ≈ runtime / period per node (paper §V-A1 arithmetic:
+	// a minute's run sampled at 1 Hz gave ~60 extra events per node ×
+	// nodes). Each node runs 50000 × 100 µs = 5 s → ~5 hits per node.
+	extra := monTail - unTail
+	if extra < 10 || extra > 40 {
+		t.Errorf("extra tail events = %d, want ≈ 20 (4 nodes x ~5 s / 1 s)", extra)
+	}
+}
+
+func TestHistHelpers(t *testing.T) {
+	h := map[int]int64{100: 5, 200: 3, 300: 2}
+	if HistTotal(h) != 10 {
+		t.Error("HistTotal")
+	}
+	if HistTail(h, 200) != 5 {
+		t.Error("HistTail")
+	}
+}
+
+// Property: with intrinsic noise disabled, monitoring can only lengthen a
+// run, and absorption monotonically reduces the penalty.
+func TestQuickMonitoringMonotone(t *testing.T) {
+	f := func(seed int64, periodMs uint16) bool {
+		period := time.Duration(int(periodMs)%2000+100) * time.Millisecond
+		spec := AppSpec{
+			Name: "q", Nodes: 32, Iterations: 40,
+			ComputePerIter:   50 * time.Millisecond,
+			NoiseSensitivity: 1.0,
+		}
+		un := Run(spec, NoMonitor, seed)
+		mon := Monitor(period, false)
+		full := Run(spec, mon, seed)
+		mon.Absorption = 0.99
+		absorbed := Run(spec, mon, seed)
+		if full.WallTime < un.WallTime {
+			return false
+		}
+		return absorbed.WallTime <= full.WallTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aggregation perturbation is negligible by construction
+// (paper §IV-D traffic numbers).
+func TestAggPerturbNegligible(t *testing.T) {
+	for _, period := range []time.Duration{time.Second, 20 * time.Second, time.Minute} {
+		m := Monitor(period, true)
+		if p := m.aggPerturb(); p > 5e-3 {
+			t.Errorf("aggregation perturbation at %v = %g, should be negligible", period, p)
+		}
+	}
+	if NoMonitor.aggPerturb() != 0 {
+		t.Error("unmonitored perturbation nonzero")
+	}
+}

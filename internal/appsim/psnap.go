@@ -1,0 +1,68 @@
+package appsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PSNAPScale simulates the PSNAP OS-noise profiler at scale: every node
+// spins loops calibrated to loopTime and records each loop's actual
+// duration; the histogram of durations exposes noise (paper Figs. 5
+// and 8). This is the many-node simulated mode; package psnap runs the
+// real single-host measurement.
+//
+// The returned histogram maps microsecond buckets to occurrence counts.
+func PSNAPScale(nodes, loopsPerNode int, loopTime time.Duration, mon MonitorConfig, seed int64) map[int]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	hist := make(map[int]int64)
+	base := loopTime.Seconds()
+	period := mon.Period.Seconds()
+	cost := mon.cost()
+
+	for n := 0; n < nodes; n++ {
+		phase := 0.0
+		if mon.Enabled && !mon.Synchronous && period > 0 {
+			phase = rng.Float64() * period
+		}
+		now := 0.0
+		for l := 0; l < loopsPerNode; l++ {
+			t := base
+			// Calibration jitter: sub-microsecond timing wobble.
+			t += 0.3e-6 * rng.NormFloat64()
+			// Intrinsic OS noise: rare preemptions by kernel daemons with
+			// a heavy tail, present with or without monitoring.
+			if rng.Float64() < 2e-5 {
+				t += 20e-6 * (1 + rng.ExpFloat64())
+			}
+			if mon.Enabled && period > 0 && firingsIn(phase, period, now, t) > 0 {
+				t += cost
+			}
+			if t < 0 {
+				t = base
+			}
+			hist[int(t*1e6+0.5)]++
+			now += t
+		}
+	}
+	return hist
+}
+
+// HistTotal sums a histogram's counts.
+func HistTotal(h map[int]int64) int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// HistTail counts occurrences at or beyond the given microsecond bucket.
+func HistTail(h map[int]int64, fromUs int) int64 {
+	var n int64
+	for us, c := range h {
+		if us >= fromUs {
+			n += c
+		}
+	}
+	return n
+}

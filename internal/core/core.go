@@ -1,0 +1,107 @@
+// Package core is the top-level API of the LDMS reproduction — the
+// paper's primary contribution assembled from its subsystems:
+//
+//   - metric sets with the metadata/data generation-number protocol
+//     (goldms/internal/metric),
+//   - the ldmsd engine: sampler policies, producers (active, passive,
+//     standby), updaters, storage policies, runtime control
+//     (goldms/internal/ldmsd),
+//   - the pull transports: sock, simulated rdma/ugni, in-process mem
+//     (goldms/internal/transport),
+//   - sampling and storage plugins (goldms/internal/sampler,
+//     goldms/internal/store).
+//
+// The aliases below are the stable surface examples and binaries build
+// against; the subpackages remain importable directly for finer control.
+//
+// A minimal pipeline:
+//
+//	smp, _ := core.NewDaemon(core.DaemonOptions{
+//		Name:       "node1",
+//		Transports: []core.Transport{core.Sock()},
+//	})
+//	smp.Listen("sock", "127.0.0.1:10444")
+//	smp.ExecScript("load name=meminfo\nstart name=meminfo interval=1000000")
+//
+//	agg, _ := core.NewDaemon(core.DaemonOptions{
+//		Name:       "agg",
+//		Transports: []core.Transport{core.Sock()},
+//	})
+//	agg.ExecScript(`
+//		prdcr_add name=node1 xprt=sock host=127.0.0.1:10444 interval=1s
+//		prdcr_start name=node1
+//		updtr_add name=all interval=1s
+//		updtr_prdcr_add name=all prdcr=node1
+//		updtr_start name=all
+//		strgp_add name=st plugin=store_csv schema=meminfo container=/tmp/meminfo.csv`)
+package core
+
+import (
+	"goldms/internal/ldmsd"
+	"goldms/internal/metric"
+	"goldms/internal/sampler"
+	"goldms/internal/store"
+	"goldms/internal/transport"
+)
+
+// Daemon is one ldmsd instance (sampler and/or aggregator by
+// configuration).
+type Daemon = ldmsd.Daemon
+
+// DaemonOptions configure NewDaemon.
+type DaemonOptions = ldmsd.Options
+
+// NewDaemon creates an ldmsd.
+func NewDaemon(opts DaemonOptions) (*Daemon, error) { return ldmsd.New(opts) }
+
+// Transport is a transport factory usable in DaemonOptions.Transports.
+type Transport = transport.Factory
+
+// Sock returns the TCP socket transport.
+func Sock() Transport { return transport.SockFactory{} }
+
+// RDMA returns the simulated Infiniband RDMA transport.
+func RDMA() Transport { return transport.RDMAFactory{Kind: "rdma"} }
+
+// UGNI returns the simulated Cray Gemini RDMA transport.
+func UGNI() Transport { return transport.RDMAFactory{Kind: "ugni"} }
+
+// Set is an LDMS metric set.
+type Set = metric.Set
+
+// MetricType identifies a metric's value type.
+type MetricType = metric.Type
+
+// Metric value types.
+const (
+	U8  = metric.TypeU8
+	S8  = metric.TypeS8
+	U16 = metric.TypeU16
+	S16 = metric.TypeS16
+	U32 = metric.TypeU32
+	S32 = metric.TypeS32
+	U64 = metric.TypeU64
+	S64 = metric.TypeS64
+	F32 = metric.TypeF32
+	D64 = metric.TypeD64
+)
+
+// Schema is a metric set blueprint.
+type Schema = metric.Schema
+
+// NewSchema starts an empty schema.
+func NewSchema(name string) *Schema { return metric.NewSchema(name) }
+
+// NewSet instantiates a set from a schema.
+func NewSet(instance string, schema *Schema, opts ...metric.Option) (*Set, error) {
+	return metric.New(instance, schema, opts...)
+}
+
+// SamplerPlugins lists the registered sampling plugins.
+func SamplerPlugins() []string { return sampler.Names() }
+
+// StorePlugins lists the registered storage plugins.
+func StorePlugins() []string { return store.Names() }
+
+// Version is the release version of this LDMS reproduction.
+const Version = "1.0.0"

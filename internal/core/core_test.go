@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+)
+
+// TestFacadePipeline drives a complete sampler -> aggregator -> CSV
+// pipeline through the core facade alone, over real TCP.
+func TestFacadePipeline(t *testing.T) {
+	node := procfs.NewNodeState("fnode", 2, 4<<20)
+	smp, err := NewDaemon(DaemonOptions{
+		Name: "fnode", FS: procfs.NewSimFS(node),
+		Transports: []Transport{Sock()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	addr, err := smp.Listen("sock", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smp.ExecScript("load name=meminfo\nstart name=meminfo interval=10000"); err != nil {
+		t.Fatal(err)
+	}
+
+	csv := filepath.Join(t.TempDir(), "m.csv")
+	agg, err := NewDaemon(DaemonOptions{Name: "agg", Transports: []Transport{Sock()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Stop()
+	if _, err := agg.ExecScript(fmt.Sprintf(`
+		prdcr_add name=fnode xprt=sock host=%s interval=10000
+		prdcr_start name=fnode
+		updtr_add name=all interval=10000
+		updtr_prdcr_add name=all prdcr=fnode
+		updtr_start name=all
+		strgp_add name=st plugin=store_csv schema=meminfo container=%s`, addr, csv)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && agg.Stats().StoredRows < 3 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if agg.Stats().StoredRows < 3 {
+		t.Fatalf("facade pipeline stored %d rows", agg.Stats().StoredRows)
+	}
+	agg.StoragePolicy("st").Flush()
+	b, err := os.ReadFile(csv)
+	if err != nil || !strings.Contains(string(b), "MemTotal") {
+		t.Fatalf("csv = %q err=%v", firstLine(b), err)
+	}
+}
+
+func firstLine(b []byte) string {
+	s := string(b)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestFacadeSetConstruction(t *testing.T) {
+	sch := NewSchema("facade")
+	sch.MustAddMetric("a", U64)
+	set, err := NewSet("f/1", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.BeginTransaction()
+	set.SetU64(0, 42)
+	set.EndTransaction(time.Unix(1, 0))
+	if set.U64(0) != 42 {
+		t.Error("facade set round trip failed")
+	}
+}
+
+func TestFacadePluginLists(t *testing.T) {
+	if len(SamplerPlugins()) < 10 {
+		t.Errorf("sampler plugins = %v", SamplerPlugins())
+	}
+	if len(StorePlugins()) < 3 {
+		t.Errorf("store plugins = %v", StorePlugins())
+	}
+	for _, tr := range []Transport{Sock(), RDMA(), UGNI()} {
+		if tr.Name() == "" || tr.MaxFanIn() <= 0 {
+			t.Errorf("transport %v malformed", tr)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments contains one runner per table/figure of the paper's
+// evaluation, regenerating each result on the simulated substrates (and,
+// for the PSNAP and cost experiments, on the real host).
+//
+// Each runner returns a Report: free-form result lines plus structured
+// paper-vs-measured checks. Absolute numbers differ from the authors'
+// Cray/Infiniband testbeds; the checks assert the shape claims (who wins,
+// rough factors, where features appear). See EXPERIMENTS.md for the
+// recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Check is one paper-claim comparison.
+type Check struct {
+	Name     string
+	Paper    string // the paper's reported value/claim
+	Measured string // what this reproduction measured
+	Pass     bool
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	Check []Check
+}
+
+// Addf appends a formatted result line.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// AddCheck records a paper-vs-measured comparison.
+func (r *Report) AddCheck(name, paper, measured string, pass bool) {
+	r.Check = append(r.Check, Check{Name: name, Paper: paper, Measured: measured, Pass: pass})
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Check {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the report as text.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
+	if len(r.Check) > 0 {
+		fmt.Fprintf(w, "  %-38s %-34s %-34s %s\n", "check", "paper", "measured", "ok")
+		for _, c := range r.Check {
+			ok := "PASS"
+			if !c.Pass {
+				ok = "FAIL"
+			}
+			fmt.Fprintf(w, "  %-38s %-34s %-34s %s\n", c.Name, c.Paper, c.Measured, ok)
+		}
+	}
+}
+
+// Config tunes experiment scale.
+type Config struct {
+	// Short shrinks everything for fast CI runs.
+	Short bool
+	// OutDir is scratch space for stores; empty means a temp dir per
+	// experiment.
+	OutDir string
+	// Seed drives all simulations.
+	Seed int64
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (*Report, error)
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{}
+
+// register adds an experiment runner.
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = struct {
+		title string
+		run   Runner
+	}{title, run}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Report, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep, err := e.run(cfg)
+	if rep != nil {
+		rep.ID = id
+		rep.Title = e.title
+	}
+	return rep, err
+}
+
+// IDs lists registered experiments, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the experiment's title.
+func Title(id string) string { return registry[id].title }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every registered experiment at reduced scale
+// and requires every paper-vs-measured check to pass. This is the
+// repository's end-to-end reproduction gate.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, Config{Short: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(rep.Check) == 0 {
+				t.Fatalf("%s: no checks recorded", id)
+			}
+			for _, c := range rep.Check {
+				if !c.Pass {
+					t.Errorf("%s check %q failed: paper %q, measured %q", id, c.Name, c.Paper, c.Measured)
+				}
+			}
+			if testing.Verbose() {
+				var sb strings.Builder
+				rep.Write(&sb)
+				t.Log("\n" + sb.String())
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"footprint", "ganglia", "fanin",
+		"psnap-bw", "bw-bench", "chama-apps", "psnap-chama",
+		"hsn-stalls", "hsn-bw", "lustre-opens", "job-profile", "dataset-scale",
+		"ablations", "motivation",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q not registered", w)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, DESIGN.md indexes %d", len(IDs()), len(want))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T"}
+	rep.Addf("line %d", 1)
+	rep.AddCheck("c", "p", "m", true)
+	if !rep.Passed() {
+		t.Error("Passed with all-pass checks")
+	}
+	rep.AddCheck("d", "p", "m", false)
+	if rep.Passed() {
+		t.Error("Passed with a failing check")
+	}
+	var sb strings.Builder
+	rep.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: T ==", "line 1", "PASS", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

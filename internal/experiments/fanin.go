@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/ldmsd"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/transport"
+)
+
+// runFanIn is experiment T3 (§IV-A): aggregation fan-in. The paper reports
+// maximum fan-in of roughly 9,000:1 for the socket transport and RDMA over
+// Infiniband, and over 15,000:1 for RDMA over Gemini, with daisy chaining
+// beyond two levels and fan-in at higher levels limited by host resources.
+//
+// The measurement sweeps the number of samplers one aggregator pulls from
+// (in virtual time over the deterministic in-process transport, so the
+// sweep isolates the aggregation engine) and verifies that per-pull work
+// stays flat — fan-in scales linearly until host capacity, which is the
+// property behind the paper's ceilings. The configured transport ceilings
+// themselves are also reported.
+func runFanIn(cfg Config) (*Report, error) {
+	rep := &Report{}
+	for _, f := range []transport.Factory{
+		transport.SockFactory{},
+		transport.RDMAFactory{Kind: "rdma"},
+		transport.RDMAFactory{Kind: "ugni"},
+	} {
+		rep.Addf("transport %-5s supported fan-in %d:1", f.Name(), f.MaxFanIn())
+	}
+	rep.AddCheck("transport fan-in ceilings",
+		"sock ~9000:1, rdma ~9000:1, ugni >15000:1",
+		fmt.Sprintf("sock %d, rdma %d, ugni %d",
+			transport.SockFactory{}.MaxFanIn(),
+			transport.RDMAFactory{Kind: "rdma"}.MaxFanIn(),
+			transport.RDMAFactory{Kind: "ugni"}.MaxFanIn()),
+		transport.RDMAFactory{Kind: "ugni"}.MaxFanIn() > transport.SockFactory{}.MaxFanIn())
+
+	sizes := []int{64, 256, 1024}
+	if cfg.Short {
+		sizes = []int{16, 64}
+	}
+	var perPull []float64
+	for _, fanIn := range sizes {
+		sch := sched.NewVirtual(time.Unix(0, 0))
+		net := transport.NewNetwork()
+		cluster, err := simcluster.New(simcluster.Options{
+			Profile: simcluster.ProfileChama, Nodes: fanIn, Seed: cfg.Seed, Start: time.Unix(0, 0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var daemons []*ldmsd.Daemon
+		for i := 0; i < fanIn; i++ {
+			d, err := ldmsd.New(ldmsd.Options{
+				Name: fmt.Sprintf("s%05d", i), Scheduler: sch, FS: cluster.Node(i).FS,
+				CompID:     uint64(i + 1),
+				Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "ugni"}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer d.Stop()
+			if _, err := d.Listen("ugni", d.Name()); err != nil {
+				return nil, err
+			}
+			if _, err := d.LoadSampler("meminfo", "", nil); err != nil {
+				return nil, err
+			}
+			d.Sampler("meminfo").Start(time.Second, 0, true)
+			daemons = append(daemons, d)
+		}
+		agg, err := ldmsd.New(ldmsd.Options{
+			Name: "agg", Scheduler: sch, Memory: 256 << 20,
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "ugni"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer agg.Stop()
+		u, err := agg.AddUpdater("u", time.Second, 100*time.Millisecond, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range daemons {
+			p, err := agg.AddProducer(d.Name(), "ugni", d.Name(), time.Second, false)
+			if err != nil {
+				return nil, err
+			}
+			p.Start()
+			u.AddProducer(d.Name())
+		}
+		if err := u.Start(); err != nil {
+			return nil, err
+		}
+
+		seconds := 20
+		start := time.Now()
+		for s := 0; s < seconds; s++ {
+			cluster.Step(time.Second)
+			sch.AdvanceTo(cluster.Now())
+		}
+		wall := time.Since(start)
+		st := agg.Stats()
+		if st.Updates == 0 {
+			return nil, fmt.Errorf("fanin %d: no updates", fanIn)
+		}
+		per := wall.Seconds() / float64(st.Updates) * 1e6
+		perPull = append(perPull, per)
+		rep.Addf("fan-in %5d:1  %7d pulls in %v wall (%.2f µs/pull, %d fresh, %d errors)",
+			fanIn, st.Updates, wall.Round(time.Millisecond), per, st.UpdatesFresh, st.UpdateErrors)
+	}
+
+	// Per-pull cost should stay roughly flat as fan-in grows (within 4x),
+	// which is what lets one aggregator host thousands of connections.
+	flat := perPull[len(perPull)-1] < perPull[0]*4
+	rep.AddCheck("per-pull cost flat with fan-in",
+		"one aggregator sustains thousands of samplers",
+		fmt.Sprintf("%.2f µs/pull at %d:1 vs %.2f µs/pull at %d:1",
+			perPull[0], sizes[0], perPull[len(perPull)-1], sizes[len(sizes)-1]),
+		flat)
+
+	// Extrapolate host capacity: at the measured per-pull cost, how many
+	// 20-second-period samplers could one core-second sustain?
+	capacity := int(20e6 / perPull[len(perPull)-1])
+	rep.Addf("extrapolated: one aggregator core sustains ~%d samplers at a 20 s period", capacity)
+	rep.AddCheck("extrapolated fan-in capacity",
+		">9000:1 achievable",
+		fmt.Sprintf("~%d:1 at 20 s period", capacity),
+		capacity > 9000)
+	return rep, nil
+}
+
+func init() {
+	register("fanin", "T3 (§IV-A): aggregation fan-in scaling", runFanIn)
+}

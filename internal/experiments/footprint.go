@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"goldms/internal/ldmsd"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/transport"
+)
+
+// chamaPlugins is the Chama deployment's seven independent metric sets
+// from /proc and /sys sources (paper §IV-G).
+var chamaPlugins = []struct {
+	name string
+	opts map[string]string
+}{
+	{"meminfo", nil},
+	{"procstat", nil},
+	{"vmstat", nil},
+	{"loadavg", nil},
+	{"lustre", map[string]string{"llite": "snx11024"}},
+	{"procnetdev", map[string]string{"ifaces": "eth0,ib0"}},
+	{"nfs", nil},
+}
+
+// bwPlugins is the Blue Waters node data: HSN metrics from gpcdr plus
+// Lustre, LNET and CPU load information (paper §IV-F).
+var bwPlugins = []struct {
+	name string
+	opts map[string]string
+}{
+	{"gpcdr", nil},
+	{"lustre", map[string]string{"llite": "snx11024"}},
+	{"loadavg", nil},
+	{"meminfo", nil},
+}
+
+// loadAll loads and returns the plugin set, failing on the first error.
+func loadAll(d *ldmsd.Daemon, plugins []struct {
+	name string
+	opts map[string]string
+}) error {
+	for _, p := range plugins {
+		if _, err := d.LoadSampler(p.name, "", p.opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFootprint is experiment T1 (§IV-D): resource footprint of samplers
+// and aggregators.
+func runFootprint(cfg Config) (*Report, error) {
+	rep := &Report{}
+	sch := sched.NewVirtual(time.Unix(1_400_000_000, 0))
+	net := transport.NewNetwork()
+
+	// --- Chama-profile sampler node ---
+	cluster, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama, Nodes: 2, Seed: cfg.Seed,
+		Start: time.Unix(1_400_000_000, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	smp, err := ldmsd.New(ldmsd.Options{
+		Name: "chama-node", Scheduler: sch, FS: cluster.Node(0).FS, CompID: 1,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer smp.Stop()
+	if _, err := smp.Listen("mem", "chama-node"); err != nil {
+		return nil, err
+	}
+	if err := loadAll(smp, chamaPlugins); err != nil {
+		return nil, err
+	}
+
+	var metaBytes, dataBytes, metrics int
+	for _, name := range smp.Registry().Dir() {
+		set := smp.Registry().Get(name)
+		metaBytes += set.MetaSize()
+		dataBytes += set.DataSize()
+		metrics += set.Card()
+	}
+	setBytes := metaBytes + dataBytes
+	dataFrac := float64(dataBytes) / float64(setBytes)
+	rep.Addf("chama sampler: %d sets, %d metrics, set memory = %d B (meta %d + data %d)",
+		len(chamaPlugins), metrics, setBytes, metaBytes, dataBytes)
+	rep.Addf("chama sampler: arena in use = %d B of %d budget", smp.Arena().InUse(), smp.Arena().Capacity())
+
+	rep.AddCheck("sampler memory per node",
+		"< 2 MB in typical configurations",
+		fmt.Sprintf("%d B", smp.Arena().InUse()),
+		smp.Arena().InUse() < 2<<20)
+	rep.AddCheck("data chunk share of set size",
+		"~10% of total set size",
+		fmt.Sprintf("%.1f%%", 100*dataFrac),
+		dataFrac < 0.30)
+
+	// Sampler CPU: run a wall-clock-timed burst of samples.
+	iters := 2000
+	if cfg.Short {
+		iters = 200
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, p := range chamaPlugins {
+			if err := smp.Sampler(p.name).SampleOnce(sch.Now()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	perSweep := elapsed / time.Duration(iters)
+	cpuPct := perSweep.Seconds() / 1.0 * 100 // at a 1 s sampling period
+	rep.Addf("chama sampler: full sweep of %d metrics costs %v (%.4f%% of a core at 1 s period)",
+		metrics, perSweep, cpuPct)
+	rep.AddCheck("sampler CPU at 1 s period",
+		"a few hundredths of a percent of a core",
+		fmt.Sprintf("%.4f%% of a core", cpuPct),
+		cpuPct < 1.0)
+
+	// --- Blue Waters-profile sampler node ---
+	bwCluster, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileBlueWaters, TorusX: 2, TorusY: 2, TorusZ: 2,
+		Seed: cfg.Seed, Start: time.Unix(1_400_000_000, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	bw, err := ldmsd.New(ldmsd.Options{
+		Name: "bw-node", Scheduler: sch, FS: bwCluster.Node(0).FS, CompID: 1,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer bw.Stop()
+	if err := loadAll(bw, bwPlugins); err != nil {
+		return nil, err
+	}
+	var bwSetBytes, bwMetrics, bwData int
+	for _, name := range bw.Registry().Dir() {
+		set := bw.Registry().Get(name)
+		bwSetBytes += set.MetaSize() + set.DataSize()
+		bwData += set.DataSize()
+		bwMetrics += set.Card()
+	}
+	rep.Addf("blue waters sampler: %d metrics, set memory = %d B", bwMetrics, bwSetBytes)
+	rep.AddCheck("per-node metric set size",
+		"44 kB (Chama, 467 metrics) / 24 kB (BW, 194 metrics)",
+		fmt.Sprintf("%d B (%d metrics) / %d B (%d metrics)", setBytes, metrics, bwSetBytes, bwMetrics),
+		setBytes < 64<<10 && bwSetBytes < 64<<10)
+
+	// --- Aggregation tier: fan-in with a CSV store ---
+	fanIn := 156 // first-level Chama fan-in (paper §IV-D)
+	if cfg.Short {
+		fanIn = 16
+	}
+	nodes, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama, Nodes: fanIn, Seed: cfg.Seed,
+		Start: time.Unix(1_400_000_000, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var samplers []*ldmsd.Daemon
+	for i := 0; i < fanIn; i++ {
+		d, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("n%04d", i), Scheduler: sch, FS: nodes.Node(i).FS,
+			CompID:     uint64(i + 1),
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "rdma"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer d.Stop()
+		if _, err := d.Listen("rdma", d.Name()); err != nil {
+			return nil, err
+		}
+		if err := loadAll(d, chamaPlugins); err != nil {
+			return nil, err
+		}
+		for _, p := range chamaPlugins {
+			d.Sampler(p.name).Start(20*time.Second, 0, true)
+		}
+		samplers = append(samplers, d)
+	}
+	outDir := cfg.OutDir
+	if outDir == "" {
+		var err error
+		outDir, err = os.MkdirTemp("", "goldms-footprint")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(outDir)
+	}
+	// Chama topology (Fig. 4): samplers split across first-level
+	// aggregators over RDMA, one diskfull second-level aggregator over the
+	// socket transport writing CSV.
+	nFirst := 4
+	if cfg.Short {
+		nFirst = 2
+	}
+	firstLevel := make([]*ldmsd.Daemon, nFirst)
+	for a := 0; a < nFirst; a++ {
+		agg, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("svc%d", a), Scheduler: sch, Memory: 64 << 20,
+			Transports: []transport.Factory{
+				transport.MemFactory{Net: net, Kind: "rdma"},
+				transport.MemFactory{Net: net},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer agg.Stop()
+		if _, err := agg.Listen("mem", agg.Name()); err != nil {
+			return nil, err
+		}
+		u, err := agg.AddUpdater("u", 20*time.Second, time.Second, true)
+		if err != nil {
+			return nil, err
+		}
+		for i := a; i < len(samplers); i += nFirst {
+			p, err := agg.AddProducer(samplers[i].Name(), "rdma", samplers[i].Name(), time.Second, false)
+			if err != nil {
+				return nil, err
+			}
+			p.Start()
+			u.AddProducer(samplers[i].Name())
+		}
+		if err := u.Start(); err != nil {
+			return nil, err
+		}
+		firstLevel[a] = agg
+	}
+	agg, err := ldmsd.New(ldmsd.Options{
+		Name: "diskfull", Scheduler: sch, Memory: 256 << 20,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer agg.Stop()
+	u, err := agg.AddUpdater("u", 20*time.Second, 2*time.Second, true)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < nFirst; a++ {
+		p, err := agg.AddProducer(firstLevel[a].Name(), "mem", firstLevel[a].Name(), time.Second, false)
+		if err != nil {
+			return nil, err
+		}
+		p.Start()
+		u.AddProducer(firstLevel[a].Name())
+	}
+	if _, err := agg.AddStoragePolicy("csv-meminfo", "store_csv", "meminfo",
+		filepath.Join(outDir, "meminfo.csv"), nil); err != nil {
+		return nil, err
+	}
+	if err := u.Start(); err != nil {
+		return nil, err
+	}
+
+	// Run 10 virtual minutes.
+	minutes := 10
+	for m := 0; m < minutes; m++ {
+		for s := 0; s < 3; s++ {
+			nodes.Step(20 * time.Second)
+			sch.AdvanceTo(nodes.Now())
+		}
+	}
+	st := agg.Stats()
+	var firstMem int
+	for _, fl := range firstLevel {
+		firstMem += fl.Arena().InUse()
+	}
+	firstMem /= nFirst
+	rep.Addf("first level: %d aggregators x ~%d samplers, avg memory %d B",
+		nFirst, fanIn/nFirst, firstMem)
+	rep.Addf("second level: fan-in %d aggregators (%d sets), %d fresh pulls in %d virtual minutes, memory %d B",
+		nFirst, agg.Registry().Len(), st.UpdatesFresh, minutes, agg.Arena().InUse())
+	rep.AddCheck("aggregator memory modest at both levels",
+		"first level ~33 MB (156 samplers); second level ~150 MB (8 aggs)",
+		fmt.Sprintf("first level %d B avg; second level %d B (fewer metrics than production)",
+			firstMem, agg.Arena().InUse()),
+		firstMem < 64<<20 && agg.Arena().InUse() < 256<<20 && agg.Arena().InUse() > firstMem)
+
+	// Bytes per collection sweep: data-only pulls across the whole fan-in.
+	var srvBytes int64
+	var srvUpdates int64
+	for _, s := range samplers {
+		ss := s.ServerStats()
+		srvBytes += ss.BytesOut
+		srvUpdates += ss.Updates
+	}
+	perSweepBytes := float64(srvBytes) / float64(minutes*3)
+	rep.Addf("network: %.0f B cross the fabric per 20 s collection sweep (%d sets x %d samplers)",
+		perSweepBytes, len(chamaPlugins), fanIn)
+	// Paper: 4 kB per node per sweep on Chama (467 metrics). Scale ours to
+	// a per-node number for comparison.
+	perNode := perSweepBytes / float64(fanIn)
+	rep.AddCheck("data moved per node per collection",
+		"4 kB (7 sets, 467 metrics)",
+		fmt.Sprintf("%.0f B (%d sets, %d metrics)", perNode, len(chamaPlugins), metrics),
+		perNode < 16<<10)
+
+	// Daily CSV volume: measure bytes per stored row, project to the
+	// paper's configuration (1,296 nodes, 467 metrics, 20 s period).
+	sp := agg.StoragePolicy("csv-meminfo")
+	if sp.Err() != nil {
+		return nil, sp.Err()
+	}
+	sp.Flush()
+	rows := sp.Rows()
+	bytesWritten := sp.Store().BytesWritten()
+	if rows == 0 {
+		return nil, fmt.Errorf("footprint: no rows stored")
+	}
+	memSet := smp.Registry().Get("chama-node/meminfo")
+	bytesPerRow := float64(bytesWritten) / float64(rows)
+	bytesPerMetricSample := bytesPerRow / float64(memSet.Card())
+	projected := bytesPerMetricSample * 467 * 1296 * (86400 / 20)
+	rep.Addf("storage: %.1f B per CSV row (%.2f B per metric sample)", bytesPerRow, bytesPerMetricSample)
+	rep.Addf("storage: projected daily CSV volume at paper's Chama config = %.1f GB", projected/1e9)
+	rep.AddCheck("daily CSV volume (Chama config)",
+		"~27 GB/day (1296 nodes, 467 metrics, 20 s)",
+		fmt.Sprintf("%.1f GB/day projected from measured row size", projected/1e9),
+		projected > 5e9 && projected < 100e9)
+
+	return rep, nil
+}
+
+func init() {
+	register("footprint", "T1 (§IV-D): sampler/aggregator resource footprint", runFootprint)
+}

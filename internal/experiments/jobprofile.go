@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"goldms/internal/analysis"
+	"goldms/internal/ldmsd"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/sos"
+	"goldms/internal/transport"
+)
+
+// runJobProfile is experiment F12 (Fig. 12): an application profile built
+// from LDMS plus scheduler data — active memory for a 64-node job
+// terminated by the OOM killer, with limited pre- and post-job windows,
+// showing per-node imbalance and changing resource demands over time.
+func runJobProfile(cfg Config) (*Report, error) {
+	rep := &Report{}
+	jobNodes := 64
+	if cfg.Short {
+		jobNodes = 16
+	}
+	nodes := jobNodes + 8
+	start := time.Unix(1_400_200_000, 0).Truncate(time.Minute)
+	cluster, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama, Nodes: nodes, Seed: cfg.Seed, Start: start,
+		MemPerNodeKB: 64 << 20, // paper: "Total per node memory available is 64G"
+	})
+	if err != nil {
+		return nil, err
+	}
+	sch := sched.NewVirtual(start)
+	net := transport.NewNetwork()
+
+	for i := 0; i < nodes; i++ {
+		d, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("ch%04d", i), Scheduler: sch, FS: cluster.Node(i).FS,
+			CompID:     uint64(i),
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "rdma"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer d.Stop()
+		if _, err := d.Listen("rdma", d.Name()); err != nil {
+			return nil, err
+		}
+		if _, err := d.LoadSampler("meminfo", "", nil); err != nil {
+			return nil, err
+		}
+		d.Sampler("meminfo").Start(20*time.Second, time.Second, true)
+	}
+	outDir, err := os.MkdirTemp("", "goldms-jobprofile")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(outDir)
+	agg, err := ldmsd.New(ldmsd.Options{
+		Name: "agg", Scheduler: sch, Memory: 64 << 20,
+		Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "rdma"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer agg.Stop()
+	u, err := agg.AddUpdater("u", 20*time.Second, 2*time.Second, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("ch%04d", i)
+		p, err := agg.AddProducer(name, "rdma", name, time.Minute, false)
+		if err != nil {
+			return nil, err
+		}
+		p.Start()
+		u.AddProducer(name)
+	}
+	if _, err := agg.AddStoragePolicy("sos", "store_sos", "meminfo", outDir+"/sos", nil); err != nil {
+		return nil, err
+	}
+	if err := u.Start(); err != nil {
+		return nil, err
+	}
+
+	// Warm-up (the "pre" window), then the doomed job: a memory ramp with
+	// 40% per-node imbalance, scheduled for 6 hours but OOM-bound well
+	// before that.
+	preMinutes := 10
+	for m := 0; m < preMinutes; m++ {
+		cluster.Step(time.Minute)
+		sch.AdvanceTo(cluster.Now())
+	}
+	ids := make([]int, jobNodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	ramp := &simcluster.MemoryRamp{
+		BaseKB:       8 << 20,
+		RateKBPerSec: float64(20<<20) / 3600, // ~20 GB/h mean growth
+		Imbalance:    0.4,
+		OOM:          true,
+	}
+	job, err := cluster.StartJob(7777, ids, 6*time.Hour, ramp)
+	if err != nil {
+		return nil, err
+	}
+	// Run until the job dies, then a post window.
+	maxMinutes := 6 * 60
+	ran := 0
+	for ; ran < maxMinutes && len(cluster.RunningJobs()) > 0; ran++ {
+		cluster.Step(time.Minute)
+		sch.AdvanceTo(cluster.Now())
+	}
+	postMinutes := 10
+	for m := 0; m < postMinutes; m++ {
+		cluster.Step(time.Minute)
+		sch.AdvanceTo(cluster.Now())
+	}
+
+	// Scheduler record for the job.
+	var rec simcluster.JobRecord
+	for _, jr := range cluster.JobLog() {
+		if jr.ID == job.ID {
+			rec = jr
+		}
+	}
+	rep.Addf("job %d: %d nodes, started %s, ended %s (%s) after %v",
+		rec.ID, len(rec.Nodes), rec.Start.UTC().Format(time.RFC3339),
+		rec.End.UTC().Format(time.RFC3339), rec.EndNote, rec.End.Sub(rec.Start))
+	rep.AddCheck("job terminated by the OOM killer",
+		"a 64 node job terminated by the OOM killer",
+		fmt.Sprintf("end note %q after %v of a scheduled 6 h", rec.EndNote, rec.End.Sub(rec.Start)),
+		rec.EndNote == simcluster.ErrOOMKilled.Error() && rec.End.Sub(rec.Start) < 6*time.Hour)
+
+	// Build the profile: Active memory for the job's nodes over
+	// [start-pre, end+post], joined from the SOS store by component ID.
+	c, err := sos.Open(outDir+"/sos", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	activeIdx := -1
+	for i, n := range c.MetricNames() {
+		if n == "Active" {
+			activeIdx = i
+		}
+	}
+	if activeIdx < 0 {
+		return nil, fmt.Errorf("jobprofile: Active not in schema")
+	}
+	pre, post := time.Duration(preMinutes)*time.Minute, time.Duration(postMinutes)*time.Minute
+	from, to := rec.Start.Add(-pre), rec.End.Add(post)
+	profile := &analysis.JobProfile{
+		JobID: rec.ID, UID: rec.UID, Metric: "Active",
+		Start: rec.Start, End: rec.End, EndNote: rec.EndNote,
+	}
+	for _, n := range rec.Nodes {
+		it, err := c.Query(from, to, 0)
+		if err != nil {
+			return nil, err
+		}
+		s := analysis.Series{Node: n, CompID: uint64(n)}
+		for {
+			recd, ok, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if recd.CompID != uint64(n) {
+				continue
+			}
+			s.Times = append(s.Times, recd.Time)
+			s.Values = append(s.Values, recd.Values[activeIdx].F64()/(1<<20)) // GB
+		}
+		profile.Series = append(profile.Series, s)
+	}
+
+	imb := profile.Imbalance()
+	// Growth over the run: mean peak/first ratio (the series include the
+	// pre/post baselines, so last-vs-first is flat by design).
+	var growth float64
+	var gn int
+	for _, s := range profile.Series {
+		if len(s.Values) > 0 && s.Values[0] > 0 {
+			growth += s.Peak() / s.Values[0]
+			gn++
+		}
+	}
+	if gn > 0 {
+		growth /= float64(gn)
+	}
+	rep.Addf("profile: %d node series, imbalance (max/min peak) = %.2f, mean peak/baseline = %.1fx", len(profile.Series), imb, growth)
+	rep.AddCheck("memory imbalance readily apparent",
+		"imbalance and change in resource demands with time are apparent",
+		fmt.Sprintf("peak-memory imbalance %.2fx across nodes, peak/baseline %.1fx", imb, growth),
+		imb > 1.25 && growth > 2)
+
+	// The fastest node hits the 64 GB ceiling at the kill time.
+	var peak float64
+	for _, s := range profile.Series {
+		if p := s.Peak(); p > peak {
+			peak = p
+		}
+	}
+	rep.AddCheck("peak reaches the 64 GB node memory",
+		"total per node memory available is 64G; the OOM killer fires at exhaustion",
+		fmt.Sprintf("max node peak %.1f GB", peak),
+		peak > 60)
+
+	// Pre/post windows verify node state on entry/exit.
+	var firstSeries analysis.Series
+	for _, s := range profile.Series {
+		if len(s.Times) > 0 {
+			firstSeries = s
+			break
+		}
+	}
+	if len(firstSeries.Times) == 0 {
+		return nil, fmt.Errorf("jobprofile: empty series")
+	}
+	preOK := firstSeries.Times[0].Before(rec.Start)
+	postOK := firstSeries.Times[len(firstSeries.Times)-1].After(rec.End)
+	baselineAfter := firstSeries.Last() < 8
+	rep.AddCheck("pre/post windows captured",
+		"grey shaded areas are limited pre and post job times to verify node state",
+		fmt.Sprintf("window %s..%s covers the job; post-kill Active back to %.1f GB",
+			firstSeries.Times[0].UTC().Format("15:04"), firstSeries.Times[len(firstSeries.Times)-1].UTC().Format("15:04"),
+			firstSeries.Last()),
+		preOK && postOK && baselineAfter)
+
+	var sb strings.Builder
+	profile.Render(&sb, 64)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) > 10 {
+		lines = append(lines[:10], fmt.Sprintf("... (%d more node series)", len(lines)-10))
+	}
+	for _, l := range lines {
+		rep.Addf("%s", l)
+	}
+	return rep, nil
+}
+
+func init() {
+	register("job-profile", "F12 (Fig. 12): OOM-killed job memory profile from LDMS + scheduler data", runJobProfile)
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"goldms/internal/analysis"
+	"goldms/internal/ldmsd"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/sos"
+	"goldms/internal/transport"
+)
+
+// runLustreOpens is experiment F11 (Fig. 11): system-wide Lustre opens per
+// node over time. The figure's two features: horizontal lines (a few nodes
+// performing "a significant and sustained level of Lustre opens", easily
+// correlated with user and job) and vertical lines ("times when Lustre
+// opens occur across most nodes of the system").
+func runLustreOpens(cfg Config) (*Report, error) {
+	rep := &Report{}
+	nodes, minutes := 96, 240
+	if cfg.Short {
+		nodes, minutes = 48, 120
+	}
+	start := time.Unix(1_400_100_000, 0).Truncate(time.Minute)
+	cluster, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama, Nodes: nodes, Seed: cfg.Seed, Start: start,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sch := sched.NewVirtual(start)
+	net := transport.NewNetwork()
+
+	// Sampler daemons with the lustre plugin at the Chama 20 s production
+	// period; one aggregator storing to SOS.
+	for i := 0; i < nodes; i++ {
+		d, err := ldmsd.New(ldmsd.Options{
+			Name: fmt.Sprintf("ch%04d", i), Scheduler: sch, FS: cluster.Node(i).FS,
+			CompID:     uint64(i),
+			Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "rdma"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer d.Stop()
+		if _, err := d.Listen("rdma", d.Name()); err != nil {
+			return nil, err
+		}
+		if _, err := d.LoadSampler("lustre", "", map[string]string{"llite": "snx11024"}); err != nil {
+			return nil, err
+		}
+		d.Sampler("lustre").Start(20*time.Second, time.Second, true)
+	}
+	outDir, err := os.MkdirTemp("", "goldms-lustre")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(outDir)
+	agg, err := ldmsd.New(ldmsd.Options{
+		Name: "agg", Scheduler: sch, Memory: 64 << 20,
+		Transports: []transport.Factory{transport.MemFactory{Net: net, Kind: "rdma"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer agg.Stop()
+	u, err := agg.AddUpdater("u", 20*time.Second, 2*time.Second, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nodes; i++ {
+		name := fmt.Sprintf("ch%04d", i)
+		p, err := agg.AddProducer(name, "rdma", name, time.Minute, false)
+		if err != nil {
+			return nil, err
+		}
+		p.Start()
+		u.AddProducer(name)
+	}
+	if _, err := agg.AddStoragePolicy("sos", "store_sos", "lustre", outDir+"/sos", nil); err != nil {
+		return nil, err
+	}
+	if err := u.Start(); err != nil {
+		return nil, err
+	}
+
+	// Workload: two sustained metadata-heavy jobs on small node groups,
+	// plus periodic system-wide bursts.
+	loudA := []int{5, 6, 7, 8}
+	loudB := []int{nodes - 3, nodes - 2}
+	if _, err := cluster.StartJob(3001, loudA, time.Duration(minutes)*time.Minute,
+		simcluster.LustreLoad{OpensPerSec: 50}); err != nil {
+		return nil, err
+	}
+	if _, err := cluster.StartJob(3002, loudB, time.Duration(minutes)*time.Minute/2,
+		simcluster.LustreLoad{OpensPerSec: 30}); err != nil {
+		return nil, err
+	}
+	// Quiet background jobs on some other nodes.
+	if _, err := cluster.StartJob(3003, []int{20, 21, 22}, time.Duration(minutes)*time.Minute,
+		simcluster.LustreLoad{OpensPerSec: 0.2, ReadBps: 1 << 20}); err != nil {
+		return nil, err
+	}
+	burstEvery := minutes / 3
+	var burstMinutes []int
+	for m := 0; m < minutes; m++ {
+		if m > 0 && m%burstEvery == 0 {
+			cluster.BurstLustreOpens("", 2000) // system service touches Lustre everywhere
+			burstMinutes = append(burstMinutes, m)
+		}
+		cluster.Step(time.Minute)
+		sch.AdvanceTo(cluster.Now())
+	}
+
+	// Build the opens/s matrix from the stored counter samples. The
+	// counter is cumulative; differentiate adjacent samples per node.
+	c, err := sos.Open(outDir+"/sos", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	openIdx := -1
+	for i, n := range c.MetricNames() {
+		if n == "open#stats.snx11024" {
+			openIdx = i
+		}
+	}
+	if openIdx < 0 {
+		return nil, fmt.Errorf("lustre: open counter not in schema")
+	}
+	cs := analysis.NewCounterSamples(nodes, minutes, 60)
+	it, err := c.Query(time.Time{}, time.Time{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows int64
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		col := int(rec.Time.Sub(start) / time.Minute)
+		if col < 0 || col >= minutes || int(rec.CompID) >= nodes {
+			continue
+		}
+		rows++
+		cs.Observe(int(rec.CompID), col, rec.Values[openIdx].F64())
+	}
+	m := cs.Rates() // opens per second, per node per minute
+	rep.Addf("pipeline: %d nodes, %d virtual minutes at 20 s sampling, %d stored rows", nodes, minutes, rows)
+
+	// Horizontal lines: sustained opens from the loud jobs' nodes.
+	bands := m.Bands(5, minutes/4)
+	bandNodes := map[int]bool{}
+	for _, b := range bands {
+		bandNodes[b.Row] = true
+	}
+	rep.Addf("sustained bands (>5 opens/s for >=%d min) on nodes: %v", minutes/4, keysOf(bandNodes))
+	wantLoud := append(append([]int{}, loudA...), loudB...)
+	allLoudFound := true
+	for _, n := range wantLoud {
+		if !bandNodes[n] {
+			allLoudFound = false
+		}
+	}
+	onlyLoud := len(bandNodes) == len(wantLoud)
+	rep.AddCheck("sustained opens attributable to specific nodes",
+		"horizontal lines: significant and sustained opens from a few nodes",
+		fmt.Sprintf("bands on %d nodes; all %d loud-job nodes found: %v; no extras: %v",
+			len(bandNodes), len(wantLoud), allLoudFound, onlyLoud),
+		allLoudFound && onlyLoud)
+
+	// These nodes correlate with user and job via the scheduler log.
+	jobByNode := map[int]uint64{}
+	for _, jr := range cluster.JobLog() {
+		for _, n := range jr.Nodes {
+			jobByNode[n] = jr.UID
+		}
+	}
+	uids := map[uint64]bool{}
+	for n := range bandNodes {
+		uids[jobByNode[n]] = true
+	}
+	rep.AddCheck("bands correlate with user and job",
+		"these can be easily correlated with user and job",
+		fmt.Sprintf("band nodes map to uids %v", keysOfU64(uids)),
+		uids[3001] && uids[3002] && len(uids) == 2)
+
+	// Vertical lines: system-wide bursts.
+	bursts := m.Bursts(5, 0.9)
+	rep.Addf("system-wide burst columns: %v (injected at %v)", bursts, burstMinutes)
+	burstsFound := 0
+	for _, want := range burstMinutes {
+		for _, got := range bursts {
+			if got == want || got == want+1 {
+				burstsFound++
+				break
+			}
+		}
+	}
+	rep.AddCheck("system-wide open bursts visible",
+		"vertical lines: opens across most nodes of the system",
+		fmt.Sprintf("%d of %d injected bursts detected", burstsFound, len(burstMinutes)),
+		burstsFound == len(burstMinutes) && len(bursts) <= len(burstMinutes)+2)
+
+	var sb strings.Builder
+	m.RenderASCII(&sb, 12, 72)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		rep.Addf("%s", line)
+	}
+	return rep, nil
+}
+
+// keysOf returns sorted map keys.
+func keysOf(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+func keysOfU64(m map[uint64]bool) []uint64 {
+	var ks []uint64
+	for k := range m {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+func init() {
+	register("lustre-opens", "F11 (Fig. 11): system-wide Lustre opens per node", runLustreOpens)
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"goldms/internal/gemini"
+)
+
+// runMotivation reproduces the paper's §II motivation: "Bhatele et. al.
+// have observed ranges of execution time of a communication heavy parallel
+// application from 28% faster to 41% slower than the average observed
+// performance on a Cray XE6 system and have attributed this significant
+// performance variation to impacted messaging rates due to contention with
+// nearby applications for the shared communication infrastructure."
+//
+// The experiment runs the same communication-heavy application repeatedly
+// on fixed nodes of the torus while a *neighbouring* application injects a
+// random amount of traffic through the links the victim's messages
+// traverse (the shared-network property of Gemini: traffic between one
+// application's nodes routes through other applications' Geminis). Victim
+// run time varies by tens of percent; the credit-stall metric LDMS
+// collects on those links explains the variance — which is exactly the
+// case for whole-system monitoring the paper builds.
+func runMotivation(cfg Config) (*Report, error) {
+	rep := &Report{}
+	dim := 8
+	trials := 60
+	if cfg.Short {
+		dim = 4
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	const (
+		computeSec = 60.0 // per-run computation time
+		commSec    = 40.0 // per-run communication time at full bandwidth
+		appUtil    = 0.5  // victim's own offered load (fraction of link bw)
+		maxCongest = 2.9  // neighbour's peak offered load
+	)
+
+	var runtimes, stalls []float64
+	for k := 0; k < trials; k++ {
+		tor, err := gemini.New(dim, dim, dim)
+		if err != nil {
+			return nil, err
+		}
+		congest := rng.Float64() * maxCongest
+
+		// Victim: an X-ring at y=0,z=0, each router sending to its +X
+		// neighbour. Neighbour job: traffic that happens to route through
+		// the same X+ links.
+		appBytes := uint64(appUtil * gemini.BWXMBps * 1e6)
+		congBytes := uint64(congest * gemini.BWXMBps * 1e6)
+		for x := 0; x < dim; x++ {
+			src := tor.RouterAt(x, 0, 0)
+			dst := tor.RouterAt((x+1)%dim, 0, 0)
+			tor.Inject(src, dst, appBytes)
+			if congBytes > 0 {
+				tor.Inject(src, dst, congBytes)
+			}
+		}
+		tor.Step(time.Second)
+
+		// The victim's messaging rate is its fair share of the saturated
+		// links: comm time dilates by total offered / capacity when the
+		// link is oversubscribed.
+		var worst float64 = 1
+		var stallSum float64
+		for x := 0; x < dim; x++ {
+			util := tor.LinkUtil(tor.RouterAt(x, 0, 0), gemini.XPlus)
+			if util > worst {
+				worst = util
+			}
+			stallSum += tor.LinkStallPct(tor.RouterAt(x, 0, 0), gemini.XPlus)
+		}
+		runtime := computeSec + commSec*worst
+		runtimes = append(runtimes, runtime)
+		stalls = append(stalls, stallSum/float64(dim))
+	}
+
+	mean, min, max := stat(runtimes)
+	fastPct := 100 * (mean - min) / mean
+	slowPct := 100 * (max - mean) / mean
+	rep.Addf("%d runs of the same app on the same nodes: runtime %0.fs..%0.fs (mean %.0fs)",
+		trials, min, max, mean)
+	rep.Addf("vs mean: %.0f%% faster .. %.0f%% slower", fastPct, slowPct)
+	rep.AddCheck("run time range due to neighbour contention",
+		"28% faster to 41% slower than the average (Bhatele et al. on XE6)",
+		fmt.Sprintf("%.0f%% faster to %.0f%% slower", fastPct, slowPct),
+		fastPct > 15 && fastPct < 45 && slowPct > 25 && slowPct < 60)
+
+	r := pearson(stalls, runtimes)
+	rep.Addf("correlation between the monitored credit-stall metric and run time: r = %.3f", r)
+	rep.AddCheck("monitored stall data explains the variance",
+		"information about congestion along an application's routes is what users lack (§II)",
+		fmt.Sprintf("Pearson r = %.3f between link stall %% and run time", r),
+		r > 0.8)
+	return rep, nil
+}
+
+// stat returns mean, min, max.
+func stat(xs []float64) (mean, min, max float64) {
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	mean /= float64(len(xs))
+	return
+}
+
+// pearson computes the correlation coefficient.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func init() {
+	register("motivation", "§II: run-time variation from shared-network contention, explained by the monitored stall data", runMotivation)
+}

@@ -1,0 +1,124 @@
+package ganglia
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+)
+
+func testFS() (*procfs.SimFS, *procfs.NodeState) {
+	n := procfs.NewNodeState("gh1", 2, 8<<20)
+	n.Update(func(ns *procfs.NodeState) {
+		ns.MemFreeKB = 4 << 20
+		ns.ActiveKB = 1 << 20
+		ns.CPU[0] = procfs.CPUTicks{User: 100, Sys: 50, Idle: 900}
+	})
+	return procfs.NewSimFS(n), n
+}
+
+func TestCollectorsParse(t *testing.T) {
+	fs, _ := testFS()
+	v, err := MeminfoCollector("MemFree")(fs)
+	if err != nil || v != float64(4<<20) {
+		t.Errorf("MemFree = %g err=%v", v, err)
+	}
+	v, err = StatCPUCollector(0)(fs)
+	if err != nil || v != 100 {
+		t.Errorf("cpu user = %g err=%v", v, err)
+	}
+	if _, err := MeminfoCollector("Bogus")(fs); err == nil {
+		t.Error("bogus key accepted")
+	}
+}
+
+func TestMetadataInEveryTransmission(t *testing.T) {
+	fs, _ := testFS()
+	g := NewGmond("gh1", fs)
+	g.DefaultMetrics(0)
+	if g.NumMetrics() != 14 {
+		t.Fatalf("metrics = %d", g.NumMetrics())
+	}
+	if _, err := g.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	x, n := g.EncodeDue(time.Unix(100, 0))
+	if n != 14 {
+		t.Errorf("first transmission included %d metrics", n)
+	}
+	s := string(x)
+	// Metadata (TYPE, UNITS, SOURCE) rides along with every value.
+	if strings.Count(s, "TYPE=") != 14 || strings.Count(s, "UNITS=") != 14 {
+		t.Error("metadata not in every metric message")
+	}
+}
+
+func TestThresholdSuppressesUnchanged(t *testing.T) {
+	fs, node := testFS()
+	g := NewGmond("gh1", fs)
+	g.DefaultMetrics(1000) // large threshold
+	g.Collect()
+	_, first := g.EncodeDue(time.Unix(1, 0))
+	if first == 0 {
+		t.Fatal("initial transmission empty")
+	}
+	// Nothing moved: nothing sent.
+	g.Collect()
+	_, second := g.EncodeDue(time.Unix(2, 0))
+	if second != 0 {
+		t.Errorf("unchanged metrics transmitted: %d", second)
+	}
+	// A small move stays under threshold — the paper's "thresholding can
+	// reduce behavioral understanding if set too high".
+	node.Update(func(ns *procfs.NodeState) { ns.MemFreeKB += 500 })
+	g.Collect()
+	_, third := g.EncodeDue(time.Unix(3, 0))
+	if third != 0 {
+		t.Errorf("sub-threshold move transmitted: %d", third)
+	}
+	// A big move is sent.
+	node.Update(func(ns *procfs.NodeState) { ns.MemFreeKB += 50000 })
+	g.Collect()
+	_, fourth := g.EncodeDue(time.Unix(4, 0))
+	if fourth != 1 {
+		t.Errorf("threshold-crossing move sent %d metrics, want 1", fourth)
+	}
+}
+
+func TestGmetadPollStoresToRRD(t *testing.T) {
+	fs, node := testFS()
+	g := NewGmond("gh1", fs)
+	g.DefaultMetrics(0)
+	md := NewGmetad(time.Second, 120)
+
+	base := time.Unix(5000, 0)
+	for i := 0; i < 10; i++ {
+		node.Update(func(ns *procfs.NodeState) { ns.MemFreeKB -= 1000 })
+		if err := md.Poll(g, base.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parsed, updates := md.Stats()
+	if parsed != 10 || updates != 140 {
+		t.Errorf("parsed=%d updates=%d", parsed, updates)
+	}
+	db := md.RRD("gh1", "mem_memfree")
+	if db == nil {
+		t.Fatal("no RRD for mem_memfree")
+	}
+	pts := db.Fetch(base, base.Add(10*time.Second))
+	if len(pts) != 10 {
+		t.Fatalf("rrd points = %d", len(pts))
+	}
+	if pts[0].Value <= pts[9].Value {
+		t.Error("declining MemFree not recorded")
+	}
+}
+
+func TestIngestRejectsGarbage(t *testing.T) {
+	md := NewGmetad(time.Second, 10)
+	if err := md.Ingest([]byte("<not-xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

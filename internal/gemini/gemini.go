@@ -1,0 +1,259 @@
+// Package gemini simulates a Cray Gemini 3-D torus high-speed network at
+// the granularity LDMS monitors it: per-router, per-direction link traffic
+// and credit-stall counters.
+//
+// This is the reproduction's substitute for Blue Waters hardware. The
+// Gemini network uses credit-based flow control: "When a source has data to
+// send but runs out of credits for its next hop destination, it must pause
+// (stall) until it receives credits back from the destination" (paper
+// §VI-A1). The simulator routes application traffic dimension-ordered
+// (X then Y then Z, shortest way around each torus ring — the routing
+// between any two Geminis is well-defined and statically determinable,
+// §VI-A), accumulates offered load per link per step, and converts
+// oversubscription into credit-stall time. Two nodes share each Gemini
+// (§VI-A1), so node counters come from their router.
+package gemini
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dir indexes the six torus link directions, matching
+// procfs.GeminiDirs order.
+type Dir int
+
+// Link directions.
+const (
+	XPlus Dir = iota
+	XMinus
+	YPlus
+	YMinus
+	ZPlus
+	ZMinus
+	NumDirs
+)
+
+// String returns "X+", "X-", ...
+func (d Dir) String() string {
+	return [...]string{"X+", "X-", "Y+", "Y-", "Z+", "Z-"}[d]
+}
+
+// Link bandwidths by dimension. On XE/XK systems the X and Z dimensions are
+// cabled with twice the capacity of the Y (mezzanine) dimension; the
+// percent-bandwidth metric is computed against these per-media maxima
+// ("estimated theoretical maximum bandwidth figures based on link type",
+// paper §IV-F).
+const (
+	BWXMBps = 9375.0 // X-dimension links, MB/s
+	BWYMBps = 4687.0 // Y-dimension links, MB/s
+	BWZMBps = 9375.0 // Z-dimension links, MB/s
+)
+
+// bwFor returns the media bandwidth for a direction.
+func bwFor(d Dir) float64 {
+	switch d {
+	case YPlus, YMinus:
+		return BWYMBps
+	default:
+		return BWXMBps
+	}
+}
+
+// avgPacketBytes sizes the packet counter from delivered bytes.
+const avgPacketBytes = 128
+
+// link holds cumulative counters plus the current step's offered load.
+type link struct {
+	trafficBytes uint64 // delivered bytes (cumulative)
+	stallNs      uint64 // credit-stall time (cumulative)
+	inqStallNs   uint64 // input-queue stall time (cumulative)
+	packets      uint64
+	offered      float64 // bytes offered this step
+	lastStallPct float64 // stall fraction of the last completed step
+	lastUtil     float64
+	down         bool // failed link: delivers nothing, stalls senders
+}
+
+// Torus is an X×Y×Z Gemini torus with two nodes per router.
+type Torus struct {
+	X, Y, Z int
+	links   []link // router*6 + dir
+	now     time.Duration
+}
+
+// New builds a torus of the given dimensions (each ≥ 1).
+func New(x, y, z int) (*Torus, error) {
+	if x < 1 || y < 1 || z < 1 {
+		return nil, fmt.Errorf("gemini: invalid torus dimensions %dx%dx%d", x, y, z)
+	}
+	return &Torus{X: x, Y: y, Z: z, links: make([]link, x*y*z*int(NumDirs))}, nil
+}
+
+// NumRouters returns the Gemini count.
+func (t *Torus) NumRouters() int { return t.X * t.Y * t.Z }
+
+// NumNodes returns the node count (two nodes share a Gemini).
+func (t *Torus) NumNodes() int { return 2 * t.NumRouters() }
+
+// RouterOf returns the Gemini a node attaches to.
+func (t *Torus) RouterOf(node int) int { return node / 2 }
+
+// Coord returns a router's (x, y, z) mesh coordinates.
+func (t *Torus) Coord(router int) (x, y, z int) {
+	x = router % t.X
+	y = (router / t.X) % t.Y
+	z = router / (t.X * t.Y)
+	return
+}
+
+// RouterAt returns the router index at mesh coordinates.
+func (t *Torus) RouterAt(x, y, z int) int {
+	return (z*t.Y+y)*t.X + x
+}
+
+// Hop is one traversed (router, outgoing direction) pair.
+type Hop struct {
+	Router int
+	Dir    Dir
+}
+
+// shortest returns the step direction (+1/-1) and hop count from a to b on
+// a ring of size n, preferring the positive direction on ties.
+func shortest(a, b, n int) (step, hops int) {
+	fwd := (b - a + n) % n
+	bwd := (a - b + n) % n
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return -1, bwd
+}
+
+// Route returns the dimension-ordered (X, then Y, then Z) path between two
+// routers, taking the shortest way around each ring. The route between any
+// two Geminis is deterministic, so congestion attribution is static.
+func (t *Torus) Route(src, dst int) []Hop {
+	sx, sy, sz := t.Coord(src)
+	dx, dy, dz := t.Coord(dst)
+	var hops []Hop
+	walk := func(cur *int, target, n int, plus, minus Dir, at func(int) int) {
+		step, count := shortest(*cur, target, n)
+		dir := plus
+		if step < 0 {
+			dir = minus
+		}
+		for i := 0; i < count; i++ {
+			hops = append(hops, Hop{Router: at(*cur), Dir: dir})
+			*cur = ((*cur) + step + n) % n
+		}
+	}
+	x, y, z := sx, sy, sz
+	walk(&x, dx, t.X, XPlus, XMinus, func(cx int) int { return t.RouterAt(cx, y, z) })
+	walk(&y, dy, t.Y, YPlus, YMinus, func(cy int) int { return t.RouterAt(x, cy, z) })
+	walk(&z, dz, t.Z, ZPlus, ZMinus, func(cz int) int { return t.RouterAt(x, y, cz) })
+	return hops
+}
+
+// linkIndex locates a link's counter slot.
+func (t *Torus) linkIndex(router int, d Dir) int {
+	return router*int(NumDirs) + int(d)
+}
+
+// InjectNodes offers bytes of traffic from one node to another for the
+// current step, loading every link on the deterministic route.
+func (t *Torus) InjectNodes(srcNode, dstNode int, bytes uint64) {
+	t.Inject(t.RouterOf(srcNode), t.RouterOf(dstNode), bytes)
+}
+
+// Inject offers bytes from one router to another for the current step.
+func (t *Torus) Inject(src, dst int, bytes uint64) {
+	if src == dst || bytes == 0 {
+		return
+	}
+	for _, h := range t.Route(src, dst) {
+		t.links[t.linkIndex(h.Router, h.Dir)].offered += float64(bytes)
+	}
+}
+
+// Step closes the current accumulation window of length dt: offered load
+// becomes delivered traffic (capped by link capacity) plus credit-stall
+// time for the oversubscribed remainder.
+func (t *Torus) Step(dt time.Duration) {
+	seconds := dt.Seconds()
+	for i := range t.links {
+		l := &t.links[i]
+		if l.down {
+			// A failed link delivers nothing; anything offered to it
+			// stalls its senders for the whole step (the Link Status
+			// metric of §II lets operators spot this).
+			if l.offered > 0 {
+				l.stallNs += uint64(dt.Nanoseconds())
+				l.inqStallNs += uint64(dt.Nanoseconds())
+				l.lastStallPct = 100
+				l.lastUtil = l.offered / (bwFor(Dir(i%int(NumDirs))) * 1e6 * seconds)
+				l.offered = 0
+			} else {
+				l.lastStallPct, l.lastUtil = 0, 0
+			}
+			continue
+		}
+		if l.offered == 0 {
+			l.lastStallPct, l.lastUtil = 0, 0
+			continue
+		}
+		capacity := bwFor(Dir(i%int(NumDirs))) * 1e6 * seconds
+		delivered := l.offered
+		util := l.offered / capacity
+		l.lastUtil = util
+		if util > 1 {
+			delivered = capacity
+			// Credit-starved fraction of the step: the source must pause
+			// 1 - 1/util of the time waiting for credits to return.
+			stallFrac := 1 - 1/util
+			l.stallNs += uint64(stallFrac * float64(dt.Nanoseconds()))
+			l.inqStallNs += uint64(0.5 * stallFrac * float64(dt.Nanoseconds()))
+			l.lastStallPct = 100 * stallFrac
+		} else {
+			l.lastStallPct = 0
+		}
+		l.trafficBytes += uint64(delivered)
+		l.packets += uint64(delivered / avgPacketBytes)
+		l.offered = 0
+	}
+	t.now += dt
+}
+
+// LinkCounters returns the cumulative counters of one link.
+func (t *Torus) LinkCounters(router int, d Dir) (traffic, stallNs, inqStallNs, packets uint64) {
+	l := &t.links[t.linkIndex(router, d)]
+	return l.trafficBytes, l.stallNs, l.inqStallNs, l.packets
+}
+
+// LinkStallPct returns the credit-stall percentage of the last step.
+func (t *Torus) LinkStallPct(router int, d Dir) float64 {
+	return t.links[t.linkIndex(router, d)].lastStallPct
+}
+
+// LinkUtil returns the offered utilization (may exceed 1) of the last step.
+func (t *Torus) LinkUtil(router int, d Dir) float64 {
+	return t.links[t.linkIndex(router, d)].lastUtil
+}
+
+// LinkBW returns the media bandwidth (MB/s) of a direction.
+func (t *Torus) LinkBW(d Dir) float64 { return bwFor(d) }
+
+// SetLinkUp marks a link operational or failed. Routing is static
+// (dimension-ordered); traffic offered to a failed link is lost and its
+// senders stall, which is exactly what the monitored Link Status and
+// credit-stall metrics expose to operators.
+func (t *Torus) SetLinkUp(router int, d Dir, up bool) {
+	t.links[t.linkIndex(router, d)].down = !up
+}
+
+// LinkUp reports whether a link is operational.
+func (t *Torus) LinkUp(router int, d Dir) bool {
+	return !t.links[t.linkIndex(router, d)].down
+}
+
+// Now returns the accumulated simulated time.
+func (t *Torus) Now() time.Duration { return t.now }

@@ -1,0 +1,271 @@
+package gemini
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	tor, err := New(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.NumRouters() != 64 || tor.NumNodes() != 128 {
+		t.Errorf("routers=%d nodes=%d", tor.NumRouters(), tor.NumNodes())
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor, _ := New(3, 5, 7)
+	for r := 0; r < tor.NumRouters(); r++ {
+		x, y, z := tor.Coord(r)
+		if tor.RouterAt(x, y, z) != r {
+			t.Fatalf("coord round trip failed for router %d", r)
+		}
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	src := tor.RouterAt(0, 0, 0)
+	dst := tor.RouterAt(2, 1, 3)
+	hops := tor.Route(src, dst)
+	// X first (2 hops), then Y (1), then Z (1, via wraparound Z- is 1 hop
+	// vs Z+ 3 hops).
+	if len(hops) != 4 {
+		t.Fatalf("hops = %v", hops)
+	}
+	if hops[0].Dir != XPlus || hops[1].Dir != XPlus {
+		t.Errorf("X hops first: %v", hops)
+	}
+	if hops[2].Dir != YPlus {
+		t.Errorf("Y hop next: %v", hops)
+	}
+	if hops[3].Dir != ZMinus {
+		t.Errorf("Z wraparound should go Z-: %v", hops)
+	}
+}
+
+func TestRouteWraparound(t *testing.T) {
+	tor, _ := New(8, 8, 8)
+	// 0 -> 7 in X: one hop X- via wraparound beats seven hops X+.
+	hops := tor.Route(tor.RouterAt(0, 0, 0), tor.RouterAt(7, 0, 0))
+	if len(hops) != 1 || hops[0].Dir != XMinus {
+		t.Errorf("wraparound route = %v", hops)
+	}
+	// 0 -> 3: forward.
+	hops = tor.Route(tor.RouterAt(0, 0, 0), tor.RouterAt(3, 0, 0))
+	if len(hops) != 3 || hops[0].Dir != XPlus {
+		t.Errorf("forward route = %v", hops)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	if hops := tor.Route(5, 5); len(hops) != 0 {
+		t.Errorf("self route = %v", hops)
+	}
+}
+
+// Property: a route's hop count never exceeds half of each ring, summed.
+func TestQuickRouteLength(t *testing.T) {
+	tor, _ := New(6, 6, 6)
+	n := tor.NumRouters()
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		hops := tor.Route(src, dst)
+		return len(hops) <= 3+3+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: following the hops lands on the destination.
+func TestQuickRouteReachesDestination(t *testing.T) {
+	tor, _ := New(5, 4, 3)
+	n := tor.NumRouters()
+	move := func(r int, d Dir) int {
+		x, y, z := tor.Coord(r)
+		switch d {
+		case XPlus:
+			x = (x + 1) % tor.X
+		case XMinus:
+			x = (x - 1 + tor.X) % tor.X
+		case YPlus:
+			y = (y + 1) % tor.Y
+		case YMinus:
+			y = (y - 1 + tor.Y) % tor.Y
+		case ZPlus:
+			z = (z + 1) % tor.Z
+		case ZMinus:
+			z = (z - 1 + tor.Z) % tor.Z
+		}
+		return tor.RouterAt(x, y, z)
+	}
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%n, int(b)%n
+		cur := src
+		for _, h := range tor.Route(src, dst) {
+			if h.Router != cur {
+				return false
+			}
+			cur = move(cur, h.Dir)
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUncongestedLinkNoStall(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	// 1 MB over a 1 s step on a 9375 MB/s link: well under capacity.
+	tor.Inject(0, 1, 1<<20)
+	tor.Step(time.Second)
+	traffic, stall, _, packets := tor.LinkCounters(0, XPlus)
+	if traffic != 1<<20 {
+		t.Errorf("traffic = %d", traffic)
+	}
+	if stall != 0 {
+		t.Errorf("stall = %d on an uncongested link", stall)
+	}
+	if packets != (1<<20)/avgPacketBytes {
+		t.Errorf("packets = %d", packets)
+	}
+}
+
+func TestCongestedLinkStalls(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	// Offer 4x the X link capacity for one second: 75% stall expected.
+	bytes := uint64(4 * BWXMBps * 1e6)
+	tor.Inject(0, 1, bytes)
+	tor.Step(time.Second)
+	traffic, stall, _, _ := tor.LinkCounters(0, XPlus)
+	if float64(traffic) > BWXMBps*1e6*1.01 {
+		t.Errorf("delivered %d exceeds capacity", traffic)
+	}
+	wantStall := 0.75 * float64(time.Second.Nanoseconds())
+	if float64(stall) < wantStall*0.99 || float64(stall) > wantStall*1.01 {
+		t.Errorf("stall = %d want ~%g", stall, wantStall)
+	}
+	if got := tor.LinkStallPct(0, XPlus); got < 74.9 || got > 75.1 {
+		t.Errorf("stall pct = %g want ~75", got)
+	}
+}
+
+func TestStallAccumulatesAcrossSteps(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	bytes := uint64(2 * BWXMBps * 1e6)
+	for i := 0; i < 10; i++ {
+		tor.Inject(0, 1, bytes)
+		tor.Step(time.Second)
+	}
+	_, stall, _, _ := tor.LinkCounters(0, XPlus)
+	// 50% stall per second over 10 s = 5 s of stall.
+	want := 5 * float64(time.Second.Nanoseconds())
+	if float64(stall) < want*0.99 || float64(stall) > want*1.01 {
+		t.Errorf("cumulative stall = %d want ~%g", stall, want)
+	}
+	if tor.Now() != 10*time.Second {
+		t.Errorf("Now = %v", tor.Now())
+	}
+}
+
+func TestSharedLinkCongestion(t *testing.T) {
+	// Two flows share the first X+ link out of router 0; each alone is
+	// under capacity but together they oversubscribe it. This is the
+	// §II scenario: one application's traffic routed through Gemini
+	// elements connected to another application's nodes.
+	tor, _ := New(8, 4, 4)
+	perFlow := uint64(0.7 * BWXMBps * 1e6)
+	tor.Inject(0, 2, perFlow) // crosses links (0,X+), (1,X+)
+	tor.Inject(0, 1, perFlow) // crosses link (0,X+)
+	tor.Step(time.Second)
+	if pct := tor.LinkStallPct(0, XPlus); pct <= 0 {
+		t.Error("shared link should stall")
+	}
+	if pct := tor.LinkStallPct(1, XPlus); pct != 0 {
+		t.Error("solo link should not stall")
+	}
+}
+
+func TestYDimensionSlower(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	if tor.LinkBW(YPlus) >= tor.LinkBW(XPlus) {
+		t.Error("Y links should be the slowest dimension")
+	}
+	// Identical load congests Y but not X.
+	bytes := uint64(0.8 * BWXMBps * 1e6)
+	tor.Inject(tor.RouterAt(0, 0, 0), tor.RouterAt(1, 0, 0), bytes)
+	tor.Inject(tor.RouterAt(1, 0, 0), tor.RouterAt(1, 1, 0), bytes)
+	tor.Step(time.Second)
+	if tor.LinkStallPct(tor.RouterAt(0, 0, 0), XPlus) != 0 {
+		t.Error("X link should absorb the load")
+	}
+	if tor.LinkStallPct(tor.RouterAt(1, 0, 0), YPlus) <= 0 {
+		t.Error("Y link should stall under the same load")
+	}
+}
+
+func TestNodeAttachment(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	if tor.RouterOf(0) != 0 || tor.RouterOf(1) != 0 || tor.RouterOf(2) != 1 {
+		t.Error("two nodes must share each Gemini")
+	}
+	tor.InjectNodes(0, 2, 1000) // router 0 -> router 1
+	tor.Step(time.Second)
+	traffic, _, _, _ := tor.LinkCounters(0, XPlus)
+	if traffic != 1000 {
+		t.Errorf("node-level injection traffic = %d", traffic)
+	}
+}
+
+func TestSameRouterNoTraffic(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	tor.InjectNodes(0, 1, 1<<20) // both on router 0
+	tor.Step(time.Second)
+	for d := Dir(0); d < NumDirs; d++ {
+		if tr, _, _, _ := tor.LinkCounters(0, d); tr != 0 {
+			t.Errorf("intra-Gemini traffic leaked to %v", d)
+		}
+	}
+}
+
+func TestLinkFailureStallsAndDelivers(t *testing.T) {
+	tor, _ := New(4, 4, 4)
+	if !tor.LinkUp(0, XPlus) {
+		t.Fatal("links should start up")
+	}
+	tor.SetLinkUp(0, XPlus, false)
+	tor.Inject(0, 1, 1<<20)
+	tor.Step(time.Second)
+	traffic, stall, _, _ := tor.LinkCounters(0, XPlus)
+	if traffic != 0 {
+		t.Errorf("failed link delivered %d bytes", traffic)
+	}
+	if stall != uint64(time.Second.Nanoseconds()) {
+		t.Errorf("failed link stall = %d, want a full step", stall)
+	}
+	if pct := tor.LinkStallPct(0, XPlus); pct != 100 {
+		t.Errorf("stall pct = %g want 100", pct)
+	}
+	// Idle failed link does not stall.
+	tor.Step(time.Second)
+	if pct := tor.LinkStallPct(0, XPlus); pct != 0 {
+		t.Errorf("idle failed link stall pct = %g", pct)
+	}
+	// Repair restores delivery.
+	tor.SetLinkUp(0, XPlus, true)
+	tor.Inject(0, 1, 1<<20)
+	tor.Step(time.Second)
+	traffic, _, _, _ = tor.LinkCounters(0, XPlus)
+	if traffic != 1<<20 {
+		t.Errorf("repaired link delivered %d", traffic)
+	}
+}

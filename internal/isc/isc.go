@@ -1,0 +1,223 @@
+// Package isc simulates NCSA's Integrated System Console ingest path
+// (paper §IV-F, Fig. 3): on Blue Waters the aggregators write CSV to a
+// named pipe, syslog-ng forwards the stream, and the ISC database "both
+// archives the data for future investigations as well as stores the most
+// recent 24 hours of node metrics for live queries".
+//
+// An ISC instance consumes a store_csv-format stream (from any io.Reader —
+// in production a FIFO), bulk-loads every row into an SOS archive, and
+// maintains a bounded in-memory live window for immediate queries.
+package isc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/sos"
+)
+
+// Point is one live-window sample of one metric.
+type Point struct {
+	Time   time.Time
+	CompID uint64
+	Value  float64
+}
+
+// ISC ingests a CSV metric stream.
+type ISC struct {
+	window     time.Duration
+	archiveDir string
+
+	mu      sync.Mutex
+	archive *sos.Container
+	columns []string // metric names from the header
+	live    map[string][]Point
+	rows    int64
+	evicted int64
+	latest  time.Time
+}
+
+// Options configure an ISC instance.
+type Options struct {
+	// Window is the live-query retention (the paper's ISC keeps 24 h).
+	Window time.Duration
+	// ArchiveDir, when non-empty, bulk-loads every row into an SOS
+	// container there (created on the first header).
+	ArchiveDir string
+}
+
+// New creates an ISC ingester.
+func New(opts Options) *ISC {
+	if opts.Window <= 0 {
+		opts.Window = 24 * time.Hour
+	}
+	return &ISC{window: opts.Window, live: make(map[string][]Point), archiveDir: opts.ArchiveDir}
+}
+
+// LoadLine ingests one line of store_csv output (header lines begin with
+// "#Time").
+func (i *ISC) LoadLine(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return i.loadHeader(line)
+	}
+	return i.loadRow(line)
+}
+
+// loadHeader records the column layout and opens the archive.
+func (i *ISC) loadHeader(line string) error {
+	cols := strings.Split(strings.TrimPrefix(line, "#"), ",")
+	if len(cols) < 4 || cols[0] != "Time" || cols[1] != "Time_usec" || cols[2] != "CompId" {
+		return fmt.Errorf("isc: unrecognized header %q", line)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.columns = cols[3:]
+	if i.archiveDir != "" && i.archive == nil {
+		names := i.columns
+		types := make([]metric.Type, len(names))
+		for k := range types {
+			types[k] = metric.TypeD64
+		}
+		c, err := sos.Open(i.archiveDir, nil)
+		if err != nil {
+			c, err = sos.Create(i.archiveDir, "isc", names, types, nil)
+			if err != nil {
+				return fmt.Errorf("isc: archive: %w", err)
+			}
+		}
+		i.archive = c
+	}
+	return nil
+}
+
+// loadRow ingests one data row.
+func (i *ISC) loadRow(line string) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.columns == nil {
+		return fmt.Errorf("isc: data before header")
+	}
+	fields := strings.Split(line, ",")
+	if len(fields) != 3+len(i.columns) {
+		return fmt.Errorf("isc: row has %d fields, header defines %d", len(fields), 3+len(i.columns))
+	}
+	sec, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("isc: bad time %q", fields[0])
+	}
+	usec, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("isc: bad usec %q", fields[1])
+	}
+	comp, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("isc: bad comp %q", fields[2])
+	}
+	ts := time.Unix(sec, usec*1000)
+
+	values := make([]metric.Value, len(i.columns))
+	for k, f := range fields[3:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("isc: bad value %q in column %s", f, i.columns[k])
+		}
+		values[k] = metric.F64Value(v)
+		pts := append(i.live[i.columns[k]], Point{Time: ts, CompID: comp, Value: v})
+		i.live[i.columns[k]] = pts
+	}
+	i.rows++
+	if ts.After(i.latest) {
+		i.latest = ts
+	}
+	i.evictLocked()
+	if i.archive != nil {
+		if err := i.archive.Append(ts, comp, values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictLocked drops live points older than the window.
+func (i *ISC) evictLocked() {
+	cutoff := i.latest.Add(-i.window)
+	for name, pts := range i.live {
+		drop := 0
+		for drop < len(pts) && pts[drop].Time.Before(cutoff) {
+			drop++
+		}
+		if drop > 0 {
+			i.live[name] = append(pts[:0:0], pts[drop:]...)
+			i.evicted += int64(drop)
+		}
+	}
+}
+
+// Run consumes an entire stream (the syslog-ng stand-in), returning on EOF
+// or the first malformed line.
+func (i *ISC) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if err := i.LoadLine(sc.Text()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// LiveQuery returns live-window points of one metric (comp 0 = all) in
+// [from, to); zero times mean unbounded.
+func (i *ISC) LiveQuery(metricName string, comp uint64, from, to time.Time) []Point {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var out []Point
+	for _, p := range i.live[metricName] {
+		if comp != 0 && p.CompID != comp {
+			continue
+		}
+		if !from.IsZero() && p.Time.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !p.Time.Before(to) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Stats reports ingest counters: rows loaded, live points evicted, and the
+// newest timestamp seen.
+func (i *ISC) Stats() (rows, evicted int64, latest time.Time) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rows, i.evicted, i.latest
+}
+
+// Archive exposes the SOS archive (nil when not configured).
+func (i *ISC) Archive() *sos.Container {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.archive
+}
+
+// Close flushes and closes the archive.
+func (i *ISC) Close() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.archive == nil {
+		return nil
+	}
+	return i.archive.Close()
+}

@@ -1,0 +1,166 @@
+package isc
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func header() string { return "#Time,Time_usec,CompId,Active,MemFree" }
+
+func row(sec int64, comp uint64, active, free float64) string {
+	return fmt.Sprintf("%d,0,%d,%g,%g", sec, comp, active, free)
+}
+
+func TestLoadAndLiveQuery(t *testing.T) {
+	i := New(Options{Window: time.Hour})
+	if err := i.LoadLine(header()); err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(0); s < 10; s++ {
+		if err := i.LoadLine(row(1000+s*60, 1, float64(s), 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := i.LoadLine(row(1000+s*60, 2, float64(s*2), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := i.LiveQuery("Active", 1, time.Time{}, time.Time{})
+	if len(pts) != 10 {
+		t.Fatalf("comp-1 points = %d", len(pts))
+	}
+	if pts[9].Value != 9 {
+		t.Errorf("last value = %g", pts[9].Value)
+	}
+	all := i.LiveQuery("Active", 0, time.Unix(1000+5*60, 0), time.Unix(1000+7*60, 0))
+	if len(all) != 4 { // 2 comps x 2 minutes
+		t.Errorf("windowed points = %d want 4", len(all))
+	}
+	if got := i.LiveQuery("Ghost", 0, time.Time{}, time.Time{}); got != nil {
+		t.Error("unknown metric returned points")
+	}
+	rows, _, latest := i.Stats()
+	if rows != 20 || latest.Unix() != 1000+9*60 {
+		t.Errorf("rows=%d latest=%v", rows, latest)
+	}
+}
+
+func TestLiveWindowEviction(t *testing.T) {
+	// 1-hour live window: points older than the newest-1h must age out of
+	// live queries (the ISC keeps "the most recent 24 hours ... for live
+	// queries").
+	i := New(Options{Window: time.Hour})
+	i.LoadLine(header())
+	for s := int64(0); s <= 120; s++ { // two hours at 1-minute cadence
+		i.LoadLine(row(s*60, 1, float64(s), 0))
+	}
+	pts := i.LiveQuery("Active", 1, time.Time{}, time.Time{})
+	if len(pts) != 61 {
+		t.Fatalf("live points = %d want 61 (one window's worth)", len(pts))
+	}
+	if pts[0].Value != 60 {
+		t.Errorf("oldest live value = %g want 60", pts[0].Value)
+	}
+	_, evicted, _ := i.Stats()
+	if evicted == 0 {
+		t.Error("nothing evicted")
+	}
+}
+
+func TestArchiveRetainsEverything(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "isc-archive")
+	i := New(Options{Window: time.Minute, ArchiveDir: dir})
+	i.LoadLine(header())
+	for s := int64(0); s < 100; s++ {
+		if err := i.LoadLine(row(s*60, 3, float64(s), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Live window holds only the tail...
+	if n := len(i.LiveQuery("Active", 3, time.Time{}, time.Time{})); n >= 100 {
+		t.Errorf("live window retained %d points", n)
+	}
+	// ...but the archive has every row, for "future investigations".
+	it, err := i.Archive().Query(time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("archived rows = %d want 100", n)
+	}
+	if err := i.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(header() + "\n")
+	for s := int64(0); s < 5; s++ {
+		b.WriteString(row(s, 1, float64(s), 0) + "\n")
+	}
+	b.WriteString("\n") // blank lines are fine
+	i := New(Options{})
+	if err := i.Run(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ := i.Stats()
+	if rows != 5 {
+		t.Errorf("rows = %d", rows)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	i := New(Options{})
+	if err := i.LoadLine("1,2,3,4"); err == nil {
+		t.Error("data before header accepted")
+	}
+	if err := i.LoadLine("#Wrong,Header"); err == nil {
+		t.Error("bad header accepted")
+	}
+	i.LoadLine(header())
+	for _, bad := range []string{
+		"1,0,1",        // too few fields
+		"x,0,1,2,3",    // bad time
+		"1,y,1,2,3",    // bad usec
+		"1,0,z,2,3",    // bad comp
+		"1,0,1,nope,3", // bad value
+		"1,0,1,2,3,4",  // too many fields
+	} {
+		if err := i.LoadLine(bad); err == nil {
+			t.Errorf("malformed row %q accepted", bad)
+		}
+	}
+}
+
+// TestEndToEndFromStoreCSV feeds real store_csv output through the ISC.
+func TestEndToEndFromStoreCSV(t *testing.T) {
+	// Reuse the exact header/row format by generating via the store
+	// package would create an import cycle in tests; instead assert the
+	// formats agree on a golden line.
+	golden := "#Time,Time_usec,CompId,Active,MemFree\n1400000000,250000,7,123,456\n"
+	i := New(Options{})
+	if err := i.Run(strings.NewReader(golden)); err != nil {
+		t.Fatal(err)
+	}
+	pts := i.LiveQuery("MemFree", 7, time.Time{}, time.Time{})
+	if len(pts) != 1 || pts[0].Value != 456 {
+		t.Errorf("points = %+v", pts)
+	}
+	if pts[0].Time.Nanosecond() != 250000*1000 {
+		t.Errorf("usec lost: %v", pts[0].Time)
+	}
+}

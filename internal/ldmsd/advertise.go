@@ -1,0 +1,197 @@
+package ldmsd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// Reversed connection initiation (paper §IV-B): compute nodes that cannot
+// accept inbound connections dial their aggregator instead. The sampler
+// side calls Advertise; the aggregator side calls ListenForProducers and
+// pre-registers passive producers, which are adopted when the matching
+// peer dials in. Updaters treat passive producers exactly like dialed
+// ones.
+
+// AddPassiveProducer registers a producer whose connection will arrive
+// from the remote side (via an Advertise from a daemon with this name).
+func (d *Daemon) AddPassiveProducer(name string) (*Producer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.prdcrs[name]; dup {
+		return nil, fmt.Errorf("ldmsd %s: producer %q already exists", d.name, name)
+	}
+	p := &Producer{
+		d:       d,
+		name:    name,
+		passive: true,
+		active:  true,
+	}
+	d.prdcrs[name] = p
+	return p, nil
+}
+
+// adoptConn installs an incoming connection on a passive producer,
+// performing the initial dir.
+func (p *Producer) adoptConn(conn transport.Conn) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	names, err := conn.Dir(ctx)
+	cancel()
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("ldmsd: adopt %s: %w", p.name, err)
+	}
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("ldmsd: producer %s not started", p.name)
+	}
+	old := p.conn
+	p.conn = conn
+	p.state = ProducerConnected
+	p.epoch++
+	p.setNames = names
+	p.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// ListenForProducers serves this daemon's registry on a peer-capable
+// transport and adopts announced peers into their pre-registered passive
+// producers. Unknown peers are rejected.
+func (d *Daemon) ListenForProducers(transportName, addr string) (string, error) {
+	f, err := d.transportByName(transportName)
+	if err != nil {
+		return "", err
+	}
+	pf, ok := f.(transport.PeerFactory)
+	if !ok {
+		return "", fmt.Errorf("ldmsd %s: transport %q does not support reversed connections", d.name, transportName)
+	}
+	ln, err := pf.ListenPeer(addr, d.srv, func(name string, conn transport.Conn) {
+		p := d.Producer(name)
+		if p == nil || !p.passive {
+			conn.Close()
+			return
+		}
+		p.adoptConn(conn)
+	})
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Advertiser maintains an outbound connection from a sampler to an
+// aggregator that pulls over it, redialing on failure.
+type Advertiser struct {
+	d     *Daemon
+	xprt  transport.PeerFactory
+	addr  string
+	retry time.Duration
+	task  *sched.Task
+
+	mu      sync.Mutex
+	conn    transport.Conn
+	stopped bool
+	dials   int64
+}
+
+// Advertise dials addr over a peer-capable transport, announces this
+// daemon's name, and serves its registry over the connection. The link is
+// health-checked and redialed every retry interval.
+func (d *Daemon) Advertise(transportName, addr string, retry time.Duration) (*Advertiser, error) {
+	f, err := d.transportByName(transportName)
+	if err != nil {
+		return nil, err
+	}
+	pf, ok := f.(transport.PeerFactory)
+	if !ok {
+		return nil, fmt.Errorf("ldmsd %s: transport %q does not support reversed connections", d.name, transportName)
+	}
+	if retry <= 0 {
+		retry = time.Second
+	}
+	a := &Advertiser{d: d, xprt: pf, addr: addr, retry: retry}
+	a.tick(d.sch.Now())
+	a.task = d.sch.Every(retry, 0, false, a.tick)
+	return a, nil
+}
+
+// tick dials if disconnected, otherwise health-checks the link with a dir
+// request toward the aggregator.
+func (a *Advertiser) tick(time.Time) {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	conn := a.conn
+	a.mu.Unlock()
+
+	if conn != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), a.retry)
+		_, err := conn.Dir(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		conn.Close()
+		a.mu.Lock()
+		if a.conn == conn {
+			a.conn = nil
+		}
+		a.mu.Unlock()
+	}
+
+	c, err := a.xprt.DialNamed(a.addr, a.d.name, a.d.srv)
+	if err != nil {
+		return // retry next tick
+	}
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		c.Close()
+		return
+	}
+	a.conn = c
+	a.dials++
+	a.mu.Unlock()
+}
+
+// Connected reports whether the advertised link is currently up.
+func (a *Advertiser) Connected() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.conn != nil
+}
+
+// Dials returns the number of successful dials (reconnects included).
+func (a *Advertiser) Dials() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dials
+}
+
+// Stop tears the advertised link down.
+func (a *Advertiser) Stop() {
+	a.task.Cancel()
+	a.mu.Lock()
+	conn := a.conn
+	a.conn = nil
+	a.stopped = true
+	a.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,183 @@
+package ldmsd
+
+import (
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+	"goldms/internal/transport"
+)
+
+// TestReversedProducerFlow wires the §IV-B asymmetric-access topology over
+// real TCP: the sampler dials the aggregator (advertise), and the
+// aggregator pulls over the incoming connection via a passive producer.
+func TestReversedProducerFlow(t *testing.T) {
+	// Aggregator with a passive producer, listening for peers.
+	agg, err := New(Options{
+		Name:       "agg",
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Stop()
+	addr, err := agg.ListenForProducers("sock", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := agg.AddPassiveProducer("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	u, err := agg.AddUpdater("u", 10*time.Millisecond, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.AddProducer("n1")
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sampler that cannot accept inbound connections: it advertises out.
+	node := procfs.NewNodeState("n1", 2, 1<<20)
+	smp, err := New(Options{
+		Name: "n1", FS: procfs.NewSimFS(node),
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	if _, err := smp.ExecScript(`
+		load name=meminfo
+		start name=meminfo interval=10000
+		advertise xprt=sock host=` + addr + ` interval=100000`); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if agg.Stats().UpdatesFresh >= 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if agg.Stats().UpdatesFresh < 3 {
+		t.Fatalf("no data over reversed connection: %+v", agg.Stats())
+	}
+	if p.State() != ProducerConnected {
+		t.Errorf("passive producer state = %v", p.State())
+	}
+	mir := agg.Registry().Get("n1/meminfo")
+	if mir == nil {
+		t.Fatal("mirror missing on aggregator")
+	}
+	if i, ok := mir.MetricIndex("MemTotal"); !ok || mir.U64(i) != 1<<20 {
+		t.Error("mirrored value wrong over reversed connection")
+	}
+}
+
+// TestUnknownPeerRejected ensures a peer with no pre-registered passive
+// producer is dropped.
+func TestUnknownPeerRejected(t *testing.T) {
+	agg, err := New(Options{
+		Name:       "agg",
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Stop()
+	addr, err := agg.ListenForProducers("sock", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	node := procfs.NewNodeState("ghost", 2, 1<<20)
+	smp, err := New(Options{
+		Name: "ghost", FS: procfs.NewSimFS(node),
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	a, err := smp.Advertise("sock", addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	// The dial itself succeeds but the aggregator closes it; the
+	// advertiser's health check notices and redials, never staying up.
+	time.Sleep(300 * time.Millisecond)
+	if agg.Stats().Updates != 0 {
+		t.Error("unknown peer was pulled")
+	}
+}
+
+// TestAdvertiseReconnects verifies the advertiser redials after the
+// aggregator restarts.
+func TestAdvertiseReconnects(t *testing.T) {
+	mk := func(addr string) (*Daemon, string) {
+		agg, err := New(Options{
+			Name:       "agg",
+			Transports: []transport.Factory{transport.SockFactory{}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := agg.ListenForProducers("sock", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := agg.AddPassiveProducer("n1")
+		p.Start()
+		u, _ := agg.AddUpdater("u", 10*time.Millisecond, 0, false)
+		u.AddProducer("n1")
+		u.Start()
+		return agg, bound
+	}
+	agg1, addr := mk("127.0.0.1:0")
+
+	node := procfs.NewNodeState("n1", 2, 1<<20)
+	smp, err := New(Options{
+		Name: "n1", FS: procfs.NewSimFS(node),
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	smp.ExecScript("load name=meminfo\nstart name=meminfo interval=10000")
+	a, err := smp.Advertise("sock", addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+
+	waitFresh := func(agg *Daemon) bool {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if agg.Stats().UpdatesFresh >= 2 {
+				return true
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitFresh(agg1) {
+		t.Fatal("no data before restart")
+	}
+
+	// Aggregator restarts on the same address.
+	agg1.Stop()
+	agg2, _ := mk(addr)
+	defer agg2.Stop()
+	if !waitFresh(agg2) {
+		t.Fatal("advertiser did not re-establish after aggregator restart")
+	}
+	if a.Dials() < 2 {
+		t.Errorf("dials = %d, want a reconnect", a.Dials())
+	}
+}

@@ -1,0 +1,486 @@
+package ldmsd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Exec interprets one ldmsd configuration command, in the style of the
+// ldmsd_controller text protocol ("load name=meminfo", "start name=meminfo
+// interval=1000000", "prdcr_add name=...", ...). It returns human-readable
+// output. Intervals and offsets accept either plain microseconds (LDMS
+// convention) or Go duration strings ("1s", "20s", "1m").
+//
+// Command set:
+//
+//	load name=<plugin>
+//	config name=<plugin> [instance=<set>] [component_id=<n>] [k=v ...]
+//	start name=<plugin> interval=<us|dur> [offset=<us|dur>] [synchronous=1]
+//	stop name=<plugin>
+//	oneshot name=<plugin>
+//	listen xprt=<transport> addr=<addr>
+//	prdcr_add name=<p> xprt=<t> host=<addr> [interval=<us|dur>] [standby=1]
+//	prdcr_start name=<p>
+//	prdcr_stop name=<p>
+//	prdcr_activate name=<p>      (failover: begin pulling a standby)
+//	prdcr_deactivate name=<p>
+//	updtr_add name=<u> interval=<us|dur> [offset=<us|dur>] [synchronous=1]
+//	updtr_prdcr_add name=<u> prdcr=<p>
+//	updtr_match_add name=<u> match=<substring>
+//	updtr_start name=<u>
+//	updtr_stop name=<u>
+//	strgp_add name=<s> plugin=<store> schema=<schema> container=<path> [k=v ...]
+//	strgp_metric_add name=<s> metric=<m>[,<m>...]
+//	strgp_start name=<s>         (accepted; stores start lazily)
+//	dir                          (list local sets)
+//	ls [name=<set>]              (ldms_ls-style listing)
+//	stats                        (activity counters)
+//	usage                        (memory footprint)
+func (d *Daemon) Exec(line string) (string, error) {
+	cmd, args, err := parseCommand(line)
+	if err != nil {
+		return "", err
+	}
+	switch cmd {
+	case "":
+		return "", nil
+	case "load":
+		return d.cmdLoad(args)
+	case "config":
+		return d.cmdConfig(args)
+	case "start":
+		return d.cmdStart(args)
+	case "stop":
+		return d.cmdStop(args)
+	case "oneshot":
+		return d.cmdOneshot(args)
+	case "listen":
+		return d.cmdListen(args)
+	case "advertise":
+		return d.cmdAdvertise(args)
+	case "prdcr_add":
+		return d.cmdPrdcrAdd(args)
+	case "prdcr_start":
+		return d.withProducer(args, func(p *Producer) { p.Start() })
+	case "prdcr_stop":
+		return d.withProducer(args, func(p *Producer) { p.Stop() })
+	case "prdcr_activate":
+		return d.withProducer(args, func(p *Producer) { p.Activate() })
+	case "prdcr_deactivate":
+		return d.withProducer(args, func(p *Producer) { p.Deactivate() })
+	case "updtr_add":
+		return d.cmdUpdtrAdd(args)
+	case "updtr_prdcr_add":
+		return d.cmdUpdtrPrdcrAdd(args)
+	case "updtr_match_add":
+		return d.cmdUpdtrMatchAdd(args)
+	case "updtr_start":
+		u, err := d.needUpdater(args)
+		if err != nil {
+			return "", err
+		}
+		return "", u.Start()
+	case "updtr_stop":
+		u, err := d.needUpdater(args)
+		if err != nil {
+			return "", err
+		}
+		u.Stop()
+		return "", nil
+	case "strgp_add":
+		return d.cmdStrgpAdd(args)
+	case "strgp_metric_add":
+		return d.cmdStrgpMetricAdd(args)
+	case "strgp_start":
+		if d.StoragePolicy(args["name"]) == nil {
+			return "", fmt.Errorf("ldmsd %s: no storage policy %q", d.name, args["name"])
+		}
+		return "", nil
+	case "dir":
+		return strings.Join(d.reg.Dir(), "\n"), nil
+	case "ls":
+		return d.cmdLs(args)
+	case "stats":
+		return d.cmdStats()
+	case "usage":
+		st := d.arena.Stats()
+		return fmt.Sprintf("set_memory: used=%d peak=%d budget=%d", st.InUse, st.Peak, st.Capacity), nil
+	default:
+		return "", fmt.Errorf("ldmsd: unknown command %q", cmd)
+	}
+}
+
+// ExecScript runs a newline-separated command script, stopping at the
+// first error. Lines beginning with '#' are comments.
+func (d *Daemon) ExecScript(script string) (string, error) {
+	var out strings.Builder
+	for i, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		res, err := d.Exec(line)
+		if err != nil {
+			return out.String(), fmt.Errorf("line %d (%q): %w", i+1, line, err)
+		}
+		if res != "" {
+			out.WriteString(res)
+			out.WriteString("\n")
+		}
+	}
+	return out.String(), nil
+}
+
+// parseCommand splits "cmd k1=v1 k2=v2" into its parts.
+func parseCommand(line string) (string, map[string]string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return "", nil, nil
+	}
+	args := make(map[string]string, len(fields)-1)
+	for _, f := range fields[1:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return "", nil, fmt.Errorf("ldmsd: malformed argument %q (want key=value)", f)
+		}
+		args[f[:eq]] = f[eq+1:]
+	}
+	return fields[0], args, nil
+}
+
+// parseInterval accepts microseconds or a Go duration string.
+func parseInterval(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if us, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Duration(us) * time.Microsecond, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// pendingPlugin tracks load/config state before start instantiates the
+// sampler.
+type pendingPlugin struct {
+	instance string
+	compID   uint64
+	options  map[string]string
+}
+
+// pending is lazily allocated on the daemon.
+func (d *Daemon) pendingFor(name string) *pendingPlugin {
+	if d.pending == nil {
+		d.pending = make(map[string]*pendingPlugin)
+	}
+	p := d.pending[name]
+	if p == nil {
+		p = &pendingPlugin{compID: d.compID, options: make(map[string]string)}
+		d.pending[name] = p
+	}
+	return p
+}
+
+func (d *Daemon) cmdLoad(args map[string]string) (string, error) {
+	name := args["name"]
+	if name == "" {
+		return "", fmt.Errorf("ldmsd: load requires name=")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.samplers[name]; dup {
+		return "", fmt.Errorf("ldmsd %s: plugin %q already loaded", d.name, name)
+	}
+	d.pendingFor(name)
+	return "", nil
+}
+
+func (d *Daemon) cmdConfig(args map[string]string) (string, error) {
+	name := args["name"]
+	if name == "" {
+		return "", fmt.Errorf("ldmsd: config requires name=")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending == nil || d.pending[name] == nil {
+		return "", fmt.Errorf("ldmsd %s: plugin %q not loaded", d.name, name)
+	}
+	p := d.pending[name]
+	for k, v := range args {
+		switch k {
+		case "name":
+		case "instance":
+			p.instance = v
+		case "component_id":
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return "", fmt.Errorf("ldmsd: bad component_id %q", v)
+			}
+			p.compID = id
+		case "producer":
+			// Accepted for compatibility; the instance name carries it.
+		default:
+			p.options[k] = v
+		}
+	}
+	return "", nil
+}
+
+func (d *Daemon) cmdStart(args map[string]string) (string, error) {
+	name := args["name"]
+	if name == "" {
+		return "", fmt.Errorf("ldmsd: start requires name=")
+	}
+	interval, err := parseInterval(args["interval"])
+	if err != nil || interval <= 0 {
+		return "", fmt.Errorf("ldmsd: start requires a positive interval")
+	}
+	offset, err := parseInterval(args["offset"])
+	if err != nil {
+		return "", err
+	}
+	_, synchronous := args["synchronous"]
+	if v := args["synchronous"]; v == "0" {
+		synchronous = false
+	}
+
+	sp := d.Sampler(name)
+	if sp == nil {
+		d.mu.Lock()
+		pend := (*pendingPlugin)(nil)
+		if d.pending != nil {
+			pend = d.pending[name]
+		}
+		d.mu.Unlock()
+		if pend == nil {
+			return "", fmt.Errorf("ldmsd %s: plugin %q not loaded", d.name, name)
+		}
+		sp, err = d.loadSamplerComp(name, pend.instance, pend.compID, pend.options)
+		if err != nil {
+			return "", err
+		}
+	}
+	sp.Start(interval, offset, synchronous)
+	return "", nil
+}
+
+func (d *Daemon) cmdStop(args map[string]string) (string, error) {
+	sp := d.Sampler(args["name"])
+	if sp == nil {
+		return "", fmt.Errorf("ldmsd %s: plugin %q not running", d.name, args["name"])
+	}
+	sp.Stop()
+	return "", nil
+}
+
+func (d *Daemon) cmdOneshot(args map[string]string) (string, error) {
+	sp := d.Sampler(args["name"])
+	if sp == nil {
+		return "", fmt.Errorf("ldmsd %s: plugin %q not running", d.name, args["name"])
+	}
+	return "", sp.SampleOnce(d.sch.Now())
+}
+
+func (d *Daemon) cmdListen(args map[string]string) (string, error) {
+	xprt, addr := args["xprt"], args["addr"]
+	if xprt == "" || addr == "" {
+		return "", fmt.Errorf("ldmsd: listen requires xprt= and addr=")
+	}
+	if args["peers"] == "1" {
+		return d.ListenForProducers(xprt, addr)
+	}
+	bound, err := d.Listen(xprt, addr)
+	if err != nil {
+		return "", err
+	}
+	return bound, nil
+}
+
+func (d *Daemon) cmdAdvertise(args map[string]string) (string, error) {
+	xprt, host := args["xprt"], args["host"]
+	if xprt == "" || host == "" {
+		return "", fmt.Errorf("ldmsd: advertise requires xprt= and host=")
+	}
+	interval, err := parseInterval(args["interval"])
+	if err != nil {
+		return "", err
+	}
+	a, err := d.Advertise(xprt, host, interval)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.advs = append(d.advs, a)
+	d.mu.Unlock()
+	return "", nil
+}
+
+func (d *Daemon) cmdPrdcrAdd(args map[string]string) (string, error) {
+	name, xprt, host := args["name"], args["xprt"], args["host"]
+	if name == "" {
+		return "", fmt.Errorf("ldmsd: prdcr_add requires name=")
+	}
+	if args["type"] == "passive" {
+		// The connection arrives from the sampler side (advertise).
+		_, err := d.AddPassiveProducer(name)
+		return "", err
+	}
+	if xprt == "" || host == "" {
+		return "", fmt.Errorf("ldmsd: prdcr_add requires xprt= and host= (or type=passive)")
+	}
+	interval, err := parseInterval(args["interval"])
+	if err != nil {
+		return "", err
+	}
+	standby := args["standby"] == "1"
+	_, err = d.AddProducer(name, xprt, host, interval, standby)
+	return "", err
+}
+
+func (d *Daemon) withProducer(args map[string]string, f func(*Producer)) (string, error) {
+	p := d.Producer(args["name"])
+	if p == nil {
+		return "", fmt.Errorf("ldmsd %s: no producer %q", d.name, args["name"])
+	}
+	f(p)
+	return "", nil
+}
+
+func (d *Daemon) cmdUpdtrAdd(args map[string]string) (string, error) {
+	name := args["name"]
+	if name == "" {
+		return "", fmt.Errorf("ldmsd: updtr_add requires name=")
+	}
+	interval, err := parseInterval(args["interval"])
+	if err != nil || interval <= 0 {
+		return "", fmt.Errorf("ldmsd: updtr_add requires a positive interval")
+	}
+	offset, err := parseInterval(args["offset"])
+	if err != nil {
+		return "", err
+	}
+	_, err = d.AddUpdater(name, interval, offset, args["synchronous"] == "1")
+	return "", err
+}
+
+func (d *Daemon) needUpdater(args map[string]string) (*Updater, error) {
+	u := d.Updater(args["name"])
+	if u == nil {
+		return nil, fmt.Errorf("ldmsd %s: no updater %q", d.name, args["name"])
+	}
+	return u, nil
+}
+
+func (d *Daemon) cmdUpdtrPrdcrAdd(args map[string]string) (string, error) {
+	u, err := d.needUpdater(args)
+	if err != nil {
+		return "", err
+	}
+	return "", u.AddProducer(args["prdcr"])
+}
+
+func (d *Daemon) cmdUpdtrMatchAdd(args map[string]string) (string, error) {
+	u, err := d.needUpdater(args)
+	if err != nil {
+		return "", err
+	}
+	match := args["match"]
+	if match == "" {
+		return "", fmt.Errorf("ldmsd: updtr_match_add requires match=")
+	}
+	u.SetMatch(func(instance string) bool {
+		return strings.Contains(instance, match)
+	})
+	return "", nil
+}
+
+func (d *Daemon) cmdStrgpAdd(args map[string]string) (string, error) {
+	name, plugin := args["name"], args["plugin"]
+	schema, container := args["schema"], args["container"]
+	if name == "" || plugin == "" || schema == "" || container == "" {
+		return "", fmt.Errorf("ldmsd: strgp_add requires name=, plugin=, schema= and container=")
+	}
+	options := make(map[string]string)
+	for k, v := range args {
+		switch k {
+		case "name", "plugin", "schema", "container":
+		default:
+			options[k] = v
+		}
+	}
+	_, err := d.AddStoragePolicy(name, plugin, schema, container, options)
+	return "", err
+}
+
+func (d *Daemon) cmdStrgpMetricAdd(args map[string]string) (string, error) {
+	sp := d.StoragePolicy(args["name"])
+	if sp == nil {
+		return "", fmt.Errorf("ldmsd %s: no storage policy %q", d.name, args["name"])
+	}
+	m := args["metric"]
+	if m == "" {
+		return "", fmt.Errorf("ldmsd: strgp_metric_add requires metric=")
+	}
+	sp.mu.Lock()
+	if sp.metricSel == nil {
+		sp.metricSel = make(map[string]bool)
+	}
+	for _, name := range strings.Split(m, ",") {
+		sp.metricSel[name] = true
+	}
+	sp.mu.Unlock()
+	return "", nil
+}
+
+// cmdLs renders sets ldms_ls style: names only, or metrics of one set.
+func (d *Daemon) cmdLs(args map[string]string) (string, error) {
+	name := args["name"]
+	if name == "" {
+		return strings.Join(d.reg.Dir(), "\n"), nil
+	}
+	set := d.reg.Get(name)
+	if set == nil {
+		return "", fmt.Errorf("ldmsd %s: no set %q", d.name, name)
+	}
+	var b strings.Builder
+	cons := "inconsistent"
+	if set.Consistent() {
+		cons = "consistent"
+	}
+	fmt.Fprintf(&b, "%s: %s, last update: %s [%s]\n",
+		set.Name(), set.SchemaName(), set.Timestamp().UTC().Format(time.RFC3339), cons)
+	for i := 0; i < set.Card(); i++ {
+		fmt.Fprintf(&b, " %c %-10s %-40s %s\n",
+			typeTag(set.MetricType(i)), set.MetricType(i), set.MetricName(i), set.Value(i))
+	}
+	return b.String(), nil
+}
+
+// typeTag mirrors the U/D markers in ldms_ls output.
+func typeTag(t interface{ String() string }) byte {
+	s := t.String()
+	if len(s) > 0 && (s[0] == 'd' || s[0] == 'f') {
+		return 'D'
+	}
+	return 'U'
+}
+
+// cmdStats renders the daemon activity counters.
+func (d *Daemon) cmdStats() (string, error) {
+	st := d.Stats()
+	keys := []string{
+		fmt.Sprintf("samples=%d", st.Samples),
+		fmt.Sprintf("sample_errors=%d", st.SampleErrors),
+		fmt.Sprintf("lookups=%d", st.Lookups),
+		fmt.Sprintf("updates=%d", st.Updates),
+		fmt.Sprintf("fresh=%d", st.UpdatesFresh),
+		fmt.Sprintf("stale=%d", st.UpdatesStale),
+		fmt.Sprintf("inconsistent=%d", st.UpdatesInconsistent),
+		fmt.Sprintf("update_errors=%d", st.UpdateErrors),
+		fmt.Sprintf("stored_rows=%d", st.StoredRows),
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " "), nil
+}

@@ -1,0 +1,154 @@
+package ldmsd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Control protocol: the owner of an ldmsd controls it through a local UNIX
+// domain socket (paper §IV-B: "Access is controlled via permissions on a
+// UNIX Domain Socket"; §IV-G: "The owner of an LDMS instance controls it
+// through a local UNIX Domain socket").
+//
+// Wire format: one command line in, then a status line ("OK" or
+// "ERR <message>") followed by output lines and a terminating "." line.
+
+// ControlServer serves the daemon's Exec interface on a UNIX socket.
+type ControlServer struct {
+	d  *Daemon
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ServeControl starts the control socket at path. The socket file is
+// created with owner-only permissions by the OS default umask; callers may
+// tighten it further.
+func (d *Daemon) ServeControl(path string) (*ControlServer, error) {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, fmt.Errorf("ldmsd %s: control socket: %w", d.name, err)
+	}
+	cs := &ControlServer{d: d, ln: ln}
+	cs.wg.Add(1)
+	go cs.acceptLoop()
+	return cs, nil
+}
+
+// Addr returns the socket path.
+func (cs *ControlServer) Addr() string { return cs.ln.Addr().String() }
+
+// Close stops the control server.
+func (cs *ControlServer) Close() error {
+	err := cs.ln.Close()
+	cs.wg.Wait()
+	return err
+}
+
+func (cs *ControlServer) acceptLoop() {
+	defer cs.wg.Done()
+	for {
+		conn, err := cs.ln.Accept()
+		if err != nil {
+			return
+		}
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			cs.serve(conn)
+		}()
+	}
+}
+
+func (cs *ControlServer) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		out, err := cs.d.Exec(strings.TrimSpace(line))
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n.\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		} else {
+			w.WriteString("OK\n")
+			if out != "" {
+				for _, l := range strings.Split(out, "\n") {
+					// Dot-stuff output lines that would terminate the reply.
+					if l == "." {
+						l = ".."
+					}
+					w.WriteString(l)
+					w.WriteByte('\n')
+				}
+			}
+			w.WriteString(".\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// ControlClient is the client side used by ldmsctl.
+type ControlClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialControl connects to a daemon's control socket.
+func DialControl(path string) (*ControlClient, error) {
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Exec sends one command and returns its output.
+func (c *ControlClient) Exec(cmd string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", strings.TrimSpace(cmd)); err != nil {
+		return "", err
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	status = strings.TrimRight(status, "\n")
+	var out strings.Builder
+	if strings.HasPrefix(status, "ERR ") || status == "ERR" {
+		// Error replies still terminate with ".".
+		for {
+			l, err := c.r.ReadString('\n')
+			if err != nil || strings.TrimRight(l, "\n") == "." {
+				break
+			}
+		}
+		return "", fmt.Errorf("%s", strings.TrimPrefix(status, "ERR "))
+	}
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "." {
+			break
+		}
+		if strings.HasPrefix(l, "..") {
+			l = l[1:]
+		}
+		if out.Len() > 0 {
+			out.WriteByte('\n')
+		}
+		out.WriteString(l)
+	}
+	return out.String(), nil
+}
+
+// Close releases the client connection.
+func (c *ControlClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,284 @@
+// Package ldmsd implements the LDMS daemon engine: the single multi-
+// threaded daemon that "is run in either sampler or aggregator mode and
+// supports the store functionality when run in aggregator mode" (paper
+// §IV-B). Differentiation is purely configuration:
+//
+//   - Sampler policies run sampling plugins on user-defined intervals
+//     (synchronous or asynchronous), overwriting metric sets in place.
+//   - Producers are connections to other ldmsds (samplers or aggregators)
+//     from which metric sets are pulled; standby producers support
+//     failover.
+//   - Updaters pull the data chunks of looked-up sets on their own
+//     schedule, discarding stale (unchanged DGN) or torn (inconsistent)
+//     samples.
+//   - Storage policies hand every fresh consistent sample to a store
+//     plugin (CSV, flat file, SOS).
+//
+// The engine runs identically against the real clock (production daemons)
+// or a virtual clock (whole-day experiments in seconds).
+package ldmsd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/mmgr"
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// Options configure a Daemon.
+type Options struct {
+	// Name identifies the daemon (conventionally the hostname).
+	Name string
+	// Scheduler, if set, is used for all timed work (a shared virtual
+	// scheduler in simulations). If nil a real-clock scheduler is created.
+	Scheduler *sched.Scheduler
+	// Workers sizes the worker pool of a real-clock scheduler.
+	Workers int
+	// ConnWorkers sizes the connection-setup pool (paper: a separate pool
+	// so hung connection attempts cannot starve collector threads).
+	ConnWorkers int
+	// Memory is the metric-set memory budget in bytes (the -m flag).
+	Memory int
+	// FS is the node's /proc//sys source for sampling plugins.
+	FS procfs.FS
+	// CompID is the default component ID for sampler sets.
+	CompID uint64
+	// Transports lists the transport factories available to this daemon.
+	Transports []transport.Factory
+}
+
+// Daemon is one ldmsd instance.
+type Daemon struct {
+	name   string
+	sch    *sched.Scheduler
+	ownSch bool
+	conn   *sched.Pool
+	arena  *mmgr.Arena
+	fs     procfs.FS
+	compID uint64
+
+	reg        *metric.Registry
+	srv        *transport.Server
+	transports map[string]transport.Factory
+	listeners  []transport.Listener
+
+	mu       sync.Mutex
+	samplers map[string]*SamplerPolicy
+	prdcrs   map[string]*Producer
+	updtrs   map[string]*Updater
+	strgps   map[string]*StoragePolicy
+	pending  map[string]*pendingPlugin // loaded-but-not-started plugins
+	advs     []*Advertiser
+	stopped  bool
+}
+
+// DefaultMemory is the default metric-set memory budget. The paper reports
+// "less than two megabytes of memory per node for samplers to run in
+// typical configurations".
+const DefaultMemory = 2 << 20
+
+// New creates a daemon.
+func New(opts Options) (*Daemon, error) {
+	if opts.Name == "" {
+		return nil, fmt.Errorf("ldmsd: daemon needs a name")
+	}
+	mem := opts.Memory
+	if mem <= 0 {
+		mem = DefaultMemory
+	}
+	arena, err := mmgr.New(mem)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		name:       opts.Name,
+		arena:      arena,
+		fs:         opts.FS,
+		compID:     opts.CompID,
+		reg:        metric.NewRegistry(),
+		transports: make(map[string]transport.Factory),
+		samplers:   make(map[string]*SamplerPolicy),
+		prdcrs:     make(map[string]*Producer),
+		updtrs:     make(map[string]*Updater),
+		strgps:     make(map[string]*StoragePolicy),
+	}
+	d.srv = transport.NewServer(d.reg)
+	if opts.Scheduler != nil {
+		d.sch = opts.Scheduler
+	} else {
+		w := opts.Workers
+		if w <= 0 {
+			w = 4
+		}
+		d.sch = sched.NewReal(w)
+		d.ownSch = true
+		cw := opts.ConnWorkers
+		if cw <= 0 {
+			cw = 2
+		}
+		d.conn = sched.NewPool(cw, 4*cw+8)
+	}
+	for _, f := range opts.Transports {
+		d.transports[f.Name()] = f
+	}
+	if d.fs == nil {
+		d.fs = procfs.OSFS{}
+	}
+	return d, nil
+}
+
+// Name returns the daemon's name.
+func (d *Daemon) Name() string { return d.name }
+
+// Registry returns the daemon's local set registry (its own sampled sets
+// plus mirrors of aggregated sets, which daisy-chained aggregators pull in
+// turn).
+func (d *Daemon) Registry() *metric.Registry { return d.reg }
+
+// Arena returns the metric-set memory arena, for footprint accounting.
+func (d *Daemon) Arena() *mmgr.Arena { return d.arena }
+
+// Scheduler returns the daemon's scheduler.
+func (d *Daemon) Scheduler() *sched.Scheduler { return d.sch }
+
+// ServerStats returns transport serving counters (pulls served to peers).
+func (d *Daemon) ServerStats() transport.ServerStats { return d.srv.Stats() }
+
+// transportByName resolves a configured transport.
+func (d *Daemon) transportByName(name string) (transport.Factory, error) {
+	f, ok := d.transports[name]
+	if !ok {
+		return nil, fmt.Errorf("ldmsd %s: transport %q not configured", d.name, name)
+	}
+	return f, nil
+}
+
+// Listen exposes the daemon's registry on the named transport and address,
+// as "ldmsd is also configured to listen for incoming connection requests".
+func (d *Daemon) Listen(transportName, addr string) (string, error) {
+	f, err := d.transportByName(transportName)
+	if err != nil {
+		return "", err
+	}
+	ln, err := f.Listen(addr, d.srv)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.listeners = append(d.listeners, ln)
+	d.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// submitConn runs connection work on the connection pool in real-time mode
+// or inline under a virtual scheduler.
+func (d *Daemon) submitConn(f func()) {
+	if d.conn != nil {
+		d.conn.Submit(f)
+		return
+	}
+	f()
+}
+
+// Stop halts all policies, closes listeners and producer connections, and
+// (if owned) stops the scheduler.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	samplers := mapValues(d.samplers)
+	prdcrs := mapValues(d.prdcrs)
+	updtrs := mapValues(d.updtrs)
+	strgps := mapValues(d.strgps)
+	listeners := d.listeners
+	advs := d.advs
+	d.mu.Unlock()
+
+	for _, a := range advs {
+		a.Stop()
+	}
+
+	for _, u := range updtrs {
+		u.Stop()
+	}
+	for _, s := range samplers {
+		s.Stop()
+	}
+	for _, p := range prdcrs {
+		p.Stop()
+	}
+	if d.ownSch {
+		d.sch.Stop()
+	}
+	if d.conn != nil {
+		d.conn.Stop()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, sp := range strgps {
+		sp.Close()
+	}
+}
+
+// mapValues returns the values of a map in sorted key order.
+func mapValues[V any](m map[string]V) []V {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]V, 0, len(m))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}
+
+// Stats aggregates daemon activity for experiments and the control
+// interface.
+type Stats struct {
+	Samples             int64 // sampler plugin invocations
+	SampleErrors        int64
+	SampleTime          time.Duration // cumulative plugin execution time
+	Lookups             int64
+	Updates             int64 // data pulls that completed
+	UpdatesFresh        int64 // pulls with new consistent data
+	UpdatesStale        int64 // pulls skipped: DGN unchanged
+	UpdatesInconsistent int64
+	UpdateErrors        int64
+	StoredRows          int64
+}
+
+// Stats sums activity over all policies.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var st Stats
+	for _, s := range d.samplers {
+		st.Samples += s.samples.Load()
+		st.SampleErrors += s.errors.Load()
+		st.SampleTime += time.Duration(s.sampleNanos.Load())
+	}
+	for _, u := range d.updtrs {
+		st.Lookups += u.lookups.Load()
+		st.Updates += u.updates.Load()
+		st.UpdatesFresh += u.fresh.Load()
+		st.UpdatesStale += u.stale.Load()
+		st.UpdatesInconsistent += u.inconsistent.Load()
+		st.UpdateErrors += u.errors.Load()
+	}
+	for _, sp := range d.strgps {
+		st.StoredRows += sp.rows.Load()
+	}
+	return st
+}

@@ -1,0 +1,548 @@
+package ldmsd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// testNode returns a minimal simulated node.
+func testNode(name string) *procfs.NodeState {
+	n := procfs.NewNodeState(name, 2, 32<<20)
+	n.Update(func(n *procfs.NodeState) {
+		n.MemFreeKB = 16 << 20
+		n.ActiveKB = 4 << 20
+		n.Load1 = 1.0
+	})
+	return n
+}
+
+// virtualSampler builds a sampler-mode daemon on a shared virtual scheduler
+// and mem network.
+func virtualSampler(t *testing.T, name string, sch *sched.Scheduler, net *transport.Network, compID uint64) *Daemon {
+	t.Helper()
+	d, err := New(Options{
+		Name:       name,
+		Scheduler:  sch,
+		FS:         procfs.NewSimFS(testNode(name)),
+		CompID:     compID,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Listen("mem", name); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSamplerModeSamplesOnSchedule(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(10000, 0))
+	net := transport.NewNetwork()
+	d := virtualSampler(t, "n1", sch, net, 1)
+	defer d.Stop()
+
+	sp, err := d.LoadSampler("meminfo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(time.Second, 0, false)
+	sch.AdvanceBy(10 * time.Second)
+
+	if got := d.Stats().Samples; got != 10 {
+		t.Errorf("samples = %d want 10", got)
+	}
+	set := d.Registry().Get("n1/meminfo")
+	if set == nil {
+		t.Fatal("set not registered")
+	}
+	i, ok := set.MetricIndex("MemTotal")
+	if !ok || set.U64(i) != 32<<20 {
+		t.Errorf("MemTotal missing or wrong")
+	}
+	if !set.Consistent() {
+		t.Error("set inconsistent after sampling")
+	}
+}
+
+func TestSamplerRescheduleOnTheFly(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	d := virtualSampler(t, "n1", sch, net, 1)
+	defer d.Stop()
+	sp, _ := d.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Minute, 0, false)
+	sch.AdvanceBy(2 * time.Minute)
+	if got := d.Stats().Samples; got != 2 {
+		t.Fatalf("samples at 1min = %d", got)
+	}
+	// Re-start with a 1 s interval: the frequency changes on the fly.
+	sp.Start(time.Second, 0, false)
+	sch.AdvanceBy(10 * time.Second)
+	if got := d.Stats().Samples; got != 12 {
+		t.Errorf("samples after speedup = %d want 12", got)
+	}
+}
+
+func TestDuplicateSamplerRejected(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	d := virtualSampler(t, "n1", sch, transport.NewNetwork(), 1)
+	defer d.Stop()
+	if _, err := d.LoadSampler("meminfo", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadSampler("meminfo", "", nil); err == nil {
+		t.Fatal("duplicate sampler load accepted")
+	}
+}
+
+// buildPipeline wires sampler -> aggregator with a CSV store, returning
+// both daemons and the CSV path.
+func buildPipeline(t *testing.T, sch *sched.Scheduler, net *transport.Network, sampleIv, updateIv time.Duration) (*Daemon, *Daemon, string) {
+	t.Helper()
+	smp := virtualSampler(t, "n1", sch, net, 7)
+	sp, err := smp.LoadSampler("meminfo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(sampleIv, 0, false)
+
+	agg, err := New(Options{
+		Name:       "agg1",
+		Scheduler:  sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := agg.AddProducer("n1", "mem", "n1", time.Second, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	u, err := agg.AddUpdater("u1", updateIv, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddProducer("n1"); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(t.TempDir(), "meminfo.csv")
+	if _, err := agg.AddStoragePolicy("s1", "store_csv", "meminfo", csvPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return smp, agg, csvPath
+}
+
+func TestAggregationPipeline(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(20000, 0))
+	net := transport.NewNetwork()
+	smp, agg, csvPath := buildPipeline(t, sch, net, time.Second, time.Second)
+	defer smp.Stop()
+	defer agg.Stop()
+
+	sch.AdvanceBy(30 * time.Second)
+	st := agg.Stats()
+	if st.Lookups != 1 {
+		t.Errorf("lookups = %d want 1", st.Lookups)
+	}
+	if st.Updates < 25 {
+		t.Errorf("updates = %d want ~29", st.Updates)
+	}
+	if st.UpdatesFresh < 25 {
+		t.Errorf("fresh = %d", st.UpdatesFresh)
+	}
+	if st.StoredRows != st.UpdatesFresh {
+		t.Errorf("stored %d rows for %d fresh updates", st.StoredRows, st.UpdatesFresh)
+	}
+	// The aggregator holds a mirror locally under the same instance name.
+	mir := agg.Registry().Get("n1/meminfo")
+	if mir == nil {
+		t.Fatal("mirror not in aggregator registry")
+	}
+	if mir.Local() {
+		t.Error("mirror claims to be local")
+	}
+	i, _ := mir.MetricIndex("MemFree")
+	if got := mir.U64(i); got != 16<<20 {
+		t.Errorf("mirrored MemFree = %d", got)
+	}
+	sp := agg.StoragePolicy("s1")
+	if sp.Err() != nil {
+		t.Fatalf("storage policy error: %v", sp.Err())
+	}
+	sp.Flush()
+	if sp.Store().BytesWritten() == 0 {
+		t.Error("no CSV bytes written")
+	}
+	_ = csvPath
+}
+
+func TestStaleDataSkipped(t *testing.T) {
+	// Sampler at 60 s, updater at 1 s: most pulls see an unchanged DGN and
+	// must not reach storage.
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp, agg, _ := buildPipeline(t, sch, net, time.Minute, time.Second)
+	defer smp.Stop()
+	defer agg.Stop()
+
+	sch.AdvanceBy(2 * time.Minute)
+	st := agg.Stats()
+	if st.UpdatesStale == 0 {
+		t.Error("expected stale updates to be skipped")
+	}
+	if st.UpdatesFresh > 3 {
+		t.Errorf("fresh = %d, expected ~2 for 2 sampler ticks", st.UpdatesFresh)
+	}
+	if st.StoredRows != st.UpdatesFresh {
+		t.Errorf("stored %d != fresh %d", st.StoredRows, st.UpdatesFresh)
+	}
+}
+
+func TestTwoLevelAggregation(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp, agg1, _ := buildPipeline(t, sch, net, time.Second, time.Second)
+	defer smp.Stop()
+	defer agg1.Stop()
+	if _, err := agg1.Listen("mem", "agg1"); err != nil {
+		t.Fatal(err)
+	}
+
+	agg2, err := New(Options{
+		Name:       "agg2",
+		Scheduler:  sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg2.Stop()
+	p, _ := agg2.AddProducer("agg1", "mem", "agg1", time.Second, false)
+	p.Start()
+	u, _ := agg2.AddUpdater("u", time.Second, 0, false)
+	u.AddProducer("agg1")
+	csv2 := filepath.Join(t.TempDir(), "l2.csv")
+	agg2.AddStoragePolicy("s2", "store_csv", "meminfo", csv2, nil)
+	u.Start()
+
+	sch.AdvanceBy(20 * time.Second)
+	st := agg2.Stats()
+	if st.UpdatesFresh < 10 {
+		t.Errorf("second level fresh = %d", st.UpdatesFresh)
+	}
+	mir := agg2.Registry().Get("n1/meminfo")
+	if mir == nil {
+		t.Fatal("set did not propagate through two levels")
+	}
+	i, _ := mir.MetricIndex("MemTotal")
+	if mir.U64(i) != 32<<20 {
+		t.Errorf("level-2 MemTotal = %d", mir.U64(i))
+	}
+}
+
+func TestStandbyProducerNotPulledUntilActivated(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp := virtualSampler(t, "n1", sch, net, 1)
+	defer smp.Stop()
+	sp, _ := smp.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Second, 0, false)
+
+	agg, _ := New(Options{
+		Name:       "standby-agg",
+		Scheduler:  sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	defer agg.Stop()
+	p, _ := agg.AddProducer("n1", "mem", "n1", time.Second, true) // standby
+	p.Start()
+	u, _ := agg.AddUpdater("u", time.Second, 0, false)
+	u.AddProducer("n1")
+	u.Start()
+
+	sch.AdvanceBy(10 * time.Second)
+	if got := agg.Stats().Updates; got != 0 {
+		t.Fatalf("standby producer was pulled %d times before activation", got)
+	}
+	if p.State() != ProducerConnected {
+		t.Fatalf("standby producer state = %v, want CONNECTED (it maintains the connection)", p.State())
+	}
+
+	// Failover: the watchdog activates the standby.
+	p.Activate()
+	sch.AdvanceBy(10 * time.Second)
+	if got := agg.Stats().UpdatesFresh; got < 8 {
+		t.Errorf("fresh updates after activation = %d", got)
+	}
+}
+
+func TestProducerReconnects(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+
+	// Aggregator starts before the sampler exists.
+	agg, _ := New(Options{
+		Name:       "agg",
+		Scheduler:  sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	defer agg.Stop()
+	p, _ := agg.AddProducer("n1", "mem", "n1", 2*time.Second, false)
+	p.Start()
+	u, _ := agg.AddUpdater("u", time.Second, 0, false)
+	u.AddProducer("n1")
+	u.Start()
+
+	sch.AdvanceBy(5 * time.Second)
+	if p.State() == ProducerConnected {
+		t.Fatal("connected to a non-existent target")
+	}
+
+	// The sampler boots; the producer's retry loop should find it.
+	smp := virtualSampler(t, "n1", sch, net, 1)
+	defer smp.Stop()
+	sp, _ := smp.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Second, 0, false)
+
+	sch.AdvanceBy(10 * time.Second)
+	if p.State() != ProducerConnected {
+		t.Fatalf("producer state = %v after target came up", p.State())
+	}
+	if agg.Stats().UpdatesFresh == 0 {
+		t.Error("no data flowed after reconnect")
+	}
+}
+
+func TestMetricFilterInStoragePolicy(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp := virtualSampler(t, "n1", sch, net, 1)
+	defer smp.Stop()
+	sp, _ := smp.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Second, 0, false)
+
+	agg, _ := New(Options{
+		Name:       "agg",
+		Scheduler:  sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	defer agg.Stop()
+	p, _ := agg.AddProducer("n1", "mem", "n1", time.Second, false)
+	p.Start()
+	u, _ := agg.AddUpdater("u", time.Second, 0, false)
+	u.AddProducer("n1")
+	csvPath := filepath.Join(t.TempDir(), "active.csv")
+	pol, _ := agg.AddStoragePolicy("s", "store_csv", "meminfo", csvPath, nil)
+	pol.SelectMetrics([]string{"Active", "MemFree"})
+	u.Start()
+
+	sch.AdvanceBy(5 * time.Second)
+	pol.Flush()
+	b := readFile(t, csvPath)
+	header := strings.SplitN(b, "\n", 2)[0]
+	// Selection preserves the set's metric order (MemFree precedes Active
+	// in the meminfo schema).
+	if header != "#Time,Time_usec,CompId,MemFree,Active" {
+		t.Errorf("filtered header = %q", header)
+	}
+}
+
+func TestUpdaterCannotBeRescheduled(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	agg, _ := New(Options{Name: "a", Scheduler: sch})
+	defer agg.Stop()
+	u, _ := agg.AddUpdater("u", time.Second, 0, false)
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err == nil {
+		t.Fatal("double start accepted: aggregation schedules must be fixed once set")
+	}
+	u.Stop()
+	if err := u.Start(); err != nil {
+		t.Fatalf("restart after stop should work: %v", err)
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	net := transport.NewNetwork()
+	smp, err := New(Options{
+		Name:       "real-n1",
+		FS:         procfs.NewSimFS(testNode("real-n1")),
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	if _, err := smp.Listen("mem", "real-n1"); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := smp.LoadSampler("meminfo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(5*time.Millisecond, 0, false)
+
+	agg, err := New(Options{
+		Name:       "real-agg",
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Stop()
+	p, _ := agg.AddProducer("n1", "mem", "real-n1", 50*time.Millisecond, false)
+	p.Start()
+	u, _ := agg.AddUpdater("u", 5*time.Millisecond, 0, false)
+	u.AddProducer("n1")
+	u.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if agg.Stats().UpdatesFresh >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if agg.Stats().UpdatesFresh < 3 {
+		t.Fatalf("real-clock pipeline moved no data: %+v", agg.Stats())
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// readAll is a tiny helper so tests read files without importing os in
+// multiple places.
+func readAll(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+// TestThreeLevelAggregation: "Daisy chaining is not limited to two levels"
+// (§IV-A). Data flows sampler -> L1 -> L2 -> L3 with a store at the top.
+func TestThreeLevelAggregation(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp := virtualSampler(t, "n1", sch, net, 3)
+	defer smp.Stop()
+	sp, _ := smp.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Second, 0, false)
+
+	mkLevel := func(name, pullFrom string) *Daemon {
+		agg, err := New(Options{
+			Name: name, Scheduler: sch,
+			Transports: []transport.Factory{transport.MemFactory{Net: net}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agg.Listen("mem", name); err != nil {
+			t.Fatal(err)
+		}
+		p, err := agg.AddProducer(pullFrom, "mem", pullFrom, time.Second, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		u, err := agg.AddUpdater("u", time.Second, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.AddProducer(pullFrom)
+		if err := u.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	l1 := mkLevel("l1", "n1")
+	defer l1.Stop()
+	l2 := mkLevel("l2", "l1")
+	defer l2.Stop()
+	l3 := mkLevel("l3", "l2")
+	defer l3.Stop()
+	csv := filepath.Join(t.TempDir(), "l3.csv")
+	if _, err := l3.AddStoragePolicy("s", "store_csv", "meminfo", csv, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sch.AdvanceBy(30 * time.Second)
+	if l3.Stats().UpdatesFresh < 20 {
+		t.Fatalf("level-3 fresh pulls = %d", l3.Stats().UpdatesFresh)
+	}
+	mir := l3.Registry().Get("n1/meminfo")
+	if mir == nil {
+		t.Fatal("set did not traverse three levels")
+	}
+	i, _ := mir.MetricIndex("MemTotal")
+	if mir.U64(i) != 32<<20 {
+		t.Errorf("value after three hops = %d", mir.U64(i))
+	}
+	if rows := l3.StoragePolicy("s").Rows(); rows < 20 {
+		t.Errorf("rows stored at level 3 = %d", rows)
+	}
+}
+
+// TestUpdaterSurvivesSetRemoval covers the ErrNoSuchSet path: a set that
+// disappears from the sampler mid-flight must not kill the connection.
+func TestUpdaterSurvivesSetRemoval(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp := virtualSampler(t, "n1", sch, net, 1)
+	defer smp.Stop()
+	sp, _ := smp.LoadSampler("meminfo", "", nil)
+	sp.Start(time.Second, 0, false)
+	lp, _ := smp.LoadSampler("loadavg", "", nil)
+	lp.Start(time.Second, 0, false)
+
+	agg, _ := New(Options{
+		Name: "agg", Scheduler: sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	defer agg.Stop()
+	p, _ := agg.AddProducer("n1", "mem", "n1", time.Second, false)
+	p.Start()
+	u, _ := agg.AddUpdater("u", time.Second, 0, false)
+	u.AddProducer("n1")
+	u.Start()
+
+	sch.AdvanceBy(5 * time.Second)
+	if agg.Stats().UpdatesFresh == 0 {
+		t.Fatal("no data before removal")
+	}
+
+	// The loadavg set disappears (plugin torn down).
+	lp.Stop()
+	if s := smp.Registry().Remove("n1/loadavg"); s == nil {
+		t.Fatal("set not removed")
+	}
+	before := agg.Stats()
+	sch.AdvanceBy(10 * time.Second)
+	after := agg.Stats()
+	// meminfo keeps flowing; the producer stays connected.
+	if after.UpdatesFresh-before.UpdatesFresh < 8 {
+		t.Errorf("surviving set stalled: %d fresh in 10 s", after.UpdatesFresh-before.UpdatesFresh)
+	}
+	if p.State() != ProducerConnected {
+		t.Errorf("producer state = %v after set removal", p.State())
+	}
+}

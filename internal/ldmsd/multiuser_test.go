@@ -1,0 +1,148 @@
+package ldmsd
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// TestUserInstanceAlongsideSystemInstance reproduces §IV-G: "Users seeking
+// additional data on these systems may run another LDMS instance
+// configured to use their specified samplers and a different network port
+// as part of their batch jobs." Two independent daemons sample the same
+// node at different frequencies without interfering.
+func TestUserInstanceAlongsideSystemInstance(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+
+	node := testNode("n1")
+	fs := procfs.NewSimFS(node)
+	system, err := New(Options{
+		Name: "n1", Scheduler: sch, FS: fs,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer system.Stop()
+	if _, err := system.Listen("mem", "n1:411"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := system.ExecScript("load name=meminfo\nstart name=meminfo interval=20s synchronous=1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The user's own instance: different "port", own sampler set, higher
+	// frequency for their job's duration.
+	user, err := New(Options{
+		Name: "n1-user", Scheduler: sch, FS: fs,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer user.Stop()
+	if _, err := user.Listen("mem", "n1:20411"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.ExecScript(`
+		load name=loadavg
+		config name=loadavg instance=n1-user/loadavg
+		start name=loadavg interval=1s
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	sch.AdvanceBy(60 * time.Second)
+	if got := system.Stats().Samples; got != 3 {
+		t.Errorf("system samples = %d want 3 (20 s cadence)", got)
+	}
+	if got := user.Stats().Samples; got != 60 {
+		t.Errorf("user samples = %d want 60 (1 s cadence)", got)
+	}
+
+	// Each instance serves only its own sets on its own port.
+	conn, err := (transport.MemFactory{Net: net}).Dial("n1:20411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	names, err := conn.Dir(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "n1-user/loadavg" {
+		t.Errorf("user instance dir = %v", names)
+	}
+}
+
+// TestPerSetUpdateFrequencies reproduces §IV-B: "Distinct metric sets can
+// be collected and aggregated at different frequencies" — two updaters on
+// one aggregator, each matching a different set, pulling on different
+// schedules over separate connections to the same sampler.
+func TestPerSetUpdateFrequencies(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	smp := virtualSampler(t, "n1", sch, net, 1)
+	defer smp.Stop()
+	if _, err := smp.ExecScript(`
+		load name=meminfo
+		start name=meminfo interval=1s
+		load name=loadavg
+		start name=loadavg interval=1s
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := New(Options{
+		Name: "agg", Scheduler: sch,
+		Transports: []transport.Factory{transport.MemFactory{Net: net}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Stop()
+	// Two producers to the same sampler — "Multiple connections may be
+	// established between an aggregator and a single collection target.
+	// This supports different metric sets having different sampling
+	// frequencies."
+	csvFast := filepath.Join(t.TempDir(), "fast.csv")
+	csvSlow := filepath.Join(t.TempDir(), "slow.csv")
+	script := `
+prdcr_add name=n1-fast xprt=mem host=n1 interval=1s
+prdcr_start name=n1-fast
+prdcr_add name=n1-slow xprt=mem host=n1 interval=1s
+prdcr_start name=n1-slow
+updtr_add name=fast interval=1s
+updtr_prdcr_add name=fast prdcr=n1-fast
+updtr_match_add name=fast match=loadavg
+updtr_start name=fast
+updtr_add name=slow interval=20s
+updtr_prdcr_add name=slow prdcr=n1-slow
+updtr_match_add name=slow match=meminfo
+updtr_start name=slow
+strgp_add name=sf plugin=store_csv schema=loadavg container=` + csvFast + `
+strgp_add name=ss plugin=store_csv schema=meminfo container=` + csvSlow + `
+`
+	if _, err := agg.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	sch.AdvanceBy(2 * time.Minute)
+
+	fast := agg.StoragePolicy("sf").Rows()
+	slow := agg.StoragePolicy("ss").Rows()
+	if fast < 100 {
+		t.Errorf("fast set rows = %d, want ~118 (1 s cadence)", fast)
+	}
+	if slow < 3 || slow > 8 {
+		t.Errorf("slow set rows = %d, want ~5 (20 s cadence)", slow)
+	}
+	if fast < slow*15 {
+		t.Errorf("frequencies not separated: fast %d vs slow %d", fast, slow)
+	}
+}

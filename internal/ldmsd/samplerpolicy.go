@@ -1,0 +1,126 @@
+package ldmsd
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"goldms/internal/sampler"
+	"goldms/internal/sched"
+)
+
+// SamplerPolicy runs one sampling plugin on a schedule. The sampling
+// frequency is user defined and can be changed on the fly by calling Start
+// again with a new interval (paper §IV-A).
+type SamplerPolicy struct {
+	d      *Daemon
+	name   string
+	plugin sampler.Plugin
+	task   *sched.Task
+
+	interval time.Duration
+	offset   time.Duration
+	synced   bool
+
+	samples     atomic.Int64
+	errors      atomic.Int64
+	sampleNanos atomic.Int64
+	lastErr     atomic.Value // string
+}
+
+// LoadSampler loads and configures a sampling plugin, creating its metric
+// set in the daemon's registry. instance defaults to "<daemon>/<plugin>".
+func (d *Daemon) LoadSampler(pluginName, instance string, options map[string]string) (*SamplerPolicy, error) {
+	return d.loadSamplerComp(pluginName, instance, d.compID, options)
+}
+
+// loadSamplerComp is LoadSampler with an explicit component ID (the config
+// command path can override the daemon default per plugin).
+func (d *Daemon) loadSamplerComp(pluginName, instance string, compID uint64, options map[string]string) (*SamplerPolicy, error) {
+	if instance == "" {
+		instance = d.name + "/" + pluginName
+	}
+	d.mu.Lock()
+	if _, dup := d.samplers[pluginName]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("ldmsd %s: sampler %q already loaded", d.name, pluginName)
+	}
+	d.mu.Unlock()
+
+	p, err := sampler.New(pluginName, sampler.Config{
+		FS:       d.fs,
+		Instance: instance,
+		CompID:   compID,
+		Arena:    d.arena,
+		Options:  options,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.reg.Add(p.Set()); err != nil {
+		p.Set().Delete()
+		return nil, err
+	}
+	sp := &SamplerPolicy{d: d, name: pluginName, plugin: p}
+	d.mu.Lock()
+	d.samplers[pluginName] = sp
+	d.mu.Unlock()
+	return sp, nil
+}
+
+// Sampler returns the named loaded sampler policy, or nil.
+func (d *Daemon) Sampler(name string) *SamplerPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.samplers[name]
+}
+
+// Plugin returns the underlying sampling plugin.
+func (sp *SamplerPolicy) Plugin() sampler.Plugin { return sp.plugin }
+
+// Start begins (or re-schedules) periodic sampling. synchronous aligns
+// firings to wall-clock interval boundaries plus offset so sampling across
+// nodes can be coordinated in time, bounding the number of application
+// iterations affected (paper §V-A1).
+func (sp *SamplerPolicy) Start(interval, offset time.Duration, synchronous bool) {
+	if sp.task != nil {
+		sp.task.Cancel()
+	}
+	sp.interval, sp.offset, sp.synced = interval, offset, synchronous
+	sp.task = sp.d.sch.Every(interval, offset, synchronous, sp.sample)
+}
+
+// Stop cancels periodic sampling. The plugin and set remain loaded.
+func (sp *SamplerPolicy) Stop() {
+	if sp.task != nil {
+		sp.task.Cancel()
+		sp.task = nil
+	}
+}
+
+// SampleOnce runs the plugin immediately (used by tests and the control
+// interface's one-shot sample command).
+func (sp *SamplerPolicy) SampleOnce(now time.Time) error {
+	start := time.Now()
+	err := sp.plugin.Sample(now)
+	sp.sampleNanos.Add(int64(time.Since(start)))
+	sp.samples.Add(1)
+	if err != nil {
+		sp.errors.Add(1)
+		sp.lastErr.Store(err.Error())
+	}
+	return err
+}
+
+// sample is the scheduled callback.
+func (sp *SamplerPolicy) sample(now time.Time) {
+	sp.SampleOnce(now)
+}
+
+// LastError returns the most recent sampling error message, if any.
+func (sp *SamplerPolicy) LastError() string {
+	if v, ok := sp.lastErr.Load().(string); ok {
+		return v
+	}
+	return ""
+}

@@ -1,0 +1,166 @@
+package ldmsd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"goldms/internal/metric"
+	"goldms/internal/store"
+)
+
+// StoragePolicy routes fresh consistent samples of one schema to a store
+// plugin. The store instance is created lazily on the first matching
+// sample, when the column set is known. Storage may be specified at
+// {producer, metric name} granularity in LDMS; here the typical use case —
+// per metric set schema — is implemented, with an optional metric filter.
+type StoragePolicy struct {
+	d         *Daemon
+	name      string
+	plugin    string
+	schema    string
+	path      string
+	options   map[string]string
+	metricSel map[string]bool // nil = all metrics
+
+	mu   sync.Mutex
+	st   store.Store
+	fail error
+	rows atomic.Int64
+}
+
+// AddStoragePolicy registers a storage policy: samples of the given schema
+// are written with the named store plugin at path.
+func (d *Daemon) AddStoragePolicy(name, plugin, schema, path string, options map[string]string) (*StoragePolicy, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.strgps[name]; dup {
+		return nil, fmt.Errorf("ldmsd %s: storage policy %q already exists", d.name, name)
+	}
+	if schema == "" {
+		return nil, fmt.Errorf("ldmsd %s: storage policy %q needs a schema", d.name, name)
+	}
+	sp := &StoragePolicy{d: d, name: name, plugin: plugin, schema: schema, path: path, options: options}
+	d.strgps[name] = sp
+	return sp, nil
+}
+
+// StoragePolicy returns the named policy, or nil.
+func (d *Daemon) StoragePolicy(name string) *StoragePolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.strgps[name]
+}
+
+// SelectMetrics restricts the stored columns to the named metrics.
+func (sp *StoragePolicy) SelectMetrics(names []string) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.metricSel = make(map[string]bool, len(names))
+	for _, n := range names {
+		sp.metricSel[n] = true
+	}
+}
+
+// Store returns the underlying store plugin (nil until the first sample).
+func (sp *StoragePolicy) Store() store.Store {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.st
+}
+
+// storeSet fans a fresh consistent sample out to every matching policy.
+func (d *Daemon) storeSet(set *metric.Set) {
+	d.mu.Lock()
+	policies := mapValues(d.strgps)
+	d.mu.Unlock()
+	for _, sp := range policies {
+		if sp.schema == set.SchemaName() {
+			sp.store(set)
+		}
+	}
+}
+
+// store appends one sample, creating the store plugin on first use.
+func (sp *StoragePolicy) store(set *metric.Set) {
+	row := set.Snapshot()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.fail != nil {
+		return
+	}
+	if sp.metricSel != nil {
+		row = sp.filterRow(row)
+	}
+	if sp.st == nil {
+		types := make([]metric.Type, len(row.Names))
+		for i, n := range row.Names {
+			if idx, ok := set.MetricIndex(n); ok {
+				types[i] = set.MetricType(idx)
+			}
+		}
+		st, err := store.New(sp.plugin, store.Config{
+			Path:    sp.path,
+			Schema:  sp.schema,
+			Names:   row.Names,
+			Types:   types,
+			Options: sp.options,
+		})
+		if err != nil {
+			sp.fail = err
+			return
+		}
+		sp.st = st
+	}
+	if err := sp.st.Store(row); err != nil {
+		sp.fail = err
+		return
+	}
+	sp.rows.Add(1)
+}
+
+// filterRow projects a row onto the selected metrics. Caller holds sp.mu.
+func (sp *StoragePolicy) filterRow(row metric.Row) metric.Row {
+	names := make([]string, 0, len(sp.metricSel))
+	values := make([]metric.Value, 0, len(sp.metricSel))
+	for i, n := range row.Names {
+		if sp.metricSel[n] {
+			names = append(names, n)
+			values = append(values, row.Values[i])
+		}
+	}
+	row.Names, row.Values = names, values
+	return row
+}
+
+// Err returns the sticky error that disabled the policy, if any.
+func (sp *StoragePolicy) Err() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.fail
+}
+
+// Rows returns the number of samples written.
+func (sp *StoragePolicy) Rows() int64 { return sp.rows.Load() }
+
+// Flush forces buffered data to stable storage.
+func (sp *StoragePolicy) Flush() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.st == nil {
+		return nil
+	}
+	return sp.st.Flush()
+}
+
+// Close flushes and closes the store plugin.
+func (sp *StoragePolicy) Close() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.st == nil {
+		return nil
+	}
+	err := sp.st.Close()
+	sp.st = nil
+	return err
+}

@@ -1,0 +1,304 @@
+package ldmsd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// Updater pulls metric-set data from a group of producers on its own
+// schedule. Distinct metric sets can be collected at different frequencies
+// by defining multiple updaters with different match filters (which should
+// be disjoint). Unlike samplers, an updater's schedule cannot be altered
+// once started without restarting it (paper §IV-A).
+//
+// The updater owns all per-set pull state. Only one update pass runs at a
+// time; a firing that arrives while the previous pass is still in flight is
+// skipped and the sets are retried at the next interval, matching the
+// paper's "bypasses and later retries non-reporting hosts".
+type Updater struct {
+	d        *Daemon
+	name     string
+	interval time.Duration
+	offset   time.Duration
+	synced   bool
+	timeout  time.Duration
+
+	mu        sync.Mutex
+	producers []string
+	matchFn   func(instance string) bool
+	task      *sched.Task
+	started   bool
+
+	busy  atomic.Bool
+	state map[string]*updProducerState // owned by the single running pass
+
+	lookups      atomic.Int64
+	updates      atomic.Int64
+	fresh        atomic.Int64
+	stale        atomic.Int64
+	inconsistent atomic.Int64
+	errors       atomic.Int64
+	skippedBusy  atomic.Int64
+}
+
+// updProducerState is the updater's pull state for one producer connection
+// epoch.
+type updProducerState struct {
+	epoch uint64
+	sets  map[string]*updSet
+}
+
+// updSet is the pull state for one remote metric set.
+type updSet struct {
+	name    string
+	remote  transport.RemoteSet
+	mirror  *metric.Set
+	buf     []byte
+	lastDGN uint64
+	haveDGN bool
+	inReg   bool
+}
+
+// AddUpdater registers an update policy.
+func (d *Daemon) AddUpdater(name string, interval, offset time.Duration, synchronous bool) (*Updater, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("ldmsd %s: updater %q: interval must be positive", d.name, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.updtrs[name]; dup {
+		return nil, fmt.Errorf("ldmsd %s: updater %q already exists", d.name, name)
+	}
+	u := &Updater{
+		d:        d,
+		name:     name,
+		interval: interval,
+		offset:   offset,
+		synced:   synchronous,
+		timeout:  interval,
+		state:    make(map[string]*updProducerState),
+	}
+	d.updtrs[name] = u
+	return u, nil
+}
+
+// Updater returns the named updater, or nil.
+func (d *Daemon) Updater(name string) *Updater {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.updtrs[name]
+}
+
+// AddProducer attaches a producer (by name) to the updater's pull group.
+func (u *Updater) AddProducer(prdcrName string) error {
+	if u.d.Producer(prdcrName) == nil {
+		return fmt.Errorf("ldmsd %s: updater %s: unknown producer %q", u.d.name, u.name, prdcrName)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.producers = append(u.producers, prdcrName)
+	return nil
+}
+
+// SetMatch restricts the updater to set instances for which match returns
+// true (nil matches everything).
+func (u *Updater) SetMatch(match func(instance string) bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.matchFn = match
+}
+
+// Start arms the update schedule. The schedule is fixed once started.
+func (u *Updater) Start() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started {
+		return fmt.Errorf("ldmsd %s: updater %s already started; aggregation schedules cannot be altered once set", u.d.name, u.name)
+	}
+	u.started = true
+	u.task = u.d.sch.Every(u.interval, u.offset, u.synced, u.run)
+	return nil
+}
+
+// Stop cancels the schedule. A stopped updater can be restarted.
+func (u *Updater) Stop() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.task != nil {
+		u.task.Cancel()
+		u.task = nil
+	}
+	u.started = false
+}
+
+// run is one scheduled update pass over all matched producers.
+func (u *Updater) run(now time.Time) {
+	if !u.busy.CompareAndSwap(false, true) {
+		u.skippedBusy.Add(1)
+		return
+	}
+	defer u.busy.Store(false)
+
+	u.mu.Lock()
+	prdcrs := append([]string(nil), u.producers...)
+	match := u.matchFn
+	u.mu.Unlock()
+
+	for _, name := range prdcrs {
+		p := u.d.Producer(name)
+		if p == nil {
+			continue
+		}
+		conn, names, epoch, ok := p.snapshot()
+		if !ok {
+			continue
+		}
+		if len(names) == 0 {
+			// The target had no sets when we connected (e.g. an aggregator
+			// whose own lookups had not completed). Refresh the directory.
+			ctx, cancel := u.ctx()
+			fresh, err := conn.Dir(ctx)
+			cancel()
+			if err != nil {
+				p.disconnected(epoch)
+				continue
+			}
+			names = fresh
+			p.updateDir(epoch, fresh)
+		}
+		ps := u.state[name]
+		if ps == nil || ps.epoch != epoch {
+			// New connection epoch: connection-scoped lookup handles are
+			// void. Mirrors are reused on re-lookup when metadata matches.
+			old := ps
+			ps = &updProducerState{epoch: epoch, sets: make(map[string]*updSet)}
+			for _, sn := range names {
+				us := &updSet{name: sn}
+				if old != nil {
+					if prev, okp := old.sets[sn]; okp {
+						us.mirror = prev.mirror
+						us.buf = prev.buf
+						us.inReg = prev.inReg
+					}
+				}
+				ps.sets[sn] = us
+			}
+			u.state[name] = ps
+		}
+		failed := false
+		for _, sn := range names {
+			us := ps.sets[sn]
+			if us == nil {
+				us = &updSet{name: sn}
+				ps.sets[sn] = us
+			}
+			if match != nil && !match(sn) {
+				continue
+			}
+			if us.remote == nil {
+				if !u.lookupSet(conn, us) {
+					failed = true
+					break
+				}
+				// Data update happens on the next pass (paper Fig. 2 flow).
+				continue
+			}
+			if !u.updateSet(us, now) {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			p.disconnected(epoch)
+		}
+	}
+}
+
+// ctx returns the deadline context for one transport operation.
+func (u *Updater) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), u.timeout)
+}
+
+// lookupSet performs the one-time metadata fetch and mirror creation for a
+// set. It reports false on a connection-level failure.
+func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
+	ctx, cancel := u.ctx()
+	defer cancel()
+	remote, err := conn.Lookup(ctx, us.name)
+	if err != nil {
+		u.errors.Add(1)
+		if err == transport.ErrNoSuchSet {
+			return true // set went away; not a connection failure
+		}
+		return false
+	}
+	u.lookups.Add(1)
+
+	// Reuse the existing mirror when the metadata generation still
+	// matches; otherwise build a fresh one.
+	if us.mirror == nil || us.mirror.MGN() != remote.Meta().MGN {
+		if us.mirror != nil && us.inReg {
+			u.d.reg.Remove(us.name)
+			us.mirror.Delete()
+			us.inReg = false
+		}
+		mirror, err := remote.Meta().NewMirror(metric.WithArena(u.d.arena))
+		if err != nil {
+			// Arena exhaustion or malformed metadata: count and retry on a
+			// later pass.
+			u.errors.Add(1)
+			return true
+		}
+		us.mirror = mirror
+		us.buf = make([]byte, remote.Meta().DataSize)
+		us.haveDGN = false
+		if err := u.d.reg.Add(mirror); err == nil {
+			us.inReg = true
+		}
+	}
+	us.remote = remote
+	return true
+}
+
+// updateSet pulls one set's data chunk and, when it is fresh and
+// consistent, hands it to storage. It reports false on a connection-level
+// failure.
+func (u *Updater) updateSet(us *updSet, now time.Time) bool {
+	ctx, cancel := u.ctx()
+	defer cancel()
+	n, err := us.remote.Update(ctx, us.buf)
+	if err != nil {
+		u.errors.Add(1)
+		return false
+	}
+	u.updates.Add(1)
+	if err := us.mirror.LoadData(us.buf[:n]); err != nil {
+		// Metadata generation changed: schedule a fresh lookup.
+		us.remote = nil
+		u.errors.Add(1)
+		return true
+	}
+	// "Collection of a metric set whose data has not been updated or is
+	// incomplete does not result in a write to storage."
+	if !us.mirror.Consistent() {
+		u.inconsistent.Add(1)
+		return true
+	}
+	dgn := us.mirror.DGN()
+	if us.haveDGN && dgn == us.lastDGN {
+		u.stale.Add(1)
+		return true
+	}
+	us.lastDGN = dgn
+	us.haveDGN = true
+	u.fresh.Add(1)
+	u.d.storeSet(us.mirror)
+	return true
+}

@@ -1,0 +1,237 @@
+package metric
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metadata chunk layout (all little-endian):
+//
+//	[0:4)   magic "GLMS"
+//	[4:6)   format version
+//	[6:14)  MGN
+//	[14:18) metric count (cardinality)
+//	[18:22) data chunk size
+//	[22:..) instance name (u16 length prefix)
+//	[..:..) schema name (u16 length prefix)
+//	then one entry per metric:
+//	        name (u16 length prefix), component ID (u64), type (u8),
+//	        offset of the value in the data chunk (u32)
+const (
+	metaMagic   = 0x474C4D53 // "GLMS"
+	metaVersion = 1
+
+	metaOffMGN  = 6
+	metaOffCard = 14
+	metaOffDSz  = 18
+	metaOffStr  = 22
+
+	metaHeaderFixed = 26 // magic+ver+mgn+card+dsize + two u16 length prefixes
+	metaEntryFixed  = 15 // u16 name len + u64 comp id + u8 type + u32 offset
+
+	// Within an entry, after the variable-length name:
+	entryCompOff = 0 // comp id relative to end of name
+	entryTypeOff = 8
+	entryValOff  = 9
+)
+
+// writeMeta serializes the set's metadata into s.meta and records each
+// entry's position for later component-ID access.
+func (s *Set) writeMeta(mgn, compID uint64) {
+	b := s.meta
+	le.PutUint32(b[0:], metaMagic)
+	le.PutUint16(b[4:], metaVersion)
+	le.PutUint64(b[metaOffMGN:], mgn)
+	le.PutUint32(b[metaOffCard:], uint32(s.schema.Card()))
+	le.PutUint32(b[metaOffDSz:], uint32(s.schema.DataSize()))
+
+	pos := metaOffStr
+	pos += putString(b, pos, s.name)
+	pos += putString(b, pos, s.schema.name)
+
+	s.entryOff = make([]uint32, s.schema.Card())
+	for i, d := range s.schema.defs {
+		pos += putString(b, pos, d.Name)
+		s.entryOff[i] = uint32(pos)
+		le.PutUint64(b[pos+entryCompOff:], compID)
+		b[pos+entryTypeOff] = byte(d.Type)
+		le.PutUint32(b[pos+entryValOff:], s.schema.offsets[i])
+		pos += metaEntryFixed - 2 // the name length prefix was already written
+	}
+}
+
+// putString writes a u16 length prefix followed by the string bytes at
+// position pos, returning the number of bytes written.
+func putString(b []byte, pos int, s string) int {
+	le.PutUint16(b[pos:], uint16(len(s)))
+	copy(b[pos+2:], s)
+	return 2 + len(s)
+}
+
+// getString reads a u16-length-prefixed string at pos, returning the string
+// and the following position.
+func getString(b []byte, pos int) (string, int, error) {
+	if pos+2 > len(b) {
+		return "", 0, fmt.Errorf("metric: truncated metadata string length at %d", pos)
+	}
+	n := int(le.Uint16(b[pos:]))
+	if pos+2+n > len(b) {
+		return "", 0, fmt.Errorf("metric: truncated metadata string at %d", pos)
+	}
+	return string(b[pos+2 : pos+2+n]), pos + 2 + n, nil
+}
+
+// CompID returns the user-defined component ID recorded for metric i.
+func (s *Set) CompID(i int) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return le.Uint64(s.meta[s.entryOff[i]+entryCompOff:])
+}
+
+// SetCompID rewrites the component ID of every metric in the set and bumps
+// the metadata generation number, as any metadata modification must.
+func (s *Set) SetCompID(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, off := range s.entryOff {
+		le.PutUint64(s.meta[off+entryCompOff:], id)
+	}
+	mgn := newMGN()
+	le.PutUint64(s.meta[metaOffMGN:], mgn)
+	le.PutUint64(s.data[offMGN:], mgn)
+}
+
+// MetaMetric is one parsed metadata entry.
+type MetaMetric struct {
+	Name   string
+	Type   Type
+	CompID uint64
+	Offset uint32
+}
+
+// Meta is a parsed metadata chunk, the result of an aggregator's lookup.
+type Meta struct {
+	MGN        uint64
+	Instance   string
+	SchemaName string
+	DataSize   int
+	Metrics    []MetaMetric
+}
+
+// ParseMeta decodes a serialized metadata chunk.
+func ParseMeta(b []byte) (*Meta, error) {
+	if len(b) < metaHeaderFixed {
+		return nil, fmt.Errorf("metric: metadata too short (%d bytes)", len(b))
+	}
+	if le.Uint32(b[0:]) != metaMagic {
+		return nil, fmt.Errorf("metric: bad metadata magic %#x", le.Uint32(b[0:]))
+	}
+	if v := le.Uint16(b[4:]); v != metaVersion {
+		return nil, fmt.Errorf("metric: unsupported metadata version %d", v)
+	}
+	m := &Meta{
+		MGN:      le.Uint64(b[metaOffMGN:]),
+		DataSize: int(le.Uint32(b[metaOffDSz:])),
+	}
+	card := int(le.Uint32(b[metaOffCard:]))
+	// Every entry costs at least metaEntryFixed bytes; a larger count is a
+	// corrupt chunk and must not drive allocation.
+	if card > len(b)/metaEntryFixed+1 {
+		return nil, fmt.Errorf("metric: metadata claims %d entries in %d bytes", card, len(b))
+	}
+
+	var err error
+	pos := metaOffStr
+	if m.Instance, pos, err = getString(b, pos); err != nil {
+		return nil, err
+	}
+	if m.SchemaName, pos, err = getString(b, pos); err != nil {
+		return nil, err
+	}
+	m.Metrics = make([]MetaMetric, 0, card)
+	for i := 0; i < card; i++ {
+		var name string
+		if name, pos, err = getString(b, pos); err != nil {
+			return nil, fmt.Errorf("metric: entry %d: %w", i, err)
+		}
+		if pos+metaEntryFixed-2 > len(b) {
+			return nil, fmt.Errorf("metric: truncated metadata entry %d", i)
+		}
+		m.Metrics = append(m.Metrics, MetaMetric{
+			Name:   name,
+			Type:   Type(b[pos+entryTypeOff]),
+			CompID: le.Uint64(b[pos+entryCompOff:]),
+			Offset: le.Uint32(b[pos+entryValOff:]),
+		})
+		pos += metaEntryFixed - 2
+	}
+	return m, nil
+}
+
+// NewMirror builds a local mirror Set from parsed remote metadata, as the
+// aggregator does after a successful lookup (flow {c} in Fig. 2 of the
+// paper). The mirror's data chunk starts zeroed and inconsistent; the first
+// completed update fills it.
+func (m *Meta) NewMirror(opts ...Option) (*Set, error) {
+	schema := NewSchema(m.SchemaName)
+	for _, mm := range m.Metrics {
+		idx, err := schema.AddMetric(mm.Name, mm.Type)
+		if err != nil {
+			return nil, fmt.Errorf("metric: mirror %q: %w", m.Instance, err)
+		}
+		if schema.offsets[idx] != mm.Offset {
+			return nil, fmt.Errorf("metric: mirror %q: offset mismatch for %q: computed %d, remote %d",
+				m.Instance, mm.Name, schema.offsets[idx], mm.Offset)
+		}
+	}
+	if schema.DataSize() != m.DataSize {
+		return nil, fmt.Errorf("metric: mirror %q: data size mismatch: computed %d, remote %d",
+			m.Instance, schema.DataSize(), m.DataSize)
+	}
+	s, err := New(m.Instance, schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.local = false
+	// Stamp the remote MGN into the mirror's metadata and per-metric comp
+	// IDs so CompID and LoadData validation reflect the remote set.
+	le.PutUint64(s.meta[metaOffMGN:], m.MGN)
+	le.PutUint64(s.data[offMGN:], m.MGN)
+	for i, mm := range m.Metrics {
+		le.PutUint64(s.meta[s.entryOff[i]+entryCompOff:], mm.CompID)
+	}
+	// A fresh mirror holds no valid data yet.
+	le.PutUint64(s.data[offFlags:], 0)
+	return s, nil
+}
+
+// Row is a flattened view of a consistent set sample, as handed to storage
+// plugins.
+type Row struct {
+	Time     time.Time
+	Instance string
+	Schema   string
+	CompID   uint64
+	Names    []string
+	Values   []Value
+}
+
+// Snapshot extracts a storage Row from the set's current contents. The
+// CompID is taken from the first metric (the common case is a single
+// per-node component ID).
+func (s *Set) Snapshot() Row {
+	n := s.Card()
+	r := Row{
+		Time:     s.Timestamp(),
+		Instance: s.name,
+		Schema:   s.schema.Name(),
+		CompID:   s.CompID(0),
+		Names:    make([]string, n),
+		Values:   make([]Value, n),
+	}
+	for i := 0; i < n; i++ {
+		r.Names[i] = s.MetricName(i)
+		r.Values[i] = s.Value(i)
+	}
+	return r
+}

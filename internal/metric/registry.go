@@ -1,0 +1,76 @@
+package metric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the daemon-local directory of metric sets, served to peers
+// through a transport's dir/lookup operations.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Set
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Set)}
+}
+
+// Add registers a set under its instance name. Adding a second set with the
+// same name is an error.
+func (r *Registry) Add(s *Set) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sets[s.Name()]; dup {
+		return fmt.Errorf("metric: set %q already registered", s.Name())
+	}
+	r.sets[s.Name()] = s
+	return nil
+}
+
+// Remove deregisters the named set, returning it (or nil if absent).
+func (r *Registry) Remove(name string) *Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.sets[name]
+	delete(r.sets, name)
+	return s
+}
+
+// Get returns the named set, or nil.
+func (r *Registry) Get(name string) *Set {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sets[name]
+}
+
+// Dir returns the sorted instance names of all registered sets, the result
+// of a directory request.
+func (r *Registry) Dir() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.sets))
+	for n := range r.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered sets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sets)
+}
+
+// Each calls f for every registered set in sorted name order.
+func (r *Registry) Each(f func(*Set)) {
+	for _, name := range r.Dir() {
+		if s := r.Get(name); s != nil {
+			f(s)
+		}
+	}
+}

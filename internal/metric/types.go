@@ -1,0 +1,174 @@
+// Package metric implements LDMS metric sets: the two-chunk (metadata +
+// data) in-memory format described in §IV-B of the SC14 LDMS paper.
+//
+// A metric set is a named collection of typed metrics. Two contiguous
+// buffers back each set:
+//
+//   - The metadata chunk describes the elements of the data chunk (metric
+//     name, user-defined component ID, data type, offset of the element from
+//     the beginning of the data chunk) and carries a metadata generation
+//     number (MGN) which changes whenever the metadata is modified.
+//
+//   - The data chunk holds the MGN copy, the current sampled values, a data
+//     generation number (DGN) incremented as each element is updated, a
+//     consistent flag, and the sample timestamp.
+//
+// Samplers overwrite the data chunk in place on every sample; no history is
+// retained. Aggregators pull only the data chunk after an initial metadata
+// lookup, then use the MGN to validate their cached metadata, the DGN to
+// discriminate new from stale data, and the consistent flag to discard data
+// that did not all come from the same sampling event.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type identifies the data type of a metric value, mirroring the LDMS value
+// types.
+type Type uint8
+
+// Metric value types. All values occupy their natural width in the data
+// chunk.
+const (
+	TypeNone Type = iota
+	TypeU8
+	TypeS8
+	TypeU16
+	TypeS16
+	TypeU32
+	TypeS32
+	TypeU64
+	TypeS64
+	TypeF32
+	TypeD64
+)
+
+// Size returns the number of bytes a value of type t occupies in the data
+// chunk.
+func (t Type) Size() int {
+	switch t {
+	case TypeU8, TypeS8:
+		return 1
+	case TypeU16, TypeS16:
+		return 2
+	case TypeU32, TypeS32, TypeF32:
+		return 4
+	case TypeU64, TypeS64, TypeD64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether t is one of the defined value types.
+func (t Type) Valid() bool {
+	return t > TypeNone && t <= TypeD64
+}
+
+// String returns the LDMS-style name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNone:
+		return "none"
+	case TypeU8:
+		return "u8"
+	case TypeS8:
+		return "s8"
+	case TypeU16:
+		return "u16"
+	case TypeS16:
+		return "s16"
+	case TypeU32:
+		return "u32"
+	case TypeS32:
+		return "s32"
+	case TypeU64:
+		return "u64"
+	case TypeS64:
+		return "s64"
+	case TypeF32:
+		return "f32"
+	case TypeD64:
+		return "d64"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts an LDMS-style type name ("u64", "d64", ...) to a Type.
+func ParseType(s string) (Type, error) {
+	for t := TypeU8; t <= TypeD64; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return TypeNone, fmt.Errorf("metric: unknown type %q", s)
+}
+
+// Value is a typed metric value. Bits holds the raw representation widened
+// to 64 bits (sign-extended for signed types, IEEE-754 bits for floats).
+type Value struct {
+	Type Type
+	Bits uint64
+}
+
+// U64Value wraps an unsigned integer as a TypeU64 Value.
+func U64Value(v uint64) Value { return Value{TypeU64, v} }
+
+// S64Value wraps a signed integer as a TypeS64 Value.
+func S64Value(v int64) Value { return Value{TypeS64, uint64(v)} }
+
+// F64Value wraps a float64 as a TypeD64 Value.
+func F64Value(v float64) Value { return Value{TypeD64, math.Float64bits(v)} }
+
+// U64 returns the value as an unsigned integer (truncating floats).
+func (v Value) U64() uint64 {
+	switch v.Type {
+	case TypeF32:
+		return uint64(math.Float32frombits(uint32(v.Bits)))
+	case TypeD64:
+		return uint64(math.Float64frombits(v.Bits))
+	default:
+		return v.Bits
+	}
+}
+
+// S64 returns the value as a signed integer.
+func (v Value) S64() int64 {
+	switch v.Type {
+	case TypeF32:
+		return int64(math.Float32frombits(uint32(v.Bits)))
+	case TypeD64:
+		return int64(math.Float64frombits(v.Bits))
+	default:
+		return int64(v.Bits)
+	}
+}
+
+// F64 returns the value as a float64.
+func (v Value) F64() float64 {
+	switch v.Type {
+	case TypeF32:
+		return float64(math.Float32frombits(uint32(v.Bits)))
+	case TypeD64:
+		return math.Float64frombits(v.Bits)
+	case TypeS8, TypeS16, TypeS32, TypeS64:
+		return float64(int64(v.Bits))
+	default:
+		return float64(v.Bits)
+	}
+}
+
+// String renders the value for human consumption (ldms_ls style).
+func (v Value) String() string {
+	switch v.Type {
+	case TypeF32, TypeD64:
+		return fmt.Sprintf("%g", v.F64())
+	case TypeS8, TypeS16, TypeS32, TypeS64:
+		return fmt.Sprintf("%d", v.S64())
+	default:
+		return fmt.Sprintf("%d", v.U64())
+	}
+}

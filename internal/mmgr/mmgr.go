@@ -1,0 +1,161 @@
+// Package mmgr implements the custom memory manager ldmsd uses for metric
+// set chunks.
+//
+// The real LDMS daemon is started with a fixed memory budget for metric sets
+// (the -m flag) and carves metadata and data chunks for every set out of that
+// region with an internal allocator. This package reproduces that behaviour:
+// an Arena is created with a fixed capacity, hands out power-of-two sized
+// chunks, and accounts for usage so the resource-footprint experiment (T1)
+// can report the exact per-node memory cost of a configuration.
+package mmgr
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// minClass is the smallest chunk class handed out (64 bytes).
+const minClass = 6
+
+// maxClasses bounds the number of power-of-two size classes (2^(6+32) is far
+// beyond any realistic arena).
+const maxClasses = 32
+
+// Arena is a fixed-capacity allocator for metric set chunks. Freed chunks
+// are recycled through per-size-class free lists, mirroring the behaviour of
+// the LDMS mm allocator. The zero value is not usable; call New.
+type Arena struct {
+	mu       sync.Mutex
+	capacity int
+	used     int // bytes currently handed out (rounded to class size)
+	peak     int // high-water mark of used
+	grabbed  int // bytes carved from the region so far (never shrinks)
+	free     [maxClasses][][]byte
+	allocs   int
+	frees    int
+}
+
+// New returns an Arena with the given capacity in bytes. Capacity must be
+// positive.
+func New(capacity int) (*Arena, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("mmgr: capacity must be positive, got %d", capacity)
+	}
+	return &Arena{capacity: capacity}, nil
+}
+
+// classFor returns the size-class index for a request of n bytes.
+func classFor(n int) int {
+	if n <= 1<<minClass {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minClass
+}
+
+// classSize returns the chunk size in bytes for a class index.
+func classSize(c int) int {
+	return 1 << (c + minClass)
+}
+
+// Alloc returns a zeroed chunk of at least n bytes, or an error if the arena
+// budget would be exceeded. The returned slice has length n and capacity of
+// the underlying class size.
+func (a *Arena) Alloc(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mmgr: invalid allocation size %d", n)
+	}
+	c := classFor(n)
+	if c >= maxClasses {
+		return nil, fmt.Errorf("mmgr: allocation of %d bytes exceeds maximum class", n)
+	}
+	size := classSize(c)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if l := len(a.free[c]); l > 0 {
+		buf := a.free[c][l-1]
+		a.free[c] = a.free[c][:l-1]
+		a.used += size
+		if a.used > a.peak {
+			a.peak = a.used
+		}
+		a.allocs++
+		clear(buf[:size])
+		return buf[:n:size], nil
+	}
+
+	if a.grabbed+size > a.capacity {
+		return nil, fmt.Errorf("mmgr: arena exhausted: need %d bytes, %d of %d in use",
+			size, a.grabbed, a.capacity)
+	}
+	a.grabbed += size
+	a.used += size
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	a.allocs++
+	buf := make([]byte, size)
+	return buf[:n:size], nil
+}
+
+// Free returns a chunk previously obtained from Alloc to the arena. The
+// caller must not use the slice afterwards.
+func (a *Arena) Free(buf []byte) {
+	if buf == nil {
+		return
+	}
+	size := cap(buf)
+	c := classFor(size)
+	if classSize(c) != size {
+		// Not one of our chunks; drop it rather than corrupt the lists.
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free[c] = append(a.free[c], buf[:size])
+	a.used -= size
+	a.frees++
+}
+
+// InUse reports the bytes currently allocated (rounded up to class sizes).
+func (a *Arena) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak reports the high-water mark of InUse over the arena's lifetime.
+func (a *Arena) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Capacity reports the configured budget in bytes.
+func (a *Arena) Capacity() int { return a.capacity }
+
+// Stats summarizes allocator activity.
+type Stats struct {
+	Capacity int // configured budget
+	InUse    int // bytes handed out now
+	Peak     int // high-water mark
+	Grabbed  int // bytes ever carved from the region
+	Allocs   int // total Alloc calls that succeeded
+	Frees    int // total Free calls
+}
+
+// Stats returns a snapshot of allocator counters.
+func (a *Arena) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Capacity: a.capacity,
+		InUse:    a.used,
+		Peak:     a.peak,
+		Grabbed:  a.grabbed,
+		Allocs:   a.allocs,
+		Frees:    a.frees,
+	}
+}

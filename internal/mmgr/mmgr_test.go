@@ -1,0 +1,168 @@
+package mmgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d): want error, got nil", c)
+		}
+	}
+}
+
+func TestAllocBasic(t *testing.T) {
+	a, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 100 {
+		t.Errorf("len=%d want 100", len(buf))
+	}
+	if cap(buf) != 128 {
+		t.Errorf("cap=%d want 128 (next power of two)", cap(buf))
+	}
+	if a.InUse() != 128 {
+		t.Errorf("InUse=%d want 128", a.InUse())
+	}
+}
+
+func TestAllocZeroed(t *testing.T) {
+	a, _ := New(1 << 16)
+	buf, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	a.Free(buf)
+	buf2, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf2 {
+		if b != 0 {
+			t.Fatalf("recycled chunk not zeroed at byte %d", i)
+		}
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	a, _ := New(1 << 16)
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("Alloc(0): want error")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Error("Alloc(-5): want error")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a, _ := New(256)
+	if _, err := a.Alloc(200); err != nil {
+		t.Fatalf("first alloc should fit: %v", err)
+	}
+	if _, err := a.Alloc(200); err == nil {
+		t.Fatal("second alloc should exhaust the arena")
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	a, _ := New(256)
+	buf, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(buf)
+	if a.InUse() != 0 {
+		t.Errorf("InUse after free=%d want 0", a.InUse())
+	}
+	// The arena region is fully carved, but freeing makes it reusable.
+	if _, err := a.Alloc(256); err != nil {
+		t.Errorf("alloc after free should reuse chunk: %v", err)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	a, _ := New(1 << 16)
+	b1, _ := a.Alloc(1024)
+	b2, _ := a.Alloc(1024)
+	a.Free(b1)
+	a.Free(b2)
+	if got := a.Peak(); got != 2048 {
+		t.Errorf("Peak=%d want 2048", got)
+	}
+	if got := a.InUse(); got != 0 {
+		t.Errorf("InUse=%d want 0", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _ := New(4096)
+	b, _ := a.Alloc(100)
+	a.Free(b)
+	s := a.Stats()
+	if s.Allocs != 1 || s.Frees != 1 {
+		t.Errorf("allocs/frees = %d/%d want 1/1", s.Allocs, s.Frees)
+	}
+	if s.Capacity != 4096 {
+		t.Errorf("capacity=%d want 4096", s.Capacity)
+	}
+	if s.Grabbed != 128 {
+		t.Errorf("grabbed=%d want 128", s.Grabbed)
+	}
+}
+
+func TestClassForRoundTrip(t *testing.T) {
+	// Property: every allocation size maps to a class whose size is >= n
+	// and < 2n (for n above the minimum class size).
+	f := func(n uint16) bool {
+		size := int(n)
+		if size == 0 {
+			size = 1
+		}
+		c := classFor(size)
+		cs := classSize(c)
+		if cs < size {
+			return false
+		}
+		if size > 64 && cs >= 2*size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a, _ := New(1 << 22)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				buf, err := a.Alloc(512)
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				a.Free(buf)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if a.InUse() != 0 {
+		t.Errorf("InUse=%d want 0 after all frees", a.InUse())
+	}
+}

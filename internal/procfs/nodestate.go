@@ -1,0 +1,197 @@
+package procfs
+
+import (
+	"sync"
+)
+
+// GeminiDirs are the six link directions of a Gemini router in the 3-D
+// torus, in the order used throughout this repository.
+var GeminiDirs = [6]string{"X+", "X-", "Y+", "Y-", "Z+", "Z-"}
+
+// CPUTicks is one cpu line of /proc/stat in USER_HZ ticks.
+type CPUTicks struct {
+	User, Nice, Sys, Idle, IOWait, IRQ, SoftIRQ uint64
+}
+
+// Total returns the sum of all tick categories.
+func (c CPUTicks) Total() uint64 {
+	return c.User + c.Nice + c.Sys + c.Idle + c.IOWait + c.IRQ + c.SoftIRQ
+}
+
+// LustreStats are the client-side Lustre llite counters for one filesystem
+// mount (cf. the paper's example metrics dirty_pages_hits#stats.snx11024 …).
+type LustreStats struct {
+	DirtyPagesHits   uint64
+	DirtyPagesMisses uint64
+	ReadBytes        uint64
+	WriteBytes       uint64
+	Open             uint64
+	Close            uint64
+	Fsync            uint64
+	Seek             uint64
+}
+
+// NetDevStats is one interface line of /proc/net/dev.
+type NetDevStats struct {
+	RxBytes, RxPackets, RxErrs, RxDrop uint64
+	TxBytes, TxPackets, TxErrs, TxDrop uint64
+}
+
+// NFSStats are client RPC counters from /proc/net/rpc/nfs.
+type NFSStats struct {
+	RPCCount, Retrans, AuthRefresh uint64
+	Read, Write, Getattr, Lookup   uint64
+}
+
+// IBCounters are HCA port counters from
+// /sys/class/infiniband/<dev>/ports/1/counters.
+type IBCounters struct {
+	PortXmitData, PortRcvData    uint64
+	PortXmitPkts, PortRcvPkts    uint64
+	SymbolError, LinkDowned      uint64
+	PortXmitWait, PortRcvErrors  uint64
+	ExcessiveBufferOverrunErrors uint64
+	LocalLinkIntegrityErrors     uint64
+}
+
+// GeminiLink is the gpcdr view of one torus link direction, aggregated over
+// the tiles of that direction.
+type GeminiLink struct {
+	Traffic     uint64  // bytes sent
+	Stalled     uint64  // time (ns) output was credit-stalled
+	Packets     uint64  // packets sent
+	InqStall    uint64  // input-queue stall time (ns)
+	CreditStall uint64  // credit stall time (ns); the §VI-A1 quantity
+	LinkBWMBps  float64 // theoretical max bandwidth for the link media
+	Status      uint64  // 1 = up
+}
+
+// GeminiState is the full gpcdr metric family for a node.
+type GeminiState struct {
+	Links        [6]GeminiLink
+	SampleTimeNs uint64 // time the counters were captured
+	LnetTxBytes  uint64
+	LnetRxBytes  uint64
+}
+
+// NodeState is the mutable hardware/OS state of one (simulated) node. The
+// cluster and network simulators write it; SimFS renders it as /proc and
+// /sys text. All methods are safe for concurrent use.
+type NodeState struct {
+	mu sync.Mutex
+
+	Hostname string
+	NumCores int
+
+	// Memory, in kB, /proc/meminfo style.
+	MemTotalKB, MemFreeKB uint64
+	BuffersKB, CachedKB   uint64
+	ActiveKB, InactiveKB  uint64
+	DirtyKB, SwapTotalKB  uint64
+	SwapFreeKB, SlabKB    uint64
+	CommittedASKB         uint64
+
+	// CPU: index 0 is the aggregate "cpu" line; 1..NumCores are cores.
+	CPU []CPUTicks
+
+	Intr, Ctxt, Processes      uint64
+	ProcsRunning, ProcsBlocked uint64
+	BootTime                   uint64
+
+	Load1, Load5, Load15      float64
+	RunnableTasks, TotalTasks uint64
+	LastPID                   uint64
+
+	// Vmstat counters (subset).
+	PgPgIn, PgPgOut, PswpIn, PswpOut uint64
+	PgFault, PgMajFault              uint64
+	NrFreePages, NrDirty             uint64
+
+	// Lustre llite stats per filesystem instance name (e.g. "snx11024").
+	Lustre map[string]*LustreStats
+
+	// Network devices by name (e.g. "eth0", "ib0").
+	NetDev map[string]*NetDevStats
+
+	NFS NFSStats
+
+	// Infiniband HCA counters by device name (e.g. "mlx4_0").
+	IB map[string]*IBCounters
+
+	// Cray Gemini HSN counters (nil on non-Cray profiles).
+	Gemini *GeminiState
+
+	// Resource-manager view of the node: the job currently scheduled here
+	// (0 = idle). The jobid sampler reads these so per-job/per-user
+	// attribution can be joined with metric data (paper §VI-B).
+	JobID  uint64
+	UserID uint64
+}
+
+// NewNodeState returns a NodeState with sensible defaults for a node named
+// hostname with the given core count and memory size.
+func NewNodeState(hostname string, cores int, memTotalKB uint64) *NodeState {
+	n := &NodeState{
+		Hostname:   hostname,
+		NumCores:   cores,
+		MemTotalKB: memTotalKB,
+		MemFreeKB:  memTotalKB,
+		CPU:        make([]CPUTicks, cores+1),
+		Lustre:     make(map[string]*LustreStats),
+		NetDev:     make(map[string]*NetDevStats),
+		IB:         make(map[string]*IBCounters),
+		BootTime:   1400000000,
+	}
+	return n
+}
+
+// Update runs f with the state locked; simulators use it to mutate multiple
+// fields atomically with respect to renders.
+func (n *NodeState) Update(f func(*NodeState)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f(n)
+}
+
+// snapshotLocked is documentation-by-convention: render methods hold n.mu.
+func (n *NodeState) lock()   { n.mu.Lock() }
+func (n *NodeState) unlock() { n.mu.Unlock() }
+
+// EnsureLustre returns the LustreStats for fs, creating it if needed.
+// Callers inside Update may use it directly; standalone use is also safe.
+func (n *NodeState) EnsureLustre(fs string) *LustreStats {
+	if s, ok := n.Lustre[fs]; ok {
+		return s
+	}
+	s := &LustreStats{}
+	n.Lustre[fs] = s
+	return s
+}
+
+// EnsureNetDev returns the NetDevStats for dev, creating it if needed.
+func (n *NodeState) EnsureNetDev(dev string) *NetDevStats {
+	if s, ok := n.NetDev[dev]; ok {
+		return s
+	}
+	s := &NetDevStats{}
+	n.NetDev[dev] = s
+	return s
+}
+
+// EnsureIB returns the IBCounters for dev, creating it if needed.
+func (n *NodeState) EnsureIB(dev string) *IBCounters {
+	if s, ok := n.IB[dev]; ok {
+		return s
+	}
+	s := &IBCounters{}
+	n.IB[dev] = s
+	return s
+}
+
+// EnsureGemini returns the node's GeminiState, creating it if needed.
+func (n *NodeState) EnsureGemini() *GeminiState {
+	if n.Gemini == nil {
+		n.Gemini = &GeminiState{}
+	}
+	return n.Gemini
+}

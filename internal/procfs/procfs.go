@@ -1,0 +1,37 @@
+// Package procfs abstracts the /proc and /sys data sources that LDMS
+// sampling plugins read.
+//
+// On a real Linux node the OS filesystem is used directly (OSFS). For
+// simulated clusters — this reproduction's substitute for Blue Waters and
+// Chama hardware — SimFS renders the same text file formats from a NodeState
+// that the cluster and network simulators mutate. Samplers therefore always
+// exercise the realistic read-and-parse path regardless of where the data
+// comes from, which matters for the overhead experiments (T2, F5, F8).
+package procfs
+
+import (
+	"fmt"
+	"os"
+)
+
+// FS provides read access to a /proc-/sys-like file tree.
+type FS interface {
+	// ReadFile returns the current contents of the named file.
+	ReadFile(path string) ([]byte, error)
+}
+
+// OSFS reads the host operating system's real /proc and /sys.
+type OSFS struct{}
+
+// ReadFile implements FS via the host filesystem.
+func (OSFS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// ErrNotExist is returned by SimFS for paths it does not synthesize.
+type ErrNotExist struct{ Path string }
+
+// Error implements the error interface.
+func (e *ErrNotExist) Error() string {
+	return fmt.Sprintf("procfs: %s: no such file", e.Path)
+}

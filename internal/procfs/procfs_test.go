@@ -1,0 +1,250 @@
+package procfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testNode() *NodeState {
+	n := NewNodeState("nid00042", 4, 64<<20) // 64 GB in kB
+	n.Update(func(n *NodeState) {
+		n.MemFreeKB = 32 << 20
+		n.ActiveKB = 16 << 20
+		n.CPU[0] = CPUTicks{User: 100, Sys: 50, Idle: 800, IOWait: 25}
+		n.CPU[1] = CPUTicks{User: 25, Sys: 10, Idle: 200}
+		n.Load1, n.Load5, n.Load15 = 3.5, 2.0, 1.0
+		n.Ctxt = 999
+		l := n.EnsureLustre("snx11024")
+		l.Open = 42
+		l.ReadBytes = 4096
+		d := n.EnsureNetDev("eth0")
+		d.RxBytes, d.TxBytes = 1000, 2000
+		ib := n.EnsureIB("mlx4_0")
+		ib.PortXmitData = 777
+		g := n.EnsureGemini()
+		g.Links[0] = GeminiLink{Traffic: 5000, CreditStall: 123, Status: 1, LinkBWMBps: 9375}
+		g.LnetTxBytes = 31337
+	})
+	return n
+}
+
+func TestMeminfoRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, err := fs.ReadFile("/proc/meminfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, "MemTotal:") || !strings.Contains(s, "67108864 kB") {
+		t.Errorf("meminfo missing MemTotal:\n%s", s)
+	}
+	if !strings.Contains(s, "Active:") {
+		t.Errorf("meminfo missing Active:\n%s", s)
+	}
+}
+
+func TestStatRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, err := fs.ReadFile("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.HasPrefix(s, "cpu  100 0 50 800 25") {
+		t.Errorf("aggregate cpu line wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "cpu0 25 0 10 200") {
+		t.Errorf("cpu0 line wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "ctxt 999") {
+		t.Errorf("ctxt missing:\n%s", s)
+	}
+}
+
+func TestLoadavgRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, _ := fs.ReadFile("/proc/loadavg")
+	if !strings.HasPrefix(string(b), "3.50 2.00 1.00") {
+		t.Errorf("loadavg = %q", b)
+	}
+}
+
+func TestLustreRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, err := fs.ReadFile("/proc/fs/lustre/llite/snx11024/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, "open") || !strings.Contains(s, "42 samples") {
+		t.Errorf("lustre stats:\n%s", s)
+	}
+	if _, err := fs.ReadFile("/proc/fs/lustre/llite/nope/stats"); err == nil {
+		t.Error("unknown lustre fs served")
+	}
+}
+
+func TestNetDevRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, _ := fs.ReadFile("/proc/net/dev")
+	if !strings.Contains(string(b), "eth0: 1000") {
+		t.Errorf("net/dev:\n%s", b)
+	}
+}
+
+func TestIBCounterRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, err := fs.ReadFile("/sys/class/infiniband/mlx4_0/ports/1/counters/port_xmit_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "777" {
+		t.Errorf("port_xmit_data = %q", b)
+	}
+	if _, err := fs.ReadFile("/sys/class/infiniband/mlx4_0/ports/1/counters/bogus"); err == nil {
+		t.Error("bogus counter served")
+	}
+	if _, err := fs.ReadFile("/sys/class/infiniband/none/ports/1/counters/port_xmit_data"); err == nil {
+		t.Error("unknown device served")
+	}
+}
+
+func TestGpcdrRender(t *testing.T) {
+	fs := NewSimFS(testNode())
+	b, err := fs.ReadFile(GpcdrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{"X+_traffic 5000", "X+_credit_stall 123", "X+_status 1", "X+_max_bw_mbps 9375", "lnet_tx_bytes 31337", "Z-_traffic 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("gpcdr missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGpcdrAbsentOnNonCray(t *testing.T) {
+	n := NewNodeState("n1", 2, 1<<20)
+	fs := NewSimFS(n)
+	if _, err := fs.ReadFile(GpcdrPath); err == nil {
+		t.Error("gpcdr served on node without Gemini state")
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	fs := NewSimFS(testNode())
+	if _, err := fs.ReadFile("/proc/cmdline"); err == nil {
+		t.Error("unknown path served")
+	}
+	var notExist *ErrNotExist
+	_, err := fs.ReadFile("/nope")
+	if e, ok := err.(*ErrNotExist); ok {
+		notExist = e
+	}
+	if notExist == nil {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func TestConcurrentUpdateAndRead(t *testing.T) {
+	n := testNode()
+	fs := NewSimFS(n)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			n.Update(func(n *NodeState) {
+				n.MemFreeKB--
+				n.EnsureLustre("snx11024").Open++
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if _, err := fs.ReadFile("/proc/meminfo"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := fs.ReadFile("/proc/fs/lustre/llite/snx11024/stats"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCPUTicksTotal(t *testing.T) {
+	c := CPUTicks{User: 1, Nice: 2, Sys: 3, Idle: 4, IOWait: 5, IRQ: 6, SoftIRQ: 7}
+	if c.Total() != 28 {
+		t.Errorf("Total = %d want 28", c.Total())
+	}
+}
+
+func TestAllIBCountersServed(t *testing.T) {
+	fs := NewSimFS(testNode())
+	for _, name := range IBCounterNames {
+		path := "/sys/class/infiniband/mlx4_0/ports/1/counters/" + name
+		if _, err := fs.ReadFile(path); err != nil {
+			t.Errorf("counter %s not served: %v", name, err)
+		}
+	}
+}
+
+func TestMalformedSysPaths(t *testing.T) {
+	fs := NewSimFS(testNode())
+	for _, p := range []string{
+		"/sys/class/infiniband/mlx4_0/ports/1/nope/port_xmit_data",
+		"/sys/class/infiniband/mlx4_0/wrong",
+		"/proc/fs/lustre/llite/snx11024/wrong",
+		"/proc/fs/lustre/llite/snx11024",
+	} {
+		if _, err := fs.ReadFile(p); err == nil {
+			t.Errorf("malformed path %q served", p)
+		}
+	}
+}
+
+func TestJobInfoRendered(t *testing.T) {
+	n := testNode()
+	n.Update(func(ns *NodeState) { ns.JobID, ns.UserID = 9, 1000 })
+	fs := NewSimFS(n)
+	b, err := fs.ReadFile(JobInfoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "jobid 9\nuid 1000\n" {
+		t.Errorf("jobinfo = %q", b)
+	}
+}
+
+func TestVmstatAndNFSRender(t *testing.T) {
+	n := testNode()
+	n.Update(func(ns *NodeState) {
+		ns.PgPgOut, ns.PswpIn, ns.NrDirty = 11, 22, 33
+		ns.NFS.Retrans = 7
+	})
+	fs := NewSimFS(n)
+	b, _ := fs.ReadFile("/proc/vmstat")
+	for _, want := range []string{"pgpgout 11", "pswpin 22", "nr_dirty 33"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("vmstat missing %q", want)
+		}
+	}
+	b, _ = fs.ReadFile("/proc/net/rpc/nfs")
+	if !strings.Contains(string(b), "rpc 0 7 0") {
+		t.Errorf("nfs render: %q", b)
+	}
+}
+
+func TestOSFSPassthrough(t *testing.T) {
+	if _, err := (OSFS{}).ReadFile("/proc/meminfo"); err != nil {
+		t.Skipf("no real /proc: %v", err)
+	}
+	if _, err := (OSFS{}).ReadFile("/definitely/not/here"); err == nil {
+		t.Error("missing file served")
+	}
+}

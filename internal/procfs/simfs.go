@@ -1,0 +1,252 @@
+package procfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SimFS renders a NodeState as /proc and /sys formatted text, standing in
+// for the kernel on simulated nodes. Every read re-renders from live state,
+// as a real procfs read does.
+type SimFS struct {
+	node *NodeState
+}
+
+// NewSimFS returns a SimFS view of node.
+func NewSimFS(node *NodeState) *SimFS { return &SimFS{node: node} }
+
+// Node returns the backing state, for simulators that hold only the FS.
+func (fs *SimFS) Node() *NodeState { return fs.node }
+
+// GpcdrPath is where the simulated Cray gpcdr module exposes aggregated HSN
+// link metrics.
+const GpcdrPath = "/sys/devices/virtual/gni/gpcdr0/metricsets/links/metrics"
+
+// JobInfoPath is where the resource manager publishes the node's current
+// job binding for the jobid sampler.
+const JobInfoPath = "/var/run/ldms.jobinfo"
+
+// ReadFile implements FS by rendering the requested file from node state.
+func (fs *SimFS) ReadFile(path string) ([]byte, error) {
+	n := fs.node
+	n.lock()
+	defer n.unlock()
+	switch {
+	case path == "/proc/meminfo":
+		return fs.renderMeminfo(), nil
+	case path == "/proc/stat":
+		return fs.renderStat(), nil
+	case path == "/proc/loadavg":
+		return fs.renderLoadavg(), nil
+	case path == "/proc/vmstat":
+		return fs.renderVmstat(), nil
+	case path == "/proc/net/dev":
+		return fs.renderNetDev(), nil
+	case path == "/proc/net/rpc/nfs":
+		return fs.renderNFS(), nil
+	case path == GpcdrPath:
+		return fs.renderGpcdr()
+	case path == JobInfoPath:
+		return []byte(fmt.Sprintf("jobid %d\nuid %d\n", n.JobID, n.UserID)), nil
+	case strings.HasPrefix(path, "/proc/fs/lustre/llite/"):
+		return fs.renderLustre(path)
+	case strings.HasPrefix(path, "/sys/class/infiniband/"):
+		return fs.renderIBCounter(path)
+	default:
+		return nil, &ErrNotExist{Path: path}
+	}
+}
+
+func (fs *SimFS) renderMeminfo() []byte {
+	n := fs.node
+	var b bytes.Buffer
+	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s:%15d kB\n", k, v) }
+	kv("MemTotal", n.MemTotalKB)
+	kv("MemFree", n.MemFreeKB)
+	kv("Buffers", n.BuffersKB)
+	kv("Cached", n.CachedKB)
+	kv("Active", n.ActiveKB)
+	kv("Inactive", n.InactiveKB)
+	kv("Dirty", n.DirtyKB)
+	kv("SwapTotal", n.SwapTotalKB)
+	kv("SwapFree", n.SwapFreeKB)
+	kv("Slab", n.SlabKB)
+	kv("Committed_AS", n.CommittedASKB)
+	return b.Bytes()
+}
+
+func (fs *SimFS) renderStat() []byte {
+	n := fs.node
+	var b bytes.Buffer
+	line := func(name string, c CPUTicks) {
+		fmt.Fprintf(&b, "%s %d %d %d %d %d %d %d 0 0 0\n",
+			name, c.User, c.Nice, c.Sys, c.Idle, c.IOWait, c.IRQ, c.SoftIRQ)
+	}
+	if len(n.CPU) > 0 {
+		line("cpu ", n.CPU[0])
+		for i := 1; i < len(n.CPU); i++ {
+			line(fmt.Sprintf("cpu%d", i-1), n.CPU[i])
+		}
+	}
+	fmt.Fprintf(&b, "intr %d\n", n.Intr)
+	fmt.Fprintf(&b, "ctxt %d\n", n.Ctxt)
+	fmt.Fprintf(&b, "btime %d\n", n.BootTime)
+	fmt.Fprintf(&b, "processes %d\n", n.Processes)
+	fmt.Fprintf(&b, "procs_running %d\n", n.ProcsRunning)
+	fmt.Fprintf(&b, "procs_blocked %d\n", n.ProcsBlocked)
+	return b.Bytes()
+}
+
+func (fs *SimFS) renderLoadavg() []byte {
+	n := fs.node
+	return []byte(fmt.Sprintf("%.2f %.2f %.2f %d/%d %d\n",
+		n.Load1, n.Load5, n.Load15, n.RunnableTasks, n.TotalTasks, n.LastPID))
+}
+
+func (fs *SimFS) renderVmstat() []byte {
+	n := fs.node
+	var b bytes.Buffer
+	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s %d\n", k, v) }
+	kv("nr_free_pages", n.NrFreePages)
+	kv("nr_dirty", n.NrDirty)
+	kv("pgpgin", n.PgPgIn)
+	kv("pgpgout", n.PgPgOut)
+	kv("pswpin", n.PswpIn)
+	kv("pswpout", n.PswpOut)
+	kv("pgfault", n.PgFault)
+	kv("pgmajfault", n.PgMajFault)
+	return b.Bytes()
+}
+
+func (fs *SimFS) renderNetDev() []byte {
+	n := fs.node
+	var b bytes.Buffer
+	b.WriteString("Inter-|   Receive                                                |  Transmit\n")
+	b.WriteString(" face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n")
+	devs := make([]string, 0, len(n.NetDev))
+	for d := range n.NetDev {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+	for _, d := range devs {
+		s := n.NetDev[d]
+		fmt.Fprintf(&b, "%6s: %d %d %d %d 0 0 0 0 %d %d %d %d 0 0 0 0\n",
+			d, s.RxBytes, s.RxPackets, s.RxErrs, s.RxDrop,
+			s.TxBytes, s.TxPackets, s.TxErrs, s.TxDrop)
+	}
+	return b.Bytes()
+}
+
+func (fs *SimFS) renderNFS() []byte {
+	n := fs.node
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "rpc %d %d %d\n", n.NFS.RPCCount, n.NFS.Retrans, n.NFS.AuthRefresh)
+	fmt.Fprintf(&b, "proc3 22 0 %d %d %d %d 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n",
+		n.NFS.Getattr, n.NFS.Lookup, n.NFS.Read, n.NFS.Write)
+	return b.Bytes()
+}
+
+// renderLustre serves /proc/fs/lustre/llite/<fsname>/stats.
+func (fs *SimFS) renderLustre(path string) ([]byte, error) {
+	rest := strings.TrimPrefix(path, "/proc/fs/lustre/llite/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[1] != "stats" {
+		return nil, &ErrNotExist{Path: path}
+	}
+	s, ok := fs.node.Lustre[parts[0]]
+	if !ok {
+		return nil, &ErrNotExist{Path: path}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "snapshot_time             0.0 secs.usecs\n")
+	kv := func(k string, v uint64, unit string) {
+		fmt.Fprintf(&b, "%-25s %d samples [%s]\n", k, v, unit)
+	}
+	kv("dirty_pages_hits", s.DirtyPagesHits, "regs")
+	kv("dirty_pages_misses", s.DirtyPagesMisses, "regs")
+	kv("read_bytes", s.ReadBytes, "bytes")
+	kv("write_bytes", s.WriteBytes, "bytes")
+	kv("open", s.Open, "regs")
+	kv("close", s.Close, "regs")
+	kv("fsync", s.Fsync, "regs")
+	kv("seek", s.Seek, "regs")
+	return b.Bytes(), nil
+}
+
+// renderIBCounter serves one file under
+// /sys/class/infiniband/<dev>/ports/1/counters/<name>.
+func (fs *SimFS) renderIBCounter(path string) ([]byte, error) {
+	rest := strings.TrimPrefix(path, "/sys/class/infiniband/")
+	parts := strings.Split(rest, "/")
+	// <dev>/ports/1/counters/<name>
+	if len(parts) != 5 || parts[1] != "ports" || parts[3] != "counters" {
+		return nil, &ErrNotExist{Path: path}
+	}
+	c, ok := fs.node.IB[parts[0]]
+	if !ok {
+		return nil, &ErrNotExist{Path: path}
+	}
+	var v uint64
+	switch parts[4] {
+	case "port_xmit_data":
+		v = c.PortXmitData
+	case "port_rcv_data":
+		v = c.PortRcvData
+	case "port_xmit_packets":
+		v = c.PortXmitPkts
+	case "port_rcv_packets":
+		v = c.PortRcvPkts
+	case "symbol_error":
+		v = c.SymbolError
+	case "link_downed":
+		v = c.LinkDowned
+	case "port_xmit_wait":
+		v = c.PortXmitWait
+	case "port_rcv_errors":
+		v = c.PortRcvErrors
+	case "excessive_buffer_overrun_errors":
+		v = c.ExcessiveBufferOverrunErrors
+	case "local_link_integrity_errors":
+		v = c.LocalLinkIntegrityErrors
+	default:
+		return nil, &ErrNotExist{Path: path}
+	}
+	return []byte(fmt.Sprintf("%d\n", v)), nil
+}
+
+// IBCounterNames lists the counters renderIBCounter serves, in the order
+// the ib sampler collects them.
+var IBCounterNames = []string{
+	"port_xmit_data", "port_rcv_data",
+	"port_xmit_packets", "port_rcv_packets",
+	"symbol_error", "link_downed",
+	"port_xmit_wait", "port_rcv_errors",
+	"excessive_buffer_overrun_errors", "local_link_integrity_errors",
+}
+
+// renderGpcdr serves the simulated Cray gpcdr links metric set: one
+// "name value" line per aggregated HSN metric, as the gpcdr module's
+// configured metric definitions produce.
+func (fs *SimFS) renderGpcdr() ([]byte, error) {
+	g := fs.node.Gemini
+	if g == nil {
+		return nil, &ErrNotExist{Path: GpcdrPath}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sampletime_ns %d\n", g.SampleTimeNs)
+	for i, dir := range GeminiDirs {
+		l := g.Links[i]
+		fmt.Fprintf(&b, "%s_traffic %d\n", dir, l.Traffic)
+		fmt.Fprintf(&b, "%s_packets %d\n", dir, l.Packets)
+		fmt.Fprintf(&b, "%s_stalled %d\n", dir, l.Stalled)
+		fmt.Fprintf(&b, "%s_inq_stall %d\n", dir, l.InqStall)
+		fmt.Fprintf(&b, "%s_credit_stall %d\n", dir, l.CreditStall)
+		fmt.Fprintf(&b, "%s_status %d\n", dir, l.Status)
+		fmt.Fprintf(&b, "%s_max_bw_mbps %d\n", dir, uint64(l.LinkBWMBps))
+	}
+	fmt.Fprintf(&b, "lnet_tx_bytes %d\n", g.LnetTxBytes)
+	fmt.Fprintf(&b, "lnet_rx_bytes %d\n", g.LnetRxBytes)
+	return b.Bytes(), nil
+}

@@ -1,0 +1,54 @@
+package psnap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateMonotone(t *testing.T) {
+	short := Calibrate(20 * time.Microsecond)
+	long := Calibrate(200 * time.Microsecond)
+	if short < 1 || long < 1 {
+		t.Fatalf("calibration returned %d / %d", short, long)
+	}
+	if long <= short {
+		t.Errorf("longer target should need more units: %d vs %d", long, short)
+	}
+}
+
+func TestRunHistogramCentered(t *testing.T) {
+	target := 100 * time.Microsecond
+	// On shared machines a burst of competing load during calibration can
+	// skew one attempt; the property under test is that an undisturbed
+	// calibrate+run centers near the target, so allow a few attempts.
+	var med int
+	for attempt := 0; attempt < 3; attempt++ {
+		units := Calibrate(target)
+		res := Run(2000, units, target)
+		if res.Total() != 2000 {
+			t.Fatalf("total = %d", res.Total())
+		}
+		med = res.Quantile(0.5)
+		if med >= 50 && med <= 150 {
+			return
+		}
+	}
+	t.Errorf("median loop = %d µs after 3 attempts, want ≈100", med)
+}
+
+func TestTailBeyond(t *testing.T) {
+	r := Result{Hist: map[int]int64{100: 10, 500: 2}}
+	if r.TailBeyond(300) != 2 {
+		t.Errorf("tail = %d", r.TailBeyond(300))
+	}
+	if r.TailBeyond(0) != 12 {
+		t.Errorf("full tail = %d", r.TailBeyond(0))
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	r := Result{Hist: map[int]int64{}}
+	if r.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}

@@ -1,0 +1,183 @@
+// Package rrd implements a small round-robin database in the style of
+// RRDTool, the storage backend Ganglia writes to (paper §IV-E: "Ganglia
+// stores to RRDTool which ages out data and thus requires a separate data
+// move if long term storage is desired").
+//
+// A database holds one primary archive at the base step plus optional
+// consolidated archives at coarser steps. Each archive is a fixed ring:
+// new data overwrites the oldest, so history beyond rows×step is lost —
+// the aging-out behaviour the paper contrasts with LDMS's append-only
+// stores.
+package rrd
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Archive is one fixed-size ring of consolidated values.
+type Archive struct {
+	step  time.Duration
+	rows  int
+	vals  []float64
+	times []int64 // unix seconds of each slot's bucket start; 0 = empty
+	// consolidation accumulator for steps coarser than the base step
+	accSum   float64
+	accN     int
+	accStart int64
+}
+
+// RRD is a round-robin database for one metric.
+type RRD struct {
+	base     time.Duration
+	archives []*Archive
+	last     int64
+}
+
+// New creates an RRD with a primary archive of rows slots at the base
+// step, plus one consolidated archive per extra (step, rows) pair.
+func New(base time.Duration, rows int, extra ...[2]int) (*RRD, error) {
+	if base <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("rrd: invalid base archive %v x %d", base, rows)
+	}
+	r := &RRD{base: base}
+	r.archives = append(r.archives, newArchive(base, rows))
+	for _, e := range extra {
+		factor, n := e[0], e[1]
+		if factor < 2 || n <= 0 {
+			return nil, fmt.Errorf("rrd: invalid consolidated archive %dx base, %d rows", factor, n)
+		}
+		r.archives = append(r.archives, newArchive(base*time.Duration(factor), n))
+	}
+	return r, nil
+}
+
+func newArchive(step time.Duration, rows int) *Archive {
+	a := &Archive{step: step, rows: rows, vals: make([]float64, rows), times: make([]int64, rows)}
+	for i := range a.vals {
+		a.vals[i] = math.NaN()
+	}
+	return a
+}
+
+// Update records a value at time t. Updates must be time-ordered.
+func (r *RRD) Update(t time.Time, v float64) error {
+	sec := t.Unix()
+	if sec < r.last {
+		return fmt.Errorf("rrd: non-monotonic update at %d (last %d)", sec, r.last)
+	}
+	r.last = sec
+	for _, a := range r.archives {
+		a.update(sec, v)
+	}
+	return nil
+}
+
+// update folds one sample into an archive, consolidating by average.
+func (a *Archive) update(sec int64, v float64) {
+	step := int64(a.step / time.Second)
+	if step < 1 {
+		step = 1
+	}
+	bucket := sec - sec%step
+	if a.accN > 0 && bucket != a.accStart {
+		a.commit()
+	}
+	if a.accN == 0 {
+		a.accStart = bucket
+	}
+	a.accSum += v
+	a.accN++
+}
+
+// commit writes the accumulated consolidated value into the ring.
+func (a *Archive) commit() {
+	slot := int((a.accStart / int64(a.step/time.Second))) % a.rows
+	if slot < 0 {
+		slot += a.rows
+	}
+	a.vals[slot] = a.accSum / float64(a.accN)
+	a.times[slot] = a.accStart
+	a.accSum, a.accN = 0, 0
+}
+
+// Flush commits any pending consolidation accumulators (call before
+// fetching the newest data).
+func (r *RRD) Flush() {
+	for _, a := range r.archives {
+		if a.accN > 0 {
+			a.commit()
+		}
+	}
+}
+
+// Point is one stored sample.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Fetch returns stored points in [from, to) from the finest archive that
+// still covers `from`. Data older than every archive is gone — aged out.
+func (r *RRD) Fetch(from, to time.Time) []Point {
+	r.Flush()
+	for _, a := range r.archives {
+		if pts := a.fetch(from, to); pts != nil {
+			return pts
+		}
+	}
+	return nil
+}
+
+// Coverage returns the oldest time the database still holds data for.
+func (r *RRD) Coverage() time.Time {
+	r.Flush()
+	oldest := int64(math.MaxInt64)
+	found := false
+	for _, a := range r.archives {
+		for _, ts := range a.times {
+			if ts != 0 && ts < oldest {
+				oldest = ts
+				found = true
+			}
+		}
+	}
+	if !found {
+		return time.Time{}
+	}
+	return time.Unix(oldest, 0)
+}
+
+// fetch returns points if this archive covers `from`, else nil.
+func (a *Archive) fetch(from, to time.Time) []Point {
+	var pts []Point
+	covered := false
+	for i := 0; i < a.rows; i++ {
+		ts := a.times[i]
+		if ts == 0 || math.IsNaN(a.vals[i]) {
+			continue
+		}
+		t := time.Unix(ts, 0)
+		if !t.After(from) {
+			covered = true
+		}
+		if !t.Before(from) && t.Before(to) {
+			pts = append(pts, Point{Time: t, Value: a.vals[i]})
+		}
+	}
+	if !covered && len(pts) == 0 {
+		return nil
+	}
+	sortPoints(pts)
+	return pts
+}
+
+// sortPoints orders by time (insertion sort; rings are small).
+func sortPoints(pts []Point) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].Time.Before(pts[j-1].Time); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}

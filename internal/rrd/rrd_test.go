@@ -1,0 +1,101 @@
+package rrd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := New(time.Second, 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := New(time.Second, 10, [2]int{1, 5}); err == nil {
+		t.Error("consolidation factor 1 accepted")
+	}
+}
+
+func TestUpdateFetch(t *testing.T) {
+	r, err := New(time.Second, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	for i := 0; i < 30; i++ {
+		if err := r.Update(base.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := r.Fetch(base, base.Add(30*time.Second))
+	if len(pts) != 30 {
+		t.Fatalf("points = %d want 30", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != float64(i) {
+			t.Errorf("point %d = %g", i, p.Value)
+		}
+	}
+}
+
+func TestNonMonotonicRejected(t *testing.T) {
+	r, _ := New(time.Second, 10)
+	r.Update(time.Unix(100, 0), 1)
+	if err := r.Update(time.Unix(99, 0), 2); err == nil {
+		t.Error("out-of-order update accepted")
+	}
+}
+
+func TestAgingOut(t *testing.T) {
+	// 10-slot primary archive at 1 s: data older than 10 s must be gone
+	// (the behaviour the paper contrasts with LDMS long-term storage).
+	r, _ := New(time.Second, 10)
+	base := time.Unix(2000, 0)
+	for i := 0; i < 25; i++ {
+		r.Update(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	pts := r.Fetch(base, base.Add(5*time.Second))
+	for _, p := range pts {
+		if p.Value < 15 {
+			t.Errorf("value %g should have aged out", p.Value)
+		}
+	}
+	cov := r.Coverage()
+	if cov.Before(base.Add(14 * time.Second)) {
+		t.Errorf("coverage %v extends too far back", cov)
+	}
+}
+
+func TestConsolidatedArchiveExtendsCoverage(t *testing.T) {
+	// Primary: 10 slots at 1 s. Consolidated: 10 slots at 6 s (averages).
+	r, _ := New(time.Second, 10, [2]int{6, 10})
+	base := time.Unix(3000, 0)
+	for i := 0; i < 50; i++ {
+		r.Update(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	cov := r.Coverage()
+	if !cov.Before(base.Add(41 * time.Second)) {
+		t.Errorf("consolidated archive should cover older data, coverage=%v", cov)
+	}
+	// Old data from the consolidated archive is averaged.
+	pts := r.Fetch(base, base.Add(20*time.Second))
+	if len(pts) == 0 {
+		t.Fatal("no consolidated points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time.Before(pts[i-1].Time) {
+			t.Error("points out of order")
+		}
+	}
+}
+
+func TestFetchEmpty(t *testing.T) {
+	r, _ := New(time.Second, 5)
+	if pts := r.Fetch(time.Unix(0, 0), time.Unix(100, 0)); len(pts) != 0 {
+		t.Errorf("empty db returned %d points", len(pts))
+	}
+	if !r.Coverage().IsZero() {
+		t.Error("empty db has coverage")
+	}
+}

@@ -1,0 +1,106 @@
+package sampler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+)
+
+// flakyFS fails reads of paths containing the trigger substring once armed.
+type flakyFS struct {
+	procfs.FS
+	trigger string
+	armed   bool
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *flakyFS) ReadFile(path string) ([]byte, error) {
+	if f.armed && f.trigger != "" && strings.Contains(path, f.trigger) {
+		return nil, errInjected
+	}
+	return f.FS.ReadFile(path)
+}
+
+// TestSampleErrorLeavesSetInconsistent: a multi-source plugin (ib reads
+// one sysfs file per metric) that fails mid-sample must leave the set
+// inconsistent so aggregators discard the torn data.
+func TestSampleErrorLeavesSetInconsistent(t *testing.T) {
+	fs := &flakyFS{FS: procfs.NewSimFS(simNode()), trigger: "port_rcv_data"}
+	p, err := New("ib", Config{FS: fs, Options: map[string]string{"devices": "mlx4_0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sample(time.Unix(1, 0)); err != nil {
+		t.Fatalf("healthy sample failed: %v", err)
+	}
+	if !p.Set().Consistent() {
+		t.Fatal("set inconsistent after healthy sample")
+	}
+
+	fs.armed = true
+	if err := p.Sample(time.Unix(2, 0)); err == nil {
+		t.Fatal("failed read not reported")
+	}
+	if p.Set().Consistent() {
+		t.Fatal("set still marked consistent after a torn sample")
+	}
+
+	// Recovery: the next good sample completes the transaction again.
+	fs.armed = false
+	if err := p.Sample(time.Unix(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Set().Consistent() {
+		t.Fatal("set not consistent after recovery")
+	}
+}
+
+// TestLustreMidSampleFailure exercises the same property on the lustre
+// plugin with two filesystems, where the second read fails.
+func TestLustreMidSampleFailure(t *testing.T) {
+	node := simNode()
+	node.Update(func(ns *procfs.NodeState) {
+		ns.EnsureLustre("snx99999")
+	})
+	fs := &flakyFS{FS: procfs.NewSimFS(node), trigger: "snx99999"}
+	p, err := New("lustre", Config{FS: fs, Options: map[string]string{"llite": "snx11024,snx99999"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.armed = true
+	if err := p.Sample(time.Unix(1, 0)); err == nil {
+		t.Fatal("mid-sample failure not reported")
+	}
+	if p.Set().Consistent() {
+		t.Fatal("torn lustre sample marked consistent")
+	}
+}
+
+// TestSingleFilePluginFailure: single-read plugins fail before touching
+// the set, so a previously consistent sample survives intact.
+func TestSingleFilePluginFailure(t *testing.T) {
+	fs := &flakyFS{FS: procfs.NewSimFS(simNode()), trigger: "meminfo"}
+	p, err := New("meminfo", Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sample(time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := p.Set().MetricIndex("MemTotal")
+	want := p.Set().U64(before)
+	fs.armed = true
+	if err := p.Sample(time.Unix(2, 0)); err == nil {
+		t.Fatal("failure not reported")
+	}
+	if !p.Set().Consistent() {
+		t.Fatal("prior consistent sample destroyed by a failed read")
+	}
+	if got := p.Set().U64(before); got != want {
+		t.Errorf("value changed across failed sample: %d -> %d", want, got)
+	}
+}

@@ -1,0 +1,155 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/procfs"
+)
+
+// gpcdr samples the Cray Gemini HSN link metrics that the gpcdr kernel
+// module aggregates from performance counters (paper §III-C), and derives
+// the two §IV-F quantities over the sample period:
+//
+//	<dir>_stalled_pct  percent of time the link's output was credit-stalled
+//	<dir>_bw_pct       percent of the link's theoretical max bandwidth used
+//
+// Derivation needs a previous sample; the first sample reports zero for the
+// derived metrics.
+type gpcdr struct {
+	base
+	rawIdx   map[string]int // raw counter name -> metric index
+	stallIdx [6]int         // derived stalled_pct per direction
+	bwIdx    [6]int         // derived bw_pct per direction
+
+	havePrev    bool
+	prevCredit  [6]uint64
+	prevTraffic [6]uint64
+	prevTimeNs  uint64
+}
+
+func newGpcdr(cfg Config) (Plugin, error) {
+	b, err := cfg.FS.ReadFile(procfs.GpcdrPath)
+	if err != nil {
+		return nil, fmt.Errorf("sampler gpcdr: %w", err)
+	}
+	p := &gpcdr{base: base{name: "gpcdr", fs: cfg.FS}, rawIdx: make(map[string]int)}
+	schema := metric.NewSchema("gpcdr")
+	var serr error
+	eachLine(b, func(line []byte) bool {
+		key, _ := firstWord(line)
+		if len(key) == 0 {
+			return true
+		}
+		idx, err := schema.AddMetric(string(key), metric.TypeU64)
+		if err != nil {
+			serr = err
+			return false
+		}
+		p.rawIdx[string(key)] = idx
+		return true
+	})
+	if serr != nil {
+		return nil, fmt.Errorf("sampler gpcdr: %w", serr)
+	}
+	for d, dir := range procfs.GeminiDirs {
+		p.stallIdx[d] = schema.MustAddMetric(dir+"_stalled_pct", metric.TypeD64)
+		p.bwIdx[d] = schema.MustAddMetric(dir+"_bw_pct", metric.TypeD64)
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *gpcdr) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile(procfs.GpcdrPath)
+	if err != nil {
+		return fmt.Errorf("sampler gpcdr: %w", err)
+	}
+	var credit, traffic [6]uint64
+	var maxBW [6]uint64
+	var sampleNs uint64
+
+	p.set.BeginTransaction()
+	eachLine(b, func(line []byte) bool {
+		key, pos := firstWord(line)
+		idx, ok := p.rawIdx[string(key)]
+		if !ok {
+			return true
+		}
+		v, _, okv := parseUint(line, pos)
+		if !okv {
+			return true
+		}
+		p.set.SetU64(idx, v)
+		k := string(key)
+		if k == "sampletime_ns" {
+			sampleNs = v
+			return true
+		}
+		for d, dir := range procfs.GeminiDirs {
+			if len(k) > len(dir) && k[:len(dir)] == dir && k[len(dir)] == '_' {
+				switch k[len(dir)+1:] {
+				case "credit_stall":
+					credit[d] = v
+				case "traffic":
+					traffic[d] = v
+				case "max_bw_mbps":
+					maxBW[d] = v
+				}
+				break
+			}
+		}
+		return true
+	})
+
+	if sampleNs == 0 {
+		sampleNs = uint64(now.UnixNano())
+	}
+	if p.havePrev && sampleNs > p.prevTimeNs {
+		dtNs := float64(sampleNs - p.prevTimeNs)
+		for d := range procfs.GeminiDirs {
+			stallPct := 100 * float64(credit[d]-p.prevCredit[d]) / dtNs
+			if credit[d] < p.prevCredit[d] {
+				stallPct = 0 // counter reset
+			}
+			p.set.SetF64(p.stallIdx[d], clampPct(stallPct))
+
+			bwPct := 0.0
+			if maxBW[d] > 0 && traffic[d] >= p.prevTraffic[d] {
+				bytesPerSec := float64(traffic[d]-p.prevTraffic[d]) / (dtNs / 1e9)
+				bwPct = 100 * bytesPerSec / (float64(maxBW[d]) * 1e6)
+			}
+			p.set.SetF64(p.bwIdx[d], clampPct(bwPct))
+		}
+	} else {
+		for d := range procfs.GeminiDirs {
+			p.set.SetF64(p.stallIdx[d], 0)
+			p.set.SetF64(p.bwIdx[d], 0)
+		}
+	}
+	p.prevCredit, p.prevTraffic, p.prevTimeNs = credit, traffic, sampleNs
+	p.havePrev = true
+	p.set.EndTransaction(now)
+	return nil
+}
+
+// clampPct bounds a derived percentage to [0, 100].
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+func init() {
+	Register("gpcdr", newGpcdr)
+}

@@ -1,0 +1,68 @@
+package sampler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/procfs"
+)
+
+// ib samples Infiniband HCA port counters from
+// /sys/class/infiniband/<dev>/ports/<port>/counters/*. Configure with
+// Options["devices"] = "mlx4_0,mlx5_1" and optionally Options["port"].
+type ib struct {
+	base
+	paths []string // one sysfs file per metric, in schema order
+}
+
+func newIB(cfg Config) (Plugin, error) {
+	devs := strings.Split(cfg.opt("devices", "mlx4_0"), ",")
+	port := cfg.opt("port", "1")
+	p := &ib{base: base{name: "ib", fs: cfg.FS}}
+	schema := metric.NewSchema("ib")
+	for _, dev := range devs {
+		dev = strings.TrimSpace(dev)
+		if dev == "" {
+			continue
+		}
+		for _, c := range procfs.IBCounterNames {
+			path := fmt.Sprintf("/sys/class/infiniband/%s/ports/%s/counters/%s", dev, port, c)
+			if _, err := cfg.FS.ReadFile(path); err != nil {
+				return nil, fmt.Errorf("sampler ib: %w", err)
+			}
+			schema.MustAddMetric(fmt.Sprintf("%s#%s.%s", c, dev, port), metric.TypeU64)
+			p.paths = append(p.paths, path)
+		}
+	}
+	if schema.Card() == 0 {
+		return nil, fmt.Errorf("sampler ib: no devices configured")
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *ib) Sample(now time.Time) error {
+	p.set.BeginTransaction()
+	for i, path := range p.paths {
+		b, err := p.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("sampler ib: %w", err)
+		}
+		if v, _, ok := parseUint(b, 0); ok {
+			p.set.SetU64(i, v)
+		}
+	}
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("ib", newIB)
+}

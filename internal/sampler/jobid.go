@@ -1,0 +1,61 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/procfs"
+)
+
+// jobid samples the resource manager's job binding for the node, enabling
+// the per-job and per-user attribution of §VI-B (application profiles built
+// from LDMS plus scheduler data).
+type jobid struct {
+	base
+}
+
+func newJobID(cfg Config) (Plugin, error) {
+	p := &jobid{base: base{name: "jobid", fs: cfg.FS}}
+	if _, err := cfg.FS.ReadFile(procfs.JobInfoPath); err != nil {
+		return nil, fmt.Errorf("sampler jobid: %w", err)
+	}
+	schema := metric.NewSchema("jobid")
+	schema.MustAddMetric("jobid", metric.TypeU64)
+	schema.MustAddMetric("uid", metric.TypeU64)
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *jobid) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile(procfs.JobInfoPath)
+	if err != nil {
+		return fmt.Errorf("sampler jobid: %w", err)
+	}
+	p.set.BeginTransaction()
+	eachLine(b, func(line []byte) bool {
+		key, pos := firstWord(line)
+		v, _, ok := parseUint(line, pos)
+		if !ok {
+			return true
+		}
+		switch string(key) {
+		case "jobid":
+			p.set.SetU64(0, v)
+		case "uid":
+			p.set.SetU64(1, v)
+		}
+		return true
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("jobid", newJobID)
+}

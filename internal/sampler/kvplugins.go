@@ -1,0 +1,93 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// kvPlugin samples files of "Key[:] value" lines (meminfo, vmstat). The
+// schema is discovered from the file at configuration time; samples match
+// lines to metrics positionally with a by-name fallback so reordered or
+// grown files still parse.
+type kvPlugin struct {
+	base
+	path string
+}
+
+// newKVPlugin builds a plugin over one key/value file.
+func newKVPlugin(name, path string, cfg Config) (Plugin, error) {
+	p := &kvPlugin{base: base{name: name, fs: cfg.FS}, path: path}
+	b, err := cfg.FS.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sampler %s: %w", name, err)
+	}
+	schema := metric.NewSchema(name)
+	var serr error
+	eachLine(b, func(line []byte) bool {
+		key, _ := firstWord(line)
+		if len(key) == 0 {
+			return true
+		}
+		if _, err := schema.AddMetric(string(key), metric.TypeU64); err != nil {
+			serr = err
+			return false
+		}
+		return true
+	})
+	if serr != nil {
+		return nil, fmt.Errorf("sampler %s: %w", name, serr)
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *kvPlugin) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile(p.path)
+	if err != nil {
+		return fmt.Errorf("sampler %s: %w", p.name, err)
+	}
+	p.set.BeginTransaction()
+	i := 0
+	eachLine(b, func(line []byte) bool {
+		key, pos := firstWord(line)
+		if len(key) == 0 {
+			return true
+		}
+		idx := i
+		if idx >= p.set.Card() || p.set.MetricName(idx) != string(key) {
+			var ok bool
+			idx, ok = p.set.MetricIndex(string(key))
+			if !ok {
+				i++
+				return true // new key appeared; schema is fixed, skip it
+			}
+		}
+		// Skip the delimiter (colon and/or spaces) before the number.
+		for pos < len(line) && (line[pos] == ':' || line[pos] == ' ' || line[pos] == '\t') {
+			pos++
+		}
+		if v, _, ok := parseUint(line, pos); ok {
+			p.set.SetU64(idx, v)
+		}
+		i++
+		return true
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("meminfo", func(cfg Config) (Plugin, error) {
+		return newKVPlugin("meminfo", "/proc/meminfo", cfg)
+	})
+	Register("vmstat", func(cfg Config) (Plugin, error) {
+		return newKVPlugin("vmstat", "/proc/vmstat", cfg)
+	})
+}

@@ -1,0 +1,74 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// loadavg samples /proc/loadavg: the three load averages plus the
+// runnable/total task counts and the last PID.
+type loadavg struct {
+	base
+}
+
+func newLoadavg(cfg Config) (Plugin, error) {
+	p := &loadavg{base: base{name: "loadavg", fs: cfg.FS}}
+	if _, err := cfg.FS.ReadFile("/proc/loadavg"); err != nil {
+		return nil, fmt.Errorf("sampler loadavg: %w", err)
+	}
+	schema := metric.NewSchema("loadavg")
+	schema.MustAddMetric("load1min", metric.TypeD64)
+	schema.MustAddMetric("load5min", metric.TypeD64)
+	schema.MustAddMetric("load15min", metric.TypeD64)
+	schema.MustAddMetric("runnable", metric.TypeU64)
+	schema.MustAddMetric("scheduling_entities", metric.TypeU64)
+	schema.MustAddMetric("newest_pid", metric.TypeU64)
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *loadavg) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile("/proc/loadavg")
+	if err != nil {
+		return fmt.Errorf("sampler loadavg: %w", err)
+	}
+	p.set.BeginTransaction()
+	pos := 0
+	for i := 0; i < 3; i++ {
+		v, next, ok := parseFloat(b, pos)
+		if !ok {
+			break
+		}
+		p.set.SetF64(i, v)
+		pos = next
+	}
+	// runnable/total
+	run, next, ok := parseUint(b, pos)
+	if ok {
+		p.set.SetU64(3, run)
+		pos = next
+		if pos < len(b) && b[pos] == '/' {
+			total, next2, ok2 := parseUint(b, pos+1)
+			if ok2 {
+				p.set.SetU64(4, total)
+				pos = next2
+			}
+		}
+	}
+	if pid, _, ok := parseUint(b, pos); ok {
+		p.set.SetU64(5, pid)
+	}
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("loadavg", newLoadavg)
+}

@@ -1,0 +1,91 @@
+package sampler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// lustreCounters are the llite stats lines collected, covering the paper's
+// shared-file-system metrics of interest (Opens, Closes, Reads, Writes).
+var lustreCounters = []string{
+	"dirty_pages_hits", "dirty_pages_misses",
+	"read_bytes", "write_bytes",
+	"open", "close", "fsync", "seek",
+}
+
+// lustre samples client-side Lustre llite counters for one or more
+// filesystem instances. Metric names follow the paper's convention,
+// e.g. "open#stats.snx11024". Configure with Options["llite"] = "fs1,fs2".
+type lustre struct {
+	base
+	fsNames []string
+	// idx[f][c] is the metric index for filesystem f, counter c.
+	idx map[string]map[string]int
+}
+
+func newLustre(cfg Config) (Plugin, error) {
+	names := strings.Split(cfg.opt("llite", "snx11024"), ",")
+	p := &lustre{
+		base: base{name: "lustre", fs: cfg.FS},
+		idx:  make(map[string]map[string]int),
+	}
+	schema := metric.NewSchema("lustre")
+	for _, fsName := range names {
+		fsName = strings.TrimSpace(fsName)
+		if fsName == "" {
+			continue
+		}
+		if _, err := cfg.FS.ReadFile(p.statsPath(fsName)); err != nil {
+			return nil, fmt.Errorf("sampler lustre: %w", err)
+		}
+		p.fsNames = append(p.fsNames, fsName)
+		m := make(map[string]int, len(lustreCounters))
+		for _, c := range lustreCounters {
+			m[c] = schema.MustAddMetric(fmt.Sprintf("%s#stats.%s", c, fsName), metric.TypeU64)
+		}
+		p.idx[fsName] = m
+	}
+	if len(p.fsNames) == 0 {
+		return nil, fmt.Errorf("sampler lustre: no llite filesystems configured")
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+func (p *lustre) statsPath(fsName string) string {
+	return "/proc/fs/lustre/llite/" + fsName + "/stats"
+}
+
+// Sample implements Plugin.
+func (p *lustre) Sample(now time.Time) error {
+	p.set.BeginTransaction()
+	for _, fsName := range p.fsNames {
+		b, err := p.fs.ReadFile(p.statsPath(fsName))
+		if err != nil {
+			return fmt.Errorf("sampler lustre: %w", err)
+		}
+		idx := p.idx[fsName]
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			if i, ok := idx[string(key)]; ok {
+				if v, _, okv := parseUint(line, pos); okv {
+					p.set.SetU64(i, v)
+				}
+			}
+			return true
+		})
+	}
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("lustre", newLustre)
+}

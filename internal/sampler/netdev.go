@@ -1,0 +1,136 @@
+package sampler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// netdevFields are the columns of /proc/net/dev collected per interface:
+// four receive then four transmit counters.
+var netdevFields = []string{
+	"rx_bytes", "rx_packets", "rx_errs", "rx_drop",
+	"tx_bytes", "tx_packets", "tx_errs", "tx_drop",
+}
+
+// netdevFieldCols maps each collected field to its column index among the
+// 16 numeric columns of a /proc/net/dev line.
+var netdevFieldCols = []int{0, 1, 2, 3, 8, 9, 10, 11}
+
+// procnetdev samples ethernet/IPoIB traffic counters from /proc/net/dev.
+// Configure with Options["ifaces"] = "eth0,ib0"; default is every interface
+// present at configuration time.
+type procnetdev struct {
+	base
+	// idx[dev] is the metric index of the first field for that device.
+	idx map[string]int
+}
+
+func newProcnetdev(cfg Config) (Plugin, error) {
+	p := &procnetdev{base: base{name: "procnetdev", fs: cfg.FS}, idx: make(map[string]int)}
+	b, err := cfg.FS.ReadFile("/proc/net/dev")
+	if err != nil {
+		return nil, fmt.Errorf("sampler procnetdev: %w", err)
+	}
+	var want map[string]bool
+	if opt := cfg.opt("ifaces", ""); opt != "" {
+		want = make(map[string]bool)
+		for _, d := range strings.Split(opt, ",") {
+			want[strings.TrimSpace(d)] = true
+		}
+	}
+	schema := metric.NewSchema("procnetdev")
+	eachLine(b, func(line []byte) bool {
+		dev, ok := netdevName(line)
+		if !ok {
+			return true
+		}
+		if want != nil && !want[dev] {
+			return true
+		}
+		p.idx[dev] = schema.Card()
+		for _, f := range netdevFields {
+			schema.MustAddMetric(f+"#"+dev, metric.TypeU64)
+		}
+		return true
+	})
+	if schema.Card() == 0 {
+		return nil, fmt.Errorf("sampler procnetdev: no matching interfaces")
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// netdevName extracts the interface name from a /proc/net/dev data line,
+// returning ok=false for header lines.
+func netdevName(line []byte) (string, bool) {
+	colon := -1
+	for i, c := range line {
+		if c == ':' {
+			colon = i
+			break
+		}
+		if c == '|' {
+			return "", false // header line
+		}
+	}
+	if colon < 0 {
+		return "", false
+	}
+	name := strings.TrimSpace(string(line[:colon]))
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// Sample implements Plugin.
+func (p *procnetdev) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile("/proc/net/dev")
+	if err != nil {
+		return fmt.Errorf("sampler procnetdev: %w", err)
+	}
+	p.set.BeginTransaction()
+	eachLine(b, func(line []byte) bool {
+		dev, ok := netdevName(line)
+		if !ok {
+			return true
+		}
+		baseIdx, ok := p.idx[dev]
+		if !ok {
+			return true
+		}
+		// Position after the colon.
+		pos := 0
+		for pos < len(line) && line[pos] != ':' {
+			pos++
+		}
+		pos++
+		col, fi := 0, 0
+		for fi < len(netdevFields) {
+			v, next, okv := parseUint(line, pos)
+			if !okv {
+				break
+			}
+			if col == netdevFieldCols[fi] {
+				p.set.SetU64(baseIdx+fi, v)
+				fi++
+			}
+			col++
+			pos = next
+		}
+		return true
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("procnetdev", newProcnetdev)
+}

@@ -1,0 +1,81 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// nfs samples NFS client RPC counters from /proc/net/rpc/nfs: the rpc
+// totals plus the v3 getattr/lookup/read/write operation counts.
+type nfs struct {
+	base
+}
+
+// nfsMetrics lists the schema in order: three rpc-line counters then four
+// proc3 operations.
+var nfsMetrics = []string{
+	"rpc_count", "rpc_retrans", "rpc_authrefresh",
+	"getattr", "lookup", "read", "write",
+}
+
+func newNFS(cfg Config) (Plugin, error) {
+	p := &nfs{base: base{name: "nfs", fs: cfg.FS}}
+	if _, err := cfg.FS.ReadFile("/proc/net/rpc/nfs"); err != nil {
+		return nil, fmt.Errorf("sampler nfs: %w", err)
+	}
+	schema := metric.NewSchema("nfs")
+	for _, m := range nfsMetrics {
+		schema.MustAddMetric(m, metric.TypeU64)
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *nfs) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile("/proc/net/rpc/nfs")
+	if err != nil {
+		return fmt.Errorf("sampler nfs: %w", err)
+	}
+	p.set.BeginTransaction()
+	eachLine(b, func(line []byte) bool {
+		key, pos := firstWord(line)
+		switch string(key) {
+		case "rpc":
+			for i := 0; i < 3; i++ {
+				v, next, ok := parseUint(line, pos)
+				if !ok {
+					break
+				}
+				p.set.SetU64(i, v)
+				pos = next
+			}
+		case "proc3":
+			// Layout: proc3 <count> <null> <getattr> <lookup> <read> <write> ...
+			pos = skipToken(line, pos) // land on <count>
+			pos = skipToken(line, pos) // skip <count>, land on <null>
+			pos = skipToken(line, pos) // skip <null>, land on <getattr>
+			for i := 3; i < len(nfsMetrics); i++ {
+				v, next, ok := parseUint(line, pos)
+				if !ok {
+					break
+				}
+				p.set.SetU64(i, v)
+				pos = next
+			}
+		}
+		return true
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("nfs", newNFS)
+}

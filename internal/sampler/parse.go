@@ -1,0 +1,84 @@
+package sampler
+
+// Fast, allocation-light text parsing helpers. Sampling cost per metric is
+// a headline number in the paper (1.3 µs/metric for LDMS vs 126 µs for
+// Ganglia, §IV-E), so the hot path avoids fmt, strconv on substrings, and
+// per-line allocation.
+
+// parseUint reads an unsigned decimal starting at b[pos], returning the
+// value and the position after the last digit. ok is false if no digit was
+// found.
+func parseUint(b []byte, pos int) (v uint64, next int, ok bool) {
+	i := pos
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		v = v*10 + uint64(b[i]-'0')
+		i++
+	}
+	return v, i, i > start
+}
+
+// parseFloat reads a simple non-negative decimal ("12.34") starting at
+// b[pos].
+func parseFloat(b []byte, pos int) (v float64, next int, ok bool) {
+	intPart, i, ok := parseUint(b, pos)
+	if !ok {
+		return 0, pos, false
+	}
+	v = float64(intPart)
+	if i < len(b) && b[i] == '.' {
+		i++
+		frac, j, ok2 := parseUint(b, i)
+		if ok2 {
+			scale := 1.0
+			for k := 0; k < j-i; k++ {
+				scale *= 10
+			}
+			v += float64(frac) / scale
+			i = j
+		}
+	}
+	return v, i, true
+}
+
+// eachLine calls f with each newline-terminated slice of b (no trailing
+// newline included). It allocates nothing.
+func eachLine(b []byte, f func(line []byte) bool) {
+	start := 0
+	for i := 0; i < len(b); i++ {
+		if b[i] == '\n' {
+			if !f(b[start:i]) {
+				return
+			}
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		f(b[start:])
+	}
+}
+
+// firstWord returns the first space/tab/colon-delimited token of line and
+// the position just past it.
+func firstWord(line []byte) (word []byte, next int) {
+	i := 0
+	for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != ':' {
+		i++
+	}
+	return line[:i], i
+}
+
+// skipToken advances past the current token and following whitespace.
+func skipToken(b []byte, pos int) int {
+	i := pos
+	for i < len(b) && b[i] != ' ' && b[i] != '\t' {
+		i++
+	}
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,99 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// cpuFields are the per-CPU tick categories collected from /proc/stat.
+var cpuFields = []string{"user", "nice", "sys", "idle", "iowait", "irq", "softirq"}
+
+// statScalars are the single-value kernel counters collected from
+// /proc/stat.
+var statScalars = []string{"intr", "ctxt", "processes", "procs_running", "procs_blocked"}
+
+// procstat samples CPU utilization (user, sys, idle, wait — paper §II) and
+// kernel activity counters from /proc/stat. The aggregate "cpu" line and
+// each discovered per-core line contribute seven tick metrics each.
+type procstat struct {
+	base
+	ncpu    int // per-core lines discovered at config time
+	scalars map[string]int
+}
+
+func newProcstat(cfg Config) (Plugin, error) {
+	p := &procstat{base: base{name: "procstat", fs: cfg.FS}, scalars: make(map[string]int)}
+	b, err := cfg.FS.ReadFile("/proc/stat")
+	if err != nil {
+		return nil, fmt.Errorf("sampler procstat: %w", err)
+	}
+	schema := metric.NewSchema("procstat")
+	for _, f := range cpuFields {
+		schema.MustAddMetric("cpu_"+f, metric.TypeU64)
+	}
+	eachLine(b, func(line []byte) bool {
+		key, _ := firstWord(line)
+		if len(key) > 3 && string(key[:3]) == "cpu" {
+			p.ncpu++
+		}
+		return true
+	})
+	for c := 0; c < p.ncpu; c++ {
+		for _, f := range cpuFields {
+			schema.MustAddMetric(fmt.Sprintf("cpu%d_%s", c, f), metric.TypeU64)
+		}
+	}
+	for _, s := range statScalars {
+		p.scalars[s] = schema.MustAddMetric(s, metric.TypeU64)
+	}
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *procstat) Sample(now time.Time) error {
+	b, err := p.fs.ReadFile("/proc/stat")
+	if err != nil {
+		return fmt.Errorf("sampler procstat: %w", err)
+	}
+	p.set.BeginTransaction()
+	cpuLine := 0
+	eachLine(b, func(line []byte) bool {
+		key, pos := firstWord(line)
+		if len(key) >= 3 && string(key[:3]) == "cpu" {
+			// Aggregate line is cpuLine 0; cores follow. Base index into
+			// the schema: line L starts at L*len(cpuFields).
+			if cpuLine <= p.ncpu {
+				baseIdx := cpuLine * len(cpuFields)
+				for f := 0; f < len(cpuFields); f++ {
+					v, next, ok := parseUint(line, pos)
+					if !ok {
+						break
+					}
+					p.set.SetU64(baseIdx+f, v)
+					pos = next
+				}
+			}
+			cpuLine++
+			return true
+		}
+		if idx, ok := p.scalars[string(key)]; ok {
+			if v, _, okv := parseUint(line, pos); okv {
+				p.set.SetU64(idx, v)
+			}
+		}
+		return true
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("procstat", newProcstat)
+}

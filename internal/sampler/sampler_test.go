@@ -1,0 +1,340 @@
+package sampler
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/mmgr"
+	"goldms/internal/procfs"
+)
+
+// simNode builds a fully populated simulated node for plugin tests.
+func simNode() *procfs.NodeState {
+	n := procfs.NewNodeState("nid00001", 2, 64<<20)
+	n.Update(func(n *procfs.NodeState) {
+		n.MemFreeKB = 48 << 20
+		n.ActiveKB = 8 << 20
+		n.CPU[0] = procfs.CPUTicks{User: 500, Sys: 100, Idle: 9000, IOWait: 30}
+		n.CPU[1] = procfs.CPUTicks{User: 250, Sys: 50, Idle: 4500}
+		n.CPU[2] = procfs.CPUTicks{User: 250, Sys: 50, Idle: 4500, IOWait: 30}
+		n.Intr, n.Ctxt, n.Processes = 11, 22, 33
+		n.ProcsRunning, n.ProcsBlocked = 3, 1
+		n.Load1, n.Load5, n.Load15 = 1.25, 0.5, 0.25
+		n.RunnableTasks, n.TotalTasks, n.LastPID = 2, 300, 4242
+		n.PgPgIn, n.PgFault = 77, 88
+		l := n.EnsureLustre("snx11024")
+		l.Open, l.Close, l.ReadBytes, l.WriteBytes = 10, 9, 4096, 8192
+		l.DirtyPagesHits, l.DirtyPagesMisses = 5, 6
+		d := n.EnsureNetDev("eth0")
+		d.RxBytes, d.RxPackets, d.TxBytes, d.TxPackets = 1000, 10, 2000, 20
+		ib := n.EnsureNetDev("ib0")
+		ib.RxBytes, ib.TxBytes = 5000, 6000
+		hc := n.EnsureIB("mlx4_0")
+		hc.PortXmitData, hc.PortRcvData = 123, 456
+		n.NFS.RPCCount, n.NFS.Read, n.NFS.Write = 100, 40, 50
+		n.NFS.Getattr, n.NFS.Lookup = 7, 8
+		g := n.EnsureGemini()
+		for d := range procfs.GeminiDirs {
+			g.Links[d].LinkBWMBps = 9375
+			g.Links[d].Status = 1
+		}
+		g.SampleTimeNs = 1_000_000_000
+		n.JobID, n.UserID = 5001, 1234
+	})
+	return n
+}
+
+func mustPlugin(t *testing.T, name string, cfg Config) Plugin {
+	t.Helper()
+	p, err := New(name, cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return p
+}
+
+func sampleOnce(t *testing.T, p Plugin) {
+	t.Helper()
+	if err := p.Sample(time.Unix(100, 0)); err != nil {
+		t.Fatalf("%s Sample: %v", p.Name(), err)
+	}
+	if !p.Set().Consistent() {
+		t.Fatalf("%s set inconsistent after sample", p.Name())
+	}
+}
+
+func metricValue(t *testing.T, s *metric.Set, name string) metric.Value {
+	t.Helper()
+	i, ok := s.MetricIndex(name)
+	if !ok {
+		t.Fatalf("metric %q not in set %s", name, s.Name())
+	}
+	return s.Value(i)
+}
+
+func TestMeminfoPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "meminfo", Config{FS: fs, Instance: "n1/meminfo", CompID: 1})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "MemTotal").U64(); got != 64<<20 {
+		t.Errorf("MemTotal = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "Active").U64(); got != 8<<20 {
+		t.Errorf("Active = %d", got)
+	}
+	// Values track state changes.
+	fs.Node().Update(func(n *procfs.NodeState) { n.ActiveKB = 9 << 20 })
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "Active").U64(); got != 9<<20 {
+		t.Errorf("Active after update = %d", got)
+	}
+}
+
+func TestVmstatPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "vmstat", Config{FS: fs})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "pgfault").U64(); got != 88 {
+		t.Errorf("pgfault = %d", got)
+	}
+}
+
+func TestProcstatPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "procstat", Config{FS: fs, Instance: "n1/procstat"})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "cpu_user").U64(); got != 500 {
+		t.Errorf("cpu_user = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "cpu_iowait").U64(); got != 30 {
+		t.Errorf("cpu_iowait = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "cpu1_idle").U64(); got != 4500 {
+		t.Errorf("cpu1_idle = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "ctxt").U64(); got != 22 {
+		t.Errorf("ctxt = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "procs_blocked").U64(); got != 1 {
+		t.Errorf("procs_blocked = %d", got)
+	}
+}
+
+func TestLoadavgPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "loadavg", Config{FS: fs})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "load1min").F64(); got != 1.25 {
+		t.Errorf("load1min = %g", got)
+	}
+	if got := metricValue(t, p.Set(), "scheduling_entities").U64(); got != 300 {
+		t.Errorf("scheduling_entities = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "newest_pid").U64(); got != 4242 {
+		t.Errorf("newest_pid = %d", got)
+	}
+}
+
+func TestLustrePlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "lustre", Config{FS: fs, Options: map[string]string{"llite": "snx11024"}})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "open#stats.snx11024").U64(); got != 10 {
+		t.Errorf("open = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "write_bytes#stats.snx11024").U64(); got != 8192 {
+		t.Errorf("write_bytes = %d", got)
+	}
+}
+
+func TestLustrePluginUnknownFS(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	if _, err := New("lustre", Config{FS: fs, Options: map[string]string{"llite": "ghost"}}); err == nil {
+		t.Fatal("unknown llite accepted")
+	}
+}
+
+func TestProcnetdevPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "procnetdev", Config{FS: fs})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "rx_bytes#eth0").U64(); got != 1000 {
+		t.Errorf("rx_bytes#eth0 = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "tx_bytes#ib0").U64(); got != 6000 {
+		t.Errorf("tx_bytes#ib0 = %d", got)
+	}
+	// Restricted interface list.
+	p2 := mustPlugin(t, "procnetdev", Config{FS: fs, Instance: "x", Options: map[string]string{"ifaces": "ib0"}})
+	if p2.Set().Card() != len(netdevFields) {
+		t.Errorf("restricted card = %d want %d", p2.Set().Card(), len(netdevFields))
+	}
+}
+
+func TestNFSPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "nfs", Config{FS: fs})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "rpc_count").U64(); got != 100 {
+		t.Errorf("rpc_count = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "getattr").U64(); got != 7 {
+		t.Errorf("getattr = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "read").U64(); got != 40 {
+		t.Errorf("read = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "write").U64(); got != 50 {
+		t.Errorf("write = %d", got)
+	}
+}
+
+func TestIBPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "ib", Config{FS: fs, Options: map[string]string{"devices": "mlx4_0"}})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "port_xmit_data#mlx4_0.1").U64(); got != 123 {
+		t.Errorf("port_xmit_data = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "port_rcv_data#mlx4_0.1").U64(); got != 456 {
+		t.Errorf("port_rcv_data = %d", got)
+	}
+}
+
+func TestJobIDPlugin(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "jobid", Config{FS: fs})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "jobid").U64(); got != 5001 {
+		t.Errorf("jobid = %d", got)
+	}
+	if got := metricValue(t, p.Set(), "uid").U64(); got != 1234 {
+		t.Errorf("uid = %d", got)
+	}
+}
+
+func TestGpcdrPluginDerivedMetrics(t *testing.T) {
+	node := simNode()
+	fs := procfs.NewSimFS(node)
+	p := mustPlugin(t, "gpcdr", Config{FS: fs, Instance: "n1/gpcdr"})
+	sampleOnce(t, p)
+	// First sample: derived metrics are zero.
+	if got := metricValue(t, p.Set(), "X+_stalled_pct").F64(); got != 0 {
+		t.Errorf("first stalled_pct = %g", got)
+	}
+	// Advance one second of counter time: 250 ms stalled, 1/4 of max bw.
+	node.Update(func(n *procfs.NodeState) {
+		g := n.Gemini
+		g.SampleTimeNs += 1_000_000_000
+		g.Links[0].CreditStall += 250_000_000                 // 25% of the second
+		g.Links[0].Traffic += uint64(9375.0 * 1e6 / 4)        // 25% of 9375 MB/s
+		g.Links[2].CreditStall += 900_000_000                 // Y+: 90%
+		g.Links[2].Traffic += uint64(9375.0 * 1e6 * 63 / 100) // Y+: 63%
+	})
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "X+_stalled_pct").F64(); got < 24.9 || got > 25.1 {
+		t.Errorf("X+_stalled_pct = %g want ~25", got)
+	}
+	if got := metricValue(t, p.Set(), "X+_bw_pct").F64(); got < 24.9 || got > 25.1 {
+		t.Errorf("X+_bw_pct = %g want ~25", got)
+	}
+	if got := metricValue(t, p.Set(), "Y+_stalled_pct").F64(); got < 89.9 || got > 90.1 {
+		t.Errorf("Y+_stalled_pct = %g want ~90", got)
+	}
+	if got := metricValue(t, p.Set(), "Y+_bw_pct").F64(); got < 62.9 || got > 63.1 {
+		t.Errorf("Y+_bw_pct = %g want ~63", got)
+	}
+	// Raw counters are present too.
+	if got := metricValue(t, p.Set(), "Y+_status").U64(); got != 1 {
+		t.Errorf("Y+_status = %d", got)
+	}
+}
+
+func TestGpcdrAbsentFails(t *testing.T) {
+	n := procfs.NewNodeState("plain", 1, 1<<20)
+	if _, err := New("gpcdr", Config{FS: procfs.NewSimFS(n)}); err == nil {
+		t.Fatal("gpcdr configured without Gemini state")
+	}
+}
+
+func TestUnknownPlugin(t *testing.T) {
+	if _, err := New("not-a-plugin", Config{FS: procfs.NewSimFS(simNode())}); err == nil {
+		t.Fatal("unknown plugin accepted")
+	}
+}
+
+func TestNamesIncludesAllPlugins(t *testing.T) {
+	names := Names()
+	want := []string{"gpcdr", "ib", "jobid", "loadavg", "lustre", "meminfo", "nfs", "procnetdev", "procstat", "vmstat"}
+	got := make(map[string]bool, len(names))
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("plugin %q not registered", w)
+		}
+	}
+}
+
+func TestPluginWithArena(t *testing.T) {
+	a, _ := mmgr.New(1 << 20)
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "meminfo", Config{FS: fs, Arena: a})
+	if a.InUse() == 0 {
+		t.Error("plugin set not allocated from arena")
+	}
+	sampleOnce(t, p)
+}
+
+func TestCompIDPropagation(t *testing.T) {
+	fs := procfs.NewSimFS(simNode())
+	p := mustPlugin(t, "meminfo", Config{FS: fs, CompID: 42})
+	if got := p.Set().CompID(0); got != 42 {
+		t.Errorf("comp id = %d want 42", got)
+	}
+}
+
+// TestMeminfoOnRealProc exercises the OSFS passthrough on a real Linux
+// /proc, the path used for genuine overhead measurements.
+func TestMeminfoOnRealProc(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("requires Linux /proc")
+	}
+	p, err := New("meminfo", Config{FS: procfs.OSFS{}, Instance: "real/meminfo"})
+	if err != nil {
+		t.Skipf("real /proc/meminfo unavailable: %v", err)
+	}
+	sampleOnce(t, p)
+	if got := metricValue(t, p.Set(), "MemTotal").U64(); got == 0 {
+		t.Error("real MemTotal = 0")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	v, next, ok := parseUint([]byte("  1234x"), 0)
+	if !ok || v != 1234 || next != 6 {
+		t.Errorf("parseUint = %d,%d,%v", v, next, ok)
+	}
+	if _, _, ok := parseUint([]byte("abc"), 0); ok {
+		t.Error("parseUint accepted non-digit")
+	}
+	f, _, ok := parseFloat([]byte("3.50 "), 0)
+	if !ok || f != 3.5 {
+		t.Errorf("parseFloat = %g,%v", f, ok)
+	}
+	f, _, ok = parseFloat([]byte("42"), 0)
+	if !ok || f != 42 {
+		t.Errorf("parseFloat int = %g,%v", f, ok)
+	}
+	var lines []string
+	eachLine([]byte("a\nb\nc"), func(l []byte) bool {
+		lines = append(lines, string(l))
+		return true
+	})
+	if len(lines) != 3 || lines[2] != "c" {
+		t.Errorf("eachLine = %v", lines)
+	}
+}

@@ -1,0 +1,69 @@
+// Package sched provides the event-scheduling substrate for ldmsd: a timer
+// heap dispatching periodic tasks onto worker pools, replacing the libevent
+// dependency of the C implementation.
+//
+// Two clock modes are supported. The real clock runs tasks on wall time, as
+// a production daemon does. The virtual clock lets whole-day
+// characterization experiments (paper §VI) run in seconds while preserving
+// exact event ordering: callers advance time explicitly and every due event
+// fires in timestamp order.
+package sched
+
+import (
+	"sync"
+)
+
+// Pool is a fixed-size worker pool. ldmsd uses one pool for sampling/update
+// work ("worker threads") and a separate one for connection setup
+// ("connection threads"), mirroring §IV-B: the connection pool was
+// introduced to keep collector threads from starving while connection
+// attempts hang in timeout on problem nodes.
+type Pool struct {
+	ch   chan func()
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewPool starts n workers with the given submission queue depth.
+func NewPool(n, depth int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{ch: make(chan func(), depth)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.ch {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f, blocking while the queue is full. Submitting to a
+// stopped pool panics (as sending on a closed channel does); callers must
+// stop producers before stopping the pool.
+func (p *Pool) Submit(f func()) {
+	p.ch <- f
+}
+
+// TrySubmit enqueues f if the queue has room, reporting whether it did.
+func (p *Pool) TrySubmit(f func()) bool {
+	select {
+	case p.ch <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop closes the queue and waits for workers to drain it.
+func (p *Pool) Stop() {
+	p.once.Do(func() { close(p.ch) })
+	p.wg.Wait()
+}

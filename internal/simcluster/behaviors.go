@@ -1,0 +1,233 @@
+package simcluster
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"goldms/internal/procfs"
+)
+
+// CommPattern selects how a communication-heavy job spreads traffic.
+type CommPattern int
+
+// Communication patterns.
+const (
+	// PatternRing sends from each job node to the next (wrapping).
+	PatternRing CommPattern = iota
+	// PatternXStream sends HopDistance routers in +X, loading consecutive
+	// X+ links — the congestion shape of paper Fig. 9, whose features
+	// "naturally have extent in the X direction".
+	PatternXStream
+	// PatternYStream sends HopDistance routers in +Y.
+	PatternYStream
+	// PatternAllReduce approximates a tree allreduce: every node exchanges
+	// with the job's root node.
+	PatternAllReduce
+)
+
+// CommHeavy injects network traffic between a job's nodes. On the Blue
+// Waters profile traffic loads the Gemini torus; on Chama it bumps the
+// IB/ethernet counters.
+type CommHeavy struct {
+	// BytesPerNodePerSec is each node's injection rate.
+	BytesPerNodePerSec float64
+	// Pattern shapes the traffic.
+	Pattern CommPattern
+	// HopDistance is the router displacement for the stream patterns.
+	HopDistance int
+}
+
+// Tick implements Behavior.
+func (b CommHeavy) Tick(c *Cluster, j *Job, dt time.Duration) error {
+	bytes := uint64(b.BytesPerNodePerSec * dt.Seconds())
+	if bytes == 0 {
+		return nil
+	}
+	hop := b.HopDistance
+	if hop <= 0 {
+		hop = 1
+	}
+	for i, src := range j.Nodes {
+		var dst int
+		switch b.Pattern {
+		case PatternRing:
+			dst = j.Nodes[(i+1)%len(j.Nodes)]
+		case PatternXStream, PatternYStream:
+			if c.Torus == nil {
+				dst = j.Nodes[(i+1)%len(j.Nodes)]
+				break
+			}
+			r := c.Torus.RouterOf(src)
+			x, y, z := c.Torus.Coord(r)
+			if b.Pattern == PatternXStream {
+				x = (x + hop) % c.Torus.X
+			} else {
+				y = (y + hop) % c.Torus.Y
+			}
+			dst = 2 * c.Torus.RouterAt(x, y, z) // first node on the target router
+		case PatternAllReduce:
+			dst = j.Nodes[0]
+			if src == dst {
+				continue
+			}
+		default:
+			dst = j.Nodes[(i+1)%len(j.Nodes)]
+		}
+		if dst == src {
+			continue
+		}
+		if c.Torus != nil {
+			c.Torus.InjectNodes(src, dst, bytes)
+		}
+		c.accountNodeTraffic(src, dst, bytes)
+	}
+	return nil
+}
+
+// accountNodeTraffic bumps node-local NIC counters for a transfer.
+func (c *Cluster) accountNodeTraffic(src, dst int, bytes uint64) {
+	c.nodes[src].State.Update(func(ns *procfs.NodeState) {
+		if g := ns.Gemini; g != nil {
+			g.LnetTxBytes += bytes
+		}
+		if d, ok := ns.NetDev["ib0"]; ok {
+			d.TxBytes += bytes
+			d.TxPackets += bytes / 2048
+		}
+		if hc, ok := ns.IB["mlx4_0"]; ok {
+			hc.PortXmitData += bytes / 4 // IB counters are in 4-byte lanes
+			hc.PortXmitPkts += bytes / 2048
+		}
+	})
+	c.nodes[dst].State.Update(func(ns *procfs.NodeState) {
+		if g := ns.Gemini; g != nil {
+			g.LnetRxBytes += bytes
+		}
+		if d, ok := ns.NetDev["ib0"]; ok {
+			d.RxBytes += bytes
+			d.RxPackets += bytes / 2048
+		}
+		if hc, ok := ns.IB["mlx4_0"]; ok {
+			hc.PortRcvData += bytes / 4
+			hc.PortRcvPkts += bytes / 2048
+		}
+	})
+}
+
+// LustreLoad drives shared-file-system client counters on a job's nodes.
+type LustreLoad struct {
+	FS           string // filesystem instance; default "snx11024"
+	OpensPerSec  float64
+	ClosesPerSec float64
+	ReadBps      float64
+	WriteBps     float64
+}
+
+// Tick implements Behavior.
+func (b LustreLoad) Tick(c *Cluster, j *Job, dt time.Duration) error {
+	fsName := b.FS
+	if fsName == "" {
+		fsName = "snx11024"
+	}
+	sec := dt.Seconds()
+	for _, id := range j.Nodes {
+		c.nodes[id].State.Update(func(ns *procfs.NodeState) {
+			l := ns.EnsureLustre(fsName)
+			l.Open += uint64(b.OpensPerSec * sec)
+			l.Close += uint64(b.ClosesPerSec * sec)
+			l.ReadBytes += uint64(b.ReadBps * sec)
+			l.WriteBytes += uint64(b.WriteBps * sec)
+			l.DirtyPagesHits += uint64(b.WriteBps * sec / 4096)
+		})
+	}
+	return nil
+}
+
+// ErrOOMKilled ends a MemoryRamp job whose working set exceeded node
+// memory, reproducing the §VI-B profile of "a 64 node job terminated by
+// the OOM killer".
+var ErrOOMKilled = errors.New("oom-killed")
+
+// MemoryRamp grows each node's active memory over time, with per-node
+// imbalance. When OOM is set, the job dies as soon as any node exhausts
+// its memory.
+type MemoryRamp struct {
+	// BaseKB is the initial per-node working set.
+	BaseKB uint64
+	// RateKBPerSec is the average growth rate.
+	RateKBPerSec float64
+	// Imbalance spreads per-node rates over [1-Imbalance/2, 1+Imbalance/2].
+	Imbalance float64
+	// OOM kills the job on exhaustion.
+	OOM bool
+
+	elapsed time.Duration
+}
+
+// Tick implements Behavior.
+func (b *MemoryRamp) Tick(c *Cluster, j *Job, dt time.Duration) error {
+	b.elapsed += dt
+	sec := b.elapsed.Seconds()
+	oom := false
+	for i, id := range j.Nodes {
+		frac := 0.5
+		if len(j.Nodes) > 1 {
+			frac = float64(i) / float64(len(j.Nodes)-1)
+		}
+		mult := 1 + b.Imbalance*(frac-0.5)
+		active := b.BaseKB + uint64(b.RateKBPerSec*sec*mult)
+		// A little node-local wobble so lines are distinguishable.
+		active += uint64(2048 * math.Sin(sec/300*2*math.Pi*(1+frac)))
+		c.nodes[id].State.Update(func(ns *procfs.NodeState) {
+			if active >= ns.MemTotalKB {
+				active = ns.MemTotalKB
+				oom = true
+			}
+			ns.ActiveKB = active
+			reserved := ns.MemTotalKB / 16
+			if active+reserved >= ns.MemTotalKB {
+				ns.MemFreeKB = 0
+			} else {
+				ns.MemFreeKB = ns.MemTotalKB - active - reserved
+			}
+		})
+	}
+	if oom && b.OOM {
+		return ErrOOMKilled
+	}
+	return nil
+}
+
+// Composite runs several behaviours for one job.
+type Composite []Behavior
+
+// Tick implements Behavior.
+func (b Composite) Tick(c *Cluster, j *Job, dt time.Duration) error {
+	for _, sub := range b {
+		if err := sub.Tick(c, j, dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Idle is a no-op behaviour (placeholder allocations).
+type Idle struct{}
+
+// Tick implements Behavior.
+func (Idle) Tick(*Cluster, *Job, time.Duration) error { return nil }
+
+// BurstLustreOpens bumps Lustre opens on every node at once — the system-
+// wide vertical lines of paper Fig. 11 (e.g. a system service touching the
+// shared file system across all nodes).
+func (c *Cluster) BurstLustreOpens(fsName string, opens uint64) {
+	if fsName == "" {
+		fsName = "snx11024"
+	}
+	for _, n := range c.nodes {
+		n.State.Update(func(ns *procfs.NodeState) {
+			ns.EnsureLustre(fsName).Open += opens
+		})
+	}
+}

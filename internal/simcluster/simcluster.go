@@ -1,0 +1,330 @@
+// Package simcluster models an HPC cluster at the fidelity LDMS monitors
+// it: per-node OS counters (memory, CPU, Lustre, network) and — on Cray
+// profiles — Gemini HSN link counters, all driven by a job mix.
+//
+// It is the substitute for the paper's two testbeds:
+//
+//   - ProfileBlueWaters: Gemini 3-D torus, gpcdr counters, Lustre, diskless
+//     nodes (NCSA's 27,648-node Cray XE6/XK7; scaled down by default).
+//   - ProfileChama: Infiniband capacity Linux cluster with /proc//sys
+//     sources only (SNL's 1,296-node TOSS cluster).
+//
+// The cluster advances in discrete steps of virtual time. Each step, job
+// behaviours mutate node state and inject network traffic; the torus
+// resolves congestion into credit-stall counters; and node procfs views
+// (rendered by procfs.SimFS) reflect everything, ready for LDMS samplers.
+package simcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"goldms/internal/gemini"
+	"goldms/internal/procfs"
+)
+
+// Profile selects the hardware model.
+type Profile int
+
+// Cluster profiles.
+const (
+	ProfileChama Profile = iota
+	ProfileBlueWaters
+)
+
+// Node is one simulated compute node.
+type Node struct {
+	ID    int
+	State *procfs.NodeState
+	FS    *procfs.SimFS
+	job   *Job
+}
+
+// Options configure cluster construction.
+type Options struct {
+	Profile Profile
+	// Nodes is used by the Chama profile. Blue Waters sizes from the torus.
+	Nodes int
+	// TorusX/Y/Z size the Gemini torus (Blue Waters profile). Nodes = 2*X*Y*Z.
+	TorusX, TorusY, TorusZ int
+	// Seed makes runs deterministic.
+	Seed int64
+	// Start is the initial virtual time.
+	Start time.Time
+	// CoresPerNode defaults to 16 (Chama) / 16 (BW XE).
+	CoresPerNode int
+	// MemPerNodeKB defaults to 64 GB (Chama, paper §VI-B) / 32 GB.
+	MemPerNodeKB uint64
+}
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	Profile Profile
+	Torus   *gemini.Torus // nil on Chama
+	nodes   []*Node
+	rng     *rand.Rand
+	now     time.Time
+
+	jobs      []*Job
+	nextJobID uint64
+	log       []JobRecord
+}
+
+// New builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	c := &Cluster{
+		Profile: opts.Profile,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		now:     opts.Start,
+	}
+	cores := opts.CoresPerNode
+	if cores <= 0 {
+		cores = 16
+	}
+	mem := opts.MemPerNodeKB
+	n := opts.Nodes
+	if opts.Profile == ProfileBlueWaters {
+		x, y, z := opts.TorusX, opts.TorusY, opts.TorusZ
+		if x == 0 && y == 0 && z == 0 {
+			x, y, z = 8, 8, 8
+		}
+		tor, err := gemini.New(x, y, z)
+		if err != nil {
+			return nil, err
+		}
+		c.Torus = tor
+		n = tor.NumNodes()
+		if mem == 0 {
+			mem = 32 << 20 // 32 GB
+		}
+	} else {
+		if n <= 0 {
+			n = 64
+		}
+		if mem == 0 {
+			mem = 64 << 20 // 64 GB, paper Fig. 12
+		}
+	}
+	for i := 0; i < n; i++ {
+		st := procfs.NewNodeState(fmt.Sprintf("nid%05d", i), cores, mem)
+		st.Update(func(ns *procfs.NodeState) {
+			ns.MemFreeKB = mem - mem/16
+			ns.CachedKB = mem / 32
+			ns.ActiveKB = mem / 32
+			ns.EnsureLustre("snx11024")
+			if opts.Profile == ProfileChama {
+				ns.EnsureNetDev("eth0")
+				ns.EnsureNetDev("ib0")
+				ns.EnsureIB("mlx4_0")
+			} else {
+				g := ns.EnsureGemini()
+				for d := gemini.Dir(0); d < gemini.NumDirs; d++ {
+					g.Links[d].Status = 1
+					g.Links[d].LinkBWMBps = c.Torus.LinkBW(d)
+				}
+			}
+		})
+		c.nodes = append(c.nodes, &Node{ID: i, State: st, FS: procfs.NewSimFS(st)})
+	}
+	return c, nil
+}
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() time.Time { return c.now }
+
+// JobRecord is the scheduler's view of one job, the data joined with LDMS
+// metrics to build application profiles (paper §VI-B).
+type JobRecord struct {
+	ID      uint64
+	UID     uint64
+	Nodes   []int
+	Start   time.Time
+	End     time.Time // zero while running
+	EndNote string    // "completed", "oom-killed", ...
+}
+
+// Job is a running allocation with a workload behaviour.
+type Job struct {
+	ID       uint64
+	UID      uint64
+	Nodes    []int
+	Behavior Behavior
+	ends     time.Time
+	rec      *JobRecord
+}
+
+// Behavior mutates cluster/node state each step for one job.
+type Behavior interface {
+	// Tick applies dt of workload. Returning an error ends the job with
+	// the error text as its end note (e.g. "oom-killed").
+	Tick(c *Cluster, j *Job, dt time.Duration) error
+}
+
+// StartJob allocates nodes to a behaviour for a duration. Nodes must be
+// idle.
+func (c *Cluster) StartJob(uid uint64, nodes []int, d time.Duration, b Behavior) (*Job, error) {
+	for _, n := range nodes {
+		if n < 0 || n >= len(c.nodes) {
+			return nil, fmt.Errorf("simcluster: node %d out of range", n)
+		}
+		if c.nodes[n].job != nil {
+			return nil, fmt.Errorf("simcluster: node %d busy", n)
+		}
+	}
+	c.nextJobID++
+	rec := &JobRecord{
+		ID:    c.nextJobID,
+		UID:   uid,
+		Nodes: append([]int(nil), nodes...),
+		Start: c.now,
+	}
+	c.log = append(c.log, *rec)
+	j := &Job{ID: c.nextJobID, UID: uid, Nodes: rec.Nodes, Behavior: b, ends: c.now.Add(d), rec: &c.log[len(c.log)-1]}
+	c.jobs = append(c.jobs, j)
+	for _, n := range nodes {
+		c.nodes[n].job = j
+		c.nodes[n].State.Update(func(ns *procfs.NodeState) {
+			ns.JobID = j.ID
+			ns.UserID = uid
+		})
+	}
+	return j, nil
+}
+
+// endJob releases a job's nodes and closes its record.
+func (c *Cluster) endJob(j *Job, note string) {
+	for _, n := range j.Nodes {
+		node := c.nodes[n]
+		if node.job == j {
+			node.job = nil
+			node.State.Update(func(ns *procfs.NodeState) {
+				ns.JobID, ns.UserID = 0, 0
+				// Job teardown frees its memory.
+				ns.ActiveKB = ns.MemTotalKB / 32
+				ns.MemFreeKB = ns.MemTotalKB - ns.MemTotalKB/16
+			})
+		}
+	}
+	j.rec.End = c.now
+	j.rec.EndNote = note
+	for i, running := range c.jobs {
+		if running == j {
+			c.jobs = append(c.jobs[:i], c.jobs[i+1:]...)
+			break
+		}
+	}
+}
+
+// JobLog returns the scheduler history (running jobs have zero End).
+func (c *Cluster) JobLog() []JobRecord {
+	return append([]JobRecord(nil), c.log...)
+}
+
+// RunningJobs returns the currently active jobs.
+func (c *Cluster) RunningJobs() []*Job {
+	return append([]*Job(nil), c.jobs...)
+}
+
+// IdleNodes returns up to max idle node IDs.
+func (c *Cluster) IdleNodes(max int) []int {
+	var ids []int
+	for _, n := range c.nodes {
+		if n.job == nil {
+			ids = append(ids, n.ID)
+			if len(ids) == max {
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// Step advances virtual time by dt: job behaviours run, completed jobs
+// end, background OS activity ticks, and (on Cray profiles) the torus
+// resolves congestion and republishes gpcdr counters.
+func (c *Cluster) Step(dt time.Duration) {
+	c.now = c.now.Add(dt)
+
+	for _, j := range append([]*Job(nil), c.jobs...) {
+		if err := j.Behavior.Tick(c, j, dt); err != nil {
+			c.endJob(j, err.Error())
+			continue
+		}
+		if !c.now.Before(j.ends) {
+			c.endJob(j, "completed")
+		}
+	}
+
+	c.backgroundTick(dt)
+
+	if c.Torus != nil {
+		c.Torus.Step(dt)
+		c.publishGemini()
+	}
+}
+
+// backgroundTick applies baseline OS activity to every node.
+func (c *Cluster) backgroundTick(dt time.Duration) {
+	ticks := uint64(dt.Seconds() * 100) // USER_HZ
+	for _, n := range c.nodes {
+		busy := n.job != nil
+		n.State.Update(func(ns *procfs.NodeState) {
+			idle := ticks
+			var user uint64
+			if busy {
+				user = ticks * 95 / 100
+				idle = ticks - user
+			}
+			sys := ticks / 100
+			for i := range ns.CPU {
+				ns.CPU[i].User += user
+				ns.CPU[i].Sys += sys
+				ns.CPU[i].Idle += idle
+			}
+			ns.Ctxt += 100 + uint64(c.rng.Intn(50))
+			ns.Intr += 80 + uint64(c.rng.Intn(30))
+			if busy {
+				ns.Load1 = float64(ns.NumCores)
+			} else {
+				ns.Load1 = 0.01
+			}
+			ns.Load5 = ns.Load1
+			ns.Load15 = ns.Load1
+		})
+	}
+}
+
+// publishGemini copies torus counters into each node's gpcdr view.
+func (c *Cluster) publishGemini() {
+	sampleNs := uint64(c.now.UnixNano())
+	for _, n := range c.nodes {
+		router := c.Torus.RouterOf(n.ID)
+		n.State.Update(func(ns *procfs.NodeState) {
+			g := ns.Gemini
+			for d := gemini.Dir(0); d < gemini.NumDirs; d++ {
+				traffic, stall, inq, pkts := c.Torus.LinkCounters(router, d)
+				g.Links[d].Traffic = traffic
+				g.Links[d].CreditStall = stall
+				g.Links[d].Stalled = stall
+				g.Links[d].InqStall = inq
+				g.Links[d].Packets = pkts
+				if c.Torus.LinkUp(router, d) {
+					g.Links[d].Status = 1
+				} else {
+					g.Links[d].Status = 0
+				}
+			}
+			g.SampleTimeNs = sampleNs
+		})
+	}
+}
+
+// Rand exposes the cluster's deterministic RNG to behaviours.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }

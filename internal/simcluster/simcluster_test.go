@@ -1,0 +1,267 @@
+package simcluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/gemini"
+	"goldms/internal/procfs"
+)
+
+func bwCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Profile: ProfileBlueWaters,
+		TorusX:  4, TorusY: 4, TorusZ: 4,
+		Seed:  1,
+		Start: time.Unix(1_400_000_000, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func chamaCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(Options{Profile: ProfileChama, Nodes: n, Seed: 2, Start: time.Unix(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterConstruction(t *testing.T) {
+	c := bwCluster(t)
+	if c.NumNodes() != 128 {
+		t.Errorf("BW nodes = %d want 128 (2 per Gemini)", c.NumNodes())
+	}
+	if c.Torus == nil {
+		t.Fatal("BW profile needs a torus")
+	}
+	// Nodes expose gpcdr; Chama nodes don't.
+	if _, err := c.Node(0).FS.ReadFile(procfs.GpcdrPath); err != nil {
+		t.Errorf("BW node lacks gpcdr: %v", err)
+	}
+	ch := chamaCluster(t, 16)
+	if ch.Torus != nil {
+		t.Error("Chama should have no torus")
+	}
+	if _, err := ch.Node(0).FS.ReadFile(procfs.GpcdrPath); err == nil {
+		t.Error("Chama node serves gpcdr")
+	}
+	if _, err := ch.Node(0).FS.ReadFile("/proc/net/dev"); err != nil {
+		t.Errorf("Chama node lacks net/dev: %v", err)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	c := chamaCluster(t, 8)
+	j, err := c.StartJob(1001, []int{0, 1, 2}, time.Minute, Idle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busy nodes can't be double-allocated.
+	if _, err := c.StartJob(1002, []int{2, 3}, time.Minute, Idle{}); err == nil {
+		t.Fatal("overlapping allocation accepted")
+	}
+	if _, err := c.StartJob(1002, []int{99}, time.Minute, Idle{}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	// Node state reflects the binding.
+	b, _ := c.Node(0).FS.ReadFile(procfs.JobInfoPath)
+	if !strings.Contains(string(b), "jobid 1") || !strings.Contains(string(b), "uid 1001") {
+		t.Errorf("jobinfo = %q", b)
+	}
+	if len(c.IdleNodes(100)) != 5 {
+		t.Errorf("idle = %d want 5", len(c.IdleNodes(100)))
+	}
+
+	// Step past the end: the job completes and nodes free up.
+	for i := 0; i < 61; i++ {
+		c.Step(time.Second)
+	}
+	if len(c.RunningJobs()) != 0 {
+		t.Fatal("job still running after its end time")
+	}
+	log := c.JobLog()
+	if len(log) != 1 || log[0].ID != j.ID || log[0].EndNote != "completed" {
+		t.Errorf("job log = %+v", log)
+	}
+	b, _ = c.Node(0).FS.ReadFile(procfs.JobInfoPath)
+	if !strings.Contains(string(b), "jobid 0") {
+		t.Errorf("node still bound: %q", b)
+	}
+}
+
+func TestCommHeavyCongestsTorus(t *testing.T) {
+	c := bwCluster(t)
+	// A whole-X-ring stream at 3x the X link capacity.
+	var nodes []int
+	for r := 0; r < c.Torus.X; r++ {
+		nodes = append(nodes, 2*c.Torus.RouterAt(r, 0, 0))
+	}
+	_, err := c.StartJob(1, nodes, time.Hour, CommHeavy{
+		BytesPerNodePerSec: 3 * gemini.BWXMBps * 1e6,
+		Pattern:            PatternXStream,
+		HopDistance:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(time.Minute)
+	// The X+ links along y=0,z=0 must be stalling hard.
+	r := c.Torus.RouterAt(0, 0, 0)
+	if pct := c.Torus.LinkStallPct(r, gemini.XPlus); pct < 50 {
+		t.Errorf("stall pct = %g want >50", pct)
+	}
+	// And the counters must have reached the node's gpcdr view.
+	b, err := c.Node(0).FS.ReadFile(procfs.GpcdrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, "X+_credit_stall") {
+		t.Fatalf("gpcdr content:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "X+_credit_stall ") {
+			if strings.TrimPrefix(line, "X+_credit_stall ") == "0" {
+				t.Error("credit stall counter still zero in gpcdr view")
+			}
+		}
+	}
+}
+
+func TestLustreLoadCounters(t *testing.T) {
+	c := chamaCluster(t, 4)
+	c.StartJob(5, []int{0, 1}, time.Hour, LustreLoad{OpensPerSec: 10, WriteBps: 1 << 20})
+	c.Step(10 * time.Second)
+	st := c.Node(0).State
+	st.Update(func(ns *procfs.NodeState) {
+		l := ns.Lustre["snx11024"]
+		if l.Open != 100 {
+			t.Errorf("opens = %d want 100", l.Open)
+		}
+		if l.WriteBytes != 10<<20 {
+			t.Errorf("write bytes = %d", l.WriteBytes)
+		}
+	})
+	// Unallocated node untouched.
+	c.Node(3).State.Update(func(ns *procfs.NodeState) {
+		if ns.Lustre["snx11024"].Open != 0 {
+			t.Error("idle node accrued opens")
+		}
+	})
+}
+
+func TestMemoryRampOOM(t *testing.T) {
+	c := chamaCluster(t, 8)
+	// 64 GB nodes; ramp fast enough to OOM within the hour.
+	ramp := &MemoryRamp{
+		BaseKB:       8 << 20,
+		RateKBPerSec: float64(1<<20) / 60, // 1 GB per minute
+		Imbalance:    0.4,
+		OOM:          true,
+	}
+	j, err := c.StartJob(9, []int{0, 1, 2, 3}, 24*time.Hour, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var died bool
+	for i := 0; i < 5000 && !died; i++ {
+		c.Step(time.Minute)
+		died = len(c.RunningJobs()) == 0
+	}
+	if !died {
+		t.Fatal("OOM job never died")
+	}
+	log := c.JobLog()
+	if log[0].ID != j.ID || log[0].EndNote != ErrOOMKilled.Error() {
+		t.Errorf("job log = %+v", log[0])
+	}
+	// Fastest node ramps at 1.2 GB/min from 8 GB to 64 GB: ~47 minutes.
+	if d := log[0].End.Sub(log[0].Start); d < 30*time.Minute || d > 70*time.Minute {
+		t.Errorf("OOM at %v, want ~47m", d)
+	}
+}
+
+func TestMemoryRampImbalanceVisible(t *testing.T) {
+	c := chamaCluster(t, 4)
+	ramp := &MemoryRamp{BaseKB: 1 << 20, RateKBPerSec: 1 << 10, Imbalance: 0.5}
+	c.StartJob(1, []int{0, 1, 2, 3}, time.Hour, ramp)
+	c.Step(100 * time.Second)
+	var a0, a3 uint64
+	c.Node(0).State.Update(func(ns *procfs.NodeState) { a0 = ns.ActiveKB })
+	c.Node(3).State.Update(func(ns *procfs.NodeState) { a3 = ns.ActiveKB })
+	if a3 <= a0 {
+		t.Errorf("imbalance not visible: node0=%d node3=%d", a0, a3)
+	}
+}
+
+func TestBackgroundCPUAdvances(t *testing.T) {
+	c := chamaCluster(t, 2)
+	c.StartJob(1, []int{0}, time.Hour, Idle{})
+	c.Step(10 * time.Second)
+	var busyUser, idleUser, idleIdle uint64
+	c.Node(0).State.Update(func(ns *procfs.NodeState) { busyUser = ns.CPU[0].User })
+	c.Node(1).State.Update(func(ns *procfs.NodeState) {
+		idleUser = ns.CPU[0].User
+		idleIdle = ns.CPU[0].Idle
+	})
+	if busyUser == 0 {
+		t.Error("busy node accrued no user ticks")
+	}
+	if idleUser != 0 || idleIdle == 0 {
+		t.Errorf("idle node user=%d idle=%d", idleUser, idleIdle)
+	}
+}
+
+func TestBurstLustreOpens(t *testing.T) {
+	c := chamaCluster(t, 4)
+	c.BurstLustreOpens("", 500)
+	for i := 0; i < 4; i++ {
+		c.Node(i).State.Update(func(ns *procfs.NodeState) {
+			if ns.Lustre["snx11024"].Open != 500 {
+				t.Errorf("node %d opens = %d", i, ns.Lustre["snx11024"].Open)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		c := bwCluster(t)
+		c.StartJob(1, []int{0, 2, 4, 6}, time.Hour, CommHeavy{
+			BytesPerNodePerSec: 1e9, Pattern: PatternRing})
+		for i := 0; i < 20; i++ {
+			c.Step(time.Second)
+		}
+		var sum uint64
+		c.Node(0).State.Update(func(ns *procfs.NodeState) {
+			sum = ns.Ctxt + ns.Gemini.LnetTxBytes
+		})
+		return sum
+	}
+	if run() != run() {
+		t.Error("same seed produced different trajectories")
+	}
+}
+
+func TestLinkStatusPublishedToGpcdr(t *testing.T) {
+	c := bwCluster(t)
+	c.Torus.SetLinkUp(0, gemini.XPlus, false)
+	c.Step(time.Minute)
+	b, err := c.Node(0).FS.ReadFile(procfs.GpcdrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, "X+_status 0") {
+		t.Errorf("failed link not visible in gpcdr:\n%s", s)
+	}
+	if !strings.Contains(s, "X-_status 1") {
+		t.Errorf("healthy link wrongly down:\n%s", s)
+	}
+}

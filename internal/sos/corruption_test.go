@@ -1,0 +1,99 @@
+package sos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillContainer writes n records and closes the container.
+func fillContainer(t *testing.T, dir string, n int) {
+	t.Helper()
+	c, err := Create(dir, "s", testNames, testTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Append(time.Unix(int64(i), 0), 1, vals(uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func partFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "part.*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no partitions: %v", err)
+	}
+	return matches[0]
+}
+
+func TestTruncatedPartitionDetected(t *testing.T) {
+	dir := t.TempDir()
+	fillContainer(t, dir, 20)
+	p := partFile(t, dir)
+	fi, _ := os.Stat(p)
+	if err := os.Truncate(p, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// Open scans partitions and must surface the corruption, not hang or
+	// silently succeed with all records.
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("truncated partition accepted at open")
+	}
+}
+
+func TestCorruptLengthWordDetected(t *testing.T) {
+	dir := t.TempDir()
+	fillContainer(t, dir, 5)
+	p := partFile(t, dir)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smash the first record's length word.
+	b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0x7f
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("corrupt length word accepted")
+	}
+}
+
+func TestCorruptSchemaDetected(t *testing.T) {
+	dir := t.TempDir()
+	fillContainer(t, dir, 1)
+	meta := filepath.Join(dir, "schema.sos")
+	b, _ := os.ReadFile(meta)
+	for cut := 0; cut < len(b); cut += 3 {
+		os.WriteFile(meta, b[:cut], 0o644)
+		if _, err := Open(dir, nil); err == nil {
+			t.Fatalf("truncated schema (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestQueryAfterCrashMidWrite(t *testing.T) {
+	// Simulate a crash that left a half-written record at the tail:
+	// earlier records stay readable until the corruption point.
+	dir := t.TempDir()
+	fillContainer(t, dir, 10)
+	p := partFile(t, dir)
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plausible length word with no body.
+	f.Write([]byte{40, 0, 0, 0, 1, 2})
+	f.Close()
+
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("torn tail accepted at open")
+	}
+}

@@ -1,0 +1,446 @@
+// Package sos implements a simplified Scalable Object Store, the
+// structured binary storage format LDMS's store_sos plugin writes
+// (paper §IV-A lists SOS alongside MySQL and flat files).
+//
+// A Container holds samples for one schema: an append-only sequence of
+// fixed-layout binary records split across size-bounded partition files,
+// with the metric-name dictionary written once per container. Records carry
+// a timestamp and component ID, so queries by time range and component are
+// served by a scan that skips whole partitions outside the requested range
+// (each partition records its min/max timestamps in a footer-free, scan-
+// derived index built at open).
+package sos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+var le = binary.LittleEndian
+
+// DefaultPartitionSize is the partition roll-over threshold.
+const DefaultPartitionSize = 64 << 20
+
+const (
+	containerMagic = 0x534F5331 // "SOS1"
+	recordHeader   = 8 + 4 + 8  // sec u64, usec u32, compID u64
+)
+
+// Record is one stored sample.
+type Record struct {
+	Time   time.Time
+	CompID uint64
+	Values []metric.Value
+}
+
+// Container is an open SOS container for one schema.
+type Container struct {
+	mu       sync.Mutex
+	dir      string
+	schema   string
+	names    []string
+	types    []metric.Type
+	partSize int64
+
+	cur     *os.File
+	curSize int64
+	curIdx  int
+	parts   []partInfo
+
+	bytesWritten int64
+	appends      int64
+}
+
+// partInfo is the per-partition time index.
+type partInfo struct {
+	path     string
+	min, max int64 // unix seconds; min == math.MaxInt64 sentinel avoided by records>0 check
+	records  int64
+}
+
+// Options configure container creation.
+type Options struct {
+	// PartitionSize overrides the roll-over threshold in bytes.
+	PartitionSize int64
+}
+
+// Create makes a new container at dir for the given schema name and metric
+// definitions. dir must not already contain a container.
+func Create(dir, schema string, names []string, types []metric.Type, opts *Options) (*Container, error) {
+	if len(names) == 0 || len(names) != len(types) {
+		return nil, fmt.Errorf("sos: invalid schema: %d names, %d types", len(names), len(types))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	metaPath := filepath.Join(dir, "schema.sos")
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil, fmt.Errorf("sos: container already exists at %s", dir)
+	}
+	var b []byte
+	b = le.AppendUint32(b, containerMagic)
+	b = appendString(b, schema)
+	b = le.AppendUint32(b, uint32(len(names)))
+	for i := range names {
+		b = appendString(b, names[i])
+		b = append(b, byte(types[i]))
+	}
+	if err := os.WriteFile(metaPath, b, 0o644); err != nil {
+		return nil, err
+	}
+	c := &Container{
+		dir:      dir,
+		schema:   schema,
+		names:    append([]string(nil), names...),
+		types:    append([]metric.Type(nil), types...),
+		partSize: DefaultPartitionSize,
+	}
+	if opts != nil && opts.PartitionSize > 0 {
+		c.partSize = opts.PartitionSize
+	}
+	return c, nil
+}
+
+// Open opens an existing container, rebuilding the partition time index by
+// scanning partition headers.
+func Open(dir string, opts *Options) (*Container, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "schema.sos"))
+	if err != nil {
+		return nil, fmt.Errorf("sos: open %s: %w", dir, err)
+	}
+	if len(b) < 8 || le.Uint32(b) != containerMagic {
+		return nil, fmt.Errorf("sos: %s: bad container magic", dir)
+	}
+	pos := 4
+	schema, pos, err := readString(b, pos)
+	if err != nil {
+		return nil, err
+	}
+	if pos+4 > len(b) {
+		return nil, fmt.Errorf("sos: %s: truncated schema", dir)
+	}
+	card := int(le.Uint32(b[pos:]))
+	pos += 4
+	c := &Container{dir: dir, schema: schema, partSize: DefaultPartitionSize}
+	if opts != nil && opts.PartitionSize > 0 {
+		c.partSize = opts.PartitionSize
+	}
+	for i := 0; i < card; i++ {
+		var name string
+		name, pos, err = readString(b, pos)
+		if err != nil {
+			return nil, err
+		}
+		if pos >= len(b) {
+			return nil, fmt.Errorf("sos: %s: truncated type table", dir)
+		}
+		c.names = append(c.names, name)
+		c.types = append(c.types, metric.Type(b[pos]))
+		pos++
+	}
+	if err := c.scanPartitions(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scanPartitions builds the time index for existing partitions.
+func (c *Container) scanPartitions() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "part.") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(c.dir, name)
+		info, err := c.scanPartition(path)
+		if err != nil {
+			return err
+		}
+		c.parts = append(c.parts, info)
+		c.curIdx = len(c.parts)
+	}
+	return nil
+}
+
+// scanPartition reads one partition to find its record count and time range.
+func (c *Container) scanPartition(path string) (partInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return partInfo{}, err
+	}
+	defer f.Close()
+	info := partInfo{path: path}
+	it := &Iterator{c: c, r: f}
+	for {
+		rec, ok, err := it.next()
+		if err != nil {
+			return partInfo{}, fmt.Errorf("sos: scan %s: %w", path, err)
+		}
+		if !ok {
+			break
+		}
+		sec := rec.Time.Unix()
+		if info.records == 0 || sec < info.min {
+			info.min = sec
+		}
+		if sec > info.max {
+			info.max = sec
+		}
+		info.records++
+	}
+	return info, nil
+}
+
+// Schema returns the container's schema name.
+func (c *Container) Schema() string { return c.schema }
+
+// MetricNames returns the container's metric dictionary.
+func (c *Container) MetricNames() []string { return c.names }
+
+// Stats summarizes write activity since the container was opened.
+type Stats struct {
+	BytesWritten int64
+	Appends      int64
+	Partitions   int
+}
+
+// Stats returns a write-activity snapshot.
+func (c *Container) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.parts)
+	if c.cur != nil {
+		n = c.curIdx + 1
+	}
+	return Stats{BytesWritten: c.bytesWritten, Appends: c.appends, Partitions: n}
+}
+
+// Append stores one sample. Values must match the schema cardinality.
+func (c *Container) Append(t time.Time, compID uint64, values []metric.Value) error {
+	if len(values) != len(c.names) {
+		return fmt.Errorf("sos: append: %d values, schema has %d", len(values), len(c.names))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil || c.curSize >= c.partSize {
+		if err := c.rollLocked(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, 4+recordHeader+9*len(values))
+	buf = le.AppendUint32(buf, uint32(recordHeader+9*len(values)))
+	buf = le.AppendUint64(buf, uint64(t.Unix()))
+	buf = le.AppendUint32(buf, uint32(t.Nanosecond()/1000))
+	buf = le.AppendUint64(buf, compID)
+	for _, v := range values {
+		buf = append(buf, byte(v.Type))
+		buf = le.AppendUint64(buf, v.Bits)
+	}
+	n, err := c.cur.Write(buf)
+	c.curSize += int64(n)
+	c.bytesWritten += int64(n)
+	if err != nil {
+		return err
+	}
+	c.appends++
+	sec := t.Unix()
+	p := &c.parts[c.curIdx]
+	if p.records == 0 || sec < p.min {
+		p.min = sec
+	}
+	if sec > p.max {
+		p.max = sec
+	}
+	p.records++
+	return nil
+}
+
+// rollLocked closes the current partition and opens the next.
+func (c *Container) rollLocked() error {
+	if c.cur != nil {
+		if err := c.cur.Close(); err != nil {
+			return err
+		}
+		c.curIdx++
+	} else {
+		c.curIdx = len(c.parts)
+	}
+	path := filepath.Join(c.dir, fmt.Sprintf("part.%06d", c.curIdx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	c.cur = f
+	c.curSize = st.Size()
+	if c.curIdx >= len(c.parts) {
+		c.parts = append(c.parts, partInfo{path: path})
+	}
+	return nil
+}
+
+// Sync flushes the current partition to stable storage.
+func (c *Container) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return nil
+	}
+	return c.cur.Sync()
+}
+
+// Close syncs and closes the container.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return nil
+	}
+	err := c.cur.Close()
+	c.cur = nil
+	return err
+}
+
+// Query returns an iterator over records with from <= t < to (zero times
+// mean unbounded) and, if comp != 0, only that component. Partitions whose
+// time range falls wholly outside [from, to) are skipped without reading.
+func (c *Container) Query(from, to time.Time, comp uint64) (*Iterator, error) {
+	c.mu.Lock()
+	var paths []string
+	for _, p := range c.parts {
+		if p.records > 0 {
+			if !from.IsZero() && p.max < from.Unix() {
+				continue
+			}
+			if !to.IsZero() && p.min >= to.Unix() {
+				continue
+			}
+		}
+		paths = append(paths, p.path)
+	}
+	c.mu.Unlock()
+	return &Iterator{c: c, paths: paths, from: from, to: to, comp: comp}, nil
+}
+
+// Iterator walks records across partitions in append order.
+type Iterator struct {
+	c     *Container
+	paths []string
+	r     io.ReadCloser
+	from  time.Time
+	to    time.Time
+	comp  uint64
+}
+
+// Next returns the next matching record, or ok == false at the end.
+func (it *Iterator) Next() (Record, bool, error) {
+	for {
+		if it.r == nil {
+			if len(it.paths) == 0 {
+				return Record{}, false, nil
+			}
+			f, err := os.Open(it.paths[0])
+			it.paths = it.paths[1:]
+			if err != nil {
+				return Record{}, false, err
+			}
+			it.r = f
+		}
+		rec, ok, err := it.next()
+		if err != nil {
+			it.Close()
+			return Record{}, false, err
+		}
+		if !ok {
+			it.Close()
+			continue
+		}
+		if !it.from.IsZero() && rec.Time.Before(it.from) {
+			continue
+		}
+		if !it.to.IsZero() && !rec.Time.Before(it.to) {
+			continue
+		}
+		if it.comp != 0 && rec.CompID != it.comp {
+			continue
+		}
+		return rec, true, nil
+	}
+}
+
+// next reads one raw record from the current reader.
+func (it *Iterator) next() (Record, bool, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(it.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, false, nil
+		}
+		return Record{}, false, err
+	}
+	n := le.Uint32(lenBuf[:])
+	if n < recordHeader || n > 1<<24 {
+		return Record{}, false, fmt.Errorf("sos: corrupt record length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(it.r, buf); err != nil {
+		return Record{}, false, fmt.Errorf("sos: truncated record: %w", err)
+	}
+	rec := Record{
+		Time:   time.Unix(int64(le.Uint64(buf[0:])), int64(le.Uint32(buf[8:]))*1000),
+		CompID: le.Uint64(buf[12:]),
+	}
+	nvals := (int(n) - recordHeader) / 9
+	rec.Values = make([]metric.Value, nvals)
+	pos := recordHeader
+	for i := 0; i < nvals; i++ {
+		rec.Values[i] = metric.Value{Type: metric.Type(buf[pos]), Bits: le.Uint64(buf[pos+1:])}
+		pos += 9
+	}
+	return rec, true, nil
+}
+
+// Close releases the iterator's open file, if any.
+func (it *Iterator) Close() {
+	if it.r != nil {
+		it.r.Close()
+		it.r = nil
+	}
+}
+
+// appendString appends a u16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = le.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// readString decodes a u16-length-prefixed string at pos.
+func readString(b []byte, pos int) (string, int, error) {
+	if pos+2 > len(b) {
+		return "", 0, fmt.Errorf("sos: truncated string")
+	}
+	n := int(le.Uint16(b[pos:]))
+	if pos+2+n > len(b) {
+		return "", 0, fmt.Errorf("sos: truncated string body")
+	}
+	return string(b[pos+2 : pos+2+n]), pos + 2 + n, nil
+}

@@ -1,0 +1,271 @@
+package sos
+
+import (
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+var (
+	testNames = []string{"a", "b", "c"}
+	testTypes = []metric.Type{metric.TypeU64, metric.TypeD64, metric.TypeS64}
+)
+
+func vals(a uint64, b float64, c int64) []metric.Value {
+	return []metric.Value{metric.U64Value(a), metric.F64Value(b), metric.S64Value(c)}
+}
+
+func TestCreateAppendQuery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Create(dir, "meminfo", testNames, testTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		err := c.Append(time.Unix(int64(100+i), 0), uint64(1+i%2), vals(uint64(i), float64(i)/2, int64(-i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Schema() != "meminfo" {
+		t.Errorf("schema = %q", c2.Schema())
+	}
+	if len(c2.MetricNames()) != 3 || c2.MetricNames()[1] != "b" {
+		t.Errorf("names = %v", c2.MetricNames())
+	}
+	it, err := c2.Query(time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec.Values[0].U64() != uint64(count) {
+			t.Errorf("record %d value a = %d", count, rec.Values[0].U64())
+		}
+		if rec.Values[2].S64() != int64(-count) {
+			t.Errorf("record %d value c = %d", count, rec.Values[2].S64())
+		}
+		count++
+	}
+	if count != 10 {
+		t.Errorf("records = %d want 10", count)
+	}
+}
+
+func TestQueryTimeAndComponentFilter(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, nil)
+	for i := 0; i < 20; i++ {
+		c.Append(time.Unix(int64(i), 0), uint64(1+i%4), vals(uint64(i), 0, 0))
+	}
+	it, _ := c.Query(time.Unix(5, 0), time.Unix(15, 0), 0)
+	n := 0
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec.Time.Unix() < 5 || rec.Time.Unix() >= 15 {
+			t.Errorf("record outside range: %v", rec.Time)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("time-filtered records = %d want 10", n)
+	}
+
+	it, _ = c.Query(time.Time{}, time.Time{}, 2)
+	n = 0
+	for {
+		rec, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		if rec.CompID != 2 {
+			t.Errorf("comp filter leaked comp %d", rec.CompID)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("comp-filtered records = %d want 5", n)
+	}
+	c.Close()
+}
+
+func TestPartitionRollover(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, &Options{PartitionSize: 256})
+	for i := 0; i < 100; i++ {
+		if err := c.Append(time.Unix(int64(i), 0), 1, vals(uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Partitions < 2 {
+		t.Errorf("partitions = %d, want rollover to have occurred", st.Partitions)
+	}
+	if st.Appends != 100 {
+		t.Errorf("appends = %d", st.Appends)
+	}
+	c.Close()
+
+	// Reopen and verify everything survives across partitions.
+	c2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, _ := c2.Query(time.Time{}, time.Time{}, 0)
+	n := 0
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec.Values[0].U64() != uint64(n) {
+			t.Errorf("record %d out of order: %d", n, rec.Values[0].U64())
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("records after reopen = %d want 100", n)
+	}
+}
+
+func TestPartitionSkippingByTime(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, &Options{PartitionSize: 256})
+	for i := 0; i < 100; i++ {
+		c.Append(time.Unix(int64(i*10), 0), 1, vals(uint64(i), 0, 0))
+	}
+	// Query a narrow late window; earlier partitions must be skipped.
+	it, _ := c.Query(time.Unix(900, 0), time.Unix(950, 0), 0)
+	if len(it.paths) >= c.Stats().Partitions {
+		t.Errorf("no partitions skipped: %d of %d", len(it.paths), c.Stats().Partitions)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("windowed records = %d want 5", n)
+	}
+	c.Close()
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, nil)
+	c.Append(time.Unix(1, 0), 1, vals(1, 0, 0))
+	c.Close()
+	c2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Append(time.Unix(2, 0), 1, vals(2, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := c2.Query(time.Time{}, time.Time{}, 0)
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("records = %d want 2", n)
+	}
+	c2.Close()
+}
+
+func TestCreateErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, "s", nil, nil, nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := Create(dir, "s", []string{"a"}, []metric.Type{metric.TypeU64, metric.TypeU64}, nil); err == nil {
+		t.Error("mismatched names/types accepted")
+	}
+	if _, err := Create(dir, "s", testNames, testTypes, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, "s", testNames, testTypes, nil); err == nil {
+		t.Error("double create accepted")
+	}
+}
+
+func TestAppendCardinalityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, nil)
+	if err := c.Append(time.Unix(1, 0), 1, vals(1, 0, 0)[:2]); err == nil {
+		t.Error("short value slice accepted")
+	}
+	c.Close()
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil); err == nil {
+		t.Error("open of empty dir succeeded")
+	}
+}
+
+func TestValueTypePreservation(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Create(dir, "s", testNames, testTypes, nil)
+	c.Append(time.Unix(1, 500000000), 7, vals(42, 2.75, -13))
+	c.Close()
+	c2, _ := Open(dir, nil)
+	it, _ := c2.Query(time.Time{}, time.Time{}, 0)
+	rec, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if rec.CompID != 7 {
+		t.Errorf("comp = %d", rec.CompID)
+	}
+	if rec.Time.Nanosecond() != 500000000 {
+		t.Errorf("usec lost: %v", rec.Time)
+	}
+	if rec.Values[0].Type != metric.TypeU64 || rec.Values[0].U64() != 42 {
+		t.Errorf("v0 = %+v", rec.Values[0])
+	}
+	if rec.Values[1].Type != metric.TypeD64 || rec.Values[1].F64() != 2.75 {
+		t.Errorf("v1 = %+v", rec.Values[1])
+	}
+	if rec.Values[2].Type != metric.TypeS64 || rec.Values[2].S64() != -13 {
+		t.Errorf("v2 = %+v", rec.Values[2])
+	}
+}

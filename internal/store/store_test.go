@@ -1,0 +1,310 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+var (
+	colNames = []string{"Active", "Cached", "load"}
+	colTypes = []metric.Type{metric.TypeU64, metric.TypeU64, metric.TypeD64}
+)
+
+func testRow(ts int64, comp uint64, active, cached uint64, load float64) metric.Row {
+	return metric.Row{
+		Time:     time.Unix(ts, 250000000),
+		Instance: "n1/meminfo",
+		Schema:   "meminfo",
+		CompID:   comp,
+		Names:    colNames,
+		Values: []metric.Value{
+			metric.U64Value(active), metric.U64Value(cached), metric.F64Value(load),
+		},
+	}
+}
+
+func TestCSVStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meminfo.csv")
+	s, err := New("store_csv", Config{Path: path, Schema: "meminfo", Names: colNames, Types: colTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(testRow(100, 1, 111, 222, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(testRow(120, 2, 333, 444, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), b)
+	}
+	if lines[0] != "#Time,Time_usec,CompId,Active,Cached,load" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "100,250000,1,111,222,1.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if s.BytesWritten() != int64(len(b)) {
+		t.Errorf("BytesWritten = %d, file = %d", s.BytesWritten(), len(b))
+	}
+}
+
+func TestCSVAltHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.csv")
+	s, err := New("store_csv", Config{
+		Path: path, Schema: "s", Names: colNames, Types: colTypes,
+		Options: map[string]string{"altheader": "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store(testRow(1, 1, 1, 2, 3))
+	s.Close()
+	b, _ := os.ReadFile(path)
+	if strings.HasPrefix(string(b), "#") {
+		t.Error("header written to data file despite altheader")
+	}
+	h, err := os.ReadFile(path + ".HEADER")
+	if err != nil || !strings.HasPrefix(string(h), "#Time") {
+		t.Errorf("HEADER file: %q err=%v", h, err)
+	}
+}
+
+func TestCSVAppendAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.csv")
+	cfg := Config{Path: path, Schema: "s", Names: colNames, Types: colTypes}
+	s, _ := New("store_csv", cfg)
+	s.Store(testRow(1, 1, 1, 2, 3))
+	s.Close()
+	s2, err := New("store_csv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Store(testRow(2, 1, 4, 5, 6))
+	s2.Close()
+	b, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 3 { // one header + two rows; header not duplicated
+		t.Errorf("lines after reopen = %d:\n%s", len(lines), b)
+	}
+}
+
+func TestFlatfileStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New("store_flatfile", Config{Path: dir, Schema: "meminfo", Names: colNames, Types: colTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store(testRow(100, 7, 11, 22, 0.5))
+	s.Store(testRow(101, 7, 12, 23, 0.6))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One file per metric name.
+	for _, name := range colNames {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("metric file %s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) != 2 {
+			t.Errorf("%s lines = %d", name, len(lines))
+		}
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "Active"))
+	if !strings.HasPrefix(string(b), "100 250000 7 11\n") {
+		t.Errorf("Active content = %q", b)
+	}
+	b, _ = os.ReadFile(filepath.Join(dir, "load"))
+	if !strings.Contains(string(b), " 0.5") {
+		t.Errorf("load content = %q", b)
+	}
+}
+
+func TestFlatfileCardinalityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New("store_flatfile", Config{Path: dir, Schema: "s", Names: colNames, Types: colTypes})
+	row := testRow(1, 1, 1, 2, 3)
+	row.Values = row.Values[:1]
+	if err := s.Store(row); err == nil {
+		t.Error("mismatched row accepted")
+	}
+	s.Close()
+}
+
+func TestSOSStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sos")
+	cfg := Config{Path: dir, Schema: "meminfo", Names: colNames, Types: colTypes}
+	s, err := New("store_sos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Store(testRow(int64(100+i), 3, uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BytesWritten() == 0 {
+		t.Error("no bytes written")
+	}
+	s.Close()
+
+	// Reopen appends to the same container.
+	s2, err := New("store_sos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Store(testRow(200, 3, 99, 0, 0))
+	ss, ok := s2.(*sosStore)
+	if !ok {
+		t.Fatal("not a sosStore")
+	}
+	it, _ := ss.Container().Query(time.Time{}, time.Time{}, 0)
+	n := 0
+	for {
+		_, more, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Errorf("records = %d want 6", n)
+	}
+	s2.Close()
+}
+
+func TestUnknownStore(t *testing.T) {
+	if _, err := New("store_mysql", Config{Names: colNames, Types: colTypes}); err == nil {
+		t.Error("unknown plugin accepted")
+	}
+}
+
+func TestEmptySchemaRejected(t *testing.T) {
+	if _, err := New("store_csv", Config{Path: filepath.Join(t.TempDir(), "x.csv")}); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestNamesRegistered(t *testing.T) {
+	got := strings.Join(Names(), ",")
+	for _, want := range []string{"store_csv", "store_flatfile", "store_sos"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %s in %q", want, got)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a/b"); got != "a_b" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestCSVRollover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roll.csv")
+	s, err := New("store_csv", Config{
+		Path: path, Schema: "s", Names: colNames, Types: colTypes,
+		Options: map[string]string{"rollover": "200"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Store(testRow(int64(i), 1, uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rolled files exist and each non-final file starts with the header.
+	rolled, err := filepath.Glob(path + ".*")
+	if err != nil || len(rolled) < 2 {
+		t.Fatalf("rolled files = %v err=%v", rolled, err)
+	}
+	totalRows := 0
+	for _, p := range append(rolled, path) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if !strings.HasPrefix(lines[0], "#Time") {
+			t.Errorf("%s lacks header", p)
+		}
+		totalRows += len(lines) - 1
+	}
+	if totalRows != 40 {
+		t.Errorf("rows across rolled files = %d want 40", totalRows)
+	}
+}
+
+func TestCSVRolloverBadOption(t *testing.T) {
+	_, err := New("store_csv", Config{
+		Path: filepath.Join(t.TempDir(), "x.csv"), Schema: "s",
+		Names: colNames, Types: colTypes,
+		Options: map[string]string{"rollover": "zero"},
+	})
+	if err == nil {
+		t.Fatal("bad rollover accepted")
+	}
+}
+
+func TestFlushPaths(t *testing.T) {
+	dir := t.TempDir()
+	for _, plugin := range []string{"store_csv", "store_flatfile", "store_sos"} {
+		path := filepath.Join(dir, plugin)
+		s, err := New(plugin, Config{Path: path, Schema: "s", Names: colNames, Types: colTypes})
+		if err != nil {
+			t.Fatalf("%s: %v", plugin, err)
+		}
+		if err := s.Store(testRow(1, 1, 1, 2, 3)); err != nil {
+			t.Fatalf("%s store: %v", plugin, err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", plugin, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s close: %v", plugin, err)
+		}
+		// Idempotent close, and flush after close is harmless.
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s second close: %v", plugin, err)
+		}
+		if err := s.Flush(); plugin != "store_sos" && err != nil {
+			t.Fatalf("%s flush after close: %v", plugin, err)
+		}
+	}
+}
+
+func TestStoreAfterCloseRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.csv")
+	s, _ := New("store_csv", Config{Path: path, Schema: "s", Names: colNames, Types: colTypes})
+	s.Close()
+	if err := s.Store(testRow(1, 1, 1, 2, 3)); err == nil {
+		t.Error("csv store after close accepted")
+	}
+	d := t.TempDir()
+	f, _ := New("store_flatfile", Config{Path: d, Schema: "s", Names: colNames, Types: colTypes})
+	f.Close()
+	if err := f.Store(testRow(1, 1, 1, 2, 3)); err == nil {
+		t.Error("flatfile store after close accepted")
+	}
+}

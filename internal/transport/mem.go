@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"goldms/internal/metric"
+)
+
+// Network is an in-process transport namespace: a map from address strings
+// to serving registries. It gives experiments a deterministic, goroutine-
+// free transport so virtual-time runs of thousands of simulated nodes stay
+// exactly ordered.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewNetwork returns an empty in-process namespace.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*memListener)}
+}
+
+// MemFactory is the in-process transport. Kind may be "mem" for two-sided
+// (sock-like) semantics, or "rdma"/"ugni" for simulated one-sided RDMA:
+// updates bypass the target host's CPU accounting, and the Gemini variant
+// advertises the higher fan-in from the paper.
+type MemFactory struct {
+	Net  *Network
+	Kind string
+}
+
+// Name returns the transport kind.
+func (f MemFactory) Name() string {
+	if f.Kind == "" {
+		return "mem"
+	}
+	return f.Kind
+}
+
+// MaxFanIn reports the paper's fan-in for the simulated interconnect:
+// ~9,000:1 for sock-like and IB RDMA, >15,000:1 for Gemini (ugni).
+func (f MemFactory) MaxFanIn() int {
+	if f.Kind == "ugni" {
+		return 15000
+	}
+	return 9000
+}
+
+// oneSided reports whether this factory simulates RDMA semantics.
+func (f MemFactory) oneSided() bool { return f.Kind == "rdma" || f.Kind == "ugni" }
+
+// Listen registers srv under addr in the namespace.
+func (f MemFactory) Listen(addr string, srv *Server) (Listener, error) {
+	if f.Net == nil {
+		return nil, fmt.Errorf("transport: mem factory has no network")
+	}
+	if f.oneSided() {
+		srv.OneSided = true
+	}
+	f.Net.mu.Lock()
+	defer f.Net.mu.Unlock()
+	if _, dup := f.Net.listeners[addr]; dup {
+		return nil, fmt.Errorf("transport: mem address %q already bound", addr)
+	}
+	l := &memListener{net: f.Net, addr: addr, srv: srv}
+	f.Net.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the server bound at addr.
+func (f MemFactory) Dial(addr string) (Conn, error) {
+	if f.Net == nil {
+		return nil, fmt.Errorf("transport: mem factory has no network")
+	}
+	f.Net.mu.Lock()
+	l := f.Net.listeners[addr]
+	f.Net.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
+	}
+	return &memConn{l: l}, nil
+}
+
+// memListener is a bound in-process address.
+type memListener struct {
+	net  *Network
+	addr string
+	srv  *Server
+	mu   sync.Mutex
+	down bool
+}
+
+// Addr returns the bound name.
+func (l *memListener) Addr() string { return l.addr }
+
+// Close unbinds the address; existing connections start failing.
+func (l *memListener) Close() error {
+	l.mu.Lock()
+	l.down = true
+	l.mu.Unlock()
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	return nil
+}
+
+// alive reports whether the listener still serves.
+func (l *memListener) alive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.down
+}
+
+// memConn is a direct-call client connection.
+type memConn struct {
+	l      *memListener
+	mu     sync.Mutex
+	closed bool
+}
+
+// check validates the connection before an operation.
+func (c *memConn) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || !c.l.alive() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Dir implements Conn.
+func (c *memConn) Dir(ctx context.Context) ([]string, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, err
+	}
+	return c.l.srv.serveDir(), nil
+}
+
+// Lookup implements Conn.
+func (c *memConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, err
+	}
+	set, metaBytes, err := c.l.srv.serveLookup(name)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := metric.ParseMeta(metaBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &memRemoteSet{conn: c, set: set, meta: meta}, nil
+}
+
+// Close implements Conn.
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// memRemoteSet is a lookup handle over the in-process transport.
+type memRemoteSet struct {
+	conn *memConn
+	set  *metric.Set
+	meta *metric.Meta
+}
+
+// Meta implements RemoteSet.
+func (rs *memRemoteSet) Meta() *metric.Meta { return rs.meta }
+
+// Update implements RemoteSet.
+func (rs *memRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
+	if err := rs.conn.check(ctx); err != nil {
+		return 0, err
+	}
+	if len(dst) < rs.set.DataSize() {
+		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), rs.set.DataSize())
+	}
+	return rs.conn.l.srv.serveUpdate(rs.set, dst), nil
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"sync/atomic"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// Server is the passive (serving) side of a transport: it exposes a metric
+// set registry to pulling peers and accounts the host cost of doing so.
+type Server struct {
+	reg *metric.Registry
+
+	// OneSided marks RDMA semantics: update reads are performed by the
+	// "HCA" (a dedicated I/O path) and charged to NICCPU rather than
+	// HostCPU.
+	OneSided bool
+
+	dirs     atomic.Int64
+	lookups  atomic.Int64
+	updates  atomic.Int64
+	bytesOut atomic.Int64
+	hostCPU  atomic.Int64 // nanoseconds of host CPU consumed serving pulls
+	nicCPU   atomic.Int64 // nanoseconds of one-sided (NIC-side) data movement
+}
+
+// NewServer wraps a registry for serving.
+func NewServer(reg *metric.Registry) *Server {
+	return &Server{reg: reg}
+}
+
+// Registry returns the served registry.
+func (s *Server) Registry() *metric.Registry { return s.reg }
+
+// ServerStats is a snapshot of serving-side counters.
+type ServerStats struct {
+	Dirs     int64         // dir requests served
+	Lookups  int64         // lookup requests served
+	Updates  int64         // update (data pull) requests served
+	BytesOut int64         // payload bytes returned
+	HostCPU  time.Duration // host CPU consumed by serving (two-sided ops)
+	NICCPU   time.Duration // simulated NIC time for one-sided reads
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Dirs:     s.dirs.Load(),
+		Lookups:  s.lookups.Load(),
+		Updates:  s.updates.Load(),
+		BytesOut: s.bytesOut.Load(),
+		HostCPU:  time.Duration(s.hostCPU.Load()),
+		NICCPU:   time.Duration(s.nicCPU.Load()),
+	}
+}
+
+// serveDir implements the dir operation.
+func (s *Server) serveDir() []string {
+	start := time.Now()
+	names := s.reg.Dir()
+	s.dirs.Add(1)
+	s.hostCPU.Add(int64(time.Since(start)))
+	return names
+}
+
+// serveLookup implements the lookup operation, returning the set (for
+// handle registration) and its serialized metadata.
+func (s *Server) serveLookup(name string) (*metric.Set, []byte, error) {
+	start := time.Now()
+	set := s.reg.Get(name)
+	if set == nil {
+		s.hostCPU.Add(int64(time.Since(start)))
+		return nil, nil, ErrNoSuchSet
+	}
+	meta := set.MetaBytes()
+	s.lookups.Add(1)
+	s.bytesOut.Add(int64(len(meta)))
+	s.hostCPU.Add(int64(time.Since(start)))
+	return set, meta, nil
+}
+
+// serveUpdate implements the update operation: snapshot the set's data
+// chunk into dst. One-sided transports charge the cost to the NIC account.
+func (s *Server) serveUpdate(set *metric.Set, dst []byte) int {
+	start := time.Now()
+	n := set.CopyDataInto(dst)
+	s.updates.Add(1)
+	s.bytesOut.Add(int64(n))
+	if s.OneSided {
+		s.nicCPU.Add(int64(time.Since(start)))
+	} else {
+		s.hostCPU.Add(int64(time.Since(start)))
+	}
+	return n
+}

@@ -1,0 +1,392 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"goldms/internal/metric"
+)
+
+// The sock transport's connections are symmetric peers: either end may
+// serve its registry and either end may issue dir/lookup/update requests
+// on the same TCP connection. This implements §IV-B's "mechanisms to
+// enable initiation of a connection from either side in order to support
+// asymmetric network access": a sampler behind a connection barrier dials
+// the aggregator (DialNamed, announcing its name with a hello message),
+// and the aggregator pulls over the incoming connection exactly as if it
+// had dialed out.
+
+// SockFactory implements the sock transport: the paper's TCP socket
+// transport plugin.
+type SockFactory struct{}
+
+// Name returns "sock".
+func (SockFactory) Name() string { return "sock" }
+
+// MaxFanIn returns the paper's observed sock fan-in (~9,000:1).
+func (SockFactory) MaxFanIn() int { return 9000 }
+
+// Listen serves srv on a TCP address such as "127.0.0.1:0".
+func (SockFactory) Listen(addr string, srv *Server) (Listener, error) {
+	return listenTCP(addr, srv, nil)
+}
+
+// ListenPeer serves srv and additionally reports each dialing peer that
+// announces itself (via DialNamed) so the listener side can pull from it.
+func (SockFactory) ListenPeer(addr string, srv *Server, onPeer func(name string, conn Conn)) (Listener, error) {
+	return listenTCP(addr, srv, onPeer)
+}
+
+// Dial connects to a TCP peer for pulling.
+func (SockFactory) Dial(addr string) (Conn, error) {
+	return dialTCP(addr, "", nil)
+}
+
+// DialNamed connects to a TCP peer, announces name, and serves srv (which
+// may be nil) over the same connection, so the remote side can pull from
+// the dialer.
+func (SockFactory) DialNamed(addr, name string, srv *Server) (Conn, error) {
+	return dialTCP(addr, name, srv)
+}
+
+// sockListener accepts TCP connections and runs a peer per connection.
+type sockListener struct {
+	ln     net.Listener
+	srv    *Server
+	onPeer func(string, Conn)
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	peers  map[*sockConn]struct{}
+	closed bool
+}
+
+func listenTCP(addr string, srv *Server, onPeer func(string, Conn)) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &sockListener{ln: ln, srv: srv, onPeer: onPeer, peers: make(map[*sockConn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound TCP address.
+func (l *sockListener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting and closes all serving connections.
+func (l *sockListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	for p := range l.peers {
+		p.c.Close()
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *sockListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		peer := newSockConn(c, l.srv)
+		peer.onHello = l.onPeer
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			c.Close()
+			return
+		}
+		l.peers[peer] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			peer.readLoop()
+			l.mu.Lock()
+			delete(l.peers, peer)
+			l.mu.Unlock()
+		}()
+	}
+}
+
+// sockConn is one symmetric TCP peer: a request client (Dir/Lookup/Update
+// toward the remote) and, when srv is set, a server for the remote's
+// requests, multiplexed on one connection by message type and request ID.
+type sockConn struct {
+	c   net.Conn
+	w   *bufio.Writer
+	wmu sync.Mutex
+
+	// Client half.
+	mu     sync.Mutex
+	nextID uint64
+	wait   map[uint64]chan wireResp
+	closed bool
+	err    error
+
+	// Server half.
+	srv     *Server
+	handles map[uint32]*metric.Set
+	hmu     sync.Mutex
+	nextH   uint32
+	onHello func(string, Conn)
+}
+
+type wireResp struct {
+	typ     byte
+	payload []byte
+}
+
+func newSockConn(c net.Conn, srv *Server) *sockConn {
+	return &sockConn{
+		c:       c,
+		w:       bufio.NewWriter(c),
+		wait:    make(map[uint64]chan wireResp),
+		srv:     srv,
+		handles: make(map[uint32]*metric.Set),
+	}
+}
+
+func dialTCP(addr, name string, srv *Server) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	sc := newSockConn(c, srv)
+	if name != "" {
+		if err := sc.send(msgHello, 0, appendString(nil, name)); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	go sc.readLoop()
+	return sc, nil
+}
+
+// send writes one frame under the write lock.
+func (sc *sockConn) send(typ byte, id uint64, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := writeFrame(sc.w, typ, id, payload); err != nil {
+		return err
+	}
+	return sc.w.Flush()
+}
+
+// readLoop dispatches incoming frames: requests to the server half,
+// responses to waiting callers.
+func (sc *sockConn) readLoop() {
+	r := bufio.NewReader(sc.c)
+	for {
+		typ, id, payload, err := readFrame(r)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		switch typ {
+		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello:
+			if err := sc.serveRequest(typ, id, payload); err != nil {
+				sc.fail(err)
+				return
+			}
+		default:
+			sc.mu.Lock()
+			ch := sc.wait[id]
+			delete(sc.wait, id)
+			sc.mu.Unlock()
+			if ch != nil {
+				ch <- wireResp{typ, payload}
+			}
+		}
+	}
+}
+
+// serveRequest handles one request from the remote peer.
+func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
+	replyErr := func(msg string) error {
+		return sc.send(msgErrResp, id, appendString(nil, msg))
+	}
+	if typ == msgHello {
+		name, _, err := readString(payload, 0)
+		if err != nil {
+			return replyErr(err.Error())
+		}
+		if sc.onHello != nil {
+			go sc.onHello(name, sc)
+		}
+		return nil
+	}
+	if sc.srv == nil {
+		return replyErr("transport: peer does not serve")
+	}
+	switch typ {
+	case msgDirReq:
+		return sc.send(msgDirResp, id, encodeDirResp(sc.srv.serveDir()))
+	case msgLookupReq:
+		name, _, err := readString(payload, 0)
+		if err != nil {
+			return replyErr(err.Error())
+		}
+		set, meta, err := sc.srv.serveLookup(name)
+		if err != nil {
+			return replyErr(err.Error())
+		}
+		sc.hmu.Lock()
+		h := sc.nextH
+		sc.nextH++
+		sc.handles[h] = set
+		sc.hmu.Unlock()
+		resp := wireLE.AppendUint32(nil, h)
+		resp = append(resp, meta...)
+		return sc.send(msgLookupResp, id, resp)
+	case msgUpdateReq:
+		if len(payload) < 4 {
+			return replyErr("transport: short update request")
+		}
+		sc.hmu.Lock()
+		set, ok := sc.handles[wireLE.Uint32(payload)]
+		sc.hmu.Unlock()
+		if !ok {
+			return replyErr("transport: unknown set handle")
+		}
+		buf := make([]byte, set.DataSize())
+		n := sc.srv.serveUpdate(set, buf)
+		return sc.send(msgUpdateResp, id, buf[:n])
+	}
+	return replyErr(fmt.Sprintf("transport: unknown message type %d", typ))
+}
+
+// fail closes all outstanding waiters with the connection error.
+func (sc *sockConn) fail(err error) {
+	sc.mu.Lock()
+	if sc.err == nil {
+		sc.err = err
+	}
+	waiters := sc.wait
+	sc.wait = make(map[uint64]chan wireResp)
+	sc.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// roundTrip sends a request frame and waits for its response.
+func (sc *sockConn) roundTrip(ctx context.Context, typ byte, payload []byte) (wireResp, error) {
+	sc.mu.Lock()
+	if sc.closed || sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return wireResp{}, err
+	}
+	id := sc.nextID
+	sc.nextID++
+	ch := make(chan wireResp, 1)
+	sc.wait[id] = ch
+	sc.mu.Unlock()
+
+	if err := sc.send(typ, id, payload); err != nil {
+		sc.mu.Lock()
+		delete(sc.wait, id)
+		sc.mu.Unlock()
+		return wireResp{}, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			sc.mu.Lock()
+			err := sc.err
+			sc.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return wireResp{}, err
+		}
+		if resp.typ == msgErrResp {
+			msg, _, err := readString(resp.payload, 0)
+			if err != nil {
+				return wireResp{}, err
+			}
+			if msg == ErrNoSuchSet.Error() {
+				return wireResp{}, ErrNoSuchSet
+			}
+			return wireResp{}, fmt.Errorf("transport: remote error: %s", msg)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		sc.mu.Lock()
+		delete(sc.wait, id)
+		sc.mu.Unlock()
+		return wireResp{}, ctx.Err()
+	}
+}
+
+// Dir implements Conn.
+func (sc *sockConn) Dir(ctx context.Context) ([]string, error) {
+	resp, err := sc.roundTrip(ctx, msgDirReq, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDirResp(resp.payload)
+}
+
+// Lookup implements Conn.
+func (sc *sockConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
+	resp, err := sc.roundTrip(ctx, msgLookupReq, appendString(nil, name))
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.payload) < 4 {
+		return nil, fmt.Errorf("transport: short lookup response")
+	}
+	handle := wireLE.Uint32(resp.payload)
+	meta, err := metric.ParseMeta(resp.payload[4:])
+	if err != nil {
+		return nil, err
+	}
+	return &sockRemoteSet{conn: sc, handle: handle, meta: meta}, nil
+}
+
+// Close implements Conn.
+func (sc *sockConn) Close() error {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.mu.Unlock()
+	err := sc.c.Close()
+	sc.fail(ErrClosed)
+	return err
+}
+
+// sockRemoteSet is a lookup handle over a TCP connection.
+type sockRemoteSet struct {
+	conn   *sockConn
+	handle uint32
+	meta   *metric.Meta
+}
+
+// Meta implements RemoteSet.
+func (rs *sockRemoteSet) Meta() *metric.Meta { return rs.meta }
+
+// Update implements RemoteSet.
+func (rs *sockRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
+	resp, err := rs.conn.roundTrip(ctx, msgUpdateReq, wireLE.AppendUint32(nil, rs.handle))
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) < len(resp.payload) {
+		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), len(resp.payload))
+	}
+	return copy(dst, resp.payload), nil
+}

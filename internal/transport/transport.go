@@ -1,0 +1,97 @@
+// Package transport implements the LDMS pull-model data transports.
+//
+// A connection links an aggregator to a collection target (a sampler or
+// another aggregator). Three operations exist, mirroring Fig. 2 of the
+// paper:
+//
+//	dir     list the instance names of the target's metric sets
+//	lookup  fetch a set's metadata chunk once, establishing a handle
+//	update  fetch only the set's data chunk (~10% of the set size)
+//
+// Implementations:
+//
+//	sock  TCP with a small binary framing protocol (the paper's sock
+//	      transport plugin)
+//	mem   in-process, zero-copy, deterministic; used for virtual-time
+//	      experiments and tests
+//	rdma / ugni  simulated RDMA: layered on sock or mem but with one-sided
+//	      update semantics — data fetches bypass the target's request
+//	      handler path and consume no host CPU there, mirroring
+//	      "If the transport is RDMA over IB or UGNI, the data fetching
+//	      will not consume CPU cycles" (paper Fig. 2)
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"goldms/internal/metric"
+)
+
+// ErrNoSuchSet is reported by lookup for an unknown instance name.
+var ErrNoSuchSet = errors.New("transport: no such set")
+
+// ErrClosed is reported on operations over a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is the client (pulling) side of a transport connection.
+type Conn interface {
+	// Dir lists the remote registry's set instance names.
+	Dir(ctx context.Context) ([]string, error)
+	// Lookup fetches the named set's metadata and returns a handle for
+	// subsequent updates.
+	Lookup(ctx context.Context, name string) (RemoteSet, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// RemoteSet is a handle to one metric set on the remote peer, the product
+// of a lookup.
+type RemoteSet interface {
+	// Meta returns the metadata fetched at lookup time.
+	Meta() *metric.Meta
+	// Update fetches the current data chunk into dst, which must be at
+	// least Meta().DataSize bytes. It returns the number of bytes fetched.
+	Update(ctx context.Context, dst []byte) (int, error)
+}
+
+// Listener accepts connections for a Server until closed.
+type Listener interface {
+	// Addr returns the bound address (for tests and logs).
+	Addr() string
+	// Close stops accepting and tears down the listener.
+	Close() error
+}
+
+// Factory creates listeners and outbound connections for one transport
+// type. ldmsd resolves the user's transport name ("sock", "rdma", "ugni",
+// "mem") to a Factory.
+type Factory interface {
+	// Name returns the transport type name.
+	Name() string
+	// Listen serves srv on addr.
+	Listen(addr string, srv *Server) (Listener, error)
+	// Dial connects to a peer serving on addr.
+	Dial(addr string) (Conn, error)
+	// MaxFanIn is the empirically supported collection fan-in for this
+	// transport (paper §IV-A: ~9,000:1 sock and RDMA over IB, >15,000:1
+	// RDMA over Gemini).
+	MaxFanIn() int
+}
+
+// PeerFactory is implemented by transports that support connection
+// initiation from either side (paper §IV-B: "LDMS incorporates mechanisms
+// to enable initiation of a connection from either side in order to
+// support asymmetric network access"). A sampler behind a connection
+// barrier uses DialNamed to reach its aggregator and serve its sets over
+// the resulting connection; the aggregator uses ListenPeer and pulls from
+// each announced peer as if it had dialed out.
+type PeerFactory interface {
+	Factory
+	// ListenPeer serves srv and reports each dialing peer that announces
+	// itself.
+	ListenPeer(addr string, srv *Server, onPeer func(name string, conn Conn)) (Listener, error)
+	// DialNamed connects, announces name, and serves srv (which may be
+	// nil) over the same connection.
+	DialNamed(addr, name string, srv *Server) (Conn, error)
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing shared by the sock and rdma transports:
+//
+//	u32 payload length | u8 message type | u64 request id | payload
+//
+// Request/response payloads:
+//
+//	dirReq      (empty)
+//	dirResp     u32 count, then count length-prefixed names
+//	lookupReq   length-prefixed instance name
+//	lookupResp  u32 set handle, then metadata chunk bytes
+//	updateReq   u32 set handle
+//	updateResp  data chunk bytes
+//	errResp     length-prefixed message
+const (
+	msgDirReq = iota + 1
+	msgDirResp
+	msgLookupReq
+	msgLookupResp
+	msgUpdateReq
+	msgUpdateResp
+	msgErrResp
+)
+
+// maxFrame bounds a frame payload; metric sets are tens of kB, so 16 MB is
+// generous and protects against corrupt length words.
+const maxFrame = 16 << 20
+
+const frameHeader = 4 + 1 + 8
+
+var wireLE = binary.LittleEndian
+
+// writeFrame sends one frame. Callers serialize access to w.
+func writeFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
+	var hdr [frameHeader]byte
+	wireLE.PutUint32(hdr[0:], uint32(len(payload)))
+	hdr[4] = typ
+	wireLE.PutUint64(hdr[5:], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := wireLE.Uint32(hdr[0:])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	typ = hdr[4]
+	reqID = wireLE.Uint64(hdr[5:])
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return typ, reqID, payload, nil
+}
+
+// appendString appends a u16 length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = wireLE.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// readString decodes a u16 length-prefixed string at pos.
+func readString(b []byte, pos int) (string, int, error) {
+	if pos+2 > len(b) {
+		return "", 0, fmt.Errorf("transport: truncated string length")
+	}
+	n := int(wireLE.Uint16(b[pos:]))
+	if pos+2+n > len(b) {
+		return "", 0, fmt.Errorf("transport: truncated string")
+	}
+	return string(b[pos+2 : pos+2+n]), pos + 2 + n, nil
+}
+
+// encodeDirResp serializes a name list.
+func encodeDirResp(names []string) []byte {
+	b := wireLE.AppendUint32(nil, uint32(len(names)))
+	for _, n := range names {
+		b = appendString(b, n)
+	}
+	return b
+}
+
+// decodeDirResp parses a name list.
+func decodeDirResp(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("transport: short dir response")
+	}
+	count := int(wireLE.Uint32(b))
+	// Each name costs at least its 2-byte length prefix; a count beyond
+	// that is a corrupt or hostile frame (and must not drive allocation).
+	if count > (len(b)-4)/2 {
+		return nil, fmt.Errorf("transport: dir response claims %d names in %d bytes", count, len(b))
+	}
+	names := make([]string, 0, count)
+	pos := 4
+	for i := 0; i < count; i++ {
+		s, next, err := readString(b, pos)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+		pos = next
+	}
+	return names, nil
+}
+
+// msgHello announces the dialing peer's name for reversed-direction pulls
+// (connection initiation from either side, §IV-B).
+const msgHello = msgErrResp + 1

@@ -1,0 +1,130 @@
+// Package watchdog implements the external failover watchdog the paper's
+// standby mechanism assumes: "there is currently no internal mechanism for
+// a standby aggregator to detect a primary has gone down automatically.
+// This is accomplished either manually or by an external watchdog program
+// that provides notification" (§IV-B).
+//
+// A watchdog probes a primary aggregator's transport endpoint on an
+// interval; after a configurable number of consecutive probe failures it
+// fires the failover action (typically activating the standby producers on
+// a backup aggregator). If the primary later answers probes again, a
+// recovery action can deactivate the standbys.
+package watchdog
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// Config describes one watched primary.
+type Config struct {
+	// Name labels the watchdog in State output.
+	Name string
+	// Probe checks primary liveness, returning nil when healthy. Use
+	// DialProbe for the standard transport-level check.
+	Probe func(ctx context.Context) error
+	// Failures is the number of consecutive probe failures before the
+	// watchdog declares the primary down (default 3).
+	Failures int
+	// Interval is the probe period (default 10 s).
+	Interval time.Duration
+	// Timeout bounds one probe (default Interval).
+	Timeout time.Duration
+	// OnFail runs once when the primary is declared down.
+	OnFail func()
+	// OnRecover runs once when a down primary answers again.
+	OnRecover func()
+}
+
+// Watchdog watches one primary.
+type Watchdog struct {
+	cfg  Config
+	task *sched.Task
+
+	mu       sync.Mutex
+	failing  int
+	down     bool
+	probes   int64
+	failures int64
+}
+
+// New schedules a watchdog on sch. Stop it with Stop.
+func New(sch *sched.Scheduler, cfg Config) *Watchdog {
+	if cfg.Failures <= 0 {
+		cfg.Failures = 3
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval
+	}
+	w := &Watchdog{cfg: cfg}
+	w.task = sch.Every(cfg.Interval, 0, false, w.probe)
+	return w
+}
+
+// probe runs one health check.
+func (w *Watchdog) probe(time.Time) {
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.Timeout)
+	err := w.cfg.Probe(ctx)
+	cancel()
+
+	w.mu.Lock()
+	w.probes++
+	if err != nil {
+		w.failures++
+		w.failing++
+		trip := !w.down && w.failing >= w.cfg.Failures
+		if trip {
+			w.down = true
+		}
+		w.mu.Unlock()
+		if trip && w.cfg.OnFail != nil {
+			w.cfg.OnFail()
+		}
+		return
+	}
+	recover := w.down
+	w.failing = 0
+	w.down = false
+	w.mu.Unlock()
+	if recover && w.cfg.OnRecover != nil {
+		w.cfg.OnRecover()
+	}
+}
+
+// Down reports whether the primary is currently declared down.
+func (w *Watchdog) Down() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down
+}
+
+// Stats returns probe counts.
+func (w *Watchdog) Stats() (probes, failures int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.probes, w.failures
+}
+
+// Stop cancels probing.
+func (w *Watchdog) Stop() { w.task.Cancel() }
+
+// DialProbe returns a Probe that considers the primary healthy when a
+// transport connection can be established and answers a dir request.
+func DialProbe(f transport.Factory, addr string) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		conn, err := f.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_, err = conn.Dir(ctx)
+		return err
+	}
+}

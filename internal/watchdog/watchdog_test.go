@@ -1,0 +1,168 @@
+package watchdog
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"goldms/internal/ldmsd"
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+func TestTripsAfterConsecutiveFailures(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	healthy := true
+	fails, recovers := 0, 0
+	w := New(sch, Config{
+		Name: "t",
+		Probe: func(context.Context) error {
+			if healthy {
+				return nil
+			}
+			return errors.New("down")
+		},
+		Failures:  3,
+		Interval:  time.Second,
+		OnFail:    func() { fails++ },
+		OnRecover: func() { recovers++ },
+	})
+	defer w.Stop()
+
+	sch.AdvanceBy(10 * time.Second)
+	if w.Down() || fails != 0 {
+		t.Fatal("tripped while healthy")
+	}
+	healthy = false
+	sch.AdvanceBy(2 * time.Second)
+	if w.Down() {
+		t.Fatal("tripped before the failure threshold")
+	}
+	sch.AdvanceBy(2 * time.Second)
+	if !w.Down() || fails != 1 {
+		t.Fatalf("down=%v fails=%d after threshold", w.Down(), fails)
+	}
+	// No repeated OnFail while still down.
+	sch.AdvanceBy(10 * time.Second)
+	if fails != 1 {
+		t.Fatalf("OnFail fired %d times", fails)
+	}
+	// Recovery fires once.
+	healthy = true
+	sch.AdvanceBy(2 * time.Second)
+	if w.Down() || recovers != 1 {
+		t.Fatalf("down=%v recovers=%d after recovery", w.Down(), recovers)
+	}
+	probes, failures := w.Stats()
+	if probes == 0 || failures < 3 {
+		t.Errorf("stats = %d/%d", probes, failures)
+	}
+}
+
+func TestIntermittentFailureDoesNotTrip(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	n := 0
+	w := New(sch, Config{
+		Probe: func(context.Context) error {
+			n++
+			if n%2 == 0 {
+				return errors.New("flaky")
+			}
+			return nil
+		},
+		Failures: 3,
+		Interval: time.Second,
+		OnFail:   func() { t.Error("tripped on intermittent failures") },
+	})
+	defer w.Stop()
+	sch.AdvanceBy(20 * time.Second)
+}
+
+// TestFailoverEndToEnd wires the full Blue Waters failover story: primary
+// and standby aggregators pull the same sampler; the watchdog probes the
+// primary and activates the standby when it dies.
+func TestFailoverEndToEnd(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(0, 0))
+	net := transport.NewNetwork()
+	mem := transport.MemFactory{Net: net}
+
+	node := procfs.NewNodeState("n1", 2, 1<<20)
+	smp, err := ldmsd.New(ldmsd.Options{
+		Name: "n1", Scheduler: sch, FS: procfs.NewSimFS(node),
+		Transports: []transport.Factory{mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smp.Stop()
+	if _, err := smp.Listen("mem", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smp.ExecScript("load name=meminfo\nstart name=meminfo interval=1s"); err != nil {
+		t.Fatal(err)
+	}
+
+	mkAgg := func(name string, standby bool) *ldmsd.Daemon {
+		agg, err := ldmsd.New(ldmsd.Options{
+			Name: name, Scheduler: sch,
+			Transports: []transport.Factory{mem},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := agg.AddProducer("n1", "mem", "n1", time.Second, standby)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		u, err := agg.AddUpdater("u", time.Second, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.AddProducer("n1")
+		if err := u.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	primary := mkAgg("primary", false)
+	defer primary.Stop()
+	backup := mkAgg("backup", true)
+	defer backup.Stop()
+
+	// The primary serves its mirrors so the watchdog can probe it.
+	if _, err := primary.Listen("mem", "primary"); err != nil {
+		t.Fatal(err)
+	}
+
+	w := New(sch, Config{
+		Name:     "primary-watch",
+		Probe:    DialProbe(mem, "primary"),
+		Failures: 2,
+		Interval: 2 * time.Second,
+		OnFail: func() {
+			backup.Producer("n1").Activate()
+		},
+	})
+	defer w.Stop()
+
+	sch.AdvanceBy(10 * time.Second)
+	if primary.Stats().UpdatesFresh == 0 {
+		t.Fatal("primary pulled nothing")
+	}
+	if backup.Stats().Updates != 0 {
+		t.Fatal("standby pulled before failover")
+	}
+
+	// Primary dies.
+	primary.Stop()
+	sch.AdvanceBy(10 * time.Second)
+	if !w.Down() {
+		t.Fatal("watchdog did not notice the dead primary")
+	}
+	if backup.Stats().UpdatesFresh == 0 {
+		t.Fatal("standby not pulling after failover")
+	}
+}
