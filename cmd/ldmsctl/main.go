@@ -7,7 +7,12 @@
 //
 //	ldmsctl -S /tmp/ldmsd.sock load name=meminfo
 //	ldmsctl -S /tmp/ldmsd.sock start name=meminfo interval=1000000
+//	ldmsctl -S /tmp/ldmsd.sock updtr_status
 //	echo -e "dir\nstats" | ldmsctl -S /tmp/ldmsd.sock -
+//
+// On an aggregator, "updtr_status" reports the pull path's concurrency
+// counters (passes, in-flight producer pulls, last pass latency, skipped
+// busy passes) and "stats" includes the aggregate skipped_busy count.
 package main
 
 import (

@@ -28,10 +28,13 @@ import (
 //	prdcr_activate name=<p>      (failover: begin pulling a standby)
 //	prdcr_deactivate name=<p>
 //	updtr_add name=<u> interval=<us|dur> [offset=<us|dur>] [synchronous=1]
+//	             [concurrency=<n>] [batch=<n>]
 //	updtr_prdcr_add name=<u> prdcr=<p>
+//	updtr_prdcr_del name=<u> prdcr=<p>
 //	updtr_match_add name=<u> match=<substring>
 //	updtr_start name=<u>
 //	updtr_stop name=<u>
+//	updtr_status                 (per-updater pull-path counters)
 //	strgp_add name=<s> plugin=<store> schema=<schema> container=<path> [k=v ...]
 //	strgp_metric_add name=<s> metric=<m>[,<m>...]
 //	strgp_start name=<s>         (accepted; stores start lazily)
@@ -75,6 +78,10 @@ func (d *Daemon) Exec(line string) (string, error) {
 		return d.cmdUpdtrAdd(args)
 	case "updtr_prdcr_add":
 		return d.cmdUpdtrPrdcrAdd(args)
+	case "updtr_prdcr_del":
+		return d.cmdUpdtrPrdcrDel(args)
+	case "updtr_status":
+		return d.cmdUpdtrStatus()
 	case "updtr_match_add":
 		return d.cmdUpdtrMatchAdd(args)
 	case "updtr_start":
@@ -361,8 +368,32 @@ func (d *Daemon) cmdUpdtrAdd(args map[string]string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	_, err = d.AddUpdater(name, interval, offset, args["synchronous"] == "1")
-	return "", err
+	concurrency, batch := -1, -1
+	if v := args["concurrency"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return "", fmt.Errorf("ldmsd: bad concurrency %q", v)
+		}
+		concurrency = n
+	}
+	if v := args["batch"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("ldmsd: bad batch %q", v)
+		}
+		batch = n
+	}
+	u, err := d.AddUpdater(name, interval, offset, args["synchronous"] == "1")
+	if err != nil {
+		return "", err
+	}
+	if concurrency >= 0 {
+		u.SetConcurrency(concurrency)
+	}
+	if batch >= 1 {
+		u.SetBatch(batch)
+	}
+	return "", nil
 }
 
 func (d *Daemon) needUpdater(args map[string]string) (*Updater, error) {
@@ -379,6 +410,45 @@ func (d *Daemon) cmdUpdtrPrdcrAdd(args map[string]string) (string, error) {
 		return "", err
 	}
 	return "", u.AddProducer(args["prdcr"])
+}
+
+func (d *Daemon) cmdUpdtrPrdcrDel(args map[string]string) (string, error) {
+	u, err := d.needUpdater(args)
+	if err != nil {
+		return "", err
+	}
+	if args["prdcr"] == "" {
+		return "", fmt.Errorf("ldmsd: updtr_prdcr_del requires prdcr=")
+	}
+	u.RemoveProducer(args["prdcr"])
+	return "", nil
+}
+
+// cmdUpdtrStatus renders per-updater pull-path counters: one line per
+// updater in name order.
+func (d *Daemon) cmdUpdtrStatus() (string, error) {
+	d.mu.Lock()
+	updtrs := mapValues(d.updtrs)
+	d.mu.Unlock()
+	var lines []string
+	for _, u := range updtrs {
+		u.mu.Lock()
+		state := "stopped"
+		if u.started {
+			state = "running"
+		}
+		nprdcr := len(u.producers)
+		conc := u.concurrency
+		batch := u.batch
+		interval := u.interval
+		u.mu.Unlock()
+		lines = append(lines, fmt.Sprintf(
+			"name=%s state=%s interval=%s producers=%d concurrency=%d batch=%d passes=%d inflight=%d last_pass_us=%d updates=%d skipped_busy=%d errors=%d",
+			u.name, state, interval, nprdcr, conc, batch,
+			u.passes.Load(), u.inflight.Load(), u.lastPassNanos.Load()/1000,
+			u.updates.Load(), u.skippedBusy.Load(), u.errors.Load()))
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
 func (d *Daemon) cmdUpdtrMatchAdd(args map[string]string) (string, error) {
@@ -479,6 +549,7 @@ func (d *Daemon) cmdStats() (string, error) {
 		fmt.Sprintf("stale=%d", st.UpdatesStale),
 		fmt.Sprintf("inconsistent=%d", st.UpdatesInconsistent),
 		fmt.Sprintf("update_errors=%d", st.UpdateErrors),
+		fmt.Sprintf("skipped_busy=%d", st.UpdatesSkippedBusy),
 		fmt.Sprintf("stored_rows=%d", st.StoredRows),
 	}
 	sort.Strings(keys)

@@ -43,6 +43,10 @@ type Options struct {
 	// ConnWorkers sizes the connection-setup pool (paper: a separate pool
 	// so hung connection attempts cannot starve collector threads).
 	ConnWorkers int
+	// UpdateWorkers sizes the update pull pool, on which updaters fan out
+	// per-producer pulls within a pass (real-clock mode only; virtual-time
+	// daemons pull sequentially for determinism). Defaults to Workers.
+	UpdateWorkers int
 	// Memory is the metric-set memory budget in bytes (the -m flag).
 	Memory int
 	// FS is the node's /proc//sys source for sampling plugins.
@@ -59,6 +63,7 @@ type Daemon struct {
 	sch    *sched.Scheduler
 	ownSch bool
 	conn   *sched.Pool
+	upd    *sched.Pool // update pull fan-out; nil under a virtual clock
 	arena  *mmgr.Arena
 	fs     procfs.FS
 	compID uint64
@@ -109,13 +114,13 @@ func New(opts Options) (*Daemon, error) {
 		strgps:     make(map[string]*StoragePolicy),
 	}
 	d.srv = transport.NewServer(d.reg)
+	w := opts.Workers
+	if w <= 0 {
+		w = 4
+	}
 	if opts.Scheduler != nil {
 		d.sch = opts.Scheduler
 	} else {
-		w := opts.Workers
-		if w <= 0 {
-			w = 4
-		}
 		d.sch = sched.NewReal(w)
 		d.ownSch = true
 		cw := opts.ConnWorkers
@@ -123,6 +128,13 @@ func New(opts Options) (*Daemon, error) {
 			cw = 2
 		}
 		d.conn = sched.NewPool(cw, 4*cw+8)
+	}
+	if !d.sch.Virtual() {
+		uw := opts.UpdateWorkers
+		if uw <= 0 {
+			uw = w
+		}
+		d.upd = sched.NewPool(uw, 4*uw+8)
 	}
 	for _, f := range opts.Transports {
 		d.transports[f.Name()] = f
@@ -179,12 +191,16 @@ func (d *Daemon) Listen(transportName, addr string) (string, error) {
 // submitConn runs connection work on the connection pool in real-time mode
 // or inline under a virtual scheduler.
 func (d *Daemon) submitConn(f func()) {
-	if d.conn != nil {
-		d.conn.Submit(f)
+	if d.conn != nil && d.conn.Submit(f) {
 		return
 	}
 	f()
 }
+
+// updatePool returns the update pull fan-out pool, or nil when the daemon
+// runs under a virtual clock (pulls then stay sequential and
+// deterministic).
+func (d *Daemon) updatePool() *sched.Pool { return d.upd }
 
 // Stop halts all policies, closes listeners and producer connections, and
 // (if owned) stops the scheduler.
@@ -218,6 +234,9 @@ func (d *Daemon) Stop() {
 	}
 	if d.ownSch {
 		d.sch.Stop()
+	}
+	if d.upd != nil {
+		d.upd.Stop()
 	}
 	if d.conn != nil {
 		d.conn.Stop()
@@ -256,6 +275,7 @@ type Stats struct {
 	UpdatesStale        int64 // pulls skipped: DGN unchanged
 	UpdatesInconsistent int64
 	UpdateErrors        int64
+	UpdatesSkippedBusy  int64 // passes skipped because the previous one was in flight
 	StoredRows          int64
 }
 
@@ -276,6 +296,7 @@ func (d *Daemon) Stats() Stats {
 		st.UpdatesStale += u.stale.Load()
 		st.UpdatesInconsistent += u.inconsistent.Load()
 		st.UpdateErrors += u.errors.Load()
+		st.UpdatesSkippedBusy += u.skippedBusy.Load()
 	}
 	for _, sp := range d.strgps {
 		st.StoredRows += sp.rows.Load()

@@ -22,6 +22,13 @@ import (
 // time; a firing that arrives while the previous pass is still in flight is
 // skipped and the sets are retried at the next interval, matching the
 // paper's "bypasses and later retries non-reporting hosts".
+//
+// Within a pass, producers are pulled concurrently on the daemon's update
+// pool (real-clock mode only; virtual-time runs stay sequential so
+// simulated experiments remain exactly ordered), and each producer's due
+// sets are pipelined in transport-level batches. Per-producer pull state
+// stays single-owner: one goroutine per producer per pass, with the state
+// map itself guarded separately.
 type Updater struct {
 	d        *Daemon
 	name     string
@@ -30,14 +37,20 @@ type Updater struct {
 	synced   bool
 	timeout  time.Duration
 
-	mu        sync.Mutex
-	producers []string
-	matchFn   func(instance string) bool
-	task      *sched.Task
-	started   bool
+	mu          sync.Mutex
+	producers   []string
+	matchFn     func(instance string) bool
+	task        *sched.Task
+	started     bool
+	concurrency int // max producers pulled in parallel; 0 = pool-bound, 1 = sequential
+	batch       int // update requests pipelined per transport batch
 
-	busy  atomic.Bool
-	state map[string]*updProducerState // owned by the single running pass
+	busy atomic.Bool
+
+	// smu guards the state map's structure. Each value is owned by the
+	// single goroutine pulling that producer during a pass.
+	smu   sync.Mutex
+	state map[string]*updProducerState
 
 	lookups      atomic.Int64
 	updates      atomic.Int64
@@ -46,13 +59,24 @@ type Updater struct {
 	inconsistent atomic.Int64
 	errors       atomic.Int64
 	skippedBusy  atomic.Int64
+
+	passes        atomic.Int64
+	inflight      atomic.Int64 // producer pulls currently in flight
+	lastPassNanos atomic.Int64 // wall time of the last completed pass
 }
+
+// defaultUpdateBatch is how many update requests an updater pipelines per
+// transport batch unless configured otherwise.
+const defaultUpdateBatch = 32
 
 // updProducerState is the updater's pull state for one producer connection
 // epoch.
 type updProducerState struct {
 	epoch uint64
 	sets  map[string]*updSet
+	// Scratch reused across passes by this producer's pull goroutine.
+	due []*updSet
+	ops []transport.UpdateOp
 }
 
 // updSet is the pull state for one remote metric set.
@@ -83,6 +107,7 @@ func (d *Daemon) AddUpdater(name string, interval, offset time.Duration, synchro
 		offset:   offset,
 		synced:   synchronous,
 		timeout:  interval,
+		batch:    defaultUpdateBatch,
 		state:    make(map[string]*updProducerState),
 	}
 	d.updtrs[name] = u
@@ -107,12 +132,47 @@ func (u *Updater) AddProducer(prdcrName string) error {
 	return nil
 }
 
+// RemoveProducer detaches a producer from the pull group. Its pull state
+// (mirrors, registry entries, arena memory) is released at the end of the
+// next update pass.
+func (u *Updater) RemoveProducer(prdcrName string) {
+	u.mu.Lock()
+	for i, n := range u.producers {
+		if n == prdcrName {
+			u.producers = append(u.producers[:i], u.producers[i+1:]...)
+			break
+		}
+	}
+	u.mu.Unlock()
+}
+
 // SetMatch restricts the updater to set instances for which match returns
 // true (nil matches everything).
 func (u *Updater) SetMatch(match func(instance string) bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.matchFn = match
+}
+
+// SetConcurrency caps how many producers this updater pulls in parallel
+// within one pass: 1 forces sequential pulls, 0 (the default) leaves the
+// daemon's update pool as the only bound. Virtual-time daemons always pull
+// sequentially regardless.
+func (u *Updater) SetConcurrency(n int) {
+	u.mu.Lock()
+	u.concurrency = n
+	u.mu.Unlock()
+}
+
+// SetBatch sets how many update requests the updater pipelines per
+// transport batch (minimum 1, meaning one blocking round trip per set).
+func (u *Updater) SetBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	u.mu.Lock()
+	u.batch = n
+	u.mu.Unlock()
 }
 
 // Start arms the update schedule. The schedule is fixed once started.
@@ -145,83 +205,213 @@ func (u *Updater) run(now time.Time) {
 		return
 	}
 	defer u.busy.Store(false)
+	start := time.Now()
 
 	u.mu.Lock()
 	prdcrs := append([]string(nil), u.producers...)
 	match := u.matchFn
+	conc := u.concurrency
 	u.mu.Unlock()
 
-	for _, name := range prdcrs {
-		p := u.d.Producer(name)
-		if p == nil {
+	pool := u.d.updatePool()
+	if pool == nil || conc == 1 || len(prdcrs) < 2 {
+		for _, name := range prdcrs {
+			u.pullProducer(name, match, now)
+		}
+	} else {
+		if conc <= 0 || conc > len(prdcrs) {
+			conc = len(prdcrs)
+		}
+		sem := make(chan struct{}, conc)
+		var wg sync.WaitGroup
+		for _, name := range prdcrs {
+			name := name
+			sem <- struct{}{}
+			wg.Add(1)
+			job := func() {
+				defer func() { <-sem; wg.Done() }()
+				u.pullProducer(name, match, now)
+			}
+			if !pool.Submit(job) {
+				// Pool stopped (daemon shutting down): finish inline.
+				job()
+			}
+		}
+		wg.Wait()
+	}
+
+	u.prune(prdcrs)
+	u.passes.Add(1)
+	u.lastPassNanos.Store(time.Since(start).Nanoseconds())
+}
+
+// pullProducer runs one producer's share of an update pass: directory
+// refresh if needed, lookups for new sets, then pipelined data pulls.
+func (u *Updater) pullProducer(name string, match func(string) bool, now time.Time) {
+	u.inflight.Add(1)
+	defer u.inflight.Add(-1)
+
+	p := u.d.Producer(name)
+	if p == nil {
+		return
+	}
+	conn, names, epoch, ok := p.snapshot()
+	if !ok {
+		return
+	}
+	if len(names) == 0 {
+		// The target had no sets when we connected (e.g. an aggregator
+		// whose own lookups had not completed). Refresh the directory.
+		ctx, cancel := u.ctx()
+		fresh, err := conn.Dir(ctx)
+		cancel()
+		if err != nil {
+			p.disconnected(epoch)
+			return
+		}
+		names = fresh
+		p.updateDir(epoch, fresh)
+	}
+
+	ps := u.producerState(name, epoch, names)
+	failed := false
+	due := ps.due[:0]
+	for _, sn := range names {
+		us := ps.sets[sn]
+		if us == nil {
+			us = &updSet{name: sn}
+			ps.sets[sn] = us
+		}
+		if match != nil && !match(sn) {
 			continue
 		}
-		conn, names, epoch, ok := p.snapshot()
-		if !ok {
+		if us.remote == nil {
+			if !u.lookupSet(conn, us) {
+				failed = true
+				break
+			}
+			// Data update happens on the next pass (paper Fig. 2 flow).
 			continue
 		}
-		if len(names) == 0 {
-			// The target had no sets when we connected (e.g. an aggregator
-			// whose own lookups had not completed). Refresh the directory.
-			ctx, cancel := u.ctx()
-			fresh, err := conn.Dir(ctx)
-			cancel()
-			if err != nil {
-				p.disconnected(epoch)
-				continue
-			}
-			names = fresh
-			p.updateDir(epoch, fresh)
+		due = append(due, us)
+	}
+	ps.due = due
+
+	batch := u.batchSize()
+	for lo := 0; lo < len(due) && !failed; lo += batch {
+		hi := min(lo+batch, len(due))
+		ops := ps.ops[:0]
+		for _, us := range due[lo:hi] {
+			ops = append(ops, transport.UpdateOp{Set: us.remote, Dst: us.buf})
 		}
-		ps := u.state[name]
-		if ps == nil || ps.epoch != epoch {
-			// New connection epoch: connection-scoped lookup handles are
-			// void. Mirrors are reused on re-lookup when metadata matches.
-			old := ps
-			ps = &updProducerState{epoch: epoch, sets: make(map[string]*updSet)}
-			for _, sn := range names {
-				us := &updSet{name: sn}
-				if old != nil {
-					if prev, okp := old.sets[sn]; okp {
-						us.mirror = prev.mirror
-						us.buf = prev.buf
-						us.inReg = prev.inReg
-					}
-				}
-				ps.sets[sn] = us
-			}
-			u.state[name] = ps
-		}
-		failed := false
-		for _, sn := range names {
-			us := ps.sets[sn]
-			if us == nil {
-				us = &updSet{name: sn}
-				ps.sets[sn] = us
-			}
-			if match != nil && !match(sn) {
-				continue
-			}
-			if us.remote == nil {
-				if !u.lookupSet(conn, us) {
-					failed = true
-					break
-				}
-				// Data update happens on the next pass (paper Fig. 2 flow).
-				continue
-			}
-			if !u.updateSet(us, now) {
+		ps.ops = ops
+		ctx, cancel := u.ctx()
+		transport.UpdateAll(ctx, conn, ops)
+		cancel()
+		for i, us := range due[lo:hi] {
+			if !u.finishUpdate(us, ops[i].N, ops[i].Err) {
 				failed = true
 				break
 			}
 		}
-		if failed {
-			p.disconnected(epoch)
+	}
+	if failed {
+		p.disconnected(epoch)
+	}
+}
+
+// producerState returns the pull state for one producer connection epoch,
+// building a fresh one (reusing mirrors where possible) when the epoch
+// advanced. Sets that existed under the old epoch but vanished from the
+// directory are released.
+func (u *Updater) producerState(name string, epoch uint64, names []string) *updProducerState {
+	u.smu.Lock()
+	ps := u.state[name]
+	if ps != nil && ps.epoch == epoch {
+		u.smu.Unlock()
+		return ps
+	}
+	// New connection epoch: connection-scoped lookup handles are void.
+	// Mirrors are reused on re-lookup when metadata matches.
+	old := ps
+	ps = &updProducerState{epoch: epoch, sets: make(map[string]*updSet)}
+	for _, sn := range names {
+		us := &updSet{name: sn}
+		if old != nil {
+			if prev, okp := old.sets[sn]; okp {
+				us.mirror = prev.mirror
+				us.buf = prev.buf
+				us.inReg = prev.inReg
+				delete(old.sets, sn)
+			}
+		}
+		ps.sets[sn] = us
+	}
+	u.state[name] = ps
+	u.smu.Unlock()
+	if old != nil {
+		// Whatever was not carried over is gone from the directory.
+		for _, prev := range old.sets {
+			u.releaseSet(prev)
+		}
+	}
+	return ps
+}
+
+// prune drops pull state for producers that left the updater's group or
+// were removed from the daemon, releasing their mirrors, registry entries,
+// and arena memory. It runs at the end of each pass, after every producer
+// goroutine has finished.
+func (u *Updater) prune(current []string) {
+	live := make(map[string]bool, len(current))
+	for _, n := range current {
+		if u.d.Producer(n) != nil {
+			live[n] = true
+		}
+	}
+	u.smu.Lock()
+	var victims []*updProducerState
+	for name, ps := range u.state {
+		if !live[name] {
+			victims = append(victims, ps)
+			delete(u.state, name)
+		}
+	}
+	u.smu.Unlock()
+	for _, ps := range victims {
+		for _, us := range ps.sets {
+			u.releaseSet(us)
 		}
 	}
 }
 
-// ctx returns the deadline context for one transport operation.
+// releaseSet drops one set's mirror: out of the daemon registry, its arena
+// chunks freed.
+func (u *Updater) releaseSet(us *updSet) {
+	if us.mirror != nil {
+		if us.inReg {
+			u.d.reg.Remove(us.name)
+			us.inReg = false
+		}
+		us.mirror.Delete()
+		us.mirror = nil
+	}
+	us.remote = nil
+	us.buf = nil
+}
+
+// batchSize returns the configured pipeline batch size (>= 1).
+func (u *Updater) batchSize() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.batch < 1 {
+		return 1
+	}
+	return u.batch
+}
+
+// ctx returns the deadline context for one transport operation (or one
+// pipelined batch of them).
 func (u *Updater) ctx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), u.timeout)
 }
@@ -267,13 +457,10 @@ func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
 	return true
 }
 
-// updateSet pulls one set's data chunk and, when it is fresh and
-// consistent, hands it to storage. It reports false on a connection-level
-// failure.
-func (u *Updater) updateSet(us *updSet, now time.Time) bool {
-	ctx, cancel := u.ctx()
-	defer cancel()
-	n, err := us.remote.Update(ctx, us.buf)
+// finishUpdate applies one completed data pull: fresh consistent data goes
+// to storage, stale or torn samples are counted and skipped. It reports
+// false on a connection-level failure.
+func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	if err != nil {
 		u.errors.Add(1)
 		return false

@@ -1,0 +1,97 @@
+package ldmsd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"goldms/internal/transport"
+)
+
+// BenchmarkUpdaterFanIn measures one full update pass pulling N sets
+// spread over 8 producers, with the mem transport charging a simulated
+// round-trip latency per operation (one RTT per op sequentially, one per
+// pipelined batch). "sequential" is the pre-pipelining pull path: one
+// producer at a time, one blocking round trip per set. "pipelined" fans
+// producers onto the update pool and batches each producer's pulls.
+//
+// Run with -benchmem to see the pooled-buffer effect on allocs/op.
+func BenchmarkUpdaterFanIn(b *testing.B) {
+	const (
+		producers = 8
+		rtt       = 200 * time.Microsecond
+	)
+	for _, nsets := range []int{64, 256, 1024} {
+		for _, mode := range []string{"sequential", "pipelined"} {
+			b.Run(fmt.Sprintf("sets=%d/%s", nsets, mode), func(b *testing.B) {
+				net := transport.NewNetwork()
+				fac := transport.MemFactory{Net: net, Delay: func(addr, op string) {
+					time.Sleep(rtt)
+				}}
+				perProducer := nsets / producers
+				for i := 0; i < producers; i++ {
+					name := fmt.Sprintf("p%d", i)
+					reg := benchRegistry(b, name, perProducer)
+					if _, err := fac.Listen(name, transport.NewServer(reg)); err != nil {
+						b.Fatal(err)
+					}
+				}
+
+				agg, err := New(Options{
+					Name:          "agg",
+					Workers:       producers,
+					UpdateWorkers: producers,
+					Memory:        64 << 20,
+					Transports:    []transport.Factory{fac},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer agg.Stop()
+				for i := 0; i < producers; i++ {
+					name := fmt.Sprintf("p%d", i)
+					p, err := agg.AddProducer(name, "mem", name, 10*time.Millisecond, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Start()
+				}
+				// The updater is never Started: the benchmark drives passes
+				// directly. A long interval keeps the per-op timeout generous.
+				u, err := agg.AddUpdater("u", time.Minute, 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < producers; i++ {
+					u.AddProducer(fmt.Sprintf("p%d", i))
+				}
+				if mode == "sequential" {
+					u.SetConcurrency(1)
+					u.SetBatch(1)
+				}
+				waitUntil(b, 10*time.Second, func() bool {
+					for i := 0; i < producers; i++ {
+						if agg.Producer(fmt.Sprintf("p%d", i)).State() != ProducerConnected {
+							return false
+						}
+					}
+					return true
+				}, "producers to connect")
+
+				// Warm up: pass 1 performs lookups, pass 2 the first pulls.
+				u.run(time.Now())
+				u.run(time.Now())
+				if got := int(u.updates.Load()); got != nsets {
+					b.Fatalf("warmup pulled %d sets, want %d", got, nsets)
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					u.run(time.Now())
+				}
+				b.StopTimer()
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goldms/internal/mmgr"
@@ -107,17 +108,10 @@ func New(instance string, schema *Schema, opts ...Option) (*Set, error) {
 }
 
 // mgnCounter provides unique initial metadata generation numbers.
-var (
-	mgnMu      sync.Mutex
-	mgnCounter uint64 = 1
-)
+var mgnCounter atomic.Uint64
 
 func newMGN() uint64 {
-	mgnMu.Lock()
-	defer mgnMu.Unlock()
-	v := mgnCounter
-	mgnCounter++
-	return v
+	return mgnCounter.Add(1)
 }
 
 // Delete releases the set's chunks back to its arena, if any. The set must
@@ -232,6 +226,46 @@ func (s *Set) SetValue(i int, v Value) {
 	s.mu.Lock()
 	s.put(off, t, convertBits(v, t))
 	le.PutUint64(s.data[offDGN:], le.Uint64(s.data[offDGN:])+1)
+	s.mu.Unlock()
+}
+
+// Batch is a write handle over a set whose lock is already held, created by
+// SetValues. It lets a sampling pass store every metric of the pass under a
+// single lock acquisition instead of one per metric.
+type Batch struct {
+	s   *Set
+	dgn uint64
+}
+
+// SetValue stores v into metric i, converting to the metric's declared
+// type. The DGN still advances once per element, applied when the batch
+// ends.
+func (b *Batch) SetValue(i int, v Value) {
+	off := b.s.schema.offsets[i]
+	t := b.s.schema.defs[i].Type
+	b.s.put(off, t, convertBits(v, t))
+	b.dgn++
+}
+
+// SetU64 stores an unsigned integer into metric i.
+func (b *Batch) SetU64(i int, v uint64) { b.SetValue(i, Value{TypeU64, v}) }
+
+// SetS64 stores a signed integer into metric i.
+func (b *Batch) SetS64(i int, v int64) { b.SetValue(i, S64Value(v)) }
+
+// SetF64 stores a float into metric i.
+func (b *Batch) SetF64(i int, v float64) { b.SetValue(i, F64Value(v)) }
+
+// SetValues runs fn with a write batch, taking the set lock exactly once
+// for the whole pass. Sampling plugins that store many metrics per sample
+// use this instead of per-metric SetValue calls, which each lock.
+func (s *Set) SetValues(fn func(*Batch)) {
+	s.mu.Lock()
+	b := Batch{s: s}
+	fn(&b)
+	if b.dgn > 0 {
+		le.PutUint64(s.data[offDGN:], le.Uint64(s.data[offDGN:])+b.dgn)
+	}
 	s.mu.Unlock()
 }
 

@@ -130,6 +130,29 @@ func TestDGNIncrementsPerElement(t *testing.T) {
 	}
 }
 
+func TestSetValuesBatch(t *testing.T) {
+	set, _ := New("s", testSchema(t))
+	d0 := set.DGN()
+	set.SetValues(func(b *Batch) {
+		b.SetU64(0, 11)
+		b.SetU64(1, 22)
+		b.SetF64(3, 1.5)
+		b.SetS64(5, -4)
+	})
+	// DGN advances once per element, exactly as per-metric SetValue does.
+	if got := set.DGN(); got != d0+4 {
+		t.Errorf("DGN = %d want %d", got, d0+4)
+	}
+	if set.U64(0) != 11 || set.U64(1) != 22 || set.F64(3) != 1.5 || set.S64(5) != -4 {
+		t.Errorf("batch values = %d %d %g %d", set.U64(0), set.U64(1), set.F64(3), set.S64(5))
+	}
+	// An empty batch leaves the DGN untouched.
+	set.SetValues(func(b *Batch) {})
+	if got := set.DGN(); got != d0+4 {
+		t.Errorf("DGN after empty batch = %d want %d", got, d0+4)
+	}
+}
+
 func TestConsistentFlagDuringTransaction(t *testing.T) {
 	set, _ := New("s", testSchema(t))
 	set.BeginTransaction()

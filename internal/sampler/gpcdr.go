@@ -76,63 +76,65 @@ func (p *gpcdr) Sample(now time.Time) error {
 	var sampleNs uint64
 
 	p.set.BeginTransaction()
-	eachLine(b, func(line []byte) bool {
-		key, pos := firstWord(line)
-		idx, ok := p.rawIdx[string(key)]
-		if !ok {
-			return true
-		}
-		v, _, okv := parseUint(line, pos)
-		if !okv {
-			return true
-		}
-		p.set.SetU64(idx, v)
-		k := string(key)
-		if k == "sampletime_ns" {
-			sampleNs = v
-			return true
-		}
-		for d, dir := range procfs.GeminiDirs {
-			if len(k) > len(dir) && k[:len(dir)] == dir && k[len(dir)] == '_' {
-				switch k[len(dir)+1:] {
-				case "credit_stall":
-					credit[d] = v
-				case "traffic":
-					traffic[d] = v
-				case "max_bw_mbps":
-					maxBW[d] = v
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			idx, ok := p.rawIdx[string(key)]
+			if !ok {
+				return true
+			}
+			v, _, okv := parseUint(line, pos)
+			if !okv {
+				return true
+			}
+			bt.SetU64(idx, v)
+			k := string(key)
+			if k == "sampletime_ns" {
+				sampleNs = v
+				return true
+			}
+			for d, dir := range procfs.GeminiDirs {
+				if len(k) > len(dir) && k[:len(dir)] == dir && k[len(dir)] == '_' {
+					switch k[len(dir)+1:] {
+					case "credit_stall":
+						credit[d] = v
+					case "traffic":
+						traffic[d] = v
+					case "max_bw_mbps":
+						maxBW[d] = v
+					}
+					break
 				}
-				break
+			}
+			return true
+		})
+
+		if sampleNs == 0 {
+			sampleNs = uint64(now.UnixNano())
+		}
+		if p.havePrev && sampleNs > p.prevTimeNs {
+			dtNs := float64(sampleNs - p.prevTimeNs)
+			for d := range procfs.GeminiDirs {
+				stallPct := 100 * float64(credit[d]-p.prevCredit[d]) / dtNs
+				if credit[d] < p.prevCredit[d] {
+					stallPct = 0 // counter reset
+				}
+				bt.SetF64(p.stallIdx[d], clampPct(stallPct))
+
+				bwPct := 0.0
+				if maxBW[d] > 0 && traffic[d] >= p.prevTraffic[d] {
+					bytesPerSec := float64(traffic[d]-p.prevTraffic[d]) / (dtNs / 1e9)
+					bwPct = 100 * bytesPerSec / (float64(maxBW[d]) * 1e6)
+				}
+				bt.SetF64(p.bwIdx[d], clampPct(bwPct))
+			}
+		} else {
+			for d := range procfs.GeminiDirs {
+				bt.SetF64(p.stallIdx[d], 0)
+				bt.SetF64(p.bwIdx[d], 0)
 			}
 		}
-		return true
 	})
-
-	if sampleNs == 0 {
-		sampleNs = uint64(now.UnixNano())
-	}
-	if p.havePrev && sampleNs > p.prevTimeNs {
-		dtNs := float64(sampleNs - p.prevTimeNs)
-		for d := range procfs.GeminiDirs {
-			stallPct := 100 * float64(credit[d]-p.prevCredit[d]) / dtNs
-			if credit[d] < p.prevCredit[d] {
-				stallPct = 0 // counter reset
-			}
-			p.set.SetF64(p.stallIdx[d], clampPct(stallPct))
-
-			bwPct := 0.0
-			if maxBW[d] > 0 && traffic[d] >= p.prevTraffic[d] {
-				bytesPerSec := float64(traffic[d]-p.prevTraffic[d]) / (dtNs / 1e9)
-				bwPct = 100 * bytesPerSec / (float64(maxBW[d]) * 1e6)
-			}
-			p.set.SetF64(p.bwIdx[d], clampPct(bwPct))
-		}
-	} else {
-		for d := range procfs.GeminiDirs {
-			p.set.SetF64(p.stallIdx[d], 0)
-			p.set.SetF64(p.bwIdx[d], 0)
-		}
-	}
 	p.prevCredit, p.prevTraffic, p.prevTimeNs = credit, traffic, sampleNs
 	p.havePrev = true
 	p.set.EndTransaction(now)

@@ -50,15 +50,22 @@ func newIB(cfg Config) (Plugin, error) {
 // Sample implements Plugin.
 func (p *ib) Sample(now time.Time) error {
 	p.set.BeginTransaction()
+	// Read outside the batch so file I/O never runs under the set lock.
+	chunks := make([][]byte, len(p.paths))
 	for i, path := range p.paths {
 		b, err := p.fs.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("sampler ib: %w", err)
 		}
-		if v, _, ok := parseUint(b, 0); ok {
-			p.set.SetU64(i, v)
-		}
+		chunks[i] = b
 	}
+	p.set.SetValues(func(bt *metric.Batch) {
+		for i, b := range chunks {
+			if v, _, ok := parseUint(b, 0); ok {
+				bt.SetU64(i, v)
+			}
+		}
+	})
 	p.set.EndTransaction(now)
 	return nil
 }

@@ -38,19 +38,21 @@ func (p *jobid) Sample(now time.Time) error {
 		return fmt.Errorf("sampler jobid: %w", err)
 	}
 	p.set.BeginTransaction()
-	eachLine(b, func(line []byte) bool {
-		key, pos := firstWord(line)
-		v, _, ok := parseUint(line, pos)
-		if !ok {
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			v, _, ok := parseUint(line, pos)
+			if !ok {
+				return true
+			}
+			switch string(key) {
+			case "jobid":
+				bt.SetU64(0, v)
+			case "uid":
+				bt.SetU64(1, v)
+			}
 			return true
-		}
-		switch string(key) {
-		case "jobid":
-			p.set.SetU64(0, v)
-		case "uid":
-			p.set.SetU64(1, v)
-		}
-		return true
+		})
 	})
 	p.set.EndTransaction(now)
 	return nil

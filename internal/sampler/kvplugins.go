@@ -55,29 +55,31 @@ func (p *kvPlugin) Sample(now time.Time) error {
 	}
 	p.set.BeginTransaction()
 	i := 0
-	eachLine(b, func(line []byte) bool {
-		key, pos := firstWord(line)
-		if len(key) == 0 {
-			return true
-		}
-		idx := i
-		if idx >= p.set.Card() || p.set.MetricName(idx) != string(key) {
-			var ok bool
-			idx, ok = p.set.MetricIndex(string(key))
-			if !ok {
-				i++
-				return true // new key appeared; schema is fixed, skip it
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			if len(key) == 0 {
+				return true
 			}
-		}
-		// Skip the delimiter (colon and/or spaces) before the number.
-		for pos < len(line) && (line[pos] == ':' || line[pos] == ' ' || line[pos] == '\t') {
-			pos++
-		}
-		if v, _, ok := parseUint(line, pos); ok {
-			p.set.SetU64(idx, v)
-		}
-		i++
-		return true
+			idx := i
+			if idx >= p.set.Card() || p.set.MetricName(idx) != string(key) {
+				var ok bool
+				idx, ok = p.set.MetricIndex(string(key))
+				if !ok {
+					i++
+					return true // new key appeared; schema is fixed, skip it
+				}
+			}
+			// Skip the delimiter (colon and/or spaces) before the number.
+			for pos < len(line) && (line[pos] == ':' || line[pos] == ' ' || line[pos] == '\t') {
+				pos++
+			}
+			if v, _, ok := parseUint(line, pos); ok {
+				bt.SetU64(idx, v)
+			}
+			i++
+			return true
+		})
 	})
 	p.set.EndTransaction(now)
 	return nil

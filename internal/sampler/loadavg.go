@@ -40,31 +40,33 @@ func (p *loadavg) Sample(now time.Time) error {
 		return fmt.Errorf("sampler loadavg: %w", err)
 	}
 	p.set.BeginTransaction()
-	pos := 0
-	for i := 0; i < 3; i++ {
-		v, next, ok := parseFloat(b, pos)
-		if !ok {
-			break
+	p.set.SetValues(func(bt *metric.Batch) {
+		pos := 0
+		for i := 0; i < 3; i++ {
+			v, next, ok := parseFloat(b, pos)
+			if !ok {
+				break
+			}
+			bt.SetF64(i, v)
+			pos = next
 		}
-		p.set.SetF64(i, v)
-		pos = next
-	}
-	// runnable/total
-	run, next, ok := parseUint(b, pos)
-	if ok {
-		p.set.SetU64(3, run)
-		pos = next
-		if pos < len(b) && b[pos] == '/' {
-			total, next2, ok2 := parseUint(b, pos+1)
-			if ok2 {
-				p.set.SetU64(4, total)
-				pos = next2
+		// runnable/total
+		run, next, ok := parseUint(b, pos)
+		if ok {
+			bt.SetU64(3, run)
+			pos = next
+			if pos < len(b) && b[pos] == '/' {
+				total, next2, ok2 := parseUint(b, pos+1)
+				if ok2 {
+					bt.SetU64(4, total)
+					pos = next2
+				}
 			}
 		}
-	}
-	if pid, _, ok := parseUint(b, pos); ok {
-		p.set.SetU64(5, pid)
-	}
+		if pid, _, ok := parseUint(b, pos); ok {
+			bt.SetU64(5, pid)
+		}
+	})
 	p.set.EndTransaction(now)
 	return nil
 }

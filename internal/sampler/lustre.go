@@ -66,22 +66,29 @@ func (p *lustre) statsPath(fsName string) string {
 // Sample implements Plugin.
 func (p *lustre) Sample(now time.Time) error {
 	p.set.BeginTransaction()
-	for _, fsName := range p.fsNames {
+	// Read outside the batch so file I/O never runs under the set lock.
+	chunks := make([][]byte, len(p.fsNames))
+	for i, fsName := range p.fsNames {
 		b, err := p.fs.ReadFile(p.statsPath(fsName))
 		if err != nil {
 			return fmt.Errorf("sampler lustre: %w", err)
 		}
-		idx := p.idx[fsName]
-		eachLine(b, func(line []byte) bool {
-			key, pos := firstWord(line)
-			if i, ok := idx[string(key)]; ok {
-				if v, _, okv := parseUint(line, pos); okv {
-					p.set.SetU64(i, v)
-				}
-			}
-			return true
-		})
+		chunks[i] = b
 	}
+	p.set.SetValues(func(bt *metric.Batch) {
+		for ci, fsName := range p.fsNames {
+			idx := p.idx[fsName]
+			eachLine(chunks[ci], func(line []byte) bool {
+				key, pos := firstWord(line)
+				if i, ok := idx[string(key)]; ok {
+					if v, _, okv := parseUint(line, pos); okv {
+						bt.SetU64(i, v)
+					}
+				}
+				return true
+			})
+		}
+	})
 	p.set.EndTransaction(now)
 	return nil
 }

@@ -97,35 +97,37 @@ func (p *procnetdev) Sample(now time.Time) error {
 		return fmt.Errorf("sampler procnetdev: %w", err)
 	}
 	p.set.BeginTransaction()
-	eachLine(b, func(line []byte) bool {
-		dev, ok := netdevName(line)
-		if !ok {
-			return true
-		}
-		baseIdx, ok := p.idx[dev]
-		if !ok {
-			return true
-		}
-		// Position after the colon.
-		pos := 0
-		for pos < len(line) && line[pos] != ':' {
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			dev, ok := netdevName(line)
+			if !ok {
+				return true
+			}
+			baseIdx, ok := p.idx[dev]
+			if !ok {
+				return true
+			}
+			// Position after the colon.
+			pos := 0
+			for pos < len(line) && line[pos] != ':' {
+				pos++
+			}
 			pos++
-		}
-		pos++
-		col, fi := 0, 0
-		for fi < len(netdevFields) {
-			v, next, okv := parseUint(line, pos)
-			if !okv {
-				break
+			col, fi := 0, 0
+			for fi < len(netdevFields) {
+				v, next, okv := parseUint(line, pos)
+				if !okv {
+					break
+				}
+				if col == netdevFieldCols[fi] {
+					bt.SetU64(baseIdx+fi, v)
+					fi++
+				}
+				col++
+				pos = next
 			}
-			if col == netdevFieldCols[fi] {
-				p.set.SetU64(baseIdx+fi, v)
-				fi++
-			}
-			col++
-			pos = next
-		}
-		return true
+			return true
+		})
 	})
 	p.set.EndTransaction(now)
 	return nil

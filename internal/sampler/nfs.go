@@ -44,33 +44,35 @@ func (p *nfs) Sample(now time.Time) error {
 		return fmt.Errorf("sampler nfs: %w", err)
 	}
 	p.set.BeginTransaction()
-	eachLine(b, func(line []byte) bool {
-		key, pos := firstWord(line)
-		switch string(key) {
-		case "rpc":
-			for i := 0; i < 3; i++ {
-				v, next, ok := parseUint(line, pos)
-				if !ok {
-					break
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			switch string(key) {
+			case "rpc":
+				for i := 0; i < 3; i++ {
+					v, next, ok := parseUint(line, pos)
+					if !ok {
+						break
+					}
+					bt.SetU64(i, v)
+					pos = next
 				}
-				p.set.SetU64(i, v)
-				pos = next
-			}
-		case "proc3":
-			// Layout: proc3 <count> <null> <getattr> <lookup> <read> <write> ...
-			pos = skipToken(line, pos) // land on <count>
-			pos = skipToken(line, pos) // skip <count>, land on <null>
-			pos = skipToken(line, pos) // skip <null>, land on <getattr>
-			for i := 3; i < len(nfsMetrics); i++ {
-				v, next, ok := parseUint(line, pos)
-				if !ok {
-					break
+			case "proc3":
+				// Layout: proc3 <count> <null> <getattr> <lookup> <read> <write> ...
+				pos = skipToken(line, pos) // land on <count>
+				pos = skipToken(line, pos) // skip <count>, land on <null>
+				pos = skipToken(line, pos) // skip <null>, land on <getattr>
+				for i := 3; i < len(nfsMetrics); i++ {
+					v, next, ok := parseUint(line, pos)
+					if !ok {
+						break
+					}
+					bt.SetU64(i, v)
+					pos = next
 				}
-				p.set.SetU64(i, v)
-				pos = next
 			}
-		}
-		return true
+			return true
+		})
 	})
 	p.set.EndTransaction(now)
 	return nil

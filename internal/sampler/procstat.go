@@ -64,31 +64,33 @@ func (p *procstat) Sample(now time.Time) error {
 	}
 	p.set.BeginTransaction()
 	cpuLine := 0
-	eachLine(b, func(line []byte) bool {
-		key, pos := firstWord(line)
-		if len(key) >= 3 && string(key[:3]) == "cpu" {
-			// Aggregate line is cpuLine 0; cores follow. Base index into
-			// the schema: line L starts at L*len(cpuFields).
-			if cpuLine <= p.ncpu {
-				baseIdx := cpuLine * len(cpuFields)
-				for f := 0; f < len(cpuFields); f++ {
-					v, next, ok := parseUint(line, pos)
-					if !ok {
-						break
+	p.set.SetValues(func(bt *metric.Batch) {
+		eachLine(b, func(line []byte) bool {
+			key, pos := firstWord(line)
+			if len(key) >= 3 && string(key[:3]) == "cpu" {
+				// Aggregate line is cpuLine 0; cores follow. Base index into
+				// the schema: line L starts at L*len(cpuFields).
+				if cpuLine <= p.ncpu {
+					baseIdx := cpuLine * len(cpuFields)
+					for f := 0; f < len(cpuFields); f++ {
+						v, next, ok := parseUint(line, pos)
+						if !ok {
+							break
+						}
+						bt.SetU64(baseIdx+f, v)
+						pos = next
 					}
-					p.set.SetU64(baseIdx+f, v)
-					pos = next
+				}
+				cpuLine++
+				return true
+			}
+			if idx, ok := p.scalars[string(key)]; ok {
+				if v, _, okv := parseUint(line, pos); okv {
+					bt.SetU64(idx, v)
 				}
 			}
-			cpuLine++
 			return true
-		}
-		if idx, ok := p.scalars[string(key)]; ok {
-			if v, _, okv := parseUint(line, pos); okv {
-				p.set.SetU64(idx, v)
-			}
-		}
-		return true
+		})
 	})
 	p.set.EndTransaction(now)
 	return nil

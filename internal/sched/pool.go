@@ -1,12 +1,3 @@
-// Package sched provides the event-scheduling substrate for ldmsd: a timer
-// heap dispatching periodic tasks onto worker pools, replacing the libevent
-// dependency of the C implementation.
-//
-// Two clock modes are supported. The real clock runs tasks on wall time, as
-// a production daemon does. The virtual clock lets whole-day
-// characterization experiments (paper §VI) run in seconds while preserving
-// exact event ordering: callers advance time explicitly and every due event
-// fires in timestamp order.
 package sched
 
 import (
@@ -19,9 +10,10 @@ import (
 // introduced to keep collector threads from starving while connection
 // attempts hang in timeout on problem nodes.
 type Pool struct {
-	ch   chan func()
-	wg   sync.WaitGroup
-	once sync.Once
+	mu      sync.RWMutex
+	ch      chan func()
+	wg      sync.WaitGroup
+	stopped bool
 }
 
 // NewPool starts n workers with the given submission queue depth.
@@ -45,15 +37,29 @@ func NewPool(n, depth int) *Pool {
 	return p
 }
 
-// Submit enqueues f, blocking while the queue is full. Submitting to a
-// stopped pool panics (as sending on a closed channel does); callers must
-// stop producers before stopping the pool.
-func (p *Pool) Submit(f func()) {
+// Submit enqueues f, blocking while the queue is full. It reports whether
+// the work was accepted: a pool that has been stopped rejects submissions
+// instead of panicking, so racing producers can drain cleanly.
+func (p *Pool) Submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.stopped {
+		return false
+	}
+	// Workers keep draining until Stop closes the channel, and Stop cannot
+	// close it while we hold the read lock, so this send always completes.
 	p.ch <- f
+	return true
 }
 
-// TrySubmit enqueues f if the queue has room, reporting whether it did.
+// TrySubmit enqueues f if the queue has room and the pool is running,
+// reporting whether it did.
 func (p *Pool) TrySubmit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.stopped {
+		return false
+	}
 	select {
 	case p.ch <- f:
 		return true
@@ -62,8 +68,15 @@ func (p *Pool) TrySubmit(f func()) bool {
 	}
 }
 
-// Stop closes the queue and waits for workers to drain it.
+// Stop closes the queue and waits for workers to drain it. Submissions
+// racing with Stop either land before the close (and are executed) or are
+// rejected; they never panic. Stop is idempotent.
 func (p *Pool) Stop() {
-	p.once.Do(func() { close(p.ch) })
+	p.mu.Lock()
+	if !p.stopped {
+		p.stopped = true
+		close(p.ch)
+	}
+	p.mu.Unlock()
 	p.wg.Wait()
 }

@@ -88,6 +88,12 @@ func NewVirtual(start time.Time) *Scheduler {
 	return &Scheduler{virtual: true, now: start}
 }
 
+// Virtual reports whether this scheduler runs on an explicit virtual clock
+// (callbacks inline, deterministic order) rather than wall time. Callers
+// that fan work out onto goroutines consult this to stay deterministic in
+// virtual-time experiments.
+func (s *Scheduler) Virtual() bool { return s.virtual }
+
 // Now returns the scheduler's current time (wall time for real schedulers).
 func (s *Scheduler) Now() time.Time {
 	if !s.virtual {

@@ -48,6 +48,44 @@ func TestPoolStopIdempotent(t *testing.T) {
 	p.Stop()
 }
 
+func TestPoolSubmitAfterStop(t *testing.T) {
+	p := NewPool(2, 4)
+	p.Stop()
+	if p.Submit(func() {}) {
+		t.Error("Submit accepted work on a stopped pool")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Error("TrySubmit accepted work on a stopped pool")
+	}
+}
+
+// TestPoolStopSubmitRace hammers Submit from several goroutines while Stop
+// runs concurrently: accepted work must all execute, rejected work must
+// not, and nothing may panic on the closed queue.
+func TestPoolStopSubmitRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		p := NewPool(2, 1)
+		var executed, accepted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if p.Submit(func() { executed.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		p.Stop()
+		wg.Wait()
+		if executed.Load() != accepted.Load() {
+			t.Fatalf("executed %d of %d accepted submissions", executed.Load(), accepted.Load())
+		}
+	}
+}
+
 func TestVirtualAdvanceFiresInOrder(t *testing.T) {
 	start := time.Unix(0, 0)
 	s := NewVirtual(start)

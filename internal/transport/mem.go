@@ -29,6 +29,12 @@ func NewNetwork() *Network {
 type MemFactory struct {
 	Net  *Network
 	Kind string
+	// Delay, when set, is invoked on connections dialed by this factory
+	// before each client operation, with the dialed address and the
+	// operation name: "dir", "lookup", "update", or — once per pipelined
+	// batch, however many ops it carries — "update_batch". Tests use it to
+	// model round-trip latency or to stall a chosen peer.
+	Delay func(addr, op string)
 }
 
 // Name returns the transport kind.
@@ -80,7 +86,7 @@ func (f MemFactory) Dial(addr string) (Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
 	}
-	return &memConn{l: l}, nil
+	return &memConn{l: l, addr: addr, delay: f.Delay}, nil
 }
 
 // memListener is a bound in-process address.
@@ -116,6 +122,8 @@ func (l *memListener) alive() bool {
 // memConn is a direct-call client connection.
 type memConn struct {
 	l      *memListener
+	addr   string
+	delay  func(addr, op string)
 	mu     sync.Mutex
 	closed bool
 }
@@ -134,11 +142,19 @@ func (c *memConn) check(ctx context.Context) error {
 	return nil
 }
 
+// pause runs the factory's Delay hook for one client operation.
+func (c *memConn) pause(op string) {
+	if c.delay != nil {
+		c.delay(c.addr, op)
+	}
+}
+
 // Dir implements Conn.
 func (c *memConn) Dir(ctx context.Context) ([]string, error) {
 	if err := c.check(ctx); err != nil {
 		return nil, err
 	}
+	c.pause("dir")
 	return c.l.srv.serveDir(), nil
 }
 
@@ -147,6 +163,7 @@ func (c *memConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
 	if err := c.check(ctx); err != nil {
 		return nil, err
 	}
+	c.pause("lookup")
 	set, metaBytes, err := c.l.srv.serveLookup(name)
 	if err != nil {
 		return nil, err
@@ -181,8 +198,43 @@ func (rs *memRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 	if err := rs.conn.check(ctx); err != nil {
 		return 0, err
 	}
+	rs.conn.pause("update")
+	return rs.fetch(dst)
+}
+
+// fetch copies the data chunk without re-checking or delaying; batch pulls
+// pay the connection check and Delay once for the whole batch.
+func (rs *memRemoteSet) fetch(dst []byte) (int, error) {
 	if len(dst) < rs.set.DataSize() {
 		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), rs.set.DataSize())
 	}
 	return rs.conn.l.srv.serveUpdate(rs.set, dst), nil
+}
+
+// UpdateBatch implements BatchUpdater: the in-process analogue of the sock
+// transport's pipelining. One connection check and one Delay invocation
+// ("update_batch") cover the whole batch, mirroring how pipelined requests
+// share a single round trip on the wire.
+func (c *memConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
+	if len(ops) == 0 {
+		return
+	}
+	for i := range ops {
+		if rs, ok := ops[i].Set.(*memRemoteSet); !ok || rs.conn != c {
+			sequentialUpdates(ctx, ops)
+			return
+		}
+	}
+	if err := c.check(ctx); err != nil {
+		failOps(ops, err)
+		return
+	}
+	c.pause("update_batch")
+	if err := c.check(ctx); err != nil {
+		failOps(ops, err)
+		return
+	}
+	for i := range ops {
+		ops[i].N, ops[i].Err = ops[i].Set.(*memRemoteSet).fetch(ops[i].Dst)
+	}
 }

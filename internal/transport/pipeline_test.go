@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"goldms/internal/metric"
+)
+
+// lookupAll looks up every named set and pairs each handle with an update
+// buffer, ready for UpdateAll.
+func lookupAll(t *testing.T, conn Conn, names []string) []UpdateOp {
+	t.Helper()
+	ops := make([]UpdateOp, len(names))
+	for i, name := range names {
+		rs, err := conn.Lookup(context.Background(), name)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+		ops[i] = UpdateOp{Set: rs, Dst: make([]byte, rs.Meta().DataSize)}
+	}
+	return ops
+}
+
+// checkOps verifies every op succeeded and mirrors carry the values
+// newTestRegistry wrote (a = 100+i).
+func checkOps(t *testing.T, ops []UpdateOp) {
+	t.Helper()
+	for i, op := range ops {
+		if op.Err != nil {
+			t.Fatalf("op %d: %v", i, op.Err)
+		}
+		mir, err := op.Set.Meta().NewMirror()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mir.LoadData(op.Dst[:op.N]); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got := mir.U64(0); got != uint64(100+i) {
+			t.Errorf("op %d: a = %d want %d", i, got, 100+i)
+		}
+	}
+}
+
+func TestSockUpdateBatch(t *testing.T) {
+	reg := newTestRegistry(t, 8)
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", NewServer(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ops := lookupAll(t, conn, reg.Dir())
+	UpdateAll(context.Background(), conn, ops)
+	checkOps(t, ops)
+
+	// A second batch reuses the same handles (and recycled buffers).
+	for i := range ops {
+		ops[i].N, ops[i].Err = 0, nil
+	}
+	UpdateAll(context.Background(), conn, ops)
+	checkOps(t, ops)
+}
+
+// TestSockPipelineSymmetricInterleave drives pipelined update batches from
+// BOTH ends of one TCP connection at once: the listener pulls the dialer's
+// sets while the dialer pulls the listener's, so update responses
+// interleave with incoming server-half requests on each side. Every op
+// must still resolve to its own set's data.
+func TestSockPipelineSymmetricInterleave(t *testing.T) {
+	aggReg := newTestRegistry(t, 6)
+	smpReg := newTestRegistry(t, 6)
+
+	peerCh := make(chan Conn, 1)
+	ln, err := SockFactory{}.ListenPeer("127.0.0.1:0", NewServer(aggReg), func(name string, conn Conn) {
+		if name == "smp" {
+			peerCh <- conn
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	dialConn, err := SockFactory{}.DialNamed(ln.Addr(), "smp", NewServer(smpReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialConn.Close()
+	aggConn := <-peerCh
+
+	aggOps := lookupAll(t, aggConn, smpReg.Dir())
+	smpOps := lookupAll(t, dialConn, aggReg.Dir())
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for i := range aggOps {
+				aggOps[i].N, aggOps[i].Err = 0, nil
+			}
+			UpdateAll(context.Background(), aggConn, aggOps)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for i := range smpOps {
+				smpOps[i].N, smpOps[i].Err = 0, nil
+			}
+			UpdateAll(context.Background(), dialConn, smpOps)
+		}
+	}()
+	wg.Wait()
+	checkOps(t, aggOps)
+	checkOps(t, smpOps)
+}
+
+// TestSockUpdateBatchMidBatchError forges a stale handle in the middle of
+// a batch: only that op may fail, the rest of the pipeline must complete.
+func TestSockUpdateBatchMidBatchError(t *testing.T) {
+	reg := newTestRegistry(t, 4)
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", NewServer(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ops := lookupAll(t, conn, reg.Dir())
+	sc := conn.(*sockConn)
+	good := ops[1].Set.(*sockRemoteSet)
+	ops[1].Set = &sockRemoteSet{conn: sc, handle: 9999, meta: good.meta}
+
+	UpdateAll(context.Background(), conn, ops)
+	if ops[1].Err == nil || !strings.Contains(ops[1].Err.Error(), "unknown set handle") {
+		t.Fatalf("forged op error = %v, want unknown set handle", ops[1].Err)
+	}
+	for i, op := range ops {
+		if i == 1 {
+			continue
+		}
+		if op.Err != nil {
+			t.Fatalf("op %d failed alongside the bad handle: %v", i, op.Err)
+		}
+		if op.N == 0 {
+			t.Fatalf("op %d fetched no data", i)
+		}
+	}
+}
+
+// TestMemUpdateBatchDelayOnce checks the mem transport charges its Delay
+// hook once per pipelined batch, not once per op.
+func TestMemUpdateBatchDelayOnce(t *testing.T) {
+	reg := newTestRegistry(t, 5)
+	var batches, perOp atomic.Int64
+	fac := MemFactory{Net: NewNetwork(), Delay: func(addr, op string) {
+		switch op {
+		case "update_batch":
+			batches.Add(1)
+		case "update":
+			perOp.Add(1)
+		}
+	}}
+	if _, err := fac.Listen("node", NewServer(reg)); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := fac.Dial("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := lookupAll(t, conn, reg.Dir())
+	UpdateAll(context.Background(), conn, ops)
+	checkOps(t, ops)
+	if got := batches.Load(); got != 1 {
+		t.Errorf("update_batch delays = %d want 1", got)
+	}
+	if got := perOp.Load(); got != 0 {
+		t.Errorf("per-op update delays = %d want 0", got)
+	}
+}
+
+// BenchmarkSockUpdate compares one-at-a-time round trips with the
+// pipelined batch path over a real TCP loopback connection.
+func BenchmarkSockUpdate(b *testing.B) {
+	const nsets = 64
+	reg := metric.NewRegistry()
+	for i := 0; i < nsets; i++ {
+		sch := metric.NewSchema(fmt.Sprintf("schema%02d", i))
+		sch.MustAddMetric("a", metric.TypeU64)
+		sch.MustAddMetric("b", metric.TypeD64)
+		set, err := metric.New(fmt.Sprintf("set%02d", i), sch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Add(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", NewServer(reg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	ops := make([]UpdateOp, nsets)
+	for i, name := range reg.Dir() {
+		rs, err := conn.Lookup(context.Background(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops[i] = UpdateOp{Set: rs, Dst: make([]byte, rs.Meta().DataSize)}
+	}
+	ctx := context.Background()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			sequentialUpdates(ctx, ops)
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			UpdateAll(ctx, conn, ops)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -125,11 +126,17 @@ type sockConn struct {
 	c   net.Conn
 	w   *bufio.Writer
 	wmu sync.Mutex
+	// scratch holds small request payloads (update handles) built under
+	// wmu, so pipelined batches write frames without per-frame allocation.
+	scratch []byte
 
-	// Client half.
+	// Client half. Each registered request ID reserves exactly one
+	// buffered slot in its response channel, so readLoop and fail deliver
+	// without blocking; a batch registers N contiguous IDs on one channel
+	// of capacity N.
 	mu     sync.Mutex
 	nextID uint64
-	wait   map[uint64]chan wireResp
+	wait   map[uint64]chan sockResp
 	closed bool
 	err    error
 
@@ -141,16 +148,24 @@ type sockConn struct {
 	onHello func(string, Conn)
 }
 
-type wireResp struct {
+// sockResp is one delivered response: either a frame (typ, payload) from
+// readLoop or a connection-level error from fail.
+type sockResp struct {
+	id      uint64
 	typ     byte
 	payload []byte
+	err     error
 }
+
+// errUnresolved marks batch ops whose response has not arrived yet; it
+// never escapes UpdateBatch.
+var errUnresolved = errors.New("transport: update response pending")
 
 func newSockConn(c net.Conn, srv *Server) *sockConn {
 	return &sockConn{
 		c:       c,
 		w:       bufio.NewWriter(c),
-		wait:    make(map[uint64]chan wireResp),
+		wait:    make(map[uint64]chan sockResp),
 		srv:     srv,
 		handles: make(map[uint32]*metric.Set),
 	}
@@ -172,7 +187,7 @@ func dialTCP(addr, name string, srv *Server) (Conn, error) {
 	return sc, nil
 }
 
-// send writes one frame under the write lock.
+// send writes one frame under the write lock and flushes.
 func (sc *sockConn) send(typ byte, id uint64, payload []byte) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
@@ -194,7 +209,9 @@ func (sc *sockConn) readLoop() {
 		}
 		switch typ {
 		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello:
-			if err := sc.serveRequest(typ, id, payload); err != nil {
+			err := sc.serveRequest(typ, id, payload)
+			putBuf(payload)
+			if err != nil {
 				sc.fail(err)
 				return
 			}
@@ -204,13 +221,17 @@ func (sc *sockConn) readLoop() {
 			delete(sc.wait, id)
 			sc.mu.Unlock()
 			if ch != nil {
-				ch <- wireResp{typ, payload}
+				ch <- sockResp{id: id, typ: typ, payload: payload}
+			} else {
+				// Cancelled or unknown request: nobody retains this.
+				putBuf(payload)
 			}
 		}
 	}
 }
 
-// serveRequest handles one request from the remote peer.
+// serveRequest handles one request from the remote peer. It must not
+// retain payload past return (readLoop recycles it).
 func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 	replyErr := func(msg string) error {
 		return sc.send(msgErrResp, id, appendString(nil, msg))
@@ -258,78 +279,99 @@ func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 		if !ok {
 			return replyErr("transport: unknown set handle")
 		}
-		buf := make([]byte, set.DataSize())
+		buf := getBuf(set.DataSize())
 		n := sc.srv.serveUpdate(set, buf)
-		return sc.send(msgUpdateResp, id, buf[:n])
+		err := sc.send(msgUpdateResp, id, buf[:n])
+		putBuf(buf)
+		return err
 	}
 	return replyErr(fmt.Sprintf("transport: unknown message type %d", typ))
 }
 
-// fail closes all outstanding waiters with the connection error.
+// fail resolves every outstanding waiter with the connection error. Each
+// registered ID holds one reserved slot in its channel, so these sends
+// never block; channels are never closed, which keeps shared batch
+// channels safe.
 func (sc *sockConn) fail(err error) {
 	sc.mu.Lock()
 	if sc.err == nil {
 		sc.err = err
 	}
+	err = sc.err
 	waiters := sc.wait
-	sc.wait = make(map[uint64]chan wireResp)
+	sc.wait = make(map[uint64]chan sockResp)
 	sc.mu.Unlock()
-	for _, ch := range waiters {
-		close(ch)
+	for id, ch := range waiters {
+		ch <- sockResp{id: id, err: err}
 	}
 }
 
-// roundTrip sends a request frame and waits for its response.
-func (sc *sockConn) roundTrip(ctx context.Context, typ byte, payload []byte) (wireResp, error) {
+// register allocates n contiguous request IDs all routed to ch, which must
+// have capacity >= n. It returns the first ID.
+func (sc *sockConn) register(n int, ch chan sockResp) (uint64, error) {
 	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	if sc.closed || sc.err != nil {
 		err := sc.err
-		sc.mu.Unlock()
 		if err == nil {
 			err = ErrClosed
 		}
-		return wireResp{}, err
+		return 0, err
 	}
-	id := sc.nextID
-	sc.nextID++
-	ch := make(chan wireResp, 1)
-	sc.wait[id] = ch
+	first := sc.nextID
+	sc.nextID += uint64(n)
+	for i := 0; i < n; i++ {
+		sc.wait[first+uint64(i)] = ch
+	}
+	return first, nil
+}
+
+// deregister drops the IDs [first, first+n) that are still waiting.
+func (sc *sockConn) deregister(first uint64, n int) {
+	sc.mu.Lock()
+	for i := 0; i < n; i++ {
+		delete(sc.wait, first+uint64(i))
+	}
 	sc.mu.Unlock()
+}
 
-	if err := sc.send(typ, id, payload); err != nil {
-		sc.mu.Lock()
-		delete(sc.wait, id)
-		sc.mu.Unlock()
-		return wireResp{}, err
+// respError decodes an error response payload (recycling it) and maps
+// well-known messages back to sentinel errors.
+func respError(payload []byte) error {
+	msg, _, err := readString(payload, 0)
+	putBuf(payload)
+	if err != nil {
+		return err
 	}
+	if msg == ErrNoSuchSet.Error() {
+		return ErrNoSuchSet
+	}
+	return fmt.Errorf("transport: remote error: %s", msg)
+}
 
+// roundTrip sends a request frame and waits for its response.
+func (sc *sockConn) roundTrip(ctx context.Context, typ byte, payload []byte) (sockResp, error) {
+	ch := make(chan sockResp, 1)
+	id, err := sc.register(1, ch)
+	if err != nil {
+		return sockResp{}, err
+	}
+	if err := sc.send(typ, id, payload); err != nil {
+		sc.deregister(id, 1)
+		return sockResp{}, err
+	}
 	select {
-	case resp, ok := <-ch:
-		if !ok {
-			sc.mu.Lock()
-			err := sc.err
-			sc.mu.Unlock()
-			if err == nil {
-				err = ErrClosed
-			}
-			return wireResp{}, err
+	case r := <-ch:
+		if r.err != nil {
+			return sockResp{}, r.err
 		}
-		if resp.typ == msgErrResp {
-			msg, _, err := readString(resp.payload, 0)
-			if err != nil {
-				return wireResp{}, err
-			}
-			if msg == ErrNoSuchSet.Error() {
-				return wireResp{}, ErrNoSuchSet
-			}
-			return wireResp{}, fmt.Errorf("transport: remote error: %s", msg)
+		if r.typ == msgErrResp {
+			return sockResp{}, respError(r.payload)
 		}
-		return resp, nil
+		return r, nil
 	case <-ctx.Done():
-		sc.mu.Lock()
-		delete(sc.wait, id)
-		sc.mu.Unlock()
-		return wireResp{}, ctx.Err()
+		sc.deregister(id, 1)
+		return sockResp{}, ctx.Err()
 	}
 }
 
@@ -339,7 +381,9 @@ func (sc *sockConn) Dir(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeDirResp(resp.payload)
+	names, err := decodeDirResp(resp.payload)
+	putBuf(resp.payload)
+	return names, err
 }
 
 // Lookup implements Conn.
@@ -353,6 +397,7 @@ func (sc *sockConn) Lookup(ctx context.Context, name string) (RemoteSet, error) 
 	}
 	handle := wireLE.Uint32(resp.payload)
 	meta, err := metric.ParseMeta(resp.payload[4:])
+	putBuf(resp.payload)
 	if err != nil {
 		return nil, err
 	}
@@ -369,6 +414,115 @@ func (sc *sockConn) Close() error {
 	return err
 }
 
+// UpdateBatch implements BatchUpdater: all request frames are written
+// under one write-lock hold with a single flush, then responses (matched
+// by request ID, which may arrive in any order relative to the remote's
+// own traffic on this symmetric connection) are awaited together. An
+// error frame for one op is recorded on that op alone.
+func (sc *sockConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
+	if len(ops) == 0 {
+		return
+	}
+	sets := make([]*sockRemoteSet, len(ops))
+	for i := range ops {
+		rs, ok := ops[i].Set.(*sockRemoteSet)
+		if !ok || rs.conn != sc {
+			// Foreign handle in the batch: no pipelining across
+			// connections, fall back to per-op round trips.
+			sequentialUpdates(ctx, ops)
+			return
+		}
+		sets[i] = rs
+	}
+	ch := make(chan sockResp, len(ops))
+	first, err := sc.register(len(ops), ch)
+	if err != nil {
+		failOps(ops, err)
+		return
+	}
+	for i := range ops {
+		ops[i].N, ops[i].Err = 0, errUnresolved
+	}
+
+	sc.wmu.Lock()
+	var werr error
+	for i, rs := range sets {
+		sc.scratch = wireLE.AppendUint32(sc.scratch[:0], rs.handle)
+		if werr = writeFrame(sc.w, msgUpdateReq, first+uint64(i), sc.scratch); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		werr = sc.w.Flush()
+	}
+	sc.wmu.Unlock()
+	if werr != nil {
+		sc.deregister(first, len(ops))
+		sc.resolveDelivered(ops, first, ch)
+		for i := range ops {
+			if ops[i].Err == errUnresolved {
+				ops[i].Err = werr
+			}
+		}
+		return
+	}
+
+	pending := len(ops)
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			if sc.resolveOp(ops, first, r) {
+				pending--
+			}
+		case <-ctx.Done():
+			sc.deregister(first, len(ops))
+			sc.resolveDelivered(ops, first, ch)
+			for i := range ops {
+				if ops[i].Err == errUnresolved {
+					ops[i].Err = ctx.Err()
+				}
+			}
+			return
+		}
+	}
+}
+
+// resolveOp applies one delivered response to its op; it reports whether
+// the response matched an unresolved op in this batch.
+func (sc *sockConn) resolveOp(ops []UpdateOp, first uint64, r sockResp) bool {
+	i := int(r.id - first)
+	if i < 0 || i >= len(ops) || ops[i].Err != errUnresolved {
+		putBuf(r.payload)
+		return false
+	}
+	switch {
+	case r.err != nil:
+		ops[i].Err = r.err
+	case r.typ == msgErrResp:
+		ops[i].Err = respError(r.payload)
+	case len(ops[i].Dst) < len(r.payload):
+		ops[i].Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(ops[i].Dst), len(r.payload))
+		putBuf(r.payload)
+	default:
+		ops[i].N, ops[i].Err = copy(ops[i].Dst, r.payload), nil
+		putBuf(r.payload)
+	}
+	return true
+}
+
+// resolveDelivered drains already-buffered responses after the batch gave
+// up waiting, so responses that raced the cancellation still land.
+func (sc *sockConn) resolveDelivered(ops []UpdateOp, first uint64, ch chan sockResp) {
+	for {
+		select {
+		case r := <-ch:
+			sc.resolveOp(ops, first, r)
+		default:
+			return
+		}
+	}
+}
+
 // sockRemoteSet is a lookup handle over a TCP connection.
 type sockRemoteSet struct {
 	conn   *sockConn
@@ -381,12 +535,17 @@ func (rs *sockRemoteSet) Meta() *metric.Meta { return rs.meta }
 
 // Update implements RemoteSet.
 func (rs *sockRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
-	resp, err := rs.conn.roundTrip(ctx, msgUpdateReq, wireLE.AppendUint32(nil, rs.handle))
+	var hb [4]byte
+	wireLE.PutUint32(hb[:], rs.handle)
+	resp, err := rs.conn.roundTrip(ctx, msgUpdateReq, hb[:])
 	if err != nil {
 		return 0, err
 	}
 	if len(dst) < len(resp.payload) {
+		putBuf(resp.payload)
 		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), len(resp.payload))
 	}
-	return copy(dst, resp.payload), nil
+	n := copy(dst, resp.payload)
+	putBuf(resp.payload)
+	return n, nil
 }

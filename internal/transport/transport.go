@@ -55,6 +55,52 @@ type RemoteSet interface {
 	Update(ctx context.Context, dst []byte) (int, error)
 }
 
+// UpdateOp is one data pull in a pipelined batch: Set and Dst are filled by
+// the caller; N and Err carry the per-op result, exactly as RemoteSet.Update
+// would return them.
+type UpdateOp struct {
+	Set RemoteSet
+	Dst []byte
+	N   int
+	Err error
+}
+
+// BatchUpdater is an optional Conn capability: issue every op's update
+// request before awaiting any response, amortizing the round-trip latency
+// and the per-frame write flush over the whole batch. An error on one op
+// (e.g. a stale handle answered with an error frame) is recorded on that op
+// alone; only a connection-level failure fails the remainder.
+type BatchUpdater interface {
+	UpdateBatch(ctx context.Context, ops []UpdateOp)
+}
+
+// UpdateAll fetches every op's data chunk over conn, pipelining through
+// UpdateBatch when the connection supports it and falling back to one
+// blocking round trip per op otherwise.
+func UpdateAll(ctx context.Context, conn Conn, ops []UpdateOp) {
+	if b, ok := conn.(BatchUpdater); ok {
+		b.UpdateBatch(ctx, ops)
+		return
+	}
+	sequentialUpdates(ctx, ops)
+}
+
+// sequentialUpdates is the non-pipelined fallback: one round trip per op.
+func sequentialUpdates(ctx context.Context, ops []UpdateOp) {
+	for i := range ops {
+		ops[i].N, ops[i].Err = ops[i].Set.Update(ctx, ops[i].Dst)
+	}
+}
+
+// failOps records err on every op that has no result yet.
+func failOps(ops []UpdateOp, err error) {
+	for i := range ops {
+		if ops[i].Err == nil && ops[i].N == 0 {
+			ops[i].Err = err
+		}
+	}
+}
+
 // Listener accepts connections for a Server until closed.
 type Listener interface {
 	// Addr returns the bound address (for tests and logs).

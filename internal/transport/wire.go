@@ -37,6 +37,38 @@ const frameHeader = 4 + 1 + 8
 
 var wireLE = binary.LittleEndian
 
+// bufFree recycles frame payload buffers and server-side update response
+// buffers. Aggregation pulls move one data chunk per request at a steady
+// rate, so without recycling the hot path allocates a chunk-sized buffer
+// per update on each half of the connection. A channel free list (rather
+// than sync.Pool) keeps Get/Put allocation-free for the []byte values.
+var bufFree = make(chan []byte, 256)
+
+// getBuf returns a length-n buffer, reusing a recycled one when its
+// capacity suffices.
+func getBuf(n int) []byte {
+	select {
+	case b := <-bufFree:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a buffer obtained from getBuf (or any buffer the caller
+// has finished with). Callers must not retain references into b afterward.
+func putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case bufFree <- b[:0]:
+	default:
+	}
+}
+
 // writeFrame sends one frame. Callers serialize access to w.
 func writeFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
 	var hdr [frameHeader]byte
@@ -67,7 +99,9 @@ func readFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) 
 	typ = hdr[4]
 	reqID = wireLE.Uint64(hdr[5:])
 	if n > 0 {
-		payload = make([]byte, n)
+		// Recycled via putBuf once the payload is consumed (request payloads
+		// after dispatch, update response payloads after the copy to dst).
+		payload = getBuf(int(n))
 		if _, err = io.ReadFull(r, payload); err != nil {
 			return 0, 0, nil, err
 		}
