@@ -1,0 +1,249 @@
+// Command ldms-top is a terminal consumer of an aggregator's query
+// gateway: it reads the /healthz, /api/v1/dir, /api/v1/metrics and
+// /api/v1/series endpoints (in-transit data on the aggregator — no storage
+// backend involved) and renders a compact status view.
+//
+// Usage:
+//
+//	ldms-top -d http://agg1:8080                    # health + set directory
+//	ldms-top -d http://agg1:8080 -metric Active     # latest value per producer
+//	ldms-top -d http://agg1:8080 -metric Active -series -window 5m
+//	ldms-top -d http://agg1:8080 -watch 2s          # refresh until interrupted
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		daemon  = flag.String("d", "http://127.0.0.1:8080", "gateway base URL")
+		metricN = flag.String("metric", "", "metric to display (latest per producer)")
+		comp    = flag.Uint64("comp", 0, "component id filter (0 = all)")
+		series  = flag.Bool("series", false, "sparkline recent history instead of latest values (needs -metric)")
+		window  = flag.Duration("window", 0, "history window for -series (default: the gateway's retention)")
+		watch   = flag.Duration("watch", 0, "refresh every interval until interrupted")
+		timeout = flag.Duration("timeout", 5*time.Second, "HTTP timeout")
+	)
+	flag.Parse()
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*daemon, "/")
+
+	render := func() error {
+		if *watch > 0 {
+			fmt.Print("\033[H\033[2J") // clear screen between refreshes
+		}
+		if err := showHealth(client, base); err != nil {
+			return err
+		}
+		switch {
+		case *metricN != "" && *series:
+			return showSeries(client, base, *metricN, *comp, *window)
+		case *metricN != "":
+			return showLatest(client, base, *metricN, *comp)
+		default:
+			return showDir(client, base)
+		}
+	}
+
+	if err := render(); err != nil {
+		fail(err)
+	}
+	for *watch > 0 {
+		time.Sleep(*watch)
+		if err := render(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// getJSON fetches url and decodes the response body into v. Degraded
+// health (503) still carries a JSON body, so it is not an error here.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func showHealth(client *http.Client, base string) error {
+	var h struct {
+		Status    string  `json:"status"`
+		Daemon    string  `json:"daemon"`
+		Uptime    float64 `json:"uptime_seconds"`
+		Producers []struct {
+			Name              string    `json:"name"`
+			Host              string    `json:"host"`
+			State             string    `json:"state"`
+			Standby           bool      `json:"standby"`
+			Active            bool      `json:"active"`
+			Connects          int64     `json:"connects"`
+			Disconnects       int64     `json:"disconnects"`
+			LastUpdate        time.Time `json:"last_update"`
+			ConsecutiveErrors int64     `json:"consecutive_errors"`
+			Stale             bool      `json:"stale"`
+		} `json:"producers"`
+	}
+	if err := getJSON(client, base+"/healthz", &h); err != nil {
+		return err
+	}
+	fmt.Printf("%s  status=%s  uptime=%s  producers=%d\n",
+		h.Daemon, h.Status, (time.Duration(h.Uptime) * time.Second).String(), len(h.Producers))
+	for _, p := range h.Producers {
+		mark := " "
+		if p.Stale {
+			mark = "!"
+		}
+		last := "never"
+		if !p.LastUpdate.IsZero() {
+			last = time.Since(p.LastUpdate).Truncate(time.Second).String() + " ago"
+		}
+		role := ""
+		if p.Standby {
+			role = " standby"
+			if p.Active {
+				role = " standby(active)"
+			}
+		}
+		fmt.Printf(" %s %-16s %-12s conns=%d/%d last_update=%s errs=%d%s\n",
+			mark, p.Name, p.State, p.Connects, p.Disconnects, last, p.ConsecutiveErrors, role)
+	}
+	return nil
+}
+
+func showDir(client *http.Client, base string) error {
+	var d struct {
+		Sets []struct {
+			Instance   string    `json:"instance"`
+			Schema     string    `json:"schema"`
+			CompID     uint64    `json:"comp_id"`
+			Card       int       `json:"card"`
+			Consistent bool      `json:"consistent"`
+			Timestamp  time.Time `json:"timestamp"`
+		} `json:"sets"`
+	}
+	if err := getJSON(client, base+"/api/v1/dir", &d); err != nil {
+		return err
+	}
+	fmt.Printf("\n%-32s %-12s %6s %5s %s\n", "INSTANCE", "SCHEMA", "COMP", "CARD", "UPDATED")
+	for _, s := range d.Sets {
+		cons := ""
+		if !s.Consistent {
+			cons = " [inconsistent]"
+		}
+		fmt.Printf("%-32s %-12s %6d %5d %s%s\n",
+			s.Instance, s.Schema, s.CompID, s.Card,
+			s.Timestamp.UTC().Format(time.RFC3339), cons)
+	}
+	return nil
+}
+
+func showLatest(client *http.Client, base, metricName string, comp uint64) error {
+	url := fmt.Sprintf("%s/api/v1/metrics?metric=%s", base, metricName)
+	if comp != 0 {
+		url += fmt.Sprintf("&comp=%d", comp)
+	}
+	var m struct {
+		Values []struct {
+			Instance  string    `json:"instance"`
+			CompID    uint64    `json:"comp_id"`
+			Value     any       `json:"value"`
+			Timestamp time.Time `json:"timestamp"`
+		} `json:"values"`
+	}
+	if err := getJSON(client, url, &m); err != nil {
+		return err
+	}
+	fmt.Printf("\n%-32s %6s %16s %s\n", "INSTANCE", "COMP", metricName, "AT")
+	for _, v := range m.Values {
+		fmt.Printf("%-32s %6d %16v %s\n",
+			v.Instance, v.CompID, v.Value, v.Timestamp.UTC().Format(time.RFC3339))
+	}
+	return nil
+}
+
+func showSeries(client *http.Client, base, metricName string, comp uint64, window time.Duration) error {
+	url := fmt.Sprintf("%s/api/v1/series?metric=%s", base, metricName)
+	if comp != 0 {
+		url += fmt.Sprintf("&comp=%d", comp)
+	}
+	if window > 0 {
+		url += "&window=" + window.String()
+	}
+	var s struct {
+		Window string `json:"window"`
+		Series []struct {
+			Instance string `json:"instance"`
+			CompID   uint64 `json:"comp_id"`
+			Points   []struct {
+				Time  time.Time `json:"time"`
+				Value float64   `json:"value"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := getJSON(client, url, &s); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s over %s (from the aggregator's in-memory window)\n", metricName, s.Window)
+	for _, sr := range s.Series {
+		var last float64
+		if n := len(sr.Points); n > 0 {
+			last = sr.Points[n-1].Value
+		}
+		fmt.Printf("%-32s %6d %s %g (%d pts)\n",
+			sr.Instance, sr.CompID, spark(sr.Points), last, len(sr.Points))
+	}
+	return nil
+}
+
+// spark renders values as a unicode sparkline, resampled to fit width.
+func spark(points []struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}) string {
+	const width = 48
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if len(points) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	min, max := points[0].Value, points[0].Value
+	for _, p := range points {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	n := len(points)
+	w := width
+	if n < w {
+		w = n
+	}
+	out := make([]rune, w)
+	for i := 0; i < w; i++ {
+		v := points[i*n/w].Value
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(ramp)-1))
+		}
+		out[i] = ramp[level]
+	}
+	return string(out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ldms-top:", err)
+	os.Exit(1)
+}

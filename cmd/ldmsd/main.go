@@ -16,9 +16,9 @@
 //	config name=meminfo component_id=42
 //	start name=meminfo interval=1000000
 //
-// Example aggregator:
+// Example aggregator (with the HTTP query & observability gateway):
 //
-//	ldmsd -S /tmp/agg.sock -m 64000000 -c agg.conf
+//	ldmsd -S /tmp/agg.sock -m 64000000 -http :8080 -c agg.conf
 //
 // with agg.conf:
 //
@@ -53,6 +53,11 @@ func main() {
 		workers = flag.Int("P", 4, "worker thread count")
 		compID  = flag.Uint64("i", 0, "default component id for sampler sets")
 		version = flag.Bool("V", false, "print version and exit")
+
+		httpAddr   = flag.String("http", "", "HTTP query/observability gateway address, e.g. :8080")
+		httpWindow = flag.Duration("http-window", 0, "recent-window retention for /api/v1/series (default 10m; 0 keeps the default)")
+		httpPoints = flag.Int("http-points", 0, "max points kept per metric series (default 1024)")
+		httpPProf  = flag.Bool("http-pprof", false, "also mount /debug/pprof on the gateway")
 	)
 	flag.Parse()
 	if *version {
@@ -88,6 +93,18 @@ func main() {
 			}
 			fmt.Printf("ldmsd %s: listening on %s:%s\n", *name, parts[0], addr)
 		}
+	}
+	if *httpAddr != "" {
+		bound, err := d.ServeHTTP(ldmsd.GatewayConfig{
+			Addr:   *httpAddr,
+			Window: *httpWindow,
+			Points: *httpPoints,
+			PProf:  *httpPProf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ldmsd %s: http gateway on %s\n", *name, bound)
 	}
 	if *ctlSock != "" {
 		cs, err := d.ServeControl(*ctlSock)

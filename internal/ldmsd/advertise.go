@@ -53,11 +53,14 @@ func (p *Producer) adoptConn(conn transport.Conn) error {
 	}
 	old := p.conn
 	p.conn = conn
+	p.retireConn(old)
 	p.state = ProducerConnected
 	p.epoch++
 	p.setNames = names
 	p.mu.Unlock()
+	p.connects.Add(1)
 	if old != nil {
+		p.disconnects.Add(1)
 		old.Close()
 	}
 	return nil

@@ -22,11 +22,14 @@ import (
 //	stop name=<plugin>
 //	oneshot name=<plugin>
 //	listen xprt=<transport> addr=<addr>
+//	http_listen addr=<addr> [window=<dur>] [points=<n>] [pprof=1]
+//	                             (query & observability gateway)
 //	prdcr_add name=<p> xprt=<t> host=<addr> [interval=<us|dur>] [standby=1]
 //	prdcr_start name=<p>
 //	prdcr_stop name=<p>
 //	prdcr_activate name=<p>      (failover: begin pulling a standby)
 //	prdcr_deactivate name=<p>
+//	prdcr_status                 (per-producer connection + transfer counters)
 //	updtr_add name=<u> interval=<us|dur> [offset=<us|dur>] [synchronous=1]
 //	             [concurrency=<n>] [batch=<n>]
 //	updtr_prdcr_add name=<u> prdcr=<p>
@@ -62,6 +65,8 @@ func (d *Daemon) Exec(line string) (string, error) {
 		return d.cmdOneshot(args)
 	case "listen":
 		return d.cmdListen(args)
+	case "http_listen":
+		return d.cmdHTTPListen(args)
 	case "advertise":
 		return d.cmdAdvertise(args)
 	case "prdcr_add":
@@ -74,6 +79,8 @@ func (d *Daemon) Exec(line string) (string, error) {
 		return d.withProducer(args, func(p *Producer) { p.Activate() })
 	case "prdcr_deactivate":
 		return d.withProducer(args, func(p *Producer) { p.Deactivate() })
+	case "prdcr_status":
+		return d.cmdPrdcrStatus()
 	case "updtr_add":
 		return d.cmdUpdtrAdd(args)
 	case "updtr_prdcr_add":
@@ -305,6 +312,53 @@ func (d *Daemon) cmdListen(args map[string]string) (string, error) {
 	return bound, nil
 }
 
+// cmdHTTPListen starts the query & observability gateway.
+func (d *Daemon) cmdHTTPListen(args map[string]string) (string, error) {
+	addr := args["addr"]
+	if addr == "" {
+		return "", fmt.Errorf("ldmsd: http_listen requires addr=")
+	}
+	cfg := GatewayConfig{Addr: addr, PProf: args["pprof"] == "1"}
+	if v := args["window"]; v != "" {
+		w, err := parseInterval(v)
+		if err != nil {
+			return "", fmt.Errorf("ldmsd: bad window %q", v)
+		}
+		if w == 0 {
+			w = -1 // window=0 disables the recent-window cache
+		}
+		cfg.Window = w
+	}
+	if v := args["points"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("ldmsd: bad points %q", v)
+		}
+		cfg.Points = n
+	}
+	return d.ServeHTTP(cfg)
+}
+
+// cmdPrdcrStatus renders per-producer connection state and transfer
+// counters: one line per producer in name order.
+func (d *Daemon) cmdPrdcrStatus() (string, error) {
+	d.mu.Lock()
+	prdcrs := mapValues(d.prdcrs)
+	d.mu.Unlock()
+	var lines []string
+	for _, p := range prdcrs {
+		c := p.Counters()
+		lines = append(lines, fmt.Sprintf(
+			"name=%s host=%s xprt=%s state=%s standby=%v active=%v connects=%d disconnects=%d connect_fails=%d bytes_in=%d bytes_out=%d msgs_in=%d msgs_out=%d batches=%d batched_ops=%d",
+			p.Name(), p.Host(), p.TransportName(), p.State(), p.Standby(), p.Active(),
+			c.Connects, c.Disconnects, c.ConnectFails,
+			c.Transport.BytesIn, c.Transport.BytesOut,
+			c.Transport.MsgsIn, c.Transport.MsgsOut,
+			c.Transport.Batches, c.Transport.BatchedOps))
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
 func (d *Daemon) cmdAdvertise(args map[string]string) (string, error) {
 	xprt, host := args["xprt"], args["host"]
 	if xprt == "" || host == "" {
@@ -447,6 +501,15 @@ func (d *Daemon) cmdUpdtrStatus() (string, error) {
 			u.name, state, interval, nprdcr, conc, batch,
 			u.passes.Load(), u.inflight.Load(), u.lastPassNanos.Load()/1000,
 			u.updates.Load(), u.skippedBusy.Load(), u.errors.Load()))
+		for _, ph := range u.PullHealth() {
+			last := "never"
+			if !ph.LastSuccess.IsZero() {
+				last = ph.LastSuccess.UTC().Format(time.RFC3339)
+			}
+			lines = append(lines, fmt.Sprintf(
+				"  prdcr=%s last_update=%s consec_errors=%d",
+				ph.Producer, last, ph.ConsecErrors))
+		}
 	}
 	return strings.Join(lines, "\n"), nil
 }

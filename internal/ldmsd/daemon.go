@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goldms/internal/metric"
 	"goldms/internal/mmgr"
 	"goldms/internal/procfs"
+	"goldms/internal/query"
 	"goldms/internal/sched"
 	"goldms/internal/transport"
 )
@@ -80,7 +82,12 @@ type Daemon struct {
 	strgps   map[string]*StoragePolicy
 	pending  map[string]*pendingPlugin // loaded-but-not-started plugins
 	advs     []*Advertiser
+	gw       *gatewayState
 	stopped  bool
+
+	// window is the gateway's recent-window cache; nil while no gateway
+	// runs. An atomic pointer keeps the store-path tap to one load.
+	window atomic.Pointer[query.Window]
 }
 
 // DefaultMemory is the default metric-set memory budget. The paper reports
@@ -217,8 +224,11 @@ func (d *Daemon) Stop() {
 	strgps := mapValues(d.strgps)
 	listeners := d.listeners
 	advs := d.advs
+	gw := d.gw
+	d.gw = nil
 	d.mu.Unlock()
 
+	d.closeGateway(gw)
 	for _, a := range advs {
 		a.Stop()
 	}

@@ -1,0 +1,316 @@
+package ldmsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goldms/internal/procfs"
+	"goldms/internal/transport"
+)
+
+// realPipeline builds a real-clock sampler->aggregator pair over the mem
+// transport, with the sampler resampling and the aggregator pulling every
+// few milliseconds so gateway reads race live update passes.
+func realPipeline(t *testing.T) (smp, agg *Daemon) {
+	t.Helper()
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+
+	smp, err := New(Options{
+		Name:       "n1",
+		FS:         procfs.NewSimFS(testNode("n1")),
+		CompID:     7,
+		Transports: []transport.Factory{fac},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(smp.Stop)
+	if _, err := smp.Listen("mem", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := smp.LoadSampler("meminfo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Start(2*time.Millisecond, 0, false)
+
+	agg, err = New(Options{Name: "agg1", Transports: []transport.Factory{fac}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agg.Stop)
+	p, err := agg.AddProducer("n1", "mem", "n1", 10*time.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	u, err := agg.AddUpdater("u1", 3*time.Millisecond, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddProducer("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return smp, agg
+}
+
+// httpGet fetches a gateway URL, returning status and body.
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestGatewayEndToEnd drives every gateway endpoint against a live
+// aggregator started through the control interface's http_listen command.
+func TestGatewayEndToEnd(t *testing.T) {
+	_, agg := realPipeline(t)
+	addr, err := agg.Exec("http_listen addr=127.0.0.1:0 window=1m points=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	waitUntil(t, 5*time.Second, func() bool {
+		return agg.Registry().Get("n1/meminfo") != nil
+	}, "mirror to appear")
+	waitUntil(t, 5*time.Second, func() bool {
+		w := agg.Window()
+		return w != nil && w.Stats().Observed >= 3
+	}, "window to fill")
+
+	// A second gateway on the same daemon must be refused.
+	if _, err := agg.Exec("http_listen addr=127.0.0.1:0"); err == nil {
+		t.Error("second http_listen did not fail")
+	}
+
+	code, body := httpGet(t, base+"/api/v1/dir")
+	if code != http.StatusOK {
+		t.Fatalf("dir: status %d: %s", code, body)
+	}
+	var dir struct {
+		Daemon string `json:"daemon"`
+		Sets   []struct {
+			Instance string `json:"instance"`
+			Schema   string `json:"schema"`
+			CompID   uint64 `json:"comp_id"`
+		} `json:"sets"`
+	}
+	if err := json.Unmarshal(body, &dir); err != nil {
+		t.Fatalf("dir: %v", err)
+	}
+	if dir.Daemon != "agg1" || len(dir.Sets) != 1 || dir.Sets[0].Instance != "n1/meminfo" || dir.Sets[0].CompID != 7 {
+		t.Errorf("dir = %+v", dir)
+	}
+
+	code, body = httpGet(t, base+"/api/v1/sets/n1/meminfo")
+	if code != http.StatusOK {
+		t.Fatalf("set: status %d: %s", code, body)
+	}
+	var set struct {
+		Instance   string `json:"instance"`
+		Consistent bool   `json:"consistent"`
+		Metrics    []struct {
+			Name  string `json:"name"`
+			Value any    `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &set); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	if set.Instance != "n1/meminfo" || !set.Consistent || len(set.Metrics) == 0 {
+		t.Errorf("set = %+v", set)
+	}
+	found := false
+	for _, m := range set.Metrics {
+		if m.Name == "MemTotal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("set snapshot missing MemTotal: %+v", set.Metrics)
+	}
+
+	code, body = httpGet(t, base+"/api/v1/metrics?metric=MemTotal&comp=7")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d: %s", code, body)
+	}
+	var latest struct {
+		Values []struct {
+			Instance string `json:"instance"`
+			Value    any    `json:"value"`
+		} `json:"values"`
+	}
+	if err := json.Unmarshal(body, &latest); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if len(latest.Values) != 1 || latest.Values[0].Instance != "n1/meminfo" {
+		t.Errorf("latest = %+v", latest)
+	}
+
+	code, body = httpGet(t, base+"/api/v1/series?metric=MemTotal&window=1m")
+	if code != http.StatusOK {
+		t.Fatalf("series: status %d: %s", code, body)
+	}
+	var series struct {
+		Series []struct {
+			Instance string `json:"instance"`
+			CompID   uint64 `json:"comp_id"`
+			Points   []struct {
+				Time  time.Time `json:"time"`
+				Value any       `json:"value"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatalf("series: %v", err)
+	}
+	if len(series.Series) == 0 || series.Series[0].Instance != "n1/meminfo" || len(series.Series[0].Points) < 3 {
+		t.Fatalf("series = %+v", series)
+	}
+
+	code, body = httpGet(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", code, body)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Producers []struct {
+			Name              string    `json:"name"`
+			State             string    `json:"state"`
+			Connects          int64     `json:"connects"`
+			LastUpdate        time.Time `json:"last_update"`
+			ConsecutiveErrors int64     `json:"consecutive_errors"`
+			Stale             bool      `json:"stale"`
+		} `json:"producers"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if health.Status != "ok" || len(health.Producers) != 1 {
+		t.Fatalf("healthz = %s", body)
+	}
+	hp := health.Producers[0]
+	if hp.Name != "n1" || hp.State != "CONNECTED" || hp.Connects != 1 || hp.Stale || hp.LastUpdate.IsZero() {
+		t.Errorf("producer health = %+v", hp)
+	}
+
+	code, body = httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics exposition: status %d", code)
+	}
+	expo := string(body)
+	for _, want := range []string{
+		"ldmsd_updater_passes_total",
+		"ldmsd_updater_last_pass_seconds",
+		"ldmsd_updater_updates_total",
+		"ldmsd_producer_connects_total",
+		"ldmsd_transport_bytes_total",
+		"ldmsd_transport_batches_total",
+		"ldmsd_pool_workers",
+		"ldmsd_server_updates_total",
+		"ldmsd_set_memory_bytes",
+		"ldmsd_window_observed_total",
+		"ldmsd_http_requests_total",
+		`updater="u1"`,
+		`producer="n1"`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Control-interface views of the same counters.
+	out, err := agg.Exec("prdcr_status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"name=n1", "state=CONNECTED", "connects=1", "bytes_in="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prdcr_status missing %q:\n%s", want, out)
+		}
+	}
+	out, err = agg.Exec("updtr_status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prdcr=n1", "last_update=", "consec_errors=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("updtr_status missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGatewayReadsRaceUpdates hammers the gateway's read endpoints from
+// several goroutines while update passes continuously rewrite the mirrored
+// sets, relying on -race to catch torn reads.
+func TestGatewayReadsRaceUpdates(t *testing.T) {
+	_, agg := realPipeline(t)
+	addr, err := agg.Exec("http_listen addr=127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	waitUntil(t, 5*time.Second, func() bool {
+		return agg.Registry().Get("n1/meminfo") != nil
+	}, "mirror to appear")
+
+	urls := []string{
+		base + "/api/v1/dir",
+		base + "/api/v1/sets/n1/meminfo",
+		base + "/api/v1/metrics?metric=MemTotal",
+		base + "/api/v1/series?metric=MemTotal",
+		base + "/healthz",
+		base + "/metrics",
+	}
+	stop := time.Now().Add(200 * time.Millisecond)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				url := urls[(g+i)%len(urls)]
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					resp.Body.Close()
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

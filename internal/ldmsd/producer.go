@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goldms/internal/sched"
@@ -66,6 +67,13 @@ type Producer struct {
 	started  bool
 	active   bool // standby producers: true once activated
 	retry    *sched.Task
+	// closedStats accumulates transfer counters from connections that have
+	// been torn down, so totals survive reconnect cycles.
+	closedStats transport.ConnStats
+
+	connects    atomic.Int64 // successful connection establishments
+	disconnects atomic.Int64 // teardowns after an established connection
+	connErrors  atomic.Int64 // failed connection attempts
 }
 
 // AddProducer registers a collection target. reconnect is the retry
@@ -141,6 +149,57 @@ func (p *Producer) Deactivate() {
 	p.mu.Unlock()
 }
 
+// Host returns the producer's target address ("" for passive producers).
+func (p *Producer) Host() string { return p.host }
+
+// TransportName returns the producer's transport type, or "peer" for
+// passive producers whose connection arrives from the remote side.
+func (p *Producer) TransportName() string {
+	if p.xprt == nil {
+		return "peer"
+	}
+	return p.xprt.Name()
+}
+
+// ProducerCounters is a snapshot of a producer's lifecycle and transfer
+// counters for prdcr_status and the query gateway.
+type ProducerCounters struct {
+	Connects     int64 // successful connection establishments
+	Disconnects  int64 // teardowns after an established connection
+	ConnectFails int64 // failed connection attempts
+	Transport    transport.ConnStats
+}
+
+// Counters snapshots the producer's lifecycle counters and transfer totals
+// (live connection plus all closed epochs).
+func (p *Producer) Counters() ProducerCounters {
+	c := ProducerCounters{
+		Connects:     p.connects.Load(),
+		Disconnects:  p.disconnects.Load(),
+		ConnectFails: p.connErrors.Load(),
+	}
+	p.mu.Lock()
+	c.Transport = p.closedStats
+	if p.conn != nil {
+		if live, ok := transport.StatsOf(p.conn); ok {
+			c.Transport.Add(live)
+		}
+	}
+	p.mu.Unlock()
+	return c
+}
+
+// retireConn folds a dying connection's transfer counters into the
+// producer's running total. Caller holds p.mu.
+func (p *Producer) retireConn(conn transport.Conn) {
+	if conn == nil {
+		return
+	}
+	if st, ok := transport.StatsOf(conn); ok {
+		p.closedStats.Add(st)
+	}
+}
+
 // Start begins connecting (and reconnecting) to the target.
 func (p *Producer) Start() {
 	p.mu.Lock()
@@ -168,8 +227,10 @@ func (p *Producer) Stop() {
 	}
 	conn := p.conn
 	p.conn = nil
+	p.retireConn(conn)
 	p.mu.Unlock()
 	if conn != nil {
+		p.disconnects.Add(1)
 		conn.Close()
 	}
 }
@@ -220,10 +281,12 @@ func (p *Producer) connectAttempt() {
 	p.epoch++
 	p.setNames = names
 	p.mu.Unlock()
+	p.connects.Add(1)
 }
 
 // connectionFailed records a failure and schedules a retry.
 func (p *Producer) connectionFailed() {
+	p.connErrors.Add(1)
 	p.mu.Lock()
 	started := p.started
 	p.state = ProducerDisconnected
@@ -246,11 +309,13 @@ func (p *Producer) disconnected(epoch uint64) {
 	}
 	conn := p.conn
 	p.conn = nil
+	p.retireConn(conn)
 	started := p.started
 	p.state = ProducerDisconnected
 	passive := p.passive
 	p.mu.Unlock()
 	if conn != nil {
+		p.disconnects.Add(1)
 		conn.Close()
 	}
 	// Passive producers wait for the sampler to advertise back in rather

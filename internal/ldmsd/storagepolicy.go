@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goldms/internal/metric"
 	"goldms/internal/store"
@@ -27,7 +28,41 @@ type StoragePolicy struct {
 	st   store.Store
 	fail error
 	rows atomic.Int64
+
+	storeNanos atomic.Int64 // cumulative time inside store.Store
+	flushes    atomic.Int64
+	flushNanos atomic.Int64 // cumulative time inside store.Flush
 }
+
+// StorageCounters is a snapshot of a policy's write activity for the query
+// gateway's self-metrics.
+type StorageCounters struct {
+	Rows       int64
+	StoreNanos int64
+	Flushes    int64
+	FlushNanos int64
+	Failed     bool // sticky error disabled the policy
+}
+
+// Counters snapshots the policy's write counters.
+func (sp *StoragePolicy) Counters() StorageCounters {
+	return StorageCounters{
+		Rows:       sp.rows.Load(),
+		StoreNanos: sp.storeNanos.Load(),
+		Flushes:    sp.flushes.Load(),
+		FlushNanos: sp.flushNanos.Load(),
+		Failed:     sp.Err() != nil,
+	}
+}
+
+// Name returns the policy name.
+func (sp *StoragePolicy) Name() string { return sp.name }
+
+// Schema returns the schema this policy stores.
+func (sp *StoragePolicy) Schema() string { return sp.schema }
+
+// Plugin returns the store plugin name.
+func (sp *StoragePolicy) Plugin() string { return sp.plugin }
 
 // AddStoragePolicy registers a storage policy: samples of the given schema
 // are written with the named store plugin at path.
@@ -69,8 +104,12 @@ func (sp *StoragePolicy) Store() store.Store {
 	return sp.st
 }
 
-// storeSet fans a fresh consistent sample out to every matching policy.
+// storeSet fans a fresh consistent sample out to the gateway's recent
+// window (when one is running) and to every matching storage policy.
 func (d *Daemon) storeSet(set *metric.Set) {
+	if w := d.window.Load(); w != nil {
+		w.Observe(set)
+	}
 	d.mu.Lock()
 	policies := mapValues(d.strgps)
 	d.mu.Unlock()
@@ -112,7 +151,10 @@ func (sp *StoragePolicy) store(set *metric.Set) {
 		}
 		sp.st = st
 	}
-	if err := sp.st.Store(row); err != nil {
+	start := time.Now()
+	err := sp.st.Store(row)
+	sp.storeNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
 		sp.fail = err
 		return
 	}
@@ -150,7 +192,11 @@ func (sp *StoragePolicy) Flush() error {
 	if sp.st == nil {
 		return nil
 	}
-	return sp.st.Flush()
+	start := time.Now()
+	err := sp.st.Flush()
+	sp.flushes.Add(1)
+	sp.flushNanos.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // Close flushes and closes the store plugin.

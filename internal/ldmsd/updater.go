@@ -3,6 +3,7 @@ package ldmsd
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,12 @@ type Updater struct {
 	smu   sync.Mutex
 	state map[string]*updProducerState
 
+	// hmu guards health: per-producer pull health for updtr_status and the
+	// query gateway's /healthz (paper §IV-B's manual-failover model leaves
+	// failure detection to external watchdogs, which poll exactly this).
+	hmu    sync.Mutex
+	health map[string]*prdcrPullHealth
+
 	lookups      atomic.Int64
 	updates      atomic.Int64
 	fresh        atomic.Int64
@@ -77,6 +84,20 @@ type updProducerState struct {
 	// Scratch reused across passes by this producer's pull goroutine.
 	due []*updSet
 	ops []transport.UpdateOp
+}
+
+// prdcrPullHealth is one producer's pull health as seen by this updater.
+type prdcrPullHealth struct {
+	lastSuccess  time.Time // scheduler time of the last clean pass
+	consecErrors int64     // consecutive failed pulls since then
+}
+
+// ProducerPullHealth is the exported pull-health snapshot for one producer
+// in this updater's group.
+type ProducerPullHealth struct {
+	Producer     string
+	LastSuccess  time.Time // zero until the first clean pass
+	ConsecErrors int64
 }
 
 // updSet is the pull state for one remote metric set.
@@ -109,6 +130,7 @@ func (d *Daemon) AddUpdater(name string, interval, offset time.Duration, synchro
 		timeout:  interval,
 		batch:    defaultUpdateBatch,
 		state:    make(map[string]*updProducerState),
+		health:   make(map[string]*prdcrPullHealth),
 	}
 	d.updtrs[name] = u
 	return u, nil
@@ -267,6 +289,7 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 		cancel()
 		if err != nil {
 			p.disconnected(epoch)
+			u.recordHealth(name, false)
 			return
 		}
 		names = fresh
@@ -318,7 +341,52 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 	if failed {
 		p.disconnected(epoch)
 	}
+	u.recordHealth(name, !failed)
 }
+
+// recordHealth updates one producer's pull-health record at the end of its
+// share of a pass: a clean pull stamps the scheduler time and clears the
+// error streak, a failed one extends the streak.
+func (u *Updater) recordHealth(name string, ok bool) {
+	u.hmu.Lock()
+	h := u.health[name]
+	if h == nil {
+		h = &prdcrPullHealth{}
+		u.health[name] = h
+	}
+	if ok {
+		h.lastSuccess = u.d.sch.Now()
+		h.consecErrors = 0
+	} else {
+		h.consecErrors++
+	}
+	u.hmu.Unlock()
+}
+
+// PullHealth snapshots per-producer pull health, sorted by producer name.
+// Producers that have never completed a pull (e.g. still connecting) carry
+// a zero LastSuccess.
+func (u *Updater) PullHealth() []ProducerPullHealth {
+	u.mu.Lock()
+	prdcrs := append([]string(nil), u.producers...)
+	u.mu.Unlock()
+	sort.Strings(prdcrs)
+	out := make([]ProducerPullHealth, 0, len(prdcrs))
+	u.hmu.Lock()
+	for _, name := range prdcrs {
+		ph := ProducerPullHealth{Producer: name}
+		if h := u.health[name]; h != nil {
+			ph.LastSuccess = h.lastSuccess
+			ph.ConsecErrors = h.consecErrors
+		}
+		out = append(out, ph)
+	}
+	u.hmu.Unlock()
+	return out
+}
+
+// Interval returns the updater's pull interval.
+func (u *Updater) Interval() time.Duration { return u.interval }
 
 // producerState returns the pull state for one producer connection epoch,
 // building a fresh one (reusing mirrors where possible) when the epoch
@@ -383,6 +451,13 @@ func (u *Updater) prune(current []string) {
 			u.releaseSet(us)
 		}
 	}
+	u.hmu.Lock()
+	for name := range u.health {
+		if !live[name] {
+			delete(u.health, name)
+		}
+	}
+	u.hmu.Unlock()
 }
 
 // releaseSet drops one set's mirror: out of the daemon registry, its arena

@@ -297,6 +297,31 @@ func (s *Set) S64(i int) int64 { return s.Value(i).S64() }
 // F64 returns metric i as a float64.
 func (s *Set) F64(i int) float64 { return s.Value(i).F64() }
 
+// ReadValues copies every metric's current value into vals, which must hold
+// at least Card() entries, under a single lock acquisition. It returns the
+// sample timestamp, the DGN, and the consistent flag as observed atomically
+// with the values: unlike per-metric Value calls, the caller cannot see a
+// chunk torn across a concurrent LoadData or SetValues (the paper's §III-A
+// consistent-flag/DGN reader protocol, applied in-process). It reports the
+// number of values read.
+func (s *Set) ReadValues(vals []Value) (ts time.Time, dgn uint64, consistent bool, n int) {
+	n = s.schema.Card()
+	if n > len(vals) {
+		n = len(vals)
+	}
+	s.mu.RLock()
+	for i := 0; i < n; i++ {
+		t := s.schema.defs[i].Type
+		vals[i] = Value{t, s.get(s.schema.offsets[i], t)}
+	}
+	sec := int64(le.Uint64(s.data[offSec:]))
+	usec := int64(le.Uint64(s.data[offUsec:]))
+	dgn = le.Uint64(s.data[offDGN:])
+	consistent = le.Uint64(s.data[offFlags:])&flagConsistent != 0
+	s.mu.RUnlock()
+	return time.Unix(sec, usec*1000), dgn, consistent, n
+}
+
 // put writes raw bits of type t at data offset off. Caller holds the lock.
 func (s *Set) put(off uint32, t Type, bits uint64) {
 	switch t.Size() {

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// BenchmarkQueryWindow measures serving a 10-minute series query entirely
+// from the in-memory ring: 64 producers' sets with 16 metrics each, rings
+// full (600 points — one per second over the window). This is the gateway
+// hot path for dashboards polling /api/v1/series; the acceptance bar is
+// that it never touches SOS/CSV, so the cost is pure ring copying.
+func BenchmarkQueryWindow(b *testing.B) {
+	const (
+		producers = 64
+		nmetrics  = 16
+		points    = 600
+	)
+	w := NewWindow(points, 10*time.Minute)
+	sch := metric.NewSchema("bench")
+	for m := 0; m < nmetrics; m++ {
+		sch.MustAddMetric(fmt.Sprintf("m%02d", m), metric.TypeU64)
+	}
+	base := time.Now().Add(-9 * time.Minute)
+	for p := 0; p < producers; p++ {
+		set, err := metric.New(fmt.Sprintf("n%03d/bench", p), sch, metric.WithCompID(uint64(p+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < points; i++ {
+			set.BeginTransaction()
+			set.SetValues(func(bt *metric.Batch) {
+				for m := 0; m < nmetrics; m++ {
+					bt.SetU64(m, uint64(i*m))
+				}
+			})
+			set.EndTransaction(base.Add(time.Duration(i) * time.Second))
+			w.Observe(set)
+		}
+	}
+	since := time.Now().Add(-10 * time.Minute)
+
+	b.Run("one-metric/all-producers", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			series := w.Query("m07", 0, since)
+			if len(series) != producers {
+				b.Fatalf("series = %d, want %d", len(series), producers)
+			}
+		}
+	})
+	b.Run("one-metric/one-producer", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			series := w.Query("m07", 7, since)
+			if len(series) != 1 {
+				b.Fatalf("series = %d, want 1", len(series))
+			}
+		}
+	})
+	b.Run("latest/all-producers", func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			if got := w.Latest("m07", 0); len(got) != producers {
+				b.Fatalf("latest = %d, want %d", len(got), producers)
+			}
+		}
+	})
+}
+
+// BenchmarkWindowObserve measures the tap cost an update pass pays per
+// fresh sample when the gateway is enabled.
+func BenchmarkWindowObserve(b *testing.B) {
+	const nmetrics = 16
+	w := NewWindow(DefaultPoints, DefaultRetention)
+	sch := metric.NewSchema("bench")
+	for m := 0; m < nmetrics; m++ {
+		sch.MustAddMetric(fmt.Sprintf("m%02d", m), metric.TypeU64)
+	}
+	set, err := metric.New("n000/bench", sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		set.BeginTransaction()
+		set.SetU64(0, uint64(n))
+		set.EndTransaction(ts)
+		w.Observe(set)
+	}
+}

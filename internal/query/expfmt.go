@@ -1,0 +1,113 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expo builds a Prometheus text-format (version 0.0.4) exposition: the
+// format scraped from /metrics. It is deliberately minimal — families are
+// declared once with HELP/TYPE lines, then samples append with optional
+// labels — so daemon subsystems can contribute counters without depending
+// on any client library.
+type Expo struct {
+	b        strings.Builder
+	declared map[string]bool
+}
+
+// NewExpo returns an empty exposition.
+func NewExpo() *Expo {
+	return &Expo{declared: make(map[string]bool)}
+}
+
+// Label is one exposition label pair.
+type Label struct {
+	K, V string
+}
+
+// Family declares a metric family. typ is "counter" or "gauge". Declaring
+// the same family twice is a no-op, so independent collectors can both
+// declare before sampling.
+func (e *Expo) Family(name, typ, help string) {
+	if e.declared[name] {
+		return
+	}
+	e.declared[name] = true
+	if help != "" {
+		fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&e.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample appends one sample line for a declared family.
+func (e *Expo) Sample(name string, labels []Label, v float64) {
+	e.b.WriteString(name)
+	if len(labels) > 0 {
+		e.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			e.b.WriteString(l.K)
+			e.b.WriteString(`="`)
+			e.b.WriteString(escapeLabel(l.V))
+			e.b.WriteByte('"')
+		}
+		e.b.WriteByte('}')
+	}
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatFloat(v))
+	e.b.WriteByte('\n')
+}
+
+// Counter declares a counter family and appends one sample.
+func (e *Expo) Counter(name, help string, labels []Label, v float64) {
+	e.Family(name, "counter", help)
+	e.Sample(name, labels, v)
+}
+
+// Gauge declares a gauge family and appends one sample.
+func (e *Expo) Gauge(name, help string, labels []Label, v float64) {
+	e.Family(name, "gauge", help)
+	e.Sample(name, labels, v)
+}
+
+// String renders the exposition.
+func (e *Expo) String() string { return e.b.String() }
+
+// formatFloat renders a sample value: integers without an exponent, other
+// values in Go's shortest representation.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// SortedLabels returns m as a deterministic label list.
+func SortedLabels(m map[string]string) []Label {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Label, len(keys))
+	for i, k := range keys {
+		out[i] = Label{k, m[k]}
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// SetSource is the live-data source the gateway reads: the daemon's
+// registry of local sets and mirrored aggregated sets. metric.Registry
+// implements it.
+type SetSource interface {
+	Dir() []string
+	Get(name string) *metric.Set
+}
+
+// ProducerHealth describes one collection target for /healthz, as computed
+// by the daemon (which knows updater intervals and error streaks).
+type ProducerHealth struct {
+	Name              string    `json:"name"`
+	Host              string    `json:"host,omitempty"`
+	State             string    `json:"state"`
+	Standby           bool      `json:"standby,omitempty"`
+	Active            bool      `json:"active"`
+	Connects          int64     `json:"connects"`
+	Disconnects       int64     `json:"disconnects"`
+	LastUpdate        time.Time `json:"last_update,omitempty"`
+	ConsecutiveErrors int64     `json:"consecutive_errors"`
+	Stale             bool      `json:"stale"`
+}
+
+// Gateway serves the query API. All fields are wired by the daemon before
+// Handler is called; nil optional fields disable their endpoints.
+type Gateway struct {
+	// DaemonName labels responses and self-metrics.
+	DaemonName string
+	// Sets is the live set directory (required).
+	Sets SetSource
+	// Window, when non-nil, serves /api/v1/series from the recent-window
+	// cache.
+	Window *Window
+	// Health, when non-nil, supplies producer health for /healthz.
+	Health func() []ProducerHealth
+	// Collect, when non-nil, contributes daemon self-metrics to /metrics.
+	Collect func(*Expo)
+	// Started stamps the gateway start time for uptime reporting.
+	Started time.Time
+	// PProf additionally mounts net/http/pprof under /debug/pprof/.
+	PProf bool
+
+	requests map[string]*atomic.Int64
+	errors   atomic.Int64
+}
+
+// Handler builds the gateway's HTTP routing table.
+func (g *Gateway) Handler() http.Handler {
+	g.requests = make(map[string]*atomic.Int64)
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/dir", g.count("/api/v1/dir", g.handleDir))
+	mux.Handle("/api/v1/sets/", g.count("/api/v1/sets", g.handleSet))
+	mux.Handle("/api/v1/metrics", g.count("/api/v1/metrics", g.handleMetrics))
+	mux.Handle("/api/v1/series", g.count("/api/v1/series", g.handleSeries))
+	mux.Handle("/healthz", g.count("/healthz", g.handleHealthz))
+	mux.Handle("/metrics", g.count("/metrics", g.handleExposition))
+	if g.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// count wraps a handler with a per-endpoint request counter.
+func (g *Gateway) count(key string, h http.HandlerFunc) http.Handler {
+	c := &atomic.Int64{}
+	g.requests[key] = c
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	})
+}
+
+// fail writes a JSON error response.
+func (g *Gateway) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	g.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// jsonValue renders a metric value with its natural JSON type.
+func jsonValue(v metric.Value) any {
+	switch v.Type {
+	case metric.TypeF32, metric.TypeD64:
+		return v.F64()
+	case metric.TypeS8, metric.TypeS16, metric.TypeS32, metric.TypeS64:
+		return v.S64()
+	default:
+		return v.U64()
+	}
+}
+
+// setInfo is one /api/v1/dir entry.
+type setInfo struct {
+	Instance   string    `json:"instance"`
+	Schema     string    `json:"schema"`
+	CompID     uint64    `json:"comp_id"`
+	Card       int       `json:"card"`
+	Consistent bool      `json:"consistent"`
+	DGN        uint64    `json:"dgn"`
+	Timestamp  time.Time `json:"timestamp"`
+	MetaSize   int       `json:"meta_size"`
+	DataSize   int       `json:"data_size"`
+	Local      bool      `json:"local"`
+}
+
+// handleDir serves the set directory.
+func (g *Gateway) handleDir(w http.ResponseWriter, r *http.Request) {
+	names := g.Sets.Dir()
+	infos := make([]setInfo, 0, len(names))
+	for _, n := range names {
+		set := g.Sets.Get(n)
+		if set == nil {
+			continue
+		}
+		infos = append(infos, setInfo{
+			Instance:   set.Name(),
+			Schema:     set.SchemaName(),
+			CompID:     set.CompID(0),
+			Card:       set.Card(),
+			Consistent: set.Consistent(),
+			DGN:        set.DGN(),
+			Timestamp:  set.Timestamp(),
+			MetaSize:   set.MetaSize(),
+			DataSize:   set.DataSize(),
+			Local:      set.Local(),
+		})
+	}
+	writeJSON(w, map[string]any{"daemon": g.DaemonName, "sets": infos})
+}
+
+// handleSet serves one set snapshot: every metric read under a single lock
+// acquisition so the response is never torn across an update pass.
+func (g *Gateway) handleSet(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/v1/sets/")
+	if name == "" {
+		g.fail(w, http.StatusBadRequest, "set name required: /api/v1/sets/<instance>")
+		return
+	}
+	set := g.Sets.Get(name)
+	if set == nil {
+		g.fail(w, http.StatusNotFound, "no set %q", name)
+		return
+	}
+	vals := make([]metric.Value, set.Card())
+	ts, dgn, consistent, n := set.ReadValues(vals)
+	type metricOut struct {
+		Name  string `json:"name"`
+		Type  string `json:"type"`
+		Value any    `json:"value"`
+	}
+	metrics := make([]metricOut, n)
+	for i := 0; i < n; i++ {
+		metrics[i] = metricOut{
+			Name:  set.MetricName(i),
+			Type:  set.MetricType(i).String(),
+			Value: jsonValue(vals[i]),
+		}
+	}
+	writeJSON(w, map[string]any{
+		"instance":   set.Name(),
+		"schema":     set.SchemaName(),
+		"comp_id":    set.CompID(0),
+		"timestamp":  ts,
+		"dgn":        dgn,
+		"consistent": consistent,
+		"metrics":    metrics,
+	})
+}
+
+// latestOut is one per-producer latest value.
+type latestOut struct {
+	Instance   string    `json:"instance"`
+	Schema     string    `json:"schema"`
+	CompID     uint64    `json:"comp_id"`
+	Type       string    `json:"type"`
+	Value      any       `json:"value"`
+	Timestamp  time.Time `json:"timestamp"`
+	Consistent bool      `json:"consistent"`
+}
+
+// handleMetrics serves the latest value of one metric across every set
+// that carries it (live data, straight from the mirrored sets). Without
+// ?metric= it lists the metric names available.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	metricName := r.URL.Query().Get("metric")
+	comp, err := parseComp(r.URL.Query().Get("comp"))
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "bad comp: %v", err)
+		return
+	}
+	if metricName == "" {
+		seen := make(map[string]bool)
+		for _, n := range g.Sets.Dir() {
+			set := g.Sets.Get(n)
+			if set == nil {
+				continue
+			}
+			for i := 0; i < set.Card(); i++ {
+				seen[set.MetricName(i)] = true
+			}
+		}
+		names := make([]string, 0, len(seen))
+		for n := range seen {
+			names = append(names, n)
+		}
+		// Dir() is sorted but metric names are not; sort for determinism.
+		sort.Strings(names)
+		writeJSON(w, map[string]any{"metrics": names})
+		return
+	}
+	var out []latestOut
+	var vals []metric.Value
+	for _, n := range g.Sets.Dir() {
+		set := g.Sets.Get(n)
+		if set == nil {
+			continue
+		}
+		i, ok := set.MetricIndex(metricName)
+		if !ok || (comp != 0 && set.CompID(0) != comp) {
+			continue
+		}
+		if c := set.Card(); cap(vals) < c {
+			vals = make([]metric.Value, c)
+		}
+		ts, _, consistent, _ := set.ReadValues(vals[:set.Card()])
+		out = append(out, latestOut{
+			Instance:   set.Name(),
+			Schema:     set.SchemaName(),
+			CompID:     set.CompID(0),
+			Type:       set.MetricType(i).String(),
+			Value:      jsonValue(vals[i]),
+			Timestamp:  ts,
+			Consistent: consistent,
+		})
+	}
+	writeJSON(w, map[string]any{"metric": metricName, "values": out})
+}
+
+// handleSeries serves recent history of one metric from the in-memory
+// window: no storage backend is touched.
+func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if g.Window == nil {
+		g.fail(w, http.StatusServiceUnavailable, "recent window disabled (start the gateway with a window)")
+		return
+	}
+	q := r.URL.Query()
+	metricName := q.Get("metric")
+	if metricName == "" {
+		g.fail(w, http.StatusBadRequest, "metric= is required")
+		return
+	}
+	comp, err := parseComp(q.Get("comp"))
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "bad comp: %v", err)
+		return
+	}
+	window := g.Window.Retention()
+	if s := q.Get("window"); s != "" {
+		window, err = time.ParseDuration(s)
+		if err != nil {
+			g.fail(w, http.StatusBadRequest, "bad window: %v", err)
+			return
+		}
+	}
+	series := g.Window.Query(metricName, comp, time.Now().Add(-window))
+	type pointOut struct {
+		Time  time.Time `json:"time"`
+		Value any       `json:"value"`
+	}
+	type seriesOut struct {
+		Instance string     `json:"instance"`
+		Schema   string     `json:"schema"`
+		CompID   uint64     `json:"comp_id"`
+		Type     string     `json:"type"`
+		Points   []pointOut `json:"points"`
+	}
+	out := make([]seriesOut, len(series))
+	for i, s := range series {
+		so := seriesOut{
+			Instance: s.Instance,
+			Schema:   s.Schema,
+			CompID:   s.CompID,
+			Type:     s.Type.String(),
+			Points:   make([]pointOut, len(s.Points)),
+		}
+		for j, p := range s.Points {
+			so.Points[j] = pointOut{Time: p.Time, Value: jsonValue(p.Value)}
+		}
+		out[i] = so
+	}
+	writeJSON(w, map[string]any{
+		"metric": metricName,
+		"window": window.String(),
+		"series": out,
+	})
+}
+
+// handleHealthz reports daemon liveness plus per-producer staleness; any
+// stale producer degrades the response to 503 so orchestration probes and
+// external failover watchdogs (paper §IV-B) can react.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	var producers []ProducerHealth
+	if g.Health != nil {
+		producers = g.Health()
+	}
+	var stale []string
+	for _, p := range producers {
+		if p.Stale {
+			stale = append(stale, p.Name)
+		}
+	}
+	code := http.StatusOK
+	if len(stale) > 0 {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	resp := map[string]any{
+		"status":    status,
+		"daemon":    g.DaemonName,
+		"producers": producers,
+	}
+	if !g.Started.IsZero() {
+		resp["uptime_seconds"] = time.Since(g.Started).Seconds()
+	}
+	if len(stale) > 0 {
+		resp["stale"] = stale
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleExposition serves the Prometheus-style self-metrics text page.
+func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
+	e := NewExpo()
+	self := []Label{{"daemon", g.DaemonName}}
+	for key, c := range g.requests {
+		e.Counter("ldmsd_http_requests_total", "Gateway requests served, by endpoint.",
+			append([]Label{{"endpoint", key}}, self...), float64(c.Load()))
+	}
+	e.Counter("ldmsd_http_errors_total", "Gateway error responses.", self, float64(g.errors.Load()))
+	if g.Window != nil {
+		ws := g.Window.Stats()
+		e.Gauge("ldmsd_window_sets", "Set instances tracked by the recent window.", self, float64(ws.SeriesSets))
+		e.Gauge("ldmsd_window_series", "Metric series tracked by the recent window.", self, float64(ws.Series))
+		e.Counter("ldmsd_window_observed_total", "Samples recorded into the recent window.", self, float64(ws.Observed))
+		e.Counter("ldmsd_window_skipped_total", "Samples the window dropped (inconsistent or stale DGN).", self, float64(ws.Skipped))
+		e.Counter("ldmsd_window_queries_total", "Series/latest queries answered from the window.", self, float64(ws.Queries))
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.Gauge("ldmsd_goroutines", "Goroutines in the daemon process.", self, float64(runtime.NumGoroutine()))
+	e.Gauge("ldmsd_heap_alloc_bytes", "Live heap bytes.", self, float64(ms.HeapAlloc))
+	if g.Collect != nil {
+		g.Collect(e)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, e.String())
+}
+
+// parseComp parses a component-id query parameter ("" = all).
+func parseComp(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

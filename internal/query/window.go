@@ -1,0 +1,351 @@
+// Package query is the aggregator's consumer-facing serving layer: an
+// HTTP/JSON gateway over the freshest copy of every metric set the daemon
+// holds in memory, a fixed-size in-memory "recent window" that answers
+// short-horizon series queries without touching SOS/CSV storage, and a
+// Prometheus-style text exposition of the daemon's own internals.
+//
+// The paper's aggregators already hold the most recent sample of every
+// mirrored set; this package turns that passive mirror into a query
+// surface. Reads are torn-read-safe: set snapshots go through a single
+// lock acquisition (metric.Set.ReadValues) and carry the DGN and
+// consistent flag, so a reader racing an update pass sees either the old
+// chunk or the new one, never a mix (§III-A reader protocol).
+package query
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// DefaultPoints is the per-series ring capacity when none is configured:
+// at the paper's typical 1 s collection interval it holds a little over
+// ten minutes of history.
+const DefaultPoints = 1024
+
+// DefaultRetention is the default maximum age served from the window.
+const DefaultRetention = 10 * time.Minute
+
+// Window is the recent-window cache. One Observe call per fresh consistent
+// sample pushes every metric of the set into per-series rings; Query and
+// Latest answer entirely from those rings.
+//
+// Concurrency: the set index is guarded by an RWMutex taken only to look
+// up or create a set's series block; each block has its own mutex, so
+// concurrent update passes observing different sets never contend, and
+// readers block a writer only for the duration of a ring copy.
+type Window struct {
+	points    int
+	retention time.Duration
+
+	mu   sync.RWMutex
+	sets map[string]*setSeries
+
+	observed atomic.Int64 // samples recorded
+	skipped  atomic.Int64 // samples dropped (inconsistent or DGN-stale)
+	queries  atomic.Int64 // Query + Latest calls answered
+}
+
+// NewWindow creates a window holding up to points samples per series and
+// serving at most retention of history. Zero values select the defaults.
+func NewWindow(points int, retention time.Duration) *Window {
+	if points <= 0 {
+		points = DefaultPoints
+	}
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &Window{
+		points:    points,
+		retention: retention,
+		sets:      make(map[string]*setSeries),
+	}
+}
+
+// Retention returns the maximum history age the window serves.
+func (w *Window) Retention() time.Duration { return w.retention }
+
+// Points returns the per-series ring capacity.
+func (w *Window) Points() int { return w.points }
+
+// setSeries is one set instance's block of rings, one ring per metric.
+type setSeries struct {
+	instance string
+	schema   string
+	comp     uint64
+	names    []string
+	types    []metric.Type
+	index    map[string]int
+
+	mu      sync.Mutex
+	rings   []ring
+	scratch []metric.Value
+	lastDGN uint64
+	haveDGN bool
+}
+
+// ring is a fixed-capacity circular buffer of points. next is the slot the
+// next push writes; n is the live count (saturates at capacity).
+type ring struct {
+	pts  []point
+	next int
+	n    int
+}
+
+// point is one recorded sample: timestamp in unix nanoseconds plus the
+// value's raw 64-bit representation (the series' metric.Type decodes it).
+type point struct {
+	ts   int64
+	bits uint64
+}
+
+// push appends one point, overwriting the oldest once full.
+func (r *ring) push(ts int64, bits uint64) {
+	r.pts[r.next] = point{ts, bits}
+	r.next++
+	if r.next == len(r.pts) {
+		r.next = 0
+	}
+	if r.n < len(r.pts) {
+		r.n++
+	}
+}
+
+// Observe records the set's current sample into the window. Inconsistent
+// chunks and chunks whose DGN has not advanced since the last observation
+// are dropped, mirroring the updater's own storage filter. It is safe to
+// call concurrently with Query/Latest and with Observes of other sets.
+func (w *Window) Observe(set *metric.Set) {
+	ss := w.seriesFor(set)
+	ss.mu.Lock()
+	ts, dgn, consistent, n := set.ReadValues(ss.scratch)
+	if !consistent || (ss.haveDGN && dgn == ss.lastDGN) {
+		ss.mu.Unlock()
+		w.skipped.Add(1)
+		return
+	}
+	ss.lastDGN, ss.haveDGN = dgn, true
+	tn := ts.UnixNano()
+	for i := 0; i < n; i++ {
+		ss.rings[i].push(tn, ss.scratch[i].Bits)
+	}
+	ss.mu.Unlock()
+	w.observed.Add(1)
+}
+
+// seriesFor returns (creating if needed) the set's series block.
+func (w *Window) seriesFor(set *metric.Set) *setSeries {
+	name := set.Name()
+	w.mu.RLock()
+	ss := w.sets[name]
+	w.mu.RUnlock()
+	if ss != nil {
+		return ss
+	}
+	card := set.Card()
+	ss = &setSeries{
+		instance: name,
+		schema:   set.SchemaName(),
+		comp:     set.CompID(0),
+		names:    make([]string, card),
+		types:    make([]metric.Type, card),
+		index:    make(map[string]int, card),
+		rings:    make([]ring, card),
+		scratch:  make([]metric.Value, card),
+	}
+	for i := 0; i < card; i++ {
+		ss.names[i] = set.MetricName(i)
+		ss.types[i] = set.MetricType(i)
+		ss.index[ss.names[i]] = i
+		ss.rings[i].pts = make([]point, w.points)
+	}
+	w.mu.Lock()
+	if prev := w.sets[name]; prev != nil {
+		// Another observer created it first.
+		w.mu.Unlock()
+		return prev
+	}
+	w.sets[name] = ss
+	w.mu.Unlock()
+	return ss
+}
+
+// Forget drops the named set's series (e.g. after the set left the
+// directory). Queries issued concurrently finish against the old block.
+func (w *Window) Forget(instance string) {
+	w.mu.Lock()
+	delete(w.sets, instance)
+	w.mu.Unlock()
+}
+
+// Point is one sample of a series as served to consumers.
+type Point struct {
+	Time  time.Time
+	Value metric.Value
+}
+
+// Series is one (instance, metric) series over the queried window, points
+// in ascending time order.
+type Series struct {
+	Instance string
+	Schema   string
+	Metric   string
+	CompID   uint64
+	Type     metric.Type
+	Points   []Point
+}
+
+// Query returns every series for the named metric — across all producers,
+// or only component comp when comp != 0 — restricted to points at or after
+// since (and never older than the window's retention). The result is
+// sorted by instance name and built entirely from the in-memory rings.
+func (w *Window) Query(metricName string, comp uint64, since time.Time) []Series {
+	w.queries.Add(1)
+	floor := time.Now().Add(-w.retention)
+	if since.Before(floor) {
+		since = floor
+	}
+	sinceNanos := since.UnixNano()
+
+	var out []Series
+	for _, ss := range w.blocks() {
+		i, ok := ss.index[metricName]
+		if !ok || (comp != 0 && ss.comp != comp) {
+			continue
+		}
+		s := Series{
+			Instance: ss.instance,
+			Schema:   ss.schema,
+			Metric:   metricName,
+			CompID:   ss.comp,
+			Type:     ss.types[i],
+		}
+		ss.mu.Lock()
+		s.Points = ss.rings[i].copySince(sinceNanos, ss.types[i])
+		ss.mu.Unlock()
+		if len(s.Points) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Instance < out[b].Instance })
+	return out
+}
+
+// copySince extracts points with ts >= sinceNanos in ascending order.
+// Pushes arrive time-ordered, so the ring is sorted from its oldest slot;
+// a binary search finds the cut and one exact-size copy serves the rest.
+// Caller holds the series lock.
+func (r *ring) copySince(sinceNanos int64, t metric.Type) []Point {
+	if r.n == 0 {
+		return nil
+	}
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.pts)
+	}
+	at := func(k int) point { return r.pts[(start+k)%len(r.pts)] }
+	cut := sort.Search(r.n, func(k int) bool { return at(k).ts >= sinceNanos })
+	if cut == r.n {
+		return nil
+	}
+	out := make([]Point, r.n-cut)
+	for k := range out {
+		p := at(cut + k)
+		out[k] = Point{Time: time.Unix(0, p.ts), Value: metric.Value{Type: t, Bits: p.bits}}
+	}
+	return out
+}
+
+// Latest returns the newest recorded point of the named metric for every
+// matching series (comp == 0 matches all components), sorted by instance.
+func (w *Window) Latest(metricName string, comp uint64) []Series {
+	w.queries.Add(1)
+	var out []Series
+	for _, ss := range w.blocks() {
+		i, ok := ss.index[metricName]
+		if !ok || (comp != 0 && ss.comp != comp) {
+			continue
+		}
+		ss.mu.Lock()
+		r := &ss.rings[i]
+		var p point
+		have := r.n > 0
+		if have {
+			last := r.next - 1
+			if last < 0 {
+				last = len(r.pts) - 1
+			}
+			p = r.pts[last]
+		}
+		ss.mu.Unlock()
+		if !have {
+			continue
+		}
+		out = append(out, Series{
+			Instance: ss.instance,
+			Schema:   ss.schema,
+			Metric:   metricName,
+			CompID:   ss.comp,
+			Type:     ss.types[i],
+			Points:   []Point{{Time: time.Unix(0, p.ts), Value: metric.Value{Type: ss.types[i], Bits: p.bits}}},
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Instance < out[b].Instance })
+	return out
+}
+
+// MetricNames lists every metric name present in the window, sorted.
+func (w *Window) MetricNames() []string {
+	seen := make(map[string]bool)
+	for _, ss := range w.blocks() {
+		for _, n := range ss.names {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// blocks snapshots the series-block list.
+func (w *Window) blocks() []*setSeries {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]*setSeries, 0, len(w.sets))
+	for _, ss := range w.sets {
+		out = append(out, ss)
+	}
+	return out
+}
+
+// WindowStats is a snapshot of the window's own counters, for /metrics.
+type WindowStats struct {
+	SeriesSets int   // set instances tracked
+	Series     int   // individual metric series
+	Observed   int64 // samples recorded
+	Skipped    int64 // samples dropped (inconsistent / stale DGN)
+	Queries    int64 // Query/Latest calls served
+}
+
+// Stats returns the window's counters.
+func (w *Window) Stats() WindowStats {
+	w.mu.RLock()
+	sets, series := len(w.sets), 0
+	for _, ss := range w.sets {
+		series += len(ss.rings)
+	}
+	w.mu.RUnlock()
+	return WindowStats{
+		SeriesSets: sets,
+		Series:     series,
+		Observed:   w.observed.Load(),
+		Skipped:    w.skipped.Load(),
+		Queries:    w.queries.Load(),
+	}
+}

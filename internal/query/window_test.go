@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// testSet builds a consistent two-metric set.
+func testSet(t testing.TB, instance string, comp uint64) *metric.Set {
+	t.Helper()
+	sch := metric.NewSchema("win")
+	sch.MustAddMetric("a", metric.TypeU64)
+	sch.MustAddMetric("b", metric.TypeD64)
+	set, err := metric.New(instance, sch, metric.WithCompID(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// sample writes one consistent sample (a=v, b=v/2) at time ts.
+func sample(set *metric.Set, v uint64, ts time.Time) {
+	set.BeginTransaction()
+	set.SetU64(0, v)
+	set.SetF64(1, float64(v)/2)
+	set.EndTransaction(ts)
+}
+
+func TestWindowObserveAndQuery(t *testing.T) {
+	w := NewWindow(16, time.Hour)
+	s1 := testSet(t, "n1/win", 1)
+	s2 := testSet(t, "n2/win", 2)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		sample(s1, uint64(i), base.Add(time.Duration(i)*time.Second))
+		w.Observe(s1)
+		sample(s2, uint64(100+i), base.Add(time.Duration(i)*time.Second))
+		w.Observe(s2)
+	}
+
+	series := w.Query("a", 0, base.Add(-time.Minute))
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	if series[0].Instance != "n1/win" || series[1].Instance != "n2/win" {
+		t.Fatalf("series order: %q, %q", series[0].Instance, series[1].Instance)
+	}
+	if got := len(series[0].Points); got != 5 {
+		t.Fatalf("points = %d, want 5", got)
+	}
+	for i, p := range series[0].Points {
+		if p.Value.U64() != uint64(i) {
+			t.Errorf("point %d = %d, want %d", i, p.Value.U64(), i)
+		}
+	}
+
+	// Component filter.
+	series = w.Query("a", 2, base.Add(-time.Minute))
+	if len(series) != 1 || series[0].CompID != 2 {
+		t.Fatalf("comp filter: got %d series", len(series))
+	}
+	if series[0].Points[4].Value.U64() != 104 {
+		t.Errorf("comp-2 last point = %d, want 104", series[0].Points[4].Value.U64())
+	}
+
+	// Float metric keeps its type.
+	series = w.Query("b", 1, base.Add(-time.Minute))
+	if len(series) != 1 || series[0].Type != metric.TypeD64 {
+		t.Fatalf("float series missing")
+	}
+	if got := series[0].Points[4].Value.F64(); got != 2 {
+		t.Errorf("b last = %g, want 2", got)
+	}
+}
+
+func TestWindowSkipsInconsistentAndStale(t *testing.T) {
+	w := NewWindow(8, time.Hour)
+	s := testSet(t, "n1/win", 1)
+
+	// Never sampled: inconsistent, dropped.
+	w.Observe(s)
+	if st := w.Stats(); st.Observed != 0 || st.Skipped != 1 {
+		t.Fatalf("inconsistent not dropped: %+v", st)
+	}
+
+	sample(s, 7, time.Now())
+	w.Observe(s)
+	// Same DGN again: stale, dropped.
+	w.Observe(s)
+	st := w.Stats()
+	if st.Observed != 1 || st.Skipped != 2 {
+		t.Fatalf("stale not dropped: %+v", st)
+	}
+
+	// Mid-transaction observation is dropped too.
+	s.BeginTransaction()
+	s.SetU64(0, 8)
+	w.Observe(s)
+	if st := w.Stats(); st.Observed != 1 || st.Skipped != 3 {
+		t.Fatalf("torn sample not dropped: %+v", st)
+	}
+	s.EndTransaction(time.Now())
+	w.Observe(s)
+	if st := w.Stats(); st.Observed != 2 {
+		t.Fatalf("fresh sample after transaction not recorded: %+v", st)
+	}
+}
+
+func TestWindowRingWrapsAndTrims(t *testing.T) {
+	w := NewWindow(4, time.Hour)
+	s := testSet(t, "n1/win", 1)
+	// Whole-second base: set timestamps round to microseconds, so a
+	// nanosecond-precision bound would straddle the stored values.
+	base := time.Now().Truncate(time.Second)
+	for i := 0; i < 10; i++ {
+		sample(s, uint64(i), base.Add(time.Duration(i)*time.Second))
+		w.Observe(s)
+	}
+	series := w.Query("a", 0, base.Add(-time.Minute))
+	if len(series) != 1 {
+		t.Fatal("missing series")
+	}
+	pts := series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("ring kept %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := uint64(6 + i); p.Value.U64() != want {
+			t.Errorf("point %d = %d, want %d", i, p.Value.U64(), want)
+		}
+	}
+
+	// A since-bound inside the ring trims older points.
+	series = w.Query("a", 0, base.Add(8*time.Second))
+	if got := len(series[0].Points); got != 2 {
+		t.Fatalf("since filter kept %d points, want 2", got)
+	}
+}
+
+func TestWindowLatest(t *testing.T) {
+	w := NewWindow(8, time.Hour)
+	s1 := testSet(t, "n1/win", 1)
+	s2 := testSet(t, "n2/win", 2)
+	sample(s1, 41, time.Now())
+	sample(s2, 42, time.Now())
+	w.Observe(s1)
+	w.Observe(s2)
+	latest := w.Latest("a", 0)
+	if len(latest) != 2 {
+		t.Fatalf("latest series = %d, want 2", len(latest))
+	}
+	if latest[0].Points[0].Value.U64() != 41 || latest[1].Points[0].Value.U64() != 42 {
+		t.Errorf("latest values wrong: %v %v", latest[0].Points, latest[1].Points)
+	}
+	if names := w.MetricNames(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("MetricNames = %v", names)
+	}
+}
+
+func TestWindowForget(t *testing.T) {
+	w := NewWindow(8, time.Hour)
+	s := testSet(t, "n1/win", 1)
+	sample(s, 1, time.Now())
+	w.Observe(s)
+	w.Forget("n1/win")
+	if got := w.Query("a", 0, time.Now().Add(-time.Minute)); len(got) != 0 {
+		t.Fatalf("forgotten series still served: %d", len(got))
+	}
+}
+
+// TestWindowConcurrentObserveAndQuery races writers (update passes) against
+// readers (gateway queries); run under -race.
+func TestWindowConcurrentObserveAndQuery(t *testing.T) {
+	w := NewWindow(64, time.Hour)
+	const sets = 8
+	all := make([]*metric.Set, sets)
+	for i := range all {
+		all[i] = testSet(t, fmt.Sprintf("n%d/win", i), uint64(i+1))
+		sample(all[i], 0, time.Now())
+		w.Observe(all[i])
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range all {
+		wg.Add(1)
+		go func(s *metric.Set) {
+			defer wg.Done()
+			v := uint64(1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sample(s, v, time.Now())
+				w.Observe(s)
+				v++
+			}
+		}(all[i])
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Query("a", 0, time.Now().Add(-time.Minute))
+				w.Latest("b", 0)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := w.Stats(); st.Observed == 0 || st.Queries == 0 {
+		t.Fatalf("no concurrent progress: %+v", st)
+	}
+}

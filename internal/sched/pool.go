@@ -13,6 +13,7 @@ type Pool struct {
 	mu      sync.RWMutex
 	ch      chan func()
 	wg      sync.WaitGroup
+	workers int
 	stopped bool
 }
 
@@ -24,7 +25,7 @@ func NewPool(n, depth int) *Pool {
 	if depth < 1 {
 		depth = 1
 	}
-	p := &Pool{ch: make(chan func(), depth)}
+	p := &Pool{ch: make(chan func(), depth), workers: n}
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func() {
@@ -67,6 +68,17 @@ func (p *Pool) TrySubmit(f func()) bool {
 		return false
 	}
 }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth returns the number of submitted-but-not-started jobs, a
+// saturation gauge for the daemon's self-metrics: a queue pinned at
+// QueueCap means submitters are blocking.
+func (p *Pool) QueueDepth() int { return len(p.ch) }
+
+// QueueCap returns the submission queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.ch) }
 
 // Stop closes the queue and waits for workers to drain it. Submissions
 // racing with Stop either land before the close (and are executed) or are

@@ -126,6 +126,10 @@ type memConn struct {
 	delay  func(addr, op string)
 	mu     sync.Mutex
 	closed bool
+
+	// Transfer counters, mirroring what the sock transport counts on the
+	// wire: one message per request and per reply, payload bytes in.
+	connStats
 }
 
 // check validates the connection before an operation.
@@ -155,7 +159,14 @@ func (c *memConn) Dir(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	c.pause("dir")
-	return c.l.srv.serveDir(), nil
+	names := c.l.srv.serveDir()
+	c.countOut(0)
+	n := 0
+	for _, s := range names {
+		n += len(s)
+	}
+	c.countIn(n)
+	return names, nil
 }
 
 // Lookup implements Conn.
@@ -164,10 +175,12 @@ func (c *memConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
 		return nil, err
 	}
 	c.pause("lookup")
+	c.countOut(len(name))
 	set, metaBytes, err := c.l.srv.serveLookup(name)
 	if err != nil {
 		return nil, err
 	}
+	c.countIn(len(metaBytes))
 	meta, err := metric.ParseMeta(metaBytes)
 	if err != nil {
 		return nil, err
@@ -199,7 +212,10 @@ func (rs *memRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 		return 0, err
 	}
 	rs.conn.pause("update")
-	return rs.fetch(dst)
+	n, err := rs.fetch(dst)
+	rs.conn.countOut(4) // the sock transport's handle word
+	rs.conn.countIn(n)
+	return n, err
 }
 
 // fetch copies the data chunk without re-checking or delaying; batch pulls
@@ -234,7 +250,17 @@ func (c *memConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 		failOps(ops, err)
 		return
 	}
+	var bytesIn int64
 	for i := range ops {
 		ops[i].N, ops[i].Err = ops[i].Set.(*memRemoteSet).fetch(ops[i].Dst)
+		bytesIn += int64(ops[i].N)
 	}
+	// One counter update per batch keeps the tap invisible to the update
+	// fan-in hot path.
+	c.msgsOut.Add(int64(len(ops)))
+	c.bytesOut.Add(4 * int64(len(ops)))
+	c.msgsIn.Add(int64(len(ops)))
+	c.bytesIn.Add(bytesIn)
+	c.batches.Add(1)
+	c.batchedOps.Add(int64(len(ops)))
 }

@@ -146,6 +146,10 @@ type sockConn struct {
 	hmu     sync.Mutex
 	nextH   uint32
 	onHello func(string, Conn)
+
+	// Transfer counters for prdcr_status and /metrics (both halves of the
+	// symmetric connection share them).
+	connStats
 }
 
 // sockResp is one delivered response: either a frame (typ, payload) from
@@ -194,6 +198,7 @@ func (sc *sockConn) send(typ byte, id uint64, payload []byte) error {
 	if err := writeFrame(sc.w, typ, id, payload); err != nil {
 		return err
 	}
+	sc.countOut(frameHeader + len(payload))
 	return sc.w.Flush()
 }
 
@@ -207,6 +212,7 @@ func (sc *sockConn) readLoop() {
 			sc.fail(err)
 			return
 		}
+		sc.countIn(frameHeader + len(payload))
 		switch typ {
 		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello:
 			err := sc.serveRequest(typ, id, payload)
@@ -451,11 +457,14 @@ func (sc *sockConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 		if werr = writeFrame(sc.w, msgUpdateReq, first+uint64(i), sc.scratch); werr != nil {
 			break
 		}
+		sc.countOut(frameHeader + len(sc.scratch))
 	}
 	if werr == nil {
 		werr = sc.w.Flush()
 	}
 	sc.wmu.Unlock()
+	sc.batches.Add(1)
+	sc.batchedOps.Add(int64(len(ops)))
 	if werr != nil {
 		sc.deregister(first, len(ops))
 		sc.resolveDelivered(ops, first, ch)

@@ -24,6 +24,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 
 	"goldms/internal/metric"
 )
@@ -99,6 +100,70 @@ func failOps(ops []UpdateOp, err error) {
 			ops[i].Err = err
 		}
 	}
+}
+
+// ConnStats is a snapshot of one connection's transfer counters, the
+// transport-level half of the daemon's observability surface (prdcr_status
+// and the gateway's /metrics).
+type ConnStats struct {
+	BytesIn    int64 // payload + framing bytes received
+	BytesOut   int64 // payload + framing bytes sent
+	MsgsIn     int64 // messages (frames / direct-call replies) received
+	MsgsOut    int64 // messages sent
+	Batches    int64 // pipelined update batches issued
+	BatchedOps int64 // update ops carried by those batches
+}
+
+// Add accumulates o into s (for totals across reconnect epochs).
+func (s *ConnStats) Add(o ConnStats) {
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.MsgsIn += o.MsgsIn
+	s.MsgsOut += o.MsgsOut
+	s.Batches += o.Batches
+	s.BatchedOps += o.BatchedOps
+}
+
+// StatConn is implemented by connections that count their traffic.
+type StatConn interface {
+	ConnStats() ConnStats
+}
+
+// StatsOf returns conn's transfer counters, if it keeps any.
+func StatsOf(conn Conn) (ConnStats, bool) {
+	if sc, ok := conn.(StatConn); ok {
+		return sc.ConnStats(), true
+	}
+	return ConnStats{}, false
+}
+
+// connStats is the embeddable atomic counter block behind ConnStats.
+type connStats struct {
+	bytesIn, bytesOut, msgsIn, msgsOut, batches, batchedOps atomic.Int64
+}
+
+// ConnStats snapshots the counters.
+func (s *connStats) ConnStats() ConnStats {
+	return ConnStats{
+		BytesIn:    s.bytesIn.Load(),
+		BytesOut:   s.bytesOut.Load(),
+		MsgsIn:     s.msgsIn.Load(),
+		MsgsOut:    s.msgsOut.Load(),
+		Batches:    s.batches.Load(),
+		BatchedOps: s.batchedOps.Load(),
+	}
+}
+
+// countOut records one sent message of n payload+framing bytes.
+func (s *connStats) countOut(n int) {
+	s.msgsOut.Add(1)
+	s.bytesOut.Add(int64(n))
+}
+
+// countIn records one received message of n payload+framing bytes.
+func (s *connStats) countIn(n int) {
+	s.msgsIn.Add(1)
+	s.bytesIn.Add(int64(n))
 }
 
 // Listener accepts connections for a Server until closed.
