@@ -27,7 +27,7 @@
 //	updtr_add name=all interval=1000000
 //	updtr_prdcr_add name=all prdcr=n1
 //	updtr_start name=all
-//	strgp_add name=store plugin=store_csv schema=meminfo container=/tmp/meminfo.csv
+//	strgp_add name=store plugin=store_csv schema=meminfo container=/tmp/meminfo.csv queue=1024 batch=256 flush_interval=1s
 package main
 
 import (
@@ -51,6 +51,7 @@ func main() {
 		conf    = flag.String("c", "", "configuration script to run at startup")
 		mem     = flag.Int("m", ldmsd.DefaultMemory, "metric set memory budget in bytes")
 		workers = flag.Int("P", 4, "worker thread count")
+		stWork  = flag.Int("store-workers", 0, "store pipeline drain/flush worker count (default 2)")
 		compID  = flag.Uint64("i", 0, "default component id for sampler sets")
 		version = flag.Bool("V", false, "print version and exit")
 
@@ -66,10 +67,11 @@ func main() {
 	}
 
 	d, err := ldmsd.New(ldmsd.Options{
-		Name:    *name,
-		Workers: *workers,
-		Memory:  *mem,
-		CompID:  *compID,
+		Name:         *name,
+		Workers:      *workers,
+		StoreWorkers: *stWork,
+		Memory:       *mem,
+		CompID:       *compID,
 		Transports: []transport.Factory{
 			transport.SockFactory{},
 			transport.RDMAFactory{Kind: "rdma"},

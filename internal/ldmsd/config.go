@@ -38,9 +38,12 @@ import (
 //	updtr_start name=<u>
 //	updtr_stop name=<u>
 //	updtr_status                 (per-updater pull-path counters)
-//	strgp_add name=<s> plugin=<store> schema=<schema> container=<path> [k=v ...]
+//	strgp_add name=<s> plugin=<store> schema=<schema> container=<path>
+//	             [queue=<n>] [batch=<n>] [flush_interval=<us|dur>]
+//	             [overflow=drop-oldest|block] [k=v ...]
 //	strgp_metric_add name=<s> metric=<m>[,<m>...]
 //	strgp_start name=<s>         (accepted; stores start lazily)
+//	strgp_status                 (per-policy queue/batch/drop counters + errors)
 //	dir                          (list local sets)
 //	ls [name=<set>]              (ldms_ls-style listing)
 //	stats                        (activity counters)
@@ -106,6 +109,8 @@ func (d *Daemon) Exec(line string) (string, error) {
 		return "", nil
 	case "strgp_add":
 		return d.cmdStrgpAdd(args)
+	case "strgp_status":
+		return d.cmdStrgpStatus()
 	case "strgp_metric_add":
 		return d.cmdStrgpMetricAdd(args)
 	case "strgp_start":
@@ -547,6 +552,38 @@ func (d *Daemon) cmdStrgpAdd(args map[string]string) (string, error) {
 	return "", err
 }
 
+// cmdStrgpStatus renders per-policy storage-pipeline state: one line per
+// policy in name order, including the sticky failure (if any) so silently
+// dropped rows are visible to operators.
+func (d *Daemon) cmdStrgpStatus() (string, error) {
+	d.mu.Lock()
+	strgps := mapValues(d.strgps)
+	d.mu.Unlock()
+	var lines []string
+	for _, sp := range strgps {
+		c := sp.Counters()
+		state := "running"
+		if c.Failed {
+			state = "failed"
+		}
+		overflow := "drop-oldest"
+		if !sp.dropOldest {
+			overflow = "block"
+		}
+		line := fmt.Sprintf(
+			"name=%s plugin=%s schema=%s state=%s rows=%d enqueued=%d dropped=%d batches=%d queue=%d/%d batch_max=%d overflow=%s flush_interval=%s flushes=%d store_us=%d flush_us=%d",
+			sp.Name(), sp.Plugin(), sp.Schema(), state,
+			c.Rows, c.Enqueued, c.Dropped, c.Batches,
+			c.QueueDepth, c.QueueCap, sp.batchMax, overflow, sp.flushEvery,
+			c.Flushes, c.StoreNanos/1000, c.FlushNanos/1000)
+		if err := sp.Err(); err != nil {
+			line += fmt.Sprintf(" err=%q", err.Error())
+		}
+		lines = append(lines, line)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
 func (d *Daemon) cmdStrgpMetricAdd(args map[string]string) (string, error) {
 	sp := d.StoragePolicy(args["name"])
 	if sp == nil {
@@ -614,6 +651,7 @@ func (d *Daemon) cmdStats() (string, error) {
 		fmt.Sprintf("update_errors=%d", st.UpdateErrors),
 		fmt.Sprintf("skipped_busy=%d", st.UpdatesSkippedBusy),
 		fmt.Sprintf("stored_rows=%d", st.StoredRows),
+		fmt.Sprintf("dropped_rows=%d", st.DroppedRows),
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, " "), nil

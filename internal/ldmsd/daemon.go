@@ -49,6 +49,12 @@ type Options struct {
 	// per-producer pulls within a pass (real-clock mode only; virtual-time
 	// daemons pull sequentially for determinism). Defaults to Workers.
 	UpdateWorkers int
+	// StoreWorkers sizes the dedicated store pool that drains storage-
+	// policy queues and runs periodic flushes (paper §IV: store plugins
+	// run on a dedicated flush pool so storage latency never back-
+	// pressures collection). Real-clock mode only; virtual-time daemons
+	// store synchronously for determinism. Defaults to 2.
+	StoreWorkers int
 	// Memory is the metric-set memory budget in bytes (the -m flag).
 	Memory int
 	// FS is the node's /proc//sys source for sampling plugins.
@@ -66,6 +72,7 @@ type Daemon struct {
 	ownSch bool
 	conn   *sched.Pool
 	upd    *sched.Pool // update pull fan-out; nil under a virtual clock
+	str    *sched.Pool // store queue drain + flush; nil under a virtual clock
 	arena  *mmgr.Arena
 	fs     procfs.FS
 	compID uint64
@@ -88,6 +95,10 @@ type Daemon struct {
 	// window is the gateway's recent-window cache; nil while no gateway
 	// runs. An atomic pointer keeps the store-path tap to one load.
 	window atomic.Pointer[query.Window]
+
+	// strgpList is the lock-free snapshot of storage policies the pull
+	// path fans fresh samples out to; rebuilt when a policy is added.
+	strgpList atomic.Pointer[[]*StoragePolicy]
 }
 
 // DefaultMemory is the default metric-set memory budget. The paper reports
@@ -142,6 +153,11 @@ func New(opts Options) (*Daemon, error) {
 			uw = w
 		}
 		d.upd = sched.NewPool(uw, 4*uw+8)
+		sw := opts.StoreWorkers
+		if sw <= 0 {
+			sw = 2
+		}
+		d.str = sched.NewPool(sw, 4*sw+8)
 	}
 	for _, f := range opts.Transports {
 		d.transports[f.Name()] = f
@@ -209,6 +225,11 @@ func (d *Daemon) submitConn(f func()) {
 // deterministic).
 func (d *Daemon) updatePool() *sched.Pool { return d.upd }
 
+// storePool returns the dedicated store drain/flush pool, or nil when the
+// daemon runs under a virtual clock (storage policies then drain inline
+// so simulated experiments stay synchronous and deterministic).
+func (d *Daemon) storePool() *sched.Pool { return d.str }
+
 // Stop halts all policies, closes listeners and producer connections, and
 // (if owned) stops the scheduler.
 func (d *Daemon) Stop() {
@@ -251,6 +272,12 @@ func (d *Daemon) Stop() {
 	if d.conn != nil {
 		d.conn.Stop()
 	}
+	// The store pool stops after the pull paths are quiet so in-flight
+	// drain jobs complete; Close then drains any remainder inline and
+	// flushes the plugins.
+	if d.str != nil {
+		d.str.Stop()
+	}
 	for _, ln := range listeners {
 		ln.Close()
 	}
@@ -287,6 +314,7 @@ type Stats struct {
 	UpdateErrors        int64
 	UpdatesSkippedBusy  int64 // passes skipped because the previous one was in flight
 	StoredRows          int64
+	DroppedRows         int64 // rows lost to store-queue overflow or failed policies
 }
 
 // Stats sums activity over all policies.
@@ -310,6 +338,7 @@ func (d *Daemon) Stats() Stats {
 	}
 	for _, sp := range d.strgps {
 		st.StoredRows += sp.rows.Load()
+		st.DroppedRows += sp.dropped.Load()
 	}
 	return st
 }

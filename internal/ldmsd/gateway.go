@@ -62,6 +62,7 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		Sets:       d.reg,
 		Window:     w,
 		Health:     d.producerHealth,
+		Stores:     d.storeHealth,
 		Collect:    d.collectSelfMetrics,
 		Started:    time.Now(),
 		PProf:      cfg.PProf,
@@ -170,6 +171,33 @@ func (d *Daemon) producerHealth() []query.ProducerHealth {
 	return out
 }
 
+// storeHealth assembles the storage-policy section of /healthz: a policy
+// with a sticky plugin error silently drops every subsequent row, so it
+// degrades the endpoint instead of hiding behind a healthy pull path.
+func (d *Daemon) storeHealth() []query.StoreHealth {
+	d.mu.Lock()
+	strgps := mapValues(d.strgps)
+	d.mu.Unlock()
+	out := make([]query.StoreHealth, 0, len(strgps))
+	for _, sp := range strgps {
+		c := sp.Counters()
+		sh := query.StoreHealth{
+			Policy:     sp.Name(),
+			Plugin:     sp.Plugin(),
+			Schema:     sp.Schema(),
+			Rows:       c.Rows,
+			Dropped:    c.Dropped,
+			QueueDepth: c.QueueDepth,
+			Failed:     c.Failed,
+		}
+		if err := sp.Err(); err != nil {
+			sh.Error = err.Error()
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
 // collectSelfMetrics contributes the daemon's operational counters to the
 // gateway's /metrics exposition.
 func (d *Daemon) collectSelfMetrics(e *query.Expo) {
@@ -235,6 +263,11 @@ func (d *Daemon) collectSelfMetrics(e *query.Expo) {
 		c := sp.Counters()
 		l := []query.Label{dl, {K: "policy", V: sp.Name()}, {K: "plugin", V: sp.Plugin()}}
 		e.Counter("ldmsd_store_rows_total", "Samples written to storage.", l, float64(c.Rows))
+		e.Counter("ldmsd_store_enqueued_total", "Samples pushed onto the storage queue.", l, float64(c.Enqueued))
+		e.Counter("ldmsd_store_dropped_total", "Samples lost to queue overflow or a failed policy.", l, float64(c.Dropped))
+		e.Counter("ldmsd_store_batches_total", "Batched store-plugin calls issued by the drain worker.", l, float64(c.Batches))
+		e.Gauge("ldmsd_store_queue_depth", "Rows waiting in the storage queue.", l, float64(c.QueueDepth))
+		e.Gauge("ldmsd_store_queue_cap", "Storage queue capacity.", l, float64(c.QueueCap))
 		e.Counter("ldmsd_store_seconds_total", "Cumulative time inside store writes.", l, float64(c.StoreNanos)/1e9)
 		e.Counter("ldmsd_store_flushes_total", "Store flushes.", l, float64(c.Flushes))
 		e.Counter("ldmsd_store_flush_seconds_total", "Cumulative time inside store flushes.", l, float64(c.FlushNanos)/1e9)
@@ -251,6 +284,7 @@ func (d *Daemon) collectSelfMetrics(e *query.Expo) {
 	}{
 		{"connect", d.conn},
 		{"update", d.upd},
+		{"store", d.str},
 	} {
 		if pl.p == nil {
 			continue

@@ -2,42 +2,108 @@ package ldmsd
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/sched"
 	"goldms/internal/store"
 )
 
 // StoragePolicy routes fresh consistent samples of one schema to a store
-// plugin. The store instance is created lazily on the first matching
-// sample, when the column set is known. Storage may be specified at
-// {producer, metric name} granularity in LDMS; here the typical use case —
-// per metric set schema — is implemented, with an optional metric filter.
+// plugin through an asynchronous bounded queue, so storage latency never
+// back-pressures the pull path (the paper runs store plugins on
+// aggregators with a dedicated flush pool for exactly this reason).
+//
+// The pull path's storeSet call is a cheap enqueue: a pooled value-slice
+// copy of the sample pushed onto a per-policy ring. A drain job on the
+// daemon's store worker pool takes rows off the ring in batches and hands
+// them to the plugin via store.Batch (one lock acquisition and one
+// buffered write per batch for plugins implementing BatchStore). A flush
+// ticker per policy amortizes fsync cost across batches.
+//
+// Overflow is explicit: with overflow=drop-oldest (the default) a full
+// ring drops its oldest row and the enqueue never blocks; with
+// overflow=block the enqueue waits for the drain worker, trading pull
+// latency for losslessness.
+//
+// Under a virtual clock (simulated experiments) there is no store pool
+// and the queue drains inline on enqueue, keeping experiments synchronous
+// and deterministic.
+//
+// The store instance is created lazily on the first matching sample, when
+// the column set is known. Storage may be specified at {producer, metric
+// name} granularity in LDMS; here the typical use case — per metric set
+// schema — is implemented, with an optional metric filter.
 type StoragePolicy struct {
-	d         *Daemon
-	name      string
-	plugin    string
-	schema    string
-	path      string
-	options   map[string]string
+	d       *Daemon
+	name    string
+	plugin  string
+	schema  string
+	path    string
+	options map[string]string
+
+	queueCap   int
+	batchMax   int
+	flushEvery time.Duration
+	dropOldest bool
+
+	mu        sync.Mutex
+	notFull   sync.Cond // overflow=block enqueuers wait here
+	idle      sync.Cond // broadcast when a drain run finishes
+	ring      []metric.Row
+	head, n   int
+	draining  bool
+	st        store.Store
+	fail      error
+	closed    bool
+	flushTask *sched.Task
 	metricSel map[string]bool // nil = all metrics
 
-	mu   sync.Mutex
-	st   store.Store
-	fail error
-	rows atomic.Int64
+	// Column layout, fixed at the first matching sample. names is shared
+	// by every queued Row; selIdx maps row columns to set indices when a
+	// metric filter is active (nil = identity).
+	names  []string
+	types  []metric.Type
+	selIdx []int
 
-	storeNanos atomic.Int64 // cumulative time inside store.Store
+	// Free lists reused across rows and batches: value slices cycle
+	// enqueue → drain → free, the batch scratch belongs to the single
+	// drain run, scratch is the full-cardinality read buffer for
+	// filtered policies (all guarded by mu).
+	free     [][]metric.Value
+	batchBuf []metric.Row
+	scratch  []metric.Value
+	card     int
+
+	rows       atomic.Int64 // rows the plugin accepted
+	enqueued   atomic.Int64 // rows pushed onto the queue
+	dropped    atomic.Int64 // rows lost to overflow or a failed policy
+	batches    atomic.Int64 // StoreBatch/Batch calls issued
+	storeNanos atomic.Int64 // cumulative time inside store writes
 	flushes    atomic.Int64
 	flushNanos atomic.Int64 // cumulative time inside store.Flush
 }
 
-// StorageCounters is a snapshot of a policy's write activity for the query
-// gateway's self-metrics.
+// Storage pipeline defaults; override per policy with
+// strgp_add queue= batch= flush_interval= overflow=.
+const (
+	defaultStoreQueue = 1024
+	defaultStoreBatch = 256
+	defaultStoreFlush = time.Second
+)
+
+// StorageCounters is a snapshot of a policy's write activity for the
+// query gateway's self-metrics and strgp_status.
 type StorageCounters struct {
-	Rows       int64
+	Rows       int64 // rows the plugin accepted
+	Enqueued   int64 // rows pushed onto the queue
+	Dropped    int64 // rows lost to overflow or a failed policy
+	Batches    int64 // batched plugin calls
+	QueueDepth int   // rows waiting in the ring right now
+	QueueCap   int
 	StoreNanos int64
 	Flushes    int64
 	FlushNanos int64
@@ -46,12 +112,21 @@ type StorageCounters struct {
 
 // Counters snapshots the policy's write counters.
 func (sp *StoragePolicy) Counters() StorageCounters {
+	sp.mu.Lock()
+	depth := sp.n
+	failed := sp.fail != nil
+	sp.mu.Unlock()
 	return StorageCounters{
 		Rows:       sp.rows.Load(),
+		Enqueued:   sp.enqueued.Load(),
+		Dropped:    sp.dropped.Load(),
+		Batches:    sp.batches.Load(),
+		QueueDepth: depth,
+		QueueCap:   sp.queueCap,
 		StoreNanos: sp.storeNanos.Load(),
 		Flushes:    sp.flushes.Load(),
 		FlushNanos: sp.flushNanos.Load(),
-		Failed:     sp.Err() != nil,
+		Failed:     failed,
 	}
 }
 
@@ -65,19 +140,86 @@ func (sp *StoragePolicy) Schema() string { return sp.schema }
 func (sp *StoragePolicy) Plugin() string { return sp.plugin }
 
 // AddStoragePolicy registers a storage policy: samples of the given schema
-// are written with the named store plugin at path.
+// are written with the named store plugin at path. The pipeline knobs are
+// read from options (and not passed on to the plugin):
+//
+//	queue=<n>           ring capacity in rows (default 1024)
+//	batch=<n>           max rows per plugin call (default 256)
+//	flush_interval=<d>  periodic flush cadence; 0 disables (default 1s)
+//	overflow=<policy>   drop-oldest (default) or block
 func (d *Daemon) AddStoragePolicy(name, plugin, schema, path string, options map[string]string) (*StoragePolicy, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, dup := d.strgps[name]; dup {
-		return nil, fmt.Errorf("ldmsd %s: storage policy %q already exists", d.name, name)
-	}
 	if schema == "" {
 		return nil, fmt.Errorf("ldmsd %s: storage policy %q needs a schema", d.name, name)
 	}
-	sp := &StoragePolicy{d: d, name: name, plugin: plugin, schema: schema, path: path, options: options}
+	sp := &StoragePolicy{
+		d: d, name: name, plugin: plugin, schema: schema, path: path,
+		options:    options,
+		queueCap:   defaultStoreQueue,
+		batchMax:   defaultStoreBatch,
+		flushEvery: defaultStoreFlush,
+		dropOldest: true,
+	}
+	if v, ok := popOption(options, "queue"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("ldmsd %s: storage policy %q: bad queue %q", d.name, name, v)
+		}
+		sp.queueCap = n
+	}
+	if v, ok := popOption(options, "batch"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("ldmsd %s: storage policy %q: bad batch %q", d.name, name, v)
+		}
+		sp.batchMax = n
+	}
+	if v, ok := popOption(options, "flush_interval"); ok {
+		iv, err := parseInterval(v)
+		if err != nil || iv < 0 {
+			return nil, fmt.Errorf("ldmsd %s: storage policy %q: bad flush_interval %q", d.name, name, v)
+		}
+		sp.flushEvery = iv
+	}
+	if v, ok := popOption(options, "overflow"); ok {
+		switch v {
+		case "drop-oldest":
+			sp.dropOldest = true
+		case "block":
+			sp.dropOldest = false
+		default:
+			return nil, fmt.Errorf("ldmsd %s: storage policy %q: bad overflow %q (want drop-oldest or block)", d.name, name, v)
+		}
+	}
+	sp.notFull.L = &sp.mu
+	sp.idle.L = &sp.mu
+	sp.ring = make([]metric.Row, sp.queueCap)
+
+	d.mu.Lock()
+	if _, dup := d.strgps[name]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("ldmsd %s: storage policy %q already exists", d.name, name)
+	}
 	d.strgps[name] = sp
+	d.publishStrgpsLocked()
+	d.mu.Unlock()
+
+	// The flush ticker amortizes fsync across batches (real clock only:
+	// virtual-time runs store synchronously and flush on close, so
+	// simulated days don't pay a real fsync per simulated second).
+	if sp.flushEvery > 0 && d.storePool() != nil {
+		sp.flushTask = d.sch.Every(sp.flushEvery, 0, false, func(time.Time) { sp.flushTick() })
+	}
 	return sp, nil
+}
+
+// popOption removes and returns a pipeline option so it is not passed to
+// the store plugin.
+func popOption(options map[string]string, key string) (string, bool) {
+	v, ok := options[key]
+	if ok {
+		delete(options, key)
+	}
+	return v, ok
 }
 
 // StoragePolicy returns the named policy, or nil.
@@ -87,7 +229,8 @@ func (d *Daemon) StoragePolicy(name string) *StoragePolicy {
 	return d.strgps[name]
 }
 
-// SelectMetrics restricts the stored columns to the named metrics.
+// SelectMetrics restricts the stored columns to the named metrics. It has
+// no effect once the first sample has fixed the column layout.
 func (sp *StoragePolicy) SelectMetrics(names []string) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
@@ -105,74 +248,253 @@ func (sp *StoragePolicy) Store() store.Store {
 }
 
 // storeSet fans a fresh consistent sample out to the gateway's recent
-// window (when one is running) and to every matching storage policy.
+// window (when one is running) and to every matching storage policy. Both
+// taps are cheap on the pull path: one atomic load each, and the policy
+// side is an enqueue, not a store write.
 func (d *Daemon) storeSet(set *metric.Set) {
 	if w := d.window.Load(); w != nil {
 		w.Observe(set)
 	}
-	d.mu.Lock()
-	policies := mapValues(d.strgps)
-	d.mu.Unlock()
-	for _, sp := range policies {
+	policies := d.strgpList.Load()
+	if policies == nil {
+		return
+	}
+	for _, sp := range *policies {
 		if sp.schema == set.SchemaName() {
-			sp.store(set)
+			sp.enqueue(set)
 		}
 	}
 }
 
-// store appends one sample, creating the store plugin on first use.
-func (sp *StoragePolicy) store(set *metric.Set) {
-	row := set.Snapshot()
+// publishStrgpsLocked refreshes the lock-free policy list the pull path
+// reads. Caller holds d.mu.
+func (d *Daemon) publishStrgpsLocked() {
+	list := mapValues(d.strgps)
+	d.strgpList.Store(&list)
+}
+
+// enqueue copies one sample onto the policy's ring. Value slices come
+// from a free list recycled by the drain worker; the column-name slice is
+// shared across all rows of the policy. Called concurrently by updater
+// pull goroutines.
+func (sp *StoragePolicy) enqueue(set *metric.Set) {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.fail != nil {
+	if sp.closed || sp.fail != nil {
+		sp.dropped.Add(1)
+		sp.mu.Unlock()
 		return
 	}
-	if sp.metricSel != nil {
-		row = sp.filterRow(row)
+	if sp.names == nil {
+		sp.initColumnsLocked(set)
 	}
-	if sp.st == nil {
-		types := make([]metric.Type, len(row.Names))
-		for i, n := range row.Names {
-			if idx, ok := set.MetricIndex(n); ok {
-				types[i] = set.MetricType(idx)
+	vals := sp.getValsLocked()
+	var ts time.Time
+	if sp.selIdx == nil {
+		ts, _, _, _ = set.ReadValues(vals[:sp.card])
+	} else {
+		if len(sp.scratch) < sp.card {
+			sp.scratch = make([]metric.Value, sp.card)
+		}
+		ts, _, _, _ = set.ReadValues(sp.scratch[:sp.card])
+		for j, i := range sp.selIdx {
+			vals[j] = sp.scratch[i]
+		}
+	}
+	row := metric.Row{
+		Time:     ts,
+		Instance: set.Name(),
+		Schema:   sp.schema,
+		CompID:   set.CompID(0),
+		Names:    sp.names,
+		Values:   vals[:len(sp.names)],
+	}
+	for sp.n == sp.queueCap {
+		if sp.dropOldest {
+			old := sp.ring[sp.head]
+			sp.ring[sp.head] = metric.Row{}
+			sp.head = (sp.head + 1) % sp.queueCap
+			sp.n--
+			sp.dropped.Add(1)
+			sp.putValsLocked(old.Values)
+		} else {
+			sp.notFull.Wait()
+			if sp.closed || sp.fail != nil {
+				sp.putValsLocked(row.Values)
+				sp.dropped.Add(1)
+				sp.mu.Unlock()
+				return
 			}
 		}
-		st, err := store.New(sp.plugin, store.Config{
-			Path:    sp.path,
-			Schema:  sp.schema,
-			Names:   row.Names,
-			Types:   types,
-			Options: sp.options,
-		})
-		if err != nil {
-			sp.fail = err
-			return
-		}
-		sp.st = st
 	}
-	start := time.Now()
-	err := sp.st.Store(row)
-	sp.storeNanos.Add(time.Since(start).Nanoseconds())
-	if err != nil {
-		sp.fail = err
-		return
+	sp.ring[(sp.head+sp.n)%sp.queueCap] = row
+	sp.n++
+	sp.enqueued.Add(1)
+	kick := !sp.draining
+	if kick {
+		sp.draining = true
 	}
-	sp.rows.Add(1)
+	sp.mu.Unlock()
+	if kick {
+		sp.submitDrain()
+	}
 }
 
-// filterRow projects a row onto the selected metrics. Caller holds sp.mu.
-func (sp *StoragePolicy) filterRow(row metric.Row) metric.Row {
-	names := make([]string, 0, len(sp.metricSel))
-	values := make([]metric.Value, 0, len(sp.metricSel))
-	for i, n := range row.Names {
-		if sp.metricSel[n] {
-			names = append(names, n)
-			values = append(values, row.Values[i])
+// initColumnsLocked fixes the policy's column layout from the first
+// matching sample, applying the metric filter. Caller holds sp.mu.
+func (sp *StoragePolicy) initColumnsLocked(set *metric.Set) {
+	card := set.Card()
+	sp.card = card
+	names := make([]string, 0, card)
+	types := make([]metric.Type, 0, card)
+	var sel []int
+	for i := 0; i < card; i++ {
+		n := set.MetricName(i)
+		if sp.metricSel != nil && !sp.metricSel[n] {
+			continue
 		}
+		names = append(names, n)
+		types = append(types, set.MetricType(i))
+		sel = append(sel, i)
 	}
-	row.Names, row.Values = names, values
-	return row
+	sp.names = names
+	sp.types = types
+	if len(sel) != card {
+		sp.selIdx = sel
+	}
+}
+
+// getValsLocked pops a value slice off the free list (capacity = full set
+// cardinality). Caller holds sp.mu.
+func (sp *StoragePolicy) getValsLocked() []metric.Value {
+	if n := len(sp.free); n > 0 {
+		v := sp.free[n-1]
+		sp.free = sp.free[:n-1]
+		return v
+	}
+	return make([]metric.Value, sp.card)
+}
+
+// putValsLocked recycles a row's value slice. Caller holds sp.mu.
+func (sp *StoragePolicy) putValsLocked(vals []metric.Value) {
+	if vals == nil {
+		return
+	}
+	sp.free = append(sp.free, vals[:cap(vals)])
+}
+
+// submitDrain schedules a drain run on the daemon's store pool, or runs
+// it inline when there is none (virtual clock) or the pool is stopping.
+func (sp *StoragePolicy) submitDrain() {
+	if pool := sp.d.storePool(); pool != nil && pool.Submit(sp.drain) {
+		return
+	}
+	sp.drain()
+}
+
+// drain empties the ring in batches of at most batchMax rows, handing
+// each batch to the plugin outside the policy lock. Exactly one drain
+// runs at a time (the draining flag).
+func (sp *StoragePolicy) drain() {
+	sp.mu.Lock()
+	for sp.n > 0 && sp.fail == nil {
+		if sp.st == nil {
+			if err := sp.openStoreLocked(); err != nil {
+				sp.failLocked(err)
+				break
+			}
+		}
+		k := sp.n
+		if k > sp.batchMax {
+			k = sp.batchMax
+		}
+		batch := sp.batchBuf[:0]
+		for i := 0; i < k; i++ {
+			j := (sp.head + i) % sp.queueCap
+			batch = append(batch, sp.ring[j])
+			sp.ring[j] = metric.Row{}
+		}
+		sp.batchBuf = batch
+		sp.head = (sp.head + k) % sp.queueCap
+		sp.n -= k
+		sp.notFull.Broadcast()
+		st := sp.st
+		sp.mu.Unlock()
+
+		start := time.Now()
+		err := store.Batch(st, batch)
+		sp.storeNanos.Add(time.Since(start).Nanoseconds())
+
+		sp.mu.Lock()
+		for i := range batch {
+			sp.putValsLocked(batch[i].Values)
+			batch[i] = metric.Row{}
+		}
+		if err != nil {
+			sp.dropped.Add(int64(len(batch)))
+			sp.failLocked(err)
+			break
+		}
+		sp.rows.Add(int64(len(batch)))
+		sp.batches.Add(1)
+	}
+	sp.draining = false
+	sp.idle.Broadcast()
+	sp.mu.Unlock()
+}
+
+// openStoreLocked instantiates the plugin on the first drained sample.
+// Caller holds sp.mu.
+func (sp *StoragePolicy) openStoreLocked() error {
+	st, err := store.New(sp.plugin, store.Config{
+		Path:    sp.path,
+		Schema:  sp.schema,
+		Names:   sp.names,
+		Types:   sp.types,
+		Options: sp.options,
+	})
+	if err != nil {
+		return err
+	}
+	sp.st = st
+	return nil
+}
+
+// failLocked records a sticky plugin error and discards the queue: a
+// failed policy drops rows (counted) instead of blocking collection.
+// Caller holds sp.mu.
+func (sp *StoragePolicy) failLocked(err error) {
+	sp.fail = err
+	sp.dropped.Add(int64(sp.n))
+	for i := 0; i < sp.n; i++ {
+		j := (sp.head + i) % sp.queueCap
+		sp.putValsLocked(sp.ring[j].Values)
+		sp.ring[j] = metric.Row{}
+	}
+	sp.head, sp.n = 0, 0
+	sp.notFull.Broadcast()
+}
+
+// flushTick is the periodic flush: plugin buffers and fsync only, no
+// queue drain (the drain worker owns that), skipped while the store pool
+// has no free worker so a slow backend cannot pile up flush jobs.
+func (sp *StoragePolicy) flushTick() {
+	pool := sp.d.storePool()
+	if pool == nil {
+		return
+	}
+	pool.TrySubmit(func() {
+		sp.mu.Lock()
+		st := sp.st
+		sp.mu.Unlock()
+		if st == nil {
+			return
+		}
+		start := time.Now()
+		if err := st.Flush(); err == nil {
+			sp.flushes.Add(1)
+			sp.flushNanos.Add(time.Since(start).Nanoseconds())
+		}
+	})
 }
 
 // Err returns the sticky error that disabled the policy, if any.
@@ -185,28 +507,67 @@ func (sp *StoragePolicy) Err() error {
 // Rows returns the number of samples written.
 func (sp *StoragePolicy) Rows() int64 { return sp.rows.Load() }
 
-// Flush forces buffered data to stable storage.
+// Dropped returns the number of samples lost to overflow or failure.
+func (sp *StoragePolicy) Dropped() int64 { return sp.dropped.Load() }
+
+// settleLocked waits until the queue is empty and no drain is running,
+// draining inline if no worker picks the queue up. Caller holds sp.mu;
+// returns with sp.mu held.
+func (sp *StoragePolicy) settleLocked() {
+	for {
+		if sp.draining {
+			sp.idle.Wait()
+			continue
+		}
+		if sp.n > 0 && sp.fail == nil {
+			sp.draining = true
+			sp.mu.Unlock()
+			sp.drain()
+			sp.mu.Lock()
+			continue
+		}
+		return
+	}
+}
+
+// Flush drains everything enqueued so far and forces it to stable
+// storage, so "Flush then read the container" keeps its synchronous
+// meaning for tests and analysis tooling.
 func (sp *StoragePolicy) Flush() error {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.st == nil {
+	sp.settleLocked()
+	st := sp.st
+	sp.mu.Unlock()
+	if st == nil {
 		return nil
 	}
 	start := time.Now()
-	err := sp.st.Flush()
+	err := st.Flush()
 	sp.flushes.Add(1)
 	sp.flushNanos.Add(time.Since(start).Nanoseconds())
 	return err
 }
 
-// Close flushes and closes the store plugin.
+// Close drains the queue, then flushes and closes the store plugin.
 func (sp *StoragePolicy) Close() error {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.st == nil {
+	if sp.closed {
+		sp.mu.Unlock()
 		return nil
 	}
-	err := sp.st.Close()
+	sp.closed = true
+	sp.notFull.Broadcast() // wake blocked enqueuers to bail out
+	sp.settleLocked()
+	ft := sp.flushTask
+	sp.flushTask = nil
+	st := sp.st
 	sp.st = nil
-	return err
+	sp.mu.Unlock()
+	if ft != nil {
+		ft.Cancel()
+	}
+	if st == nil {
+		return nil
+	}
+	return st.Close()
 }

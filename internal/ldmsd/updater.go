@@ -561,6 +561,10 @@ func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	us.lastDGN = dgn
 	us.haveDGN = true
 	u.fresh.Add(1)
+	// Fan the sample out to the recent window and storage policies. This
+	// is a bounded-queue enqueue, never a store write: a slow or syncing
+	// backend cannot inflate pull-pass latency (the store pool drains the
+	// queues asynchronously).
 	u.d.storeSet(us.mirror)
 	return true
 }

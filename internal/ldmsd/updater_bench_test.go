@@ -2,9 +2,11 @@ package ldmsd
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"goldms/internal/metric"
 	"goldms/internal/transport"
 )
 
@@ -15,6 +17,13 @@ import (
 // producer at a time, one blocking round trip per set. "pipelined" fans
 // producers onto the update pool and batches each producer's pulls.
 //
+// The "pipelined+slowstore" mode attaches a storage policy backed by a
+// fake 5 ms/row store plugin and dirties every source set before each
+// pass, so all pulls are fresh and reach storeSet. It exists to show the
+// async store queue keeps the pull pass at pipelined speed even when the
+// store is three orders of magnitude slower than the enqueue (the
+// drop-oldest default sheds the excess instead of stalling collection).
+//
 // Run with -benchmem to see the pooled-buffer effect on allocs/op.
 func BenchmarkUpdaterFanIn(b *testing.B) {
 	const (
@@ -22,16 +31,18 @@ func BenchmarkUpdaterFanIn(b *testing.B) {
 		rtt       = 200 * time.Microsecond
 	)
 	for _, nsets := range []int{64, 256, 1024} {
-		for _, mode := range []string{"sequential", "pipelined"} {
+		for _, mode := range []string{"sequential", "pipelined", "pipelined+slowstore"} {
 			b.Run(fmt.Sprintf("sets=%d/%s", nsets, mode), func(b *testing.B) {
 				net := transport.NewNetwork()
 				fac := transport.MemFactory{Net: net, Delay: func(addr, op string) {
 					time.Sleep(rtt)
 				}}
 				perProducer := nsets / producers
+				var srcSets []*metric.Set
 				for i := 0; i < producers; i++ {
 					name := fmt.Sprintf("p%d", i)
 					reg := benchRegistry(b, name, perProducer)
+					reg.Each(func(s *metric.Set) { srcSets = append(srcSets, s) })
 					if _, err := fac.Listen(name, transport.NewServer(reg)); err != nil {
 						b.Fatal(err)
 					}
@@ -69,6 +80,26 @@ func BenchmarkUpdaterFanIn(b *testing.B) {
 					u.SetConcurrency(1)
 					u.SetBatch(1)
 				}
+				slowStore := mode == "pipelined+slowstore"
+				if slowStore {
+					_, err := agg.AddStoragePolicy("slow", "store_testpipe", "bench",
+						filepath.Join(b.TempDir(), "slow"),
+						map[string]string{"delay": "5ms", "queue": "64", "flush_interval": "0"})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// bump dirties every source set so the next pass's pulls
+				// are fresh (stale pulls never reach storage).
+				tick := int64(2000)
+				bump := func() {
+					tick++
+					for _, s := range srcSets {
+						s.BeginTransaction()
+						s.SetU64(0, uint64(tick))
+						s.EndTransaction(time.Unix(tick, 0))
+					}
+				}
 				waitUntil(b, 10*time.Second, func() bool {
 					for i := 0; i < producers; i++ {
 						if agg.Producer(fmt.Sprintf("p%d", i)).State() != ProducerConnected {
@@ -85,9 +116,17 @@ func BenchmarkUpdaterFanIn(b *testing.B) {
 					b.Fatalf("warmup pulled %d sets, want %d", got, nsets)
 				}
 
+				if slowStore {
+					bump()
+					u.run(time.Now()) // first fresh pass warms the policy's column layout and pools
+				}
+
 				b.ReportAllocs()
 				b.ResetTimer()
 				for n := 0; n < b.N; n++ {
+					if slowStore {
+						bump()
+					}
 					u.run(time.Now())
 				}
 				b.StopTimer()

@@ -38,6 +38,20 @@ type ProducerHealth struct {
 	Stale             bool      `json:"stale"`
 }
 
+// StoreHealth describes one storage policy for /healthz: a policy whose
+// plugin hit a sticky error keeps collecting but silently drops every
+// row, so it must degrade the health endpoint rather than hide.
+type StoreHealth struct {
+	Policy     string `json:"policy"`
+	Plugin     string `json:"plugin"`
+	Schema     string `json:"schema"`
+	Rows       int64  `json:"rows"`
+	Dropped    int64  `json:"dropped"`
+	QueueDepth int    `json:"queue_depth"`
+	Failed     bool   `json:"failed"`
+	Error      string `json:"error,omitempty"`
+}
+
 // Gateway serves the query API. All fields are wired by the daemon before
 // Handler is called; nil optional fields disable their endpoints.
 type Gateway struct {
@@ -50,6 +64,8 @@ type Gateway struct {
 	Window *Window
 	// Health, when non-nil, supplies producer health for /healthz.
 	Health func() []ProducerHealth
+	// Stores, when non-nil, supplies storage-policy health for /healthz.
+	Stores func() []StoreHealth
 	// Collect, when non-nil, contributes daemon self-metrics to /metrics.
 	Collect func(*Expo)
 	// Started stamps the gateway start time for uptime reporting.
@@ -323,9 +339,10 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz reports daemon liveness plus per-producer staleness; any
-// stale producer degrades the response to 503 so orchestration probes and
-// external failover watchdogs (paper §IV-B) can react.
+// handleHealthz reports daemon liveness plus per-producer staleness and
+// per-storage-policy failures; a stale producer or a failed store policy
+// degrades the response to 503 so orchestration probes and external
+// failover watchdogs (paper §IV-B) can react.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	var producers []ProducerHealth
@@ -338,8 +355,18 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			stale = append(stale, p.Name)
 		}
 	}
+	var stores []StoreHealth
+	if g.Stores != nil {
+		stores = g.Stores()
+	}
+	var failedStores []string
+	for _, s := range stores {
+		if s.Failed {
+			failedStores = append(failedStores, s.Policy)
+		}
+	}
 	code := http.StatusOK
-	if len(stale) > 0 {
+	if len(stale) > 0 || len(failedStores) > 0 {
 		status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
@@ -348,11 +375,17 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"daemon":    g.DaemonName,
 		"producers": producers,
 	}
+	if len(stores) > 0 {
+		resp["stores"] = stores
+	}
 	if !g.Started.IsZero() {
 		resp["uptime_seconds"] = time.Since(g.Started).Seconds()
 	}
 	if len(stale) > 0 {
 		resp["stale"] = stale
+	}
+	if len(failedStores) > 0 {
+		resp["failed_stores"] = failedStores
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

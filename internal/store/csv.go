@@ -6,13 +6,17 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 
 	"goldms/internal/metric"
 )
 
-// Compile-time interface check.
-var _ Store = (*csvStore)(nil)
+// Compile-time interface checks.
+var (
+	_ Store      = (*csvStore)(nil)
+	_ BatchStore = (*csvStore)(nil)
+)
 
 // csvStore is the store_csv plugin: one comma-separated-value file per
 // metric set schema, one row per (component, sample). The header row is
@@ -31,6 +35,7 @@ type csvStore struct {
 	fileBytes int64 // bytes in the current file
 	rolls     int
 	written   int64
+	scratch   []byte // row/batch formatting buffer, reused across calls
 	closed    bool
 }
 
@@ -54,6 +59,7 @@ func newCSV(cfg Config) (Store, error) {
 		names:     cfg.Names,
 		header:    header,
 		altHeader: cfg.opt("altheader", "0") == "1",
+		rolls:     lastRoll(cfg.Path),
 	}
 	if v := cfg.opt("rollover", ""); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
@@ -71,6 +77,24 @@ func newCSV(cfg Config) (Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// lastRoll scans for existing <path>.N rolled files and returns the
+// highest N, so a restarted daemon continues the numbering instead of
+// renaming its first roll over an existing <path>.1.
+func lastRoll(path string) int {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return 0
+	}
+	max := 0
+	for _, m := range matches {
+		n, err := strconv.Atoi(strings.TrimPrefix(m, path+"."))
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // openFileLocked opens (or reopens after a roll) the data file and writes
@@ -119,14 +143,8 @@ func (s *csvStore) rollLocked() error {
 // Name implements Store.
 func (s *csvStore) Name() string { return "store_csv" }
 
-// Store implements Store.
-func (s *csvStore) Store(row metric.Row) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store_csv: closed")
-	}
-	buf := make([]byte, 0, 16*len(row.Values)+32)
+// appendCSVRow formats one row onto buf.
+func appendCSVRow(buf []byte, row metric.Row) []byte {
 	buf = strconv.AppendInt(buf, row.Time.Unix(), 10)
 	buf = append(buf, ',')
 	buf = strconv.AppendInt(buf, int64(row.Time.Nanosecond()/1000), 10)
@@ -134,19 +152,33 @@ func (s *csvStore) Store(row metric.Row) error {
 	buf = strconv.AppendUint(buf, row.CompID, 10)
 	for _, v := range row.Values {
 		buf = append(buf, ',')
-		switch v.Type {
-		case metric.TypeD64, metric.TypeF32:
-			buf = strconv.AppendFloat(buf, v.F64(), 'g', -1, 64)
-		case metric.TypeS8, metric.TypeS16, metric.TypeS32, metric.TypeS64:
-			buf = strconv.AppendInt(buf, v.S64(), 10)
-		default:
-			buf = strconv.AppendUint(buf, v.U64(), 10)
-		}
+		buf = appendValue(buf, v)
 	}
-	buf = append(buf, '\n')
-	n, err := s.w.Write(buf)
+	return append(buf, '\n')
+}
+
+// appendValue formats a metric value in its natural representation.
+func appendValue(buf []byte, v metric.Value) []byte {
+	switch v.Type {
+	case metric.TypeD64, metric.TypeF32:
+		return strconv.AppendFloat(buf, v.F64(), 'g', -1, 64)
+	case metric.TypeS8, metric.TypeS16, metric.TypeS32, metric.TypeS64:
+		return strconv.AppendInt(buf, v.S64(), 10)
+	default:
+		return strconv.AppendUint(buf, v.U64(), 10)
+	}
+}
+
+// writeScratchLocked drains the formatting buffer to the data file and
+// rolls if the size threshold was crossed. Caller holds s.mu.
+func (s *csvStore) writeScratchLocked() error {
+	if len(s.scratch) == 0 {
+		return nil
+	}
+	n, err := s.w.Write(s.scratch)
 	s.written += int64(n)
 	s.fileBytes += int64(n)
+	s.scratch = s.scratch[:0]
 	if err != nil {
 		return err
 	}
@@ -154,6 +186,38 @@ func (s *csvStore) Store(row metric.Row) error {
 		return s.rollLocked()
 	}
 	return nil
+}
+
+// Store implements Store.
+func (s *csvStore) Store(row metric.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store_csv: closed")
+	}
+	s.scratch = appendCSVRow(s.scratch[:0], row)
+	return s.writeScratchLocked()
+}
+
+// StoreBatch implements BatchStore: all rows are formatted into one
+// reused buffer and written under a single lock acquisition. The
+// rollover threshold is still honored mid-batch.
+func (s *csvStore) StoreBatch(rows []metric.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store_csv: closed")
+	}
+	s.scratch = s.scratch[:0]
+	for _, row := range rows {
+		s.scratch = appendCSVRow(s.scratch, row)
+		if s.rollBytes > 0 && s.fileBytes+int64(len(s.scratch)) >= s.rollBytes {
+			if err := s.writeScratchLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return s.writeScratchLocked()
 }
 
 // Flush implements Store.

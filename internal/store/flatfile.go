@@ -11,6 +11,12 @@ import (
 	"goldms/internal/metric"
 )
 
+// Compile-time interface checks.
+var (
+	_ Store      = (*flatStore)(nil)
+	_ BatchStore = (*flatStore)(nil)
+)
+
 // flatStore is the flat-file plugin: one file per metric name (paper
 // §IV-A: "a file per metric name (e.g. Active and Cached memory are stored
 // in 2 separate files)"), each line "time time_usec compid value".
@@ -20,6 +26,7 @@ type flatStore struct {
 	files   []*bufio.Writer
 	osf     []*os.File
 	written int64
+	scratch []byte // line/batch formatting buffer, reused across calls
 	closed  bool
 }
 
@@ -56,6 +63,18 @@ func sanitize(name string) string {
 // Name implements Store.
 func (s *flatStore) Name() string { return "store_flatfile" }
 
+// appendFlatLine formats one "time time_usec compid value" line onto buf.
+func appendFlatLine(buf []byte, row metric.Row, v metric.Value) []byte {
+	buf = strconv.AppendInt(buf, row.Time.Unix(), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(row.Time.Nanosecond()/1000), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, row.CompID, 10)
+	buf = append(buf, ' ')
+	buf = appendValue(buf, v)
+	return append(buf, '\n')
+}
+
 // Store implements Store.
 func (s *flatStore) Store(row metric.Row) error {
 	s.mu.Lock()
@@ -67,23 +86,36 @@ func (s *flatStore) Store(row metric.Row) error {
 		return fmt.Errorf("store_flatfile: row has %d values, store %d files", len(row.Values), len(s.files))
 	}
 	for i, v := range row.Values {
-		buf := make([]byte, 0, 48)
-		buf = strconv.AppendInt(buf, row.Time.Unix(), 10)
-		buf = append(buf, ' ')
-		buf = strconv.AppendInt(buf, int64(row.Time.Nanosecond()/1000), 10)
-		buf = append(buf, ' ')
-		buf = strconv.AppendUint(buf, row.CompID, 10)
-		buf = append(buf, ' ')
-		switch v.Type {
-		case metric.TypeD64, metric.TypeF32:
-			buf = strconv.AppendFloat(buf, v.F64(), 'g', -1, 64)
-		case metric.TypeS8, metric.TypeS16, metric.TypeS32, metric.TypeS64:
-			buf = strconv.AppendInt(buf, v.S64(), 10)
-		default:
-			buf = strconv.AppendUint(buf, v.U64(), 10)
+		s.scratch = appendFlatLine(s.scratch[:0], row, v)
+		n, err := s.files[i].Write(s.scratch)
+		s.written += int64(n)
+		if err != nil {
+			return err
 		}
-		buf = append(buf, '\n')
-		n, err := s.files[i].Write(buf)
+	}
+	return nil
+}
+
+// StoreBatch implements BatchStore: one lock acquisition for the whole
+// batch and, per metric file, all of the batch's lines formatted into one
+// reused buffer and handed to the writer in a single call.
+func (s *flatStore) StoreBatch(rows []metric.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store_flatfile: closed")
+	}
+	for _, row := range rows {
+		if len(row.Values) != len(s.files) {
+			return fmt.Errorf("store_flatfile: row has %d values, store %d files", len(row.Values), len(s.files))
+		}
+	}
+	for i, w := range s.files {
+		s.scratch = s.scratch[:0]
+		for _, row := range rows {
+			s.scratch = appendFlatLine(s.scratch, row, row.Values[i])
+		}
+		n, err := w.Write(s.scratch)
 		s.written += int64(n)
 		if err != nil {
 			return err

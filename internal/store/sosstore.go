@@ -8,6 +8,12 @@ import (
 	"goldms/internal/sos"
 )
 
+// Compile-time interface checks.
+var (
+	_ Store      = (*sosStore)(nil)
+	_ BatchStore = (*sosStore)(nil)
+)
+
 // sosStore is the store_sos plugin: samples append to a SOS container
 // rooted at cfg.Path.
 type sosStore struct {
@@ -36,6 +42,19 @@ func (s *sosStore) Store(row metric.Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.c.Append(row.Time, row.CompID, row.Values)
+}
+
+// StoreBatch implements BatchStore: the whole batch appends under one
+// lock acquisition.
+func (s *sosStore) StoreBatch(rows []metric.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, row := range rows {
+		if err := s.c.Append(row.Time, row.CompID, row.Values); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Flush implements Store.

@@ -54,6 +54,33 @@ type Store interface {
 	BytesWritten() int64
 }
 
+// BatchStore is implemented by plugins that can absorb many rows in one
+// call: one lock acquisition and (for file backends) one buffered write
+// per batch instead of per row. The storage pipeline hands whole queue
+// drains to StoreBatch; rows and their Values slices are only valid for
+// the duration of the call (the pipeline recycles them afterwards), so
+// implementations must copy anything they retain.
+type BatchStore interface {
+	Store
+	// StoreBatch appends rows in order. On error the batch is abandoned;
+	// how many rows landed is plugin-defined.
+	StoreBatch(rows []metric.Row) error
+}
+
+// Batch hands rows to s in one StoreBatch call when the plugin supports
+// it, falling back to a per-row Store loop otherwise.
+func Batch(s Store, rows []metric.Row) error {
+	if bs, ok := s.(BatchStore); ok {
+		return bs.StoreBatch(rows)
+	}
+	for _, r := range rows {
+		if err := s.Store(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Factory constructs a configured store.
 type Factory func(cfg Config) (Store, error)
 

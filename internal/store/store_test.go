@@ -256,6 +256,214 @@ func TestCSVRollover(t *testing.T) {
 	}
 }
 
+func TestCSVRolloverContinuesAcrossRestart(t *testing.T) {
+	// Regression: rolls used to reset to 0 on restart, so the first roll
+	// of the new process renamed over the existing <path>.1.
+	path := filepath.Join(t.TempDir(), "roll.csv")
+	cfg := Config{
+		Path: path, Schema: "s", Names: colNames, Types: colTypes,
+		Options: map[string]string{"rollover": "200"},
+	}
+	s, err := New("store_csv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Store(testRow(int64(i), 1, uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	before, _ := filepath.Glob(path + ".*")
+	if len(before) == 0 {
+		t.Fatal("first run produced no rolled files")
+	}
+	marker, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restarted" store must keep numbering past the existing files.
+	s2, err := New("store_csv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s2.Store(testRow(int64(100+i), 1, uint64(i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.Close()
+	after, _ := filepath.Glob(path + ".*")
+	if len(after) <= len(before) {
+		t.Errorf("second run rolled no new files: before %v, after %v", before, after)
+	}
+	got, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(marker) {
+		t.Errorf("restart overwrote %s.1:\nbefore: %q\nafter:  %q", path, marker, got)
+	}
+}
+
+func TestCSVStoreBatchMatchesPerRow(t *testing.T) {
+	dir := t.TempDir()
+	rowPath := filepath.Join(dir, "row.csv")
+	batchPath := filepath.Join(dir, "batch.csv")
+	rows := []metric.Row{
+		testRow(100, 1, 111, 222, 1.5),
+		testRow(120, 2, 333, 444, 2.5),
+		testRow(140, 3, 555, 666, 3.5),
+	}
+	sr, _ := New("store_csv", Config{Path: rowPath, Schema: "s", Names: colNames, Types: colTypes})
+	for _, r := range rows {
+		if err := sr.Store(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr.Close()
+	sb, _ := New("store_csv", Config{Path: batchPath, Schema: "s", Names: colNames, Types: colTypes})
+	if err := Batch(sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if sb.BytesWritten() == 0 {
+		t.Error("batch wrote no bytes")
+	}
+	sb.Close()
+	a, _ := os.ReadFile(rowPath)
+	b, _ := os.ReadFile(batchPath)
+	if string(a) != string(b) {
+		t.Errorf("batched CSV differs from per-row:\nrow:   %q\nbatch: %q", a, b)
+	}
+}
+
+func TestCSVStoreBatchRollover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roll.csv")
+	s, err := New("store_csv", Config{
+		Path: path, Schema: "s", Names: colNames, Types: colTypes,
+		Options: map[string]string{"rollover": "200"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]metric.Row, 40)
+	for i := range rows {
+		rows[i] = testRow(int64(i), 1, uint64(i), 0, 0)
+	}
+	if err := Batch(s, rows); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	rolled, _ := filepath.Glob(path + ".*")
+	if len(rolled) < 2 {
+		t.Fatalf("batched rollover produced %v", rolled)
+	}
+	totalRows := 0
+	for _, p := range append(rolled, path) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		totalRows += len(lines) - 1 // header
+	}
+	if totalRows != 40 {
+		t.Errorf("rows across rolled files = %d want 40", totalRows)
+	}
+}
+
+func TestFlatfileStoreBatchMatchesPerRow(t *testing.T) {
+	rowDir := t.TempDir()
+	batchDir := t.TempDir()
+	rows := []metric.Row{
+		testRow(100, 7, 11, 22, 0.5),
+		testRow(101, 7, 12, 23, 0.6),
+	}
+	sr, _ := New("store_flatfile", Config{Path: rowDir, Schema: "s", Names: colNames, Types: colTypes})
+	for _, r := range rows {
+		if err := sr.Store(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr.Close()
+	sb, _ := New("store_flatfile", Config{Path: batchDir, Schema: "s", Names: colNames, Types: colTypes})
+	if err := Batch(sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	sb.Close()
+	for _, name := range colNames {
+		a, _ := os.ReadFile(filepath.Join(rowDir, name))
+		b, _ := os.ReadFile(filepath.Join(batchDir, name))
+		if string(a) != string(b) {
+			t.Errorf("%s: batched differs from per-row:\nrow:   %q\nbatch: %q", name, a, b)
+		}
+	}
+}
+
+func TestFlatfileStoreBatchCardinalityMismatch(t *testing.T) {
+	s, _ := New("store_flatfile", Config{Path: t.TempDir(), Schema: "s", Names: colNames, Types: colTypes})
+	bad := testRow(1, 1, 1, 2, 3)
+	bad.Values = bad.Values[:1]
+	if err := Batch(s, []metric.Row{testRow(2, 1, 1, 2, 3), bad}); err == nil {
+		t.Error("mismatched batch accepted")
+	}
+	s.Close()
+}
+
+func TestSOSStoreBatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sos")
+	s, err := New("store_sos", Config{Path: dir, Schema: "meminfo", Names: colNames, Types: colTypes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]metric.Row, 5)
+	for i := range rows {
+		rows[i] = testRow(int64(100+i), 3, uint64(i), 0, 0)
+	}
+	if err := Batch(s, rows); err != nil {
+		t.Fatal(err)
+	}
+	ss := s.(*sosStore)
+	it, _ := ss.Container().Query(time.Time{}, time.Time{}, 0)
+	n := 0
+	for {
+		_, more, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("records = %d want 5", n)
+	}
+	s.Close()
+}
+
+// loopStore counts Store calls and implements only the base interface, to
+// exercise Batch's per-row fallback.
+type loopStore struct{ calls int }
+
+func (l *loopStore) Name() string               { return "loop" }
+func (l *loopStore) Store(row metric.Row) error { l.calls++; return nil }
+func (l *loopStore) Flush() error               { return nil }
+func (l *loopStore) Close() error               { return nil }
+func (l *loopStore) BytesWritten() int64        { return 0 }
+
+func TestBatchFallsBackToPerRow(t *testing.T) {
+	ls := &loopStore{}
+	rows := []metric.Row{testRow(1, 1, 1, 2, 3), testRow(2, 1, 4, 5, 6)}
+	if err := Batch(ls, rows); err != nil {
+		t.Fatal(err)
+	}
+	if ls.calls != 2 {
+		t.Errorf("fallback made %d Store calls, want 2", ls.calls)
+	}
+}
+
 func TestCSVRolloverBadOption(t *testing.T) {
 	_, err := New("store_csv", Config{
 		Path: filepath.Join(t.TempDir(), "x.csv"), Schema: "s",
