@@ -8,6 +8,7 @@
 //	ldms-top -d http://agg1:8080                    # health + set directory
 //	ldms-top -d http://agg1:8080 -metric Active     # latest value per producer
 //	ldms-top -d http://agg1:8080 -metric Active -series -window 5m
+//	ldms-top -d http://agg1:8080 -events -n 30      # recent daemon events
 //	ldms-top -d http://agg1:8080 -watch 2s          # refresh until interrupted
 package main
 
@@ -28,6 +29,9 @@ func main() {
 		comp    = flag.Uint64("comp", 0, "component id filter (0 = all)")
 		series  = flag.Bool("series", false, "sparkline recent history instead of latest values (needs -metric)")
 		window  = flag.Duration("window", 0, "history window for -series (default: the gateway's retention)")
+		events  = flag.Bool("events", false, "show the daemon's recent event journal")
+		nEvents = flag.Int("n", 20, "events to show with -events")
+		minSev  = flag.String("severity", "", "minimum event severity for -events (info, warn, error)")
 		watch   = flag.Duration("watch", 0, "refresh every interval until interrupted")
 		timeout = flag.Duration("timeout", 5*time.Second, "HTTP timeout")
 	)
@@ -43,6 +47,8 @@ func main() {
 			return err
 		}
 		switch {
+		case *events:
+			return showEvents(client, base, *nEvents, *minSev)
 		case *metricN != "" && *series:
 			return showSeries(client, base, *metricN, *comp, *window)
 		case *metricN != "":
@@ -203,6 +209,56 @@ func showSeries(client *http.Client, base, metricName string, comp uint64, windo
 		}
 		fmt.Printf("%-32s %6d %s %g (%d pts)\n",
 			sr.Instance, sr.CompID, spark(sr.Points), last, len(sr.Points))
+	}
+	return nil
+}
+
+// showEvents renders the daemon's event journal pane, newest last, with
+// warnings in yellow and errors in red (severity coloring is suppressed
+// when stdout is not a terminal-ish consumer — NO_COLOR is honored).
+func showEvents(client *http.Client, base string, n int, minSev string) error {
+	url := fmt.Sprintf("%s/api/v1/events?n=%d", base, n)
+	if minSev != "" {
+		url += "&severity=" + minSev
+	}
+	var e struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Seq       uint64    `json:"seq"`
+			Time      time.Time `json:"time"`
+			Severity  string    `json:"severity"`
+			Component string    `json:"component"`
+			Subject   string    `json:"subject"`
+			Epoch     uint64    `json:"epoch"`
+			Message   string    `json:"message"`
+		} `json:"events"`
+	}
+	if err := getJSON(client, url, &e); err != nil {
+		return err
+	}
+	color := os.Getenv("NO_COLOR") == ""
+	fmt.Printf("\nEVENTS (%d shown of %d total)\n", len(e.Events), e.Total)
+	for _, ev := range e.Events {
+		subject := ev.Subject
+		if subject == "" {
+			subject = "-"
+		}
+		epoch := ""
+		if ev.Epoch != 0 {
+			epoch = fmt.Sprintf(" epoch=%d", ev.Epoch)
+		}
+		line := fmt.Sprintf("%s %-5s %-9s %-16s %s%s",
+			ev.Time.UTC().Format(time.RFC3339), ev.Severity, ev.Component,
+			subject, ev.Message, epoch)
+		if color {
+			switch ev.Severity {
+			case "warn":
+				line = "\033[33m" + line + "\033[0m"
+			case "error":
+				line = "\033[31m" + line + "\033[0m"
+			}
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

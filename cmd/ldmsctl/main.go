@@ -8,11 +8,16 @@
 //	ldmsctl -S /tmp/ldmsd.sock load name=meminfo
 //	ldmsctl -S /tmp/ldmsd.sock start name=meminfo interval=1000000
 //	ldmsctl -S /tmp/ldmsd.sock updtr_status
+//	ldmsctl -S /tmp/ldmsd.sock events n=50 severity=warn
+//	ldmsctl -S /tmp/ldmsd.sock latency
 //	echo -e "dir\nstats" | ldmsctl -S /tmp/ldmsd.sock -
 //
 // On an aggregator, "updtr_status" reports the pull path's concurrency
 // counters (passes, in-flight producer pulls, last pass latency, skipped
 // busy passes) and "stats" includes the aggregate skipped_busy count.
+// "events" dumps the daemon's structured event journal (producer epochs,
+// standby activations, store failures, config changes) and "latency" the
+// per-hop sample-age histograms.
 package main
 
 import (

@@ -40,6 +40,7 @@ import (
 
 	"goldms/internal/core"
 	"goldms/internal/ldmsd"
+	"goldms/internal/obs"
 	"goldms/internal/transport"
 )
 
@@ -59,11 +60,20 @@ func main() {
 		httpWindow = flag.Duration("http-window", 0, "recent-window retention for /api/v1/series (default 10m; 0 keeps the default)")
 		httpPoints = flag.Int("http-points", 0, "max points kept per metric series (default 1024)")
 		httpPProf  = flag.Bool("http-pprof", false, "also mount /debug/pprof on the gateway")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		journal   = flag.Int("journal", 0, "event journal capacity in entries (default 512)")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("ldmsd (goldms)", core.Version)
 		return
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 
 	d, err := ldmsd.New(ldmsd.Options{
@@ -72,6 +82,8 @@ func main() {
 		StoreWorkers: *stWork,
 		Memory:       *mem,
 		CompID:       *compID,
+		Logger:       logger,
+		JournalSize:  *journal,
 		Transports: []transport.Factory{
 			transport.SockFactory{},
 			transport.RDMAFactory{Kind: "rdma"},

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"goldms/internal/obs"
 )
 
 // Exec interprets one ldmsd configuration command, in the style of the
@@ -48,11 +50,38 @@ import (
 //	ls [name=<set>]              (ldms_ls-style listing)
 //	stats                        (activity counters)
 //	usage                        (memory footprint)
+//	events [n=<count>] [severity=info|warn|error] [component=<c>] [subject=<s>]
+//	                             (recent entries of the event journal)
+//	latency                      (per-hop sample-age histogram summary)
 func (d *Daemon) Exec(line string) (string, error) {
 	cmd, args, err := parseCommand(line)
 	if err != nil {
 		return "", err
 	}
+	out, err := d.exec(cmd, args)
+	if err == nil && mutatingCommands[cmd] {
+		// Config changes are journal events: they explain every later
+		// producer/updater/store transition in the same timeline.
+		d.journal.Appendf(obs.SevInfo, obs.CompConfig, args["name"], 0,
+			"config: %s", strings.Join(strings.Fields(line), " "))
+	}
+	return out, err
+}
+
+// mutatingCommands are the Exec commands that change daemon state and are
+// therefore recorded in the event journal (read-only status commands are
+// not).
+var mutatingCommands = map[string]bool{
+	"load": true, "config": true, "start": true, "stop": true,
+	"oneshot": true, "listen": true, "http_listen": true, "advertise": true,
+	"prdcr_add": true, "prdcr_start": true, "prdcr_stop": true,
+	"prdcr_activate": true, "prdcr_deactivate": true,
+	"updtr_add": true, "updtr_prdcr_add": true, "updtr_prdcr_del": true,
+	"updtr_match_add": true, "updtr_start": true, "updtr_stop": true,
+	"strgp_add": true, "strgp_metric_add": true, "strgp_start": true,
+}
+
+func (d *Daemon) exec(cmd string, args map[string]string) (string, error) {
 	switch cmd {
 	case "":
 		return "", nil
@@ -127,6 +156,10 @@ func (d *Daemon) Exec(line string) (string, error) {
 	case "usage":
 		st := d.arena.Stats()
 		return fmt.Sprintf("set_memory: used=%d peak=%d budget=%d", st.InUse, st.Peak, st.Capacity), nil
+	case "events":
+		return d.cmdEvents(args)
+	case "latency":
+		return d.cmdLatency()
 	default:
 		return "", fmt.Errorf("ldmsd: unknown command %q", cmd)
 	}
@@ -353,15 +386,54 @@ func (d *Daemon) cmdPrdcrStatus() (string, error) {
 	var lines []string
 	for _, p := range prdcrs {
 		c := p.Counters()
-		lines = append(lines, fmt.Sprintf(
-			"name=%s host=%s xprt=%s state=%s standby=%v active=%v connects=%d disconnects=%d connect_fails=%d bytes_in=%d bytes_out=%d msgs_in=%d msgs_out=%d batches=%d batched_ops=%d",
+		line := fmt.Sprintf(
+			"name=%s host=%s xprt=%s state=%s standby=%v active=%v connects=%d disconnects=%d connect_fails=%d bytes_in=%d bytes_out=%d msgs_in=%d msgs_out=%d batches=%d batched_ops=%d connected_since=%s",
 			p.Name(), p.Host(), p.TransportName(), p.State(), p.Standby(), p.Active(),
 			c.Connects, c.Disconnects, c.ConnectFails,
 			c.Transport.BytesIn, c.Transport.BytesOut,
 			c.Transport.MsgsIn, c.Transport.MsgsOut,
-			c.Transport.Batches, c.Transport.BatchedOps))
+			c.Transport.Batches, c.Transport.BatchedOps,
+			timestampOrNever(d.producerConnectedSince(p)))
+		if ev, ok := d.lastProducerEvent(p.Name()); ok {
+			line += fmt.Sprintf(" last_event=%q last_event_time=%s",
+				ev.Message, ev.Time.UTC().Format(time.RFC3339))
+		}
+		lines = append(lines, line)
 	}
 	return strings.Join(lines, "\n"), nil
+}
+
+// producerConnectedSince reports when the producer's current connection was
+// established, sourced from the journal's connect/reconnect events; zero
+// when the producer is not currently connected (or the event has already
+// rotated out of the journal ring).
+func (d *Daemon) producerConnectedSince(p *Producer) time.Time {
+	if p.State() != ProducerConnected {
+		return time.Time{}
+	}
+	ev, ok := d.journal.LastMatch(func(e obs.Event) bool {
+		return e.Component == obs.CompProducer && e.Subject == p.Name() &&
+			(e.Message == "connected" || e.Message == "reconnected")
+	})
+	if !ok {
+		return time.Time{}
+	}
+	return ev.Time
+}
+
+// lastProducerEvent returns the producer's most recent journal event.
+func (d *Daemon) lastProducerEvent(name string) (obs.Event, bool) {
+	return d.journal.LastMatch(func(e obs.Event) bool {
+		return e.Component == obs.CompProducer && e.Subject == name
+	})
+}
+
+// timestampOrNever renders a status timestamp field.
+func timestampOrNever(t time.Time) string {
+	if t.IsZero() {
+		return "never"
+	}
+	return t.UTC().Format(time.RFC3339)
 }
 
 func (d *Daemon) cmdAdvertise(args map[string]string) (string, error) {
@@ -507,13 +579,16 @@ func (d *Daemon) cmdUpdtrStatus() (string, error) {
 			u.passes.Load(), u.inflight.Load(), u.lastPassNanos.Load()/1000,
 			u.updates.Load(), u.skippedBusy.Load(), u.errors.Load()))
 		for _, ph := range u.PullHealth() {
-			last := "never"
-			if !ph.LastSuccess.IsZero() {
-				last = ph.LastSuccess.UTC().Format(time.RFC3339)
-			}
-			lines = append(lines, fmt.Sprintf(
+			line := fmt.Sprintf(
 				"  prdcr=%s last_update=%s consec_errors=%d",
-				ph.Producer, last, ph.ConsecErrors))
+				ph.Producer, timestampOrNever(ph.LastSuccess), ph.ConsecErrors)
+			if p := d.Producer(ph.Producer); p != nil {
+				line += " connected_since=" + timestampOrNever(d.producerConnectedSince(p))
+			}
+			if ev, ok := d.lastProducerEvent(ph.Producer); ok {
+				line += fmt.Sprintf(" last_event=%q", ev.Message)
+			}
+			lines = append(lines, line)
 		}
 	}
 	return strings.Join(lines, "\n"), nil
@@ -635,6 +710,55 @@ func typeTag(t interface{ String() string }) byte {
 		return 'D'
 	}
 	return 'U'
+}
+
+// cmdEvents renders the event journal, oldest first: one line per event
+// with key=value fields matching the other status commands.
+func (d *Daemon) cmdEvents(args map[string]string) (string, error) {
+	n := 20
+	if v := args["n"]; v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			return "", fmt.Errorf("ldmsd: bad n %q", v)
+		}
+		n = parsed
+	}
+	minSev := obs.SevInfo
+	if v := args["severity"]; v != "" {
+		parsed, err := obs.ParseSeverity(v)
+		if err != nil {
+			return "", fmt.Errorf("ldmsd: %w", err)
+		}
+		minSev = parsed
+	}
+	events := d.journal.Query(n, minSev, args["component"], args["subject"])
+	lines := make([]string, 0, len(events))
+	for _, ev := range events {
+		line := fmt.Sprintf("seq=%d time=%s sev=%s component=%s",
+			ev.Seq, ev.Time.UTC().Format(time.RFC3339), ev.Sev, ev.Component)
+		if ev.Subject != "" {
+			line += " subject=" + ev.Subject
+		}
+		if ev.Epoch != 0 {
+			line += fmt.Sprintf(" epoch=%d", ev.Epoch)
+		}
+		line += fmt.Sprintf(" msg=%q", ev.Message)
+		lines = append(lines, line)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// cmdLatency renders the per-hop sample-age histograms: how old samples
+// were when they completed the pull, entered the recent window, and
+// reached the store plugin.
+func (d *Daemon) cmdLatency() (string, error) {
+	var lines []string
+	for _, h := range d.lat.Snapshot() {
+		lines = append(lines, fmt.Sprintf(
+			"hop=%s count=%d p50=%s p95=%s p99=%s max=%s",
+			h.Hop, h.Count, h.P50, h.P95, h.P99, h.Max))
+	}
+	return strings.Join(lines, "\n"), nil
 }
 
 // cmdStats renders the daemon activity counters.

@@ -20,6 +20,7 @@ package ldmsd
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 
 	"goldms/internal/metric"
 	"goldms/internal/mmgr"
+	"goldms/internal/obs"
 	"goldms/internal/procfs"
 	"goldms/internal/query"
 	"goldms/internal/sched"
@@ -63,6 +65,12 @@ type Options struct {
 	CompID uint64
 	// Transports lists the transport factories available to this daemon.
 	Transports []transport.Factory
+	// Logger receives the daemon's structured logs (and the drained event
+	// journal). Nil discards, so libraries and benchmarks pay nothing.
+	Logger *slog.Logger
+	// JournalSize is the event-journal ring capacity (default
+	// obs.DefaultJournalSize).
+	JournalSize int
 }
 
 // Daemon is one ldmsd instance.
@@ -81,6 +89,15 @@ type Daemon struct {
 	srv        *transport.Server
 	transports map[string]transport.Factory
 	listeners  []transport.Listener
+
+	// Self-observability: structured logger, the operational event
+	// journal (drained to log), and the per-hop sample-age histograms.
+	// All are always non-nil; with no logger configured, log records die
+	// at the Enabled check and the histograms cost one atomic increment
+	// per hop.
+	log     *slog.Logger
+	journal *obs.Journal
+	lat     obs.Pipeline
 
 	mu       sync.Mutex
 	samplers map[string]*SamplerPolicy
@@ -165,6 +182,18 @@ func New(opts Options) (*Daemon, error) {
 	if d.fs == nil {
 		d.fs = procfs.OSFS{}
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	d.log = logger.With(slog.String("daemon", d.name))
+	// Journal timestamps come from the scheduler clock, so virtual-time
+	// daemons journal deterministic simulated times.
+	d.journal = obs.NewJournal(opts.JournalSize, d.sch.Now, d.log)
+	d.log.Info("daemon started",
+		slog.Int("workers", w),
+		slog.Int("memory_bytes", mem),
+		slog.Bool("virtual_clock", d.sch.Virtual()))
 	return d, nil
 }
 
@@ -184,6 +213,15 @@ func (d *Daemon) Scheduler() *sched.Scheduler { return d.sch }
 
 // ServerStats returns transport serving counters (pulls served to peers).
 func (d *Daemon) ServerStats() transport.ServerStats { return d.srv.Stats() }
+
+// Journal returns the daemon's operational event journal.
+func (d *Daemon) Journal() *obs.Journal { return d.journal }
+
+// Latency returns the daemon's per-hop sample-age histograms.
+func (d *Daemon) Latency() *obs.Pipeline { return &d.lat }
+
+// Logger returns the daemon's structured logger.
+func (d *Daemon) Logger() *slog.Logger { return d.log }
 
 // transportByName resolves a configured transport.
 func (d *Daemon) transportByName(name string) (transport.Factory, error) {
@@ -208,6 +246,7 @@ func (d *Daemon) Listen(transportName, addr string) (string, error) {
 	d.mu.Lock()
 	d.listeners = append(d.listeners, ln)
 	d.mu.Unlock()
+	d.log.Info("listening", slog.String("transport", transportName), slog.String("addr", ln.Addr()))
 	return ln.Addr(), nil
 }
 
@@ -239,6 +278,7 @@ func (d *Daemon) Stop() {
 		return
 	}
 	d.stopped = true
+	d.journal.Append(obs.SevInfo, obs.CompDaemon, "", 0, "daemon stopping")
 	samplers := mapValues(d.samplers)
 	prdcrs := mapValues(d.prdcrs)
 	updtrs := mapValues(d.updtrs)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"goldms/internal/obs"
 	"goldms/internal/query"
 	"goldms/internal/sched"
 )
@@ -57,6 +58,11 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		}
 		w = query.NewWindow(cfg.Points, retention)
 	}
+	if w != nil {
+		// Window-insert hop of the latency pipeline, on the scheduler clock
+		// so virtual-time runs record deterministic ages.
+		w.SetLatencyTap(&d.lat.Window, d.sch.Now)
+	}
 	gw := &query.Gateway{
 		DaemonName: d.name,
 		Sets:       d.reg,
@@ -64,6 +70,8 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		Health:     d.producerHealth,
 		Stores:     d.storeHealth,
 		Collect:    d.collectSelfMetrics,
+		Latency:    &d.lat,
+		Journal:    d.journal,
 		Started:    time.Now(),
 		PProf:      cfg.PProf,
 	}
@@ -91,6 +99,8 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 	// a single atomic load keeps the no-gateway hot path untouched.
 	d.window.Store(w)
 	go srv.Serve(ln)
+	d.journal.Appendf(obs.SevInfo, obs.CompGateway, "", 0,
+		"query gateway listening on %s", ln.Addr())
 	return ln.Addr().String(), nil
 }
 

@@ -213,6 +213,54 @@ func TestGatewayEndToEnd(t *testing.T) {
 		t.Errorf("producer health = %+v", hp)
 	}
 
+	code, body = httpGet(t, base+"/api/v1/latency")
+	if code != http.StatusOK {
+		t.Fatalf("latency: status %d: %s", code, body)
+	}
+	var lat struct {
+		Hops []struct {
+			Hop        string  `json:"hop"`
+			Count      uint64  `json:"count"`
+			P50Seconds float64 `json:"p50_seconds"`
+		} `json:"hops"`
+	}
+	if err := json.Unmarshal(body, &lat); err != nil {
+		t.Fatalf("latency: %v", err)
+	}
+	if len(lat.Hops) != 3 || lat.Hops[0].Hop != "pull" || lat.Hops[1].Hop != "window" {
+		t.Fatalf("latency hops = %+v", lat.Hops)
+	}
+	for _, h := range lat.Hops[:2] { // no storage policy: store hop stays 0
+		if h.Count == 0 || h.P50Seconds <= 0 {
+			t.Errorf("hop %s = %+v, want recorded samples", h.Hop, h)
+		}
+	}
+
+	code, body = httpGet(t, base+"/api/v1/events?component=producer")
+	if code != http.StatusOK {
+		t.Fatalf("events: status %d: %s", code, body)
+	}
+	var events struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Severity  string `json:"severity"`
+			Component string `json:"component"`
+			Subject   string `json:"subject"`
+			Epoch     uint64 `json:"epoch"`
+			Message   string `json:"message"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if events.Total == 0 || len(events.Events) == 0 {
+		t.Fatalf("events = %s", body)
+	}
+	ev := events.Events[0]
+	if ev.Message != "connected" || ev.Subject != "n1" || ev.Epoch != 1 || ev.Severity != "info" {
+		t.Errorf("first producer event = %+v", ev)
+	}
+
 	code, body = httpGet(t, base+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics exposition: status %d", code)
@@ -230,8 +278,13 @@ func TestGatewayEndToEnd(t *testing.T) {
 		"ldmsd_set_memory_bytes",
 		"ldmsd_window_observed_total",
 		"ldmsd_http_requests_total",
+		"ldmsd_hop_latency_seconds",
+		"ldmsd_hop_latency_count",
+		"ldmsd_events_total",
 		`updater="u1"`,
 		`producer="n1"`,
+		`hop="pull"`,
+		`severity="info"`,
 	} {
 		if !strings.Contains(expo, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -243,7 +296,7 @@ func TestGatewayEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"name=n1", "state=CONNECTED", "connects=1", "bytes_in="} {
+	for _, want := range []string{"name=n1", "state=CONNECTED", "connects=1", "bytes_in=", "connected_since=", `last_event="connected"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prdcr_status missing %q:\n%s", want, out)
 		}
@@ -278,6 +331,8 @@ func TestGatewayReadsRaceUpdates(t *testing.T) {
 		base + "/api/v1/sets/n1/meminfo",
 		base + "/api/v1/metrics?metric=MemTotal",
 		base + "/api/v1/series?metric=MemTotal",
+		base + "/api/v1/latency",
+		base + "/api/v1/events",
 		base + "/healthz",
 		base + "/metrics",
 	}

@@ -3,10 +3,12 @@ package ldmsd
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"goldms/internal/obs"
 	"goldms/internal/sched"
 	"goldms/internal/transport"
 )
@@ -135,8 +137,13 @@ func (p *Producer) Active() bool {
 // external watchdog performs when a primary aggregator dies.
 func (p *Producer) Activate() {
 	p.mu.Lock()
+	was := p.active
 	p.active = true
+	standby := p.standby
 	p.mu.Unlock()
+	if standby && !was {
+		p.d.journal.Append(obs.SevWarn, obs.CompProducer, p.name, 0, "standby activated")
+	}
 }
 
 // Deactivate returns a standby producer to passive mode.
@@ -145,8 +152,12 @@ func (p *Producer) Deactivate() {
 		return
 	}
 	p.mu.Lock()
+	was := p.active
 	p.active = false
 	p.mu.Unlock()
+	if was {
+		p.d.journal.Append(obs.SevInfo, obs.CompProducer, p.name, 0, "standby deactivated")
+	}
 }
 
 // Host returns the producer's target address ("" for passive producers).
@@ -219,6 +230,7 @@ func (p *Producer) Start() {
 // Stop disconnects and stops reconnecting.
 func (p *Producer) Stop() {
 	p.mu.Lock()
+	wasStarted := p.started
 	p.started = false
 	p.state = ProducerStopped
 	if p.retry != nil {
@@ -226,12 +238,16 @@ func (p *Producer) Stop() {
 		p.retry = nil
 	}
 	conn := p.conn
+	epoch := p.epoch
 	p.conn = nil
 	p.retireConn(conn)
 	p.mu.Unlock()
 	if conn != nil {
 		p.disconnects.Add(1)
 		conn.Close()
+	}
+	if wasStarted {
+		p.d.journal.Append(obs.SevInfo, obs.CompProducer, p.name, epoch, "stopped")
 	}
 }
 
@@ -279,18 +295,30 @@ func (p *Producer) connectAttempt() {
 	p.conn = conn
 	p.state = ProducerConnected
 	p.epoch++
+	epoch := p.epoch
 	p.setNames = names
 	p.mu.Unlock()
 	p.connects.Add(1)
+	msg := "connected"
+	if epoch > 1 {
+		msg = "reconnected"
+	}
+	p.d.journal.Append(obs.SevInfo, obs.CompProducer, p.name, epoch, msg)
 }
 
-// connectionFailed records a failure and schedules a retry.
+// connectionFailed records a failure and schedules a retry. Failed attempts
+// go to the debug log only: retry loops against a dead target would flood
+// the journal, whose ring is reserved for state transitions.
 func (p *Producer) connectionFailed() {
 	p.connErrors.Add(1)
 	p.mu.Lock()
 	started := p.started
 	p.state = ProducerDisconnected
 	p.mu.Unlock()
+	p.d.log.Debug("producer connect failed",
+		slog.String("producer", p.name),
+		slog.String("host", p.host),
+		slog.Int64("attempts", p.connErrors.Load()))
 	if started {
 		p.scheduleConnect(p.reconnect)
 	}
@@ -318,6 +346,7 @@ func (p *Producer) disconnected(epoch uint64) {
 		p.disconnects.Add(1)
 		conn.Close()
 	}
+	p.d.journal.Append(obs.SevWarn, obs.CompProducer, p.name, epoch, "disconnected")
 	// Passive producers wait for the sampler to advertise back in rather
 	// than dialing out.
 	if started && !passive {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/obs"
 	"goldms/internal/sched"
 	"goldms/internal/store"
 )
@@ -56,11 +57,12 @@ type StoragePolicy struct {
 	ring      []metric.Row
 	head, n   int
 	draining  bool
-	st        store.Store
-	fail      error
-	closed    bool
-	flushTask *sched.Task
-	metricSel map[string]bool // nil = all metrics
+	st         store.Store
+	fail       error
+	closed     bool
+	flushTask  *sched.Task
+	metricSel  map[string]bool // nil = all metrics
+	dropWarned bool            // first overflow drop has been journaled
 
 	// Column layout, fixed at the first matching sample. names is shared
 	// by every queued Row; selIdx maps row columns to set indices when a
@@ -316,6 +318,14 @@ func (sp *StoragePolicy) enqueue(set *metric.Set) {
 			sp.n--
 			sp.dropped.Add(1)
 			sp.putValsLocked(old.Values)
+			if !sp.dropWarned {
+				// Journal the first overflow only; a persistently slow
+				// backend would otherwise flood the ring. The dropped
+				// counter carries the running total.
+				sp.dropWarned = true
+				sp.d.journal.Append(obs.SevWarn, obs.CompStore, sp.name, 0,
+					"store queue overflow: dropping oldest rows")
+			}
 		} else {
 			sp.notFull.Wait()
 			if sp.closed || sp.fail != nil {
@@ -424,6 +434,18 @@ func (sp *StoragePolicy) drain() {
 		err := store.Batch(st, batch)
 		sp.storeNanos.Add(time.Since(start).Nanoseconds())
 
+		if err == nil {
+			// Store-hop latency: sample age when its row reached the
+			// plugin. One scheduler read per batch, one atomic increment
+			// per row.
+			now := sp.d.sch.Now()
+			for i := range batch {
+				if !batch[i].Time.IsZero() {
+					sp.d.lat.Store.Record(now.Sub(batch[i].Time))
+				}
+			}
+		}
+
 		sp.mu.Lock()
 		for i := range batch {
 			sp.putValsLocked(batch[i].Values)
@@ -464,6 +486,8 @@ func (sp *StoragePolicy) openStoreLocked() error {
 // Caller holds sp.mu.
 func (sp *StoragePolicy) failLocked(err error) {
 	sp.fail = err
+	sp.d.journal.Appendf(obs.SevError, obs.CompStore, sp.name, 0,
+		"store plugin %s failed, policy disabled: %v", sp.plugin, err)
 	sp.dropped.Add(int64(sp.n))
 	for i := 0; i < sp.n; i++ {
 		j := (sp.head + i) % sp.queueCap

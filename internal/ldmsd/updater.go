@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/obs"
 	"goldms/internal/sched"
 	"goldms/internal/transport"
 )
@@ -224,6 +225,8 @@ func (u *Updater) Stop() {
 func (u *Updater) run(now time.Time) {
 	if !u.busy.CompareAndSwap(false, true) {
 		u.skippedBusy.Add(1)
+		u.d.journal.Append(obs.SevWarn, obs.CompUpdater, u.name, 0,
+			"update pass skipped: previous pass still in flight")
 		return
 	}
 	defer u.busy.Store(false)
@@ -298,6 +301,7 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 
 	ps := u.producerState(name, epoch, names)
 	failed := false
+	looked := 0
 	due := ps.due[:0]
 	for _, sn := range names {
 		us := ps.sets[sn]
@@ -313,12 +317,21 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 				failed = true
 				break
 			}
+			if us.remote != nil {
+				looked++
+			}
 			// Data update happens on the next pass (paper Fig. 2 flow).
 			continue
 		}
 		due = append(due, us)
 	}
 	ps.due = due
+	if looked > 0 {
+		// One aggregate event per producer pass: per-set events would flush
+		// the whole journal ring on a large initial directory.
+		u.d.journal.Appendf(obs.SevInfo, obs.CompUpdater, name, epoch,
+			"%s looked up %d sets", u.name, looked)
+	}
 
 	batch := u.batchSize()
 	for lo := 0; lo < len(due) && !failed; lo += batch {
@@ -561,6 +574,13 @@ func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	us.lastDGN = dgn
 	us.haveDGN = true
 	u.fresh.Add(1)
+	// Pull-hop latency: sample age (transaction-end stamp in the raw pull
+	// buffer vs scheduler now) at the moment the mirror went consistent.
+	// DataTimestamp reads the header straight off the single-owner buffer,
+	// so the hot path stays one timestamp read + one atomic increment.
+	if ts := metric.DataTimestamp(us.buf); !ts.IsZero() {
+		u.d.lat.Pull.Record(u.d.sch.Now().Sub(ts))
+	}
 	// Fan the sample out to the recent window and storage policies. This
 	// is a bounded-queue enqueue, never a store write: a slow or syncing
 	// backend cannot inflate pull-pass latency (the store pool drains the

@@ -198,6 +198,19 @@ func (s *Set) Timestamp() time.Time {
 	return time.Unix(sec, usec*1000)
 }
 
+// DataTimestamp reads the sample timestamp out of a raw data chunk (a
+// pull buffer) without any lock: the buffer is single-owner, so callers
+// on the pull hot path can take a sample's age with one plain header
+// read. Returns the zero time for a buffer too short to carry a header.
+func DataTimestamp(data []byte) time.Time {
+	if len(data) < dataHeaderSize {
+		return time.Time{}
+	}
+	sec := int64(le.Uint64(data[offSec:]))
+	usec := int64(le.Uint64(data[offUsec:]))
+	return time.Unix(sec, usec*1000)
+}
+
 // BeginTransaction marks the set inconsistent before a sampling pass. An
 // aggregator pull that lands mid-transaction observes consistent == false
 // and skips the data.

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistRecord is the hot-path guard: one Record per pipeline hop
+// rides inside the pull, window-insert and store-drain paths, so it must
+// stay a single atomic increment — a few ns, 0 allocs (CI smoke asserts
+// the alloc count; TestHistRecordAllocs pins it locally).
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+// BenchmarkHistRecordParallel shows contention behavior with every CPU
+// recording into the same histogram (the updater pool case).
+func BenchmarkHistRecordParallel(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 100 * time.Microsecond
+		for pb.Next() {
+			h.Record(d)
+		}
+	})
+}
+
+// BenchmarkPipelineSnapshot is the read side: one /api/v1/latency or
+// /metrics scrape.
+func BenchmarkPipelineSnapshot(b *testing.B) {
+	var p Pipeline
+	for i := 0; i < 1000; i++ {
+		p.Pull.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if hops := p.Snapshot(); len(hops) != 3 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+// BenchmarkJournalAppend measures one event append (mutex + ring write +
+// rejected log record). Events are rare — connects, failures, config —
+// so this is not a hot path, but it should stay well under a microsecond.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := NewJournal(512, nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Append(SevInfo, CompProducer, "n1", 1, "connected")
+	}
+}

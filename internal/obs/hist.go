@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of a log2 histogram: bucket i counts
+// durations d with bits.Len64(d nanoseconds) == i, i.e. bucket 0 holds
+// exactly 0, bucket i≥1 holds [2^(i-1), 2^i) ns. 64 buckets cover every
+// representable duration (~292 years), so recording never range-checks.
+const histBuckets = 65
+
+// Hist is a lock-free log2-bucketed latency histogram. Record is one
+// atomic increment — no locks, no allocation, safe from any number of
+// goroutines — which is what lets the pull, window and store hot paths
+// carry one each without moving their benchmarks.
+//
+// Quantiles are estimated from a Snapshot: within the resolving bucket
+// the estimate is the bucket's upper bound, so reported p50/p95/p99 are
+// conservative (never under the true quantile by more than 2×, the
+// inherent resolution of power-of-two buckets).
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Record adds one observation. Negative durations (clock skew between
+// the sampler's stamp and this daemon's clock) clamp to zero.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))].Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot copies the current bucket counts. Concurrent Records may land
+// between bucket loads; each observation is still counted exactly once
+// in some later snapshot.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's buckets.
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i in
+// nanoseconds (0 for bucket 0).
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1)<<i - 1)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses q·total. Zero
+// observations estimate to 0.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Max returns the upper bound of the highest occupied bucket.
+func (s HistSnapshot) Max() time.Duration {
+	for i := len(s.Buckets) - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// Pipeline hop names, in sample-flow order.
+const (
+	HopPull   = "pull"   // sample timestamp → update received by the aggregator
+	HopWindow = "window" // sample timestamp → recent-window insert
+	HopStore  = "store"  // sample timestamp → row handed to the store plugin
+)
+
+// Pipeline bundles the per-hop age histograms of one daemon's sample
+// path. The zero value is ready to use.
+type Pipeline struct {
+	Pull   Hist
+	Window Hist
+	Store  Hist
+}
+
+// HopLatency is one hop's quantile summary, as served on
+// /api/v1/latency and the control interface.
+type HopLatency struct {
+	Hop   string
+	Count uint64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot summarizes every hop, in sample-flow order. Hops with no
+// observations are included with zero quantiles so consumers always see
+// the full pipeline shape.
+func (p *Pipeline) Snapshot() []HopLatency {
+	out := make([]HopLatency, 0, 3)
+	for _, h := range []struct {
+		name string
+		h    *Hist
+	}{{HopPull, &p.Pull}, {HopWindow, &p.Window}, {HopStore, &p.Store}} {
+		s := h.h.Snapshot()
+		out = append(out, HopLatency{
+			Hop:   h.name,
+			Count: s.Count,
+			P50:   s.Quantile(0.50),
+			P95:   s.Quantile(0.95),
+			P99:   s.Quantile(0.99),
+			Max:   s.Max(),
+		})
+	}
+	return out
+}

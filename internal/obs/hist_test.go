@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(1)                // bucket 1: [1, 1]
+	h.Record(3 * time.Nanosecond)
+	h.Record(1 * time.Microsecond)
+	h.Record(-time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 { // the 0 and the clamped negative
+		t.Errorf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1", s.Buckets[1])
+	}
+	if s.Buckets[2] != 1 { // 3 ns → Len64(3)=2
+		t.Errorf("bucket 2 = %d, want 1", s.Buckets[2])
+	}
+	if s.Buckets[10] != 1 { // 1000 ns → Len64(1000)=10
+		t.Errorf("bucket 10 = %d, want 1", s.Buckets[10])
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if q := h.Snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("empty p99 = %v, want 0", q)
+	}
+
+	// 90 fast observations (~1µs), 10 slow (~1ms): p50 resolves in the
+	// fast bucket, p99 in the slow one, and estimates are conservative
+	// (bucket upper bound ≥ true value).
+	for i := 0; i < 90; i++ {
+		h.Record(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if p50 < time.Microsecond || p50 >= 2*time.Microsecond {
+		t.Errorf("p50 = %v, want in [1µs, 2µs)", p50)
+	}
+	if p99 < time.Millisecond || p99 >= 2*time.Millisecond {
+		t.Errorf("p99 = %v, want in [1ms, 2ms)", p99)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("quantiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if m := s.Max(); m < time.Millisecond {
+		t.Errorf("max = %v, want >= 1ms", m)
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	var h Hist
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestHistRecordAllocs pins the hot-path contract: recording a hop
+// latency never allocates.
+func TestHistRecordAllocs(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", n)
+	}
+}
+
+func TestPipelineSnapshot(t *testing.T) {
+	var p Pipeline
+	p.Pull.Record(time.Millisecond)
+	p.Pull.Record(2 * time.Millisecond)
+	p.Window.Record(3 * time.Millisecond)
+	hops := p.Snapshot()
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d, want 3", len(hops))
+	}
+	if hops[0].Hop != HopPull || hops[1].Hop != HopWindow || hops[2].Hop != HopStore {
+		t.Fatalf("hop order = %v", hops)
+	}
+	if hops[0].Count != 2 || hops[1].Count != 1 || hops[2].Count != 0 {
+		t.Errorf("counts = %d/%d/%d", hops[0].Count, hops[1].Count, hops[2].Count)
+	}
+	if hops[2].P99 != 0 {
+		t.Errorf("empty store hop p99 = %v, want 0", hops[2].P99)
+	}
+	if hops[0].P50 < time.Millisecond {
+		t.Errorf("pull p50 = %v, want >= 1ms", hops[0].P50)
+	}
+}

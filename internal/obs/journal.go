@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Severity classifies journal events.
+type Severity int8
+
+// Severities, in increasing order of concern.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+// String renders the severity for the API and control interface.
+func (s Severity) String() string {
+	switch s {
+	case SevWarn:
+		return "warn"
+	case SevError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	v, err := ParseSeverity(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity parses "info", "warn" or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return SevInfo, nil
+	case "warn", "warning":
+		return SevWarn, nil
+	case "error":
+		return SevError, nil
+	default:
+		return SevInfo, fmt.Errorf("obs: unknown severity %q (want info, warn or error)", s)
+	}
+}
+
+// level maps the severity onto its slog level for journal draining.
+func (s Severity) level() slog.Level {
+	switch s {
+	case SevWarn:
+		return slog.LevelWarn
+	case SevError:
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Event component names used by the daemon.
+const (
+	CompDaemon   = "daemon"
+	CompProducer = "producer"
+	CompUpdater  = "updater"
+	CompStore    = "store"
+	CompConfig   = "config"
+	CompGateway  = "gateway"
+)
+
+// Event is one journal entry. Seq is a monotonically increasing sequence
+// number assigned at append time; gaps in a served window mean the ring
+// wrapped past entries in between.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Sev       Severity  `json:"severity"`
+	Component string    `json:"component"`
+	Subject   string    `json:"subject,omitempty"`
+	Epoch     uint64    `json:"epoch,omitempty"`
+	Message   string    `json:"message"`
+}
+
+// Journal is a fixed-size ring buffer of operational events. Appends from
+// any number of goroutines (updater pool, store workers, connection pool,
+// control interface) are serialized by one mutex — events are rare
+// relative to samples, so the ring is deliberately simple rather than
+// lock-free — and readers copy out under the same mutex, so a snapshot is
+// never torn. Every append is also drained to the journal's structured
+// logger at the event's severity level.
+type Journal struct {
+	now func() time.Time
+	log *slog.Logger
+
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64 // total events ever appended
+
+	bySev [3]atomic.Int64
+}
+
+// DefaultJournalSize is the ring capacity when none is configured.
+const DefaultJournalSize = 512
+
+// NewJournal creates a journal holding the most recent capacity events
+// (DefaultJournalSize if capacity <= 0). now supplies event timestamps —
+// the daemon's scheduler clock, so virtual-time daemons journal
+// deterministic simulated times. logger receives every event as a
+// structured log record; nil discards.
+func NewJournal(capacity int, now func() time.Time, logger *slog.Logger) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalSize
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if logger == nil {
+		logger = Discard()
+	}
+	return &Journal{
+		now:  now,
+		log:  logger,
+		ring: make([]Event, capacity),
+	}
+}
+
+// Append records one event, stamping its time and sequence number, and
+// drains it to the structured logger. subject and epoch are optional
+// ("" / 0 omit them).
+func (j *Journal) Append(sev Severity, component, subject string, epoch uint64, message string) {
+	j.mu.Lock()
+	ev := Event{
+		Seq:       j.seq,
+		Time:      j.now(),
+		Sev:       sev,
+		Component: component,
+		Subject:   subject,
+		Epoch:     epoch,
+		Message:   message,
+	}
+	j.ring[j.seq%uint64(len(j.ring))] = ev
+	j.seq++
+	j.mu.Unlock()
+	j.bySev[sev].Add(1)
+
+	// Drain to the structured log outside the ring lock. A discard
+	// handler rejects the record at the Enabled check, so silent daemons
+	// pay no formatting cost.
+	attrs := make([]slog.Attr, 0, 3)
+	attrs = append(attrs, slog.String("component", component))
+	if subject != "" {
+		attrs = append(attrs, slog.String("subject", subject))
+	}
+	if epoch != 0 {
+		attrs = append(attrs, slog.Uint64("epoch", epoch))
+	}
+	j.log.LogAttrs(context.Background(), sev.level(), message, attrs...)
+}
+
+// Appendf is Append with a formatted message.
+func (j *Journal) Appendf(sev Severity, component, subject string, epoch uint64, format string, args ...any) {
+	j.Append(sev, component, subject, epoch, fmt.Sprintf(format, args...))
+}
+
+// Total returns how many events have ever been appended (the ring holds
+// at most its capacity of the most recent ones).
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Cap returns the ring capacity.
+func (j *Journal) Cap() int { return len(j.ring) }
+
+// CountBySeverity returns total appended events per severity, for the
+// /metrics exposition.
+func (j *Journal) CountBySeverity() (info, warn, errs int64) {
+	return j.bySev[SevInfo].Load(), j.bySev[SevWarn].Load(), j.bySev[SevError].Load()
+}
+
+// Recent returns up to n of the most recent events in ascending sequence
+// order (oldest of the window first, like a log tail). n <= 0 returns
+// everything retained.
+func (j *Journal) Recent(n int) []Event {
+	return j.Query(n, SevInfo, "", "")
+}
+
+// Query returns up to n of the most recent events with severity >=
+// minSev, optionally restricted to one component and/or subject, in
+// ascending sequence order. n <= 0 means no count limit.
+func (j *Journal) Query(n int, minSev Severity, component, subject string) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	retained := j.seq
+	if retained > uint64(len(j.ring)) {
+		retained = uint64(len(j.ring))
+	}
+	// Walk backwards collecting matches, then reverse into ascending
+	// order.
+	var out []Event
+	for i := uint64(0); i < retained; i++ {
+		ev := j.ring[(j.seq-1-i)%uint64(len(j.ring))]
+		if ev.Sev < minSev ||
+			(component != "" && ev.Component != component) ||
+			(subject != "" && ev.Subject != subject) {
+			continue
+		}
+		out = append(out, ev)
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// LastMatch returns the most recent event satisfying match, scanning
+// newest-first. ok is false when no retained event matches.
+func (j *Journal) LastMatch(match func(Event) bool) (ev Event, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	retained := j.seq
+	if retained > uint64(len(j.ring)) {
+		retained = uint64(len(j.ring))
+	}
+	for i := uint64(0); i < retained; i++ {
+		e := j.ring[(j.seq-1-i)%uint64(len(j.ring))]
+		if match(e) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}

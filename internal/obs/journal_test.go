@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic event clock advancing 1s per call.
+func testClock() func() time.Time {
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestJournalAppendRecent(t *testing.T) {
+	j := NewJournal(8, testClock(), nil)
+	j.Append(SevInfo, CompProducer, "n1", 1, "connected")
+	j.Append(SevWarn, CompUpdater, "u1", 0, "pass skipped")
+	j.Append(SevError, CompStore, "s1", 0, "plugin failed")
+
+	evs := j.Recent(0)
+	if len(evs) != 3 {
+		t.Fatalf("recent = %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	if evs[0].Message != "connected" || evs[0].Epoch != 1 || evs[0].Component != CompProducer {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if !evs[1].Time.After(evs[0].Time) {
+		t.Errorf("timestamps not increasing: %v then %v", evs[0].Time, evs[1].Time)
+	}
+	if got := j.Total(); got != 3 {
+		t.Errorf("total = %d, want 3", got)
+	}
+	info, warn, errs := j.CountBySeverity()
+	if info != 1 || warn != 1 || errs != 1 {
+		t.Errorf("severity counts = %d/%d/%d", info, warn, errs)
+	}
+
+	// Count limit serves the most recent window.
+	tail := j.Recent(2)
+	if len(tail) != 2 || tail[0].Message != "pass skipped" || tail[1].Message != "plugin failed" {
+		t.Errorf("recent(2) = %+v", tail)
+	}
+}
+
+func TestJournalRingOverflow(t *testing.T) {
+	j := NewJournal(4, testClock(), nil)
+	for i := 0; i < 10; i++ {
+		j.Appendf(SevInfo, CompDaemon, "", 0, "event %d", i)
+	}
+	evs := j.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("event %d", 6+i)
+		if ev.Message != want {
+			t.Errorf("retained[%d] = %q, want %q", i, ev.Message, want)
+		}
+	}
+	if j.Total() != 10 {
+		t.Errorf("total = %d, want 10", j.Total())
+	}
+}
+
+func TestJournalQueryFilters(t *testing.T) {
+	j := NewJournal(32, testClock(), nil)
+	j.Append(SevInfo, CompProducer, "n1", 1, "connected")
+	j.Append(SevInfo, CompProducer, "n2", 1, "connected")
+	j.Append(SevWarn, CompUpdater, "u1", 0, "pass skipped")
+	j.Append(SevError, CompStore, "s1", 0, "plugin failed")
+
+	if got := j.Query(0, SevWarn, "", ""); len(got) != 2 {
+		t.Errorf("minSev=warn → %d events, want 2", len(got))
+	}
+	if got := j.Query(0, SevInfo, CompProducer, ""); len(got) != 2 {
+		t.Errorf("component=producer → %d events, want 2", len(got))
+	}
+	got := j.Query(0, SevInfo, "", "n2")
+	if len(got) != 1 || got[0].Subject != "n2" {
+		t.Errorf("subject=n2 → %+v", got)
+	}
+
+	ev, ok := j.LastMatch(func(e Event) bool { return e.Component == CompProducer })
+	if !ok || ev.Subject != "n2" {
+		t.Errorf("LastMatch = %+v ok=%v, want newest producer event (n2)", ev, ok)
+	}
+	if _, ok := j.LastMatch(func(e Event) bool { return e.Subject == "zz" }); ok {
+		t.Error("LastMatch matched a nonexistent subject")
+	}
+}
+
+// TestJournalDrainsToSlog checks every append lands in the structured
+// log with its fields.
+func TestJournalDrainsToSlog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	j := NewJournal(8, testClock(), logger)
+	j.Append(SevWarn, CompProducer, "n1", 3, "disconnected")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "disconnected" || rec["level"] != "WARN" ||
+		rec["component"] != "producer" || rec["subject"] != "n1" || rec["epoch"] != float64(3) {
+		t.Errorf("log record = %v", rec)
+	}
+}
+
+func TestSeverityParseAndJSON(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarn, SevError} {
+		parsed, err := ParseSeverity(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("round trip %v: parsed=%v err=%v", s, parsed, err)
+		}
+	}
+	if _, err := ParseSeverity("loud"); err == nil {
+		t.Error("ParseSeverity accepted garbage")
+	}
+	b, _ := json.Marshal(Event{Sev: SevError, Component: CompStore, Message: "x"})
+	if !strings.Contains(string(b), `"severity":"error"`) {
+		t.Errorf("event JSON = %s", b)
+	}
+	var ev Event
+	if err := json.Unmarshal(b, &ev); err != nil || ev.Sev != SevError {
+		t.Errorf("unmarshal: %v sev=%v", err, ev.Sev)
+	}
+}
+
+// TestJournalConcurrent hammers the journal from concurrent writers and
+// readers; -race is the assertion.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64, nil, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Appendf(Severity(i%3), CompUpdater, fmt.Sprintf("u%d", g), uint64(i), "event %d", i)
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Recent(16)
+				j.Query(0, SevWarn, CompUpdater, "")
+				j.LastMatch(func(e Event) bool { return e.Sev == SevError })
+				j.CountBySeverity()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", j.Total())
+	}
+	// The ring retains exactly its capacity, in order.
+	evs := j.Recent(0)
+	if len(evs) != 64 {
+		t.Fatalf("retained = %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap in retained window: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

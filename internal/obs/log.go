@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Discard returns a logger that drops everything at the Enabled check,
+// the default for library use and tests so silent daemons pay nothing.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler rejects every record. (slog.DiscardHandler exists from
+// Go 1.24; this keeps the module buildable at its declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (d discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return d }
+func (d discardHandler) WithGroup(string) slog.Handler             { return d }
+
+// NewLogger builds the daemon's structured logger: level is one of
+// debug, info, warn, error; format is text or json. Output goes to w
+// (conventionally stderr).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

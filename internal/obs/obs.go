@@ -1,0 +1,28 @@
+// Package obs is the daemon's self-observability layer: the monitoring
+// system monitoring itself. The paper promises continuous collection with
+// known, bounded latency (sampling→aggregation→storage at 1 s–1 min
+// periods, §IV); this package provides the instruments that make that
+// promise checkable on a live daemon:
+//
+//   - Hist: lock-free log2-bucketed latency histograms. The daemon keeps
+//     one per pipeline hop (pull completion, window insert, store flush),
+//     each recording a sample's age — scheduler now minus the sample's
+//     own timestamp — so "how old is a sample by the time it hits the
+//     store?" has a measured answer (p50/p95/p99 on /api/v1/latency and
+//     the /metrics exposition). Recording is one atomic increment; the
+//     pull path's budget is one timestamp read plus that increment.
+//
+//   - Journal: a fixed-size ring buffer of operational events (producer
+//     connect/disconnect epochs, standby activation, lookups, skipped
+//     passes, store failures, config commands) with severity, timestamp
+//     and component fields. Served at /api/v1/events, by `ldmsctl
+//     events`, and drained to structured logs as entries are appended.
+//
+//   - log/slog plumbing: the daemon logs through a *slog.Logger (text or
+//     JSON, level-gated via ldmsd -log-level/-log-format); libraries and
+//     tests default to a discard logger so nothing is paid when logging
+//     is off.
+//
+// Timestamps come from an injected clock, so virtual-time daemons record
+// deterministic simulated times and experiment output stays reproducible.
+package obs

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/obs"
 )
 
 // SetSource is the live-data source the gateway reads: the daemon's
@@ -68,6 +69,12 @@ type Gateway struct {
 	Stores func() []StoreHealth
 	// Collect, when non-nil, contributes daemon self-metrics to /metrics.
 	Collect func(*Expo)
+	// Latency, when non-nil, serves per-hop sample-age histograms on
+	// /api/v1/latency and as hop-latency quantiles on /metrics.
+	Latency *obs.Pipeline
+	// Journal, when non-nil, serves the daemon's event journal on
+	// /api/v1/events.
+	Journal *obs.Journal
 	// Started stamps the gateway start time for uptime reporting.
 	Started time.Time
 	// PProf additionally mounts net/http/pprof under /debug/pprof/.
@@ -85,6 +92,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("/api/v1/sets/", g.count("/api/v1/sets", g.handleSet))
 	mux.Handle("/api/v1/metrics", g.count("/api/v1/metrics", g.handleMetrics))
 	mux.Handle("/api/v1/series", g.count("/api/v1/series", g.handleSeries))
+	mux.Handle("/api/v1/latency", g.count("/api/v1/latency", g.handleLatency))
+	mux.Handle("/api/v1/events", g.count("/api/v1/events", g.handleEvents))
 	mux.Handle("/healthz", g.count("/healthz", g.handleHealthz))
 	mux.Handle("/metrics", g.count("/metrics", g.handleExposition))
 	if g.PProf {
@@ -339,6 +348,78 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleLatency serves the per-hop sample-age histograms: for each hop of
+// the pipeline (pull, window, store), the count and conservative p50/p95/
+// p99/max in seconds. Ages measure sample transaction timestamp against
+// the daemon clock at the hop, so aggregate end-to-end delay — the figure
+// the paper's overhead analysis cares about — is read directly.
+func (g *Gateway) handleLatency(w http.ResponseWriter, r *http.Request) {
+	if g.Latency == nil {
+		g.fail(w, http.StatusServiceUnavailable, "latency tracing disabled")
+		return
+	}
+	type hopOut struct {
+		Hop        string  `json:"hop"`
+		Count      uint64  `json:"count"`
+		P50Seconds float64 `json:"p50_seconds"`
+		P95Seconds float64 `json:"p95_seconds"`
+		P99Seconds float64 `json:"p99_seconds"`
+		MaxSeconds float64 `json:"max_seconds"`
+	}
+	hops := g.Latency.Snapshot()
+	out := make([]hopOut, len(hops))
+	for i, h := range hops {
+		out[i] = hopOut{
+			Hop:        h.Hop,
+			Count:      h.Count,
+			P50Seconds: h.P50.Seconds(),
+			P95Seconds: h.P95.Seconds(),
+			P99Seconds: h.P99.Seconds(),
+			MaxSeconds: h.Max.Seconds(),
+		}
+	}
+	writeJSON(w, map[string]any{"daemon": g.DaemonName, "hops": out})
+}
+
+// handleEvents serves the daemon's event journal, newest last. Query
+// parameters: n= caps the count (default 100), severity= filters to that
+// level and above, component= and subject= filter exactly.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if g.Journal == nil {
+		g.fail(w, http.StatusServiceUnavailable, "event journal disabled")
+		return
+	}
+	q := r.URL.Query()
+	n := 100
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			g.fail(w, http.StatusBadRequest, "bad n %q", s)
+			return
+		}
+		n = v
+	}
+	minSev := obs.SevInfo
+	if s := q.Get("severity"); s != "" {
+		v, err := obs.ParseSeverity(s)
+		if err != nil {
+			g.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		minSev = v
+	}
+	events := g.Journal.Query(n, minSev, q.Get("component"), q.Get("subject"))
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, map[string]any{
+		"daemon":   g.DaemonName,
+		"total":    g.Journal.Total(),
+		"capacity": g.Journal.Cap(),
+		"events":   events,
+	})
+}
+
 // handleHealthz reports daemon liveness plus per-producer staleness and
 // per-storage-policy failures; a stale producer or a failed store policy
 // degrades the response to 503 so orchestration probes and external
@@ -408,6 +489,29 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 		e.Counter("ldmsd_window_observed_total", "Samples recorded into the recent window.", self, float64(ws.Observed))
 		e.Counter("ldmsd_window_skipped_total", "Samples the window dropped (inconsistent or stale DGN).", self, float64(ws.Skipped))
 		e.Counter("ldmsd_window_queries_total", "Series/latest queries answered from the window.", self, float64(ws.Queries))
+	}
+	if g.Latency != nil {
+		for _, h := range g.Latency.Snapshot() {
+			hop := []Label{{"hop", h.Hop}, {"daemon", g.DaemonName}}
+			e.Counter("ldmsd_hop_latency_count", "Samples recorded at each pipeline hop.", hop, float64(h.Count))
+			for _, qv := range []struct {
+				q string
+				d time.Duration
+			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+				e.Gauge("ldmsd_hop_latency_seconds", "Sample age quantiles at each pipeline hop (log2-bucket upper bounds).",
+					append([]Label{{"quantile", qv.q}}, hop...), qv.d.Seconds())
+			}
+		}
+	}
+	if g.Journal != nil {
+		info, warn, errs := g.Journal.CountBySeverity()
+		for _, sv := range []struct {
+			sev string
+			n   int64
+		}{{"info", info}, {"warn", warn}, {"error", errs}} {
+			e.Counter("ldmsd_events_total", "Journal events recorded, by severity.",
+				append([]Label{{"severity", sv.sev}}, self...), float64(sv.n))
+		}
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

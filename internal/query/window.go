@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/obs"
 )
 
 // DefaultPoints is the per-series ring capacity when none is configured:
@@ -47,6 +48,13 @@ type Window struct {
 	observed atomic.Int64 // samples recorded
 	skipped  atomic.Int64 // samples dropped (inconsistent or DGN-stale)
 	queries  atomic.Int64 // Query + Latest calls answered
+
+	// Latency tap: when set, every recorded sample's age (sample timestamp
+	// vs latNow) lands in latHist — the "window" hop of the end-to-end
+	// pipeline. latNow is the owning daemon's scheduler clock so virtual
+	// runs stay deterministic.
+	latHist *obs.Hist
+	latNow  func() time.Time
 }
 
 // NewWindow creates a window holding up to points samples per series and
@@ -63,6 +71,14 @@ func NewWindow(points int, retention time.Duration) *Window {
 		retention: retention,
 		sets:      make(map[string]*setSeries),
 	}
+}
+
+// SetLatencyTap wires the window-insert hop of the latency pipeline: each
+// sample recorded by Observe adds its age (now() minus the sample's
+// transaction timestamp) to h. Call before the window starts observing.
+func (w *Window) SetLatencyTap(h *obs.Hist, now func() time.Time) {
+	w.latHist = h
+	w.latNow = now
 }
 
 // Retention returns the maximum history age the window serves.
@@ -134,6 +150,9 @@ func (w *Window) Observe(set *metric.Set) {
 	}
 	ss.mu.Unlock()
 	w.observed.Add(1)
+	if w.latHist != nil && !ts.IsZero() {
+		w.latHist.Record(w.latNow().Sub(ts))
+	}
 }
 
 // seriesFor returns (creating if needed) the set's series block.
