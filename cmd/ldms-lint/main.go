@@ -1,0 +1,49 @@
+// Command ldms-lint runs the project's static-analysis suite
+// (internal/lint) over the module: clocksource, atomicmix, setaccess
+// and hotpath. It exits non-zero if any diagnostic is reported.
+//
+// Usage:
+//
+//	go run ./cmd/ldms-lint ./...
+//	go run ./cmd/ldms-lint ./internal/ldmsd ./internal/query
+//
+// See docs/DEVELOPMENT.md for the invariants and the //ldms:
+// annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldms/internal/lint"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root directory (must contain go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ldms-lint [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*root, patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldms-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ldms-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

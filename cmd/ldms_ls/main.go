@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"goldms/internal/metric"
 	"goldms/internal/transport"
 )
 
@@ -71,14 +72,16 @@ func main() {
 		if err := mir.LoadData(buf); err != nil {
 			fatal(err)
 		}
+		vals := make([]metric.Value, mir.Card())
+		ts, _, consistent, _ := mir.ReadValues(vals)
 		cons := "inconsistent"
-		if mir.Consistent() {
+		if consistent {
 			cons = "consistent"
 		}
 		fmt.Printf("%s: %s, last update: %s [%s]\n",
-			mir.Name(), mir.SchemaName(), mir.Timestamp().UTC().Format(time.RFC3339), cons)
-		for i := 0; i < mir.Card(); i++ {
-			fmt.Printf(" %-6s %-44s %s\n", mir.MetricType(i), mir.MetricName(i), mir.Value(i))
+			mir.Name(), mir.SchemaName(), ts.UTC().Format(time.RFC3339), cons)
+		for i, v := range vals {
+			fmt.Printf(" %-6s %-44s %s\n", mir.MetricType(i), mir.MetricName(i), v)
 		}
 	}
 }

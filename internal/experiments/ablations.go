@@ -38,7 +38,7 @@ func runAblations(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	set.BeginTransaction()
-	set.SetU64(0, 1)
+	set.SetU64(0, 1) //ldms:rawset single-writer seed inside an explicit transaction
 	set.EndTransaction(time.Unix(0, 0))
 
 	// --- 1. data-only pulls vs metadata-every-time ---
@@ -118,7 +118,9 @@ func runAblations(cfg Config) (*Report, error) {
 	for i := 0; i < rounds; i++ {
 		set.BeginTransaction()
 		for m := 0; m < 5; m++ {
-			set.SetU64(m, uint64(i))
+			// This ablation writes metrics one at a time on purpose, to
+			// demonstrate the torn reads the batched API prevents.
+			set.SetU64(m, uint64(i)) //ldms:rawset deliberately unbatched to exhibit tearing
 		}
 		for _, phase := range []string{"mid", "after", "again"} {
 			if phase == "after" {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"goldms/internal/metric"
 	"goldms/internal/obs"
 )
 
@@ -690,15 +691,19 @@ func (d *Daemon) cmdLs(args map[string]string) (string, error) {
 		return "", fmt.Errorf("ldmsd %s: no set %q", d.name, name)
 	}
 	var b strings.Builder
+	// One ReadValues snapshot instead of per-metric reads: a listing
+	// racing a sampler transaction must not interleave old and new rows.
+	vals := make([]metric.Value, set.Card())
+	ts, _, consistent, _ := set.ReadValues(vals)
 	cons := "inconsistent"
-	if set.Consistent() {
+	if consistent {
 		cons = "consistent"
 	}
 	fmt.Fprintf(&b, "%s: %s, last update: %s [%s]\n",
-		set.Name(), set.SchemaName(), set.Timestamp().UTC().Format(time.RFC3339), cons)
-	for i := 0; i < set.Card(); i++ {
+		set.Name(), set.SchemaName(), ts.UTC().Format(time.RFC3339), cons)
+	for i, v := range vals {
 		fmt.Fprintf(&b, " %c %-10s %-40s %s\n",
-			typeTag(set.MetricType(i)), set.MetricType(i), set.MetricName(i), set.Value(i))
+			typeTag(set.MetricType(i)), set.MetricType(i), set.MetricName(i), v)
 	}
 	return b.String(), nil
 }

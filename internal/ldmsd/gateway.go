@@ -62,6 +62,9 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		// Window-insert hop of the latency pipeline, on the scheduler clock
 		// so virtual-time runs record deterministic ages.
 		w.SetLatencyTap(&d.lat.Window, d.sch.Now)
+		// Retention pruning on the same clock: a virtual-time run must not
+		// discard simulated samples against the wall clock.
+		w.SetClock(d.sch.Now)
 	}
 	gw := &query.Gateway{
 		DaemonName: d.name,
@@ -72,7 +75,8 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		Collect:    d.collectSelfMetrics,
 		Latency:    &d.lat,
 		Journal:    d.journal,
-		Started:    time.Now(),
+		Started:    d.sch.Now(),
+		Now:        d.sch.Now,
 		PProf:      cfg.PProf,
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)

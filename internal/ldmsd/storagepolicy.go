@@ -430,9 +430,9 @@ func (sp *StoragePolicy) drain() {
 		st := sp.st
 		sp.mu.Unlock()
 
-		start := time.Now()
+		start := sp.d.sch.Now()
 		err := store.Batch(st, batch)
-		sp.storeNanos.Add(time.Since(start).Nanoseconds())
+		sp.storeNanos.Add(sp.d.sch.Now().Sub(start).Nanoseconds())
 
 		if err == nil {
 			// Store-hop latency: sample age when its row reached the
@@ -513,10 +513,10 @@ func (sp *StoragePolicy) flushTick() {
 		if st == nil {
 			return
 		}
-		start := time.Now()
+		start := sp.d.sch.Now()
 		if err := st.Flush(); err == nil {
 			sp.flushes.Add(1)
-			sp.flushNanos.Add(time.Since(start).Nanoseconds())
+			sp.flushNanos.Add(sp.d.sch.Now().Sub(start).Nanoseconds())
 		}
 	})
 }
@@ -565,10 +565,10 @@ func (sp *StoragePolicy) Flush() error {
 	if st == nil {
 		return nil
 	}
-	start := time.Now()
+	start := sp.d.sch.Now()
 	err := st.Flush()
 	sp.flushes.Add(1)
-	sp.flushNanos.Add(time.Since(start).Nanoseconds())
+	sp.flushNanos.Add(sp.d.sch.Now().Sub(start).Nanoseconds())
 	return err
 }
 

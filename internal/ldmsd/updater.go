@@ -70,7 +70,7 @@ type Updater struct {
 
 	passes        atomic.Int64
 	inflight      atomic.Int64 // producer pulls currently in flight
-	lastPassNanos atomic.Int64 // wall time of the last completed pass
+	lastPassNanos atomic.Int64 // scheduler-clock duration of the last completed pass (0 under a virtual clock)
 }
 
 // defaultUpdateBatch is how many update requests an updater pipelines per
@@ -230,7 +230,7 @@ func (u *Updater) run(now time.Time) {
 		return
 	}
 	defer u.busy.Store(false)
-	start := time.Now()
+	start := u.d.sch.Now()
 
 	u.mu.Lock()
 	prdcrs := append([]string(nil), u.producers...)
@@ -267,7 +267,7 @@ func (u *Updater) run(now time.Time) {
 
 	u.prune(prdcrs)
 	u.passes.Add(1)
-	u.lastPassNanos.Store(time.Since(start).Nanoseconds())
+	u.lastPassNanos.Store(u.d.sch.Now().Sub(start).Nanoseconds())
 }
 
 // pullProducer runs one producer's share of an update pass: directory
@@ -547,7 +547,10 @@ func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
 
 // finishUpdate applies one completed data pull: fresh consistent data goes
 // to storage, stale or torn samples are counted and skipped. It reports
-// false on a connection-level failure.
+// false on a connection-level failure. This is the pull inner loop, run
+// once per set per pass.
+//
+//ldms:hotpath
 func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	if err != nil {
 		u.errors.Add(1)

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// atomicmixAnalyzer enforces that any variable or struct field accessed
+// through sync/atomic anywhere in the module is accessed atomically
+// everywhere: a single plain load racing an atomic store is still a
+// data race. Two shapes are checked:
+//
+//  1. old-style helpers: atomic.AddInt64(&s.n, 1) marks s.n; every
+//     other use of s.n must also be an &-arg to a sync/atomic call.
+//  2. atomic-typed fields (atomic.Int64, atomic.Pointer[T], ...): the
+//     field may only be used as a method receiver or have its address
+//     taken; copying the value defeats the type's guarantee.
+var atomicmixAnalyzer = &Analyzer{
+	Name:     "atomicmix",
+	Doc:      "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Suppress: "atomicok",
+	Collect:  collectAtomicmix,
+	Run:      runAtomicmix,
+}
+
+// atomicTargetKey identifies a variable across packages by its
+// declaration position. The loader shares one FileSet between directly
+// analyzed packages and source-imported ones, so positions agree even
+// though the types.Object identities differ.
+func atomicTargetKey(p *Pass, obj types.Object) string {
+	return p.fset.Position(obj.Pos()).String()
+}
+
+// atomicCallTarget returns the object whose address is taken by an
+// &-argument of a sync/atomic call, e.g. s.n in atomic.AddInt64(&s.n, 1).
+func atomicCallTarget(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	if path, ok := pkgNameOf(info, sel.X); !ok || path != "sync/atomic" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	un, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil, false
+	}
+	switch x := un.X.(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj(), true
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func collectAtomicmix(p *Pass, facts *Facts) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, ok := atomicCallTarget(p.Pkg.Info, call); ok {
+				key := atomicTargetKey(p, obj)
+				if _, dup := facts.AtomicFields[key]; !dup {
+					facts.AtomicFields[key] = fmt.Sprintf("%s (first atomic access at %s)", obj.Name(), p.Position(call.Pos()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func runAtomicmix(p *Pass, facts *Facts) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		walkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+					obj = s.Obj()
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() {
+					obj = v
+				}
+			}
+			if obj == nil {
+				return true
+			}
+			if desc, tracked := facts.AtomicFields[atomicTargetKey(p, obj)]; tracked && !isAtomicCallArg(info, stack) {
+				p.Reportf(n.Pos(), "non-atomic access of %s; every access must go through sync/atomic", desc)
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && isAtomicTyped(info.Selections[sel].Obj().Type()) && !isReceiverOrAddr(stack, n) {
+				p.Reportf(n.Pos(), "atomic-typed field %s copied by value; use its Load/Store/Add methods or take its address", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCallArg reports whether the node under inspection sits as the
+// &-argument of a sync/atomic call: stack ends ... CallExpr, UnaryExpr(&).
+func isAtomicCallArg(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	un, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, ok = atomicCallTarget(info, call)
+	return ok
+}
+
+// isAtomicTyped reports whether t is (a pointer to) a named type from
+// sync/atomic, such as atomic.Int64 or atomic.Pointer[T].
+func isAtomicTyped(t types.Type) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isReceiverOrAddr reports whether the selector is used as the base of
+// a further selection (method call receiver) or has its address taken —
+// the only uses that preserve an atomic type's guarantee.
+func isReceiverOrAddr(stack []ast.Node, n ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return parent.X == n
+	case *ast.UnaryExpr:
+		return parent.Op.String() == "&"
+	case *ast.IndexExpr:
+		// Arrays of atomic values: h.buckets[i].Add(1).
+		return parent.X == n
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-time functions that read or depend on
+// the wall clock. Constructors like time.Unix/time.Date and pure
+// arithmetic (time.Duration, ParseDuration) are allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// clocksourceAnalyzer flags wall-clock use in the packages whose
+// behaviour must be reproducible under the virtual scheduler clock
+// (sched.NewVirtual). Daemon code should route through
+// Scheduler.Now()/After()/Every(); deliberate wall-clock reads (e.g.
+// real CPU-cost accounting) carry a //ldms:wallclock <reason>.
+var clocksourceAnalyzer = &Analyzer{
+	Name: "clocksource",
+	Doc:  "no bare time.Now/Sleep/After/NewTicker in scheduler-clocked packages",
+	Include: []string{
+		"internal/ldmsd",
+		"internal/query",
+		"internal/transport",
+		"internal/store",
+		"internal/obs",
+	},
+	Suppress: "wallclock",
+	Run:      runClocksource,
+}
+
+func runClocksource(p *Pass, _ *Facts) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Flag value references too (now := time.Now), not just
+			// calls: storing the func smuggles the wall clock past a
+			// call-site check.
+			if path, ok := pkgNameOf(p.Pkg.Info, sel.X); ok && path == "time" && wallClockFuncs[sel.Sel.Name] {
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock; use the scheduler clock (sched.Scheduler.Now/After/Every) or annotate //ldms:wallclock <reason>", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathAnalyzer checks functions annotated //ldms:hotpath for
+// obviously-allocating constructs. These are the per-sample code paths
+// (obs.Hist.Record, obs.Journal.Append, the updater pull inner loop,
+// store batch formatting) whose CI bench guards demand 0 allocs/op;
+// the analyzer catches regressions at review time rather than in a
+// benchmark diff. A deliberate allocation carries //ldms:alloc <reason>
+// on its line.
+//
+// Flagged: fmt.* use, non-constant string concatenation,
+// string<->[]byte/[]rune conversions, map/slice/chan literals and
+// non-constant-size make, new(), closures capturing local variables,
+// and non-pointer struct/array values boxed into interface parameters.
+// Allowed: constant-size make (escape analysis keeps it on the stack —
+// the bench guards verify), struct/array composite literals, append
+// into caller-owned buffers, strconv.Append*.
+var hotpathAnalyzer = &Analyzer{
+	Name:     "hotpath",
+	Doc:      "//ldms:hotpath functions must not contain allocating constructs",
+	Suppress: "alloc",
+	Run:      runHotpath,
+}
+
+func runHotpath(p *Pass, _ *Facts) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasDirective(fn, "hotpath") {
+				continue
+			}
+			checkHotpathBody(p, fn)
+		}
+	}
+}
+
+func checkHotpathBody(p *Pass, fn *ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if path, ok := pkgNameOf(info, x.X); ok && path == "fmt" {
+				p.Reportf(x.Pos(), "fmt.%s allocates (formatting + interface boxing); use strconv.Append* into a reused buffer", x.Sel.Name)
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info, x) && info.Types[x].Value == nil {
+				p.Reportf(x.Pos(), "string concatenation allocates; append into a reused []byte buffer")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info, x.Lhs[0]) {
+				p.Reportf(x.Pos(), "string += allocates; append into a reused []byte buffer")
+			}
+		case *ast.CompositeLit:
+			switch underlyingOf(info, x).(type) {
+			case *types.Map:
+				p.Reportf(x.Pos(), "map literal allocates")
+			case *types.Slice:
+				p.Reportf(x.Pos(), "slice literal allocates")
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(info, x); len(captured) > 0 {
+				p.Reportf(x.Pos(), "closure captures %s; captured variables escape to the heap", strings.Join(captured, ", "))
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(p, x)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(p *Pass, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	tv := info.Types[call.Fun]
+	if tv.Type == nil {
+		return // unresolved under a type error; reported by typecheck
+	}
+	if tv.IsType() {
+		checkHotpathConversion(p, call, tv.Type)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			checkHotpathBuiltin(p, call, id.Name)
+			return
+		}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes an existing slice, no per-arg boxing
+		}
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Struct, *types.Array:
+			p.Reportf(arg.Pos(), "passing %s by value into an interface parameter boxes it on the heap; pass a pointer", types.TypeString(at, nil))
+		}
+	}
+}
+
+// paramType resolves the static parameter type for argument i,
+// unwrapping the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+func checkHotpathConversion(p *Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at := p.Pkg.Info.Types[call.Args[0]].Type
+	if at == nil {
+		return
+	}
+	switch t := target.Underlying().(type) {
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return
+		}
+		switch a := at.Underlying().(type) {
+		case *types.Slice:
+			p.Reportf(call.Pos(), "string(%s) copies the slice; keep bytes as []byte on the hot path", types.TypeString(at, nil))
+		case *types.Basic:
+			if a.Info()&types.IsInteger != 0 && p.Pkg.Info.Types[call.Args[0]].Value == nil {
+				p.Reportf(call.Pos(), "string(integer) allocates a new string; use strconv.Append* or utf8.AppendRune")
+			}
+		}
+	case *types.Slice:
+		if e, ok := t.Elem().Underlying().(*types.Basic); ok && (e.Kind() == types.Byte || e.Kind() == types.Rune) {
+			if ab, ok := at.Underlying().(*types.Basic); ok && ab.Info()&types.IsString != 0 {
+				p.Reportf(call.Pos(), "[]byte/[]rune(string) copies the string; keep the data as bytes end to end")
+			}
+		}
+	}
+}
+
+func checkHotpathBuiltin(p *Pass, call *ast.CallExpr, name string) {
+	switch name {
+	case "new":
+		p.Reportf(call.Pos(), "new() allocates; reuse a caller-owned value")
+	case "make":
+		if len(call.Args) == 0 {
+			return
+		}
+		switch underlyingOf(p.Pkg.Info, call.Args[0]).(type) {
+		case *types.Map:
+			p.Reportf(call.Pos(), "make(map) allocates")
+		case *types.Chan:
+			p.Reportf(call.Pos(), "make(chan) allocates")
+		case *types.Slice:
+			for _, sz := range call.Args[1:] {
+				if p.Pkg.Info.Types[sz].Value == nil {
+					p.Reportf(call.Pos(), "make([]T) with non-constant size allocates; constant-size makes can stay on the stack")
+					return
+				}
+			}
+		}
+	}
+}
+
+// underlyingOf is a nil-safe Info.Types[e].Type.Underlying().
+func underlyingOf(info *types.Info, e ast.Expr) types.Type {
+	t := info.Types[e].Type
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVars lists local variables a function literal closes over:
+// any *types.Var used inside the literal but declared outside it (and
+// not at package scope — globals are shared, not captured).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level variable
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

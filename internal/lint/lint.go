@@ -1,0 +1,319 @@
+// Package lint implements ldms-lint, a project-specific static-analysis
+// suite for the goldms module. It is built entirely on the standard
+// library (go/ast, go/parser, go/types with the source importer) so the
+// module stays dependency-free.
+//
+// The suite machine-checks invariants the repo otherwise enforces only
+// by convention:
+//
+//   - clocksource: daemon/query/transport/store/obs code must use the
+//     scheduler clock, never the wall clock, so virtual-clock
+//     simulations stay deterministic.
+//   - atomicmix: a field accessed through sync/atomic (or an
+//     atomic.Int64/atomic.Pointer method) anywhere must be accessed
+//     atomically everywhere.
+//   - setaccess: metric.Set data-chunk state must be read through the
+//     torn-read-safe ReadValues/SetValues/header API.
+//   - hotpath: functions annotated //ldms:hotpath must not contain
+//     obviously-allocating constructs.
+//
+// Findings that are deliberate are suppressed in source with
+// annotation comments carrying a reason, e.g.
+//
+//	//ldms:wallclock plugin execution cost is real CPU time
+//
+// See docs/DEVELOPMENT.md for the full annotation grammar.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as path:line:col: [analyzer] message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Include/Exclude are module-relative
+// import-path prefixes ("" means the module root); an empty Include
+// list puts every package in scope. Collect, when set, runs over every
+// in-scope package before any Run call so analyzers can gather
+// module-wide facts (e.g. which fields are accessed atomically).
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Include  []string
+	Exclude  []string
+	Suppress string // annotation directive that silences a finding on its line
+	Collect  func(*Pass, *Facts)
+	Run      func(*Pass, *Facts)
+}
+
+// inScope reports whether a package (by module-relative path) is
+// checked by this analyzer.
+func (a *Analyzer) inScope(rel string) bool {
+	for _, p := range a.Exclude {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return false
+		}
+	}
+	if len(a.Include) == 0 {
+		return true
+	}
+	for _, p := range a.Include {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Facts carries module-wide state between the Collect and Run phases.
+type Facts struct {
+	// AtomicFields maps a field identity key (declaration position) to a
+	// human-readable description of the first atomic access observed.
+	AtomicFields map[string]string
+}
+
+func newFacts() *Facts {
+	return &Facts{AtomicFields: make(map[string]string)}
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Mod      string // module path from go.mod (e.g. "goldms")
+	Ann      *annotations
+	root     string // module root, for rel-path formatting
+	fset     *token.FileSet
+	diags    *[]Diagnostic
+}
+
+// Position resolves a token.Pos with the filename made relative to the
+// module root so diagnostics (and golden files) are stable.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	tp := p.fset.Position(pos)
+	if rel, err := filepath.Rel(p.root, tp.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		tp.Filename = filepath.ToSlash(rel)
+	}
+	return tp
+}
+
+// Reportf records a finding unless the analyzer's suppression directive
+// annotates the offending line (or the line directly above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	tp := p.Position(pos)
+	if p.Analyzer.Suppress != "" && p.Ann.suppressed(p.Analyzer.Suppress, tp) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{Pos: tp, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// directive is one parsed //ldms:<name> <reason> annotation.
+type directive struct {
+	name   string
+	reason string
+}
+
+// knownDirectives maps directive names to whether a reason string is
+// required. Suppressions require a reason; markers do not.
+var knownDirectives = map[string]bool{
+	"wallclock": true,  // clocksource suppression
+	"rawset":    true,  // setaccess suppression
+	"atomicok":  true,  // atomicmix suppression
+	"alloc":     true,  // hotpath per-line suppression
+	"hotpath":   false, // function marker: body is checked by the hotpath analyzer
+}
+
+// annotations indexes every //ldms: comment in a package by file and line.
+type annotations struct {
+	byLine map[string]map[int][]directive
+}
+
+const directivePrefix = "//ldms:"
+
+// parseDirective splits a comment into a directive, if it is one.
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	return directive{name: strings.TrimSpace(name), reason: strings.TrimSpace(reason)}, true
+}
+
+// parseAnnotations scans every comment in the package, validating
+// directives as it goes: unknown //ldms: names and suppressions missing
+// their reason string are themselves diagnostics.
+func parseAnnotations(p *Package, pos func(token.Pos) token.Position, diags *[]Diagnostic) *annotations {
+	ann := &annotations{byLine: make(map[string]map[int][]directive)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				tp := pos(c.Pos())
+				needReason, known := knownDirectives[d.name]
+				switch {
+				case !known:
+					*diags = append(*diags, Diagnostic{Pos: tp, Analyzer: "annotation",
+						Message: fmt.Sprintf("unknown directive %q (known: alloc, atomicok, hotpath, rawset, wallclock)", directivePrefix+d.name)})
+					continue
+				case needReason && d.reason == "":
+					*diags = append(*diags, Diagnostic{Pos: tp, Analyzer: "annotation",
+						Message: fmt.Sprintf("%s%s requires a reason, e.g. %q", directivePrefix, d.name, directivePrefix+d.name+" <why this is safe>")})
+					continue
+				}
+				lines := ann.byLine[tp.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					ann.byLine[tp.Filename] = lines
+				}
+				lines[tp.Line] = append(lines[tp.Line], d)
+			}
+		}
+	}
+	return ann
+}
+
+// suppressed reports whether the named directive annotates the given
+// position: on the same line (trailing comment) or the line above
+// (standalone comment).
+func (a *annotations) suppressed(name string, pos token.Position) bool {
+	lines := a.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether a function's doc comment carries the
+// named marker directive (e.g. //ldms:hotpath).
+func funcHasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full project suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{clocksourceAnalyzer, atomicmixAnalyzer, setaccessAnalyzer, hotpathAnalyzer}
+}
+
+// Run loads every package matched by patterns (e.g. "./...") under the
+// module rooted at root and applies the analyzers. Type-check failures
+// surface as diagnostics so a broken tree cannot silently pass.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.load(dir, "")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analyze(l, pkgs, analyzers), nil
+}
+
+// RunPackage loads the single package in dir, type-checking it as if it
+// had the given import path. The override lets testdata packages (which
+// live outside the module's package tree) exercise path-scoped
+// analyzers such as clocksource.
+func RunPackage(root, dir, asImportPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.load(dir, asImportPath)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(l, []*Package{pkg}, analyzers), nil
+}
+
+func analyze(l *loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	facts := newFacts()
+	passes := make(map[*Package]*annotations, len(pkgs))
+	for _, pkg := range pkgs {
+		pos := func(p token.Pos) token.Position {
+			tp := l.fset.Position(p)
+			if rel, err := filepath.Rel(l.root, tp.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				tp.Filename = filepath.ToSlash(rel)
+			}
+			return tp
+		}
+		passes[pkg] = parseAnnotations(pkg, pos, &diags)
+		for _, err := range pkg.TypeErrs {
+			diags = append(diags, Diagnostic{Pos: errPosition(l, err), Analyzer: "typecheck", Message: errMessage(err)})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Collect == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			if !a.inScope(l.relPath(pkg.Path)) {
+				continue
+			}
+			a.Collect(&Pass{Analyzer: a, Pkg: pkg, Mod: l.modPath, Ann: passes[pkg], root: l.root, fset: l.fset, diags: &diags}, facts)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil || !a.inScope(l.relPath(pkg.Path)) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: l.modPath, Ann: passes[pkg], root: l.root, fset: l.fset, diags: &diags}, facts)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Path     string // import path (possibly an override for testdata)
+	Dir      string
+	Name     string
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	TypeErrs []error
+}
+
+// loader parses and type-checks packages of one module with a shared
+// FileSet and a shared source importer, so imported packages (stdlib
+// and goldms/*) are resolved once and reused across packages.
+type loader struct {
+	root    string // absolute module root (directory holding go.mod)
+	modPath string
+	fset    *token.FileSet
+	imp     types.Importer
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		root:    abs,
+		modPath: modPath,
+		fset:    fset,
+		imp:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot find module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if p, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(p), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// relPath converts an import path to a module-relative path ("" for the
+// module root package). Paths outside the module are returned as-is.
+func (l *loader) relPath(importPath string) string {
+	if importPath == l.modPath {
+		return ""
+	}
+	if p, ok := strings.CutPrefix(importPath, l.modPath+"/"); ok {
+		return p
+	}
+	return importPath
+}
+
+// expand resolves command-line patterns to package directories.
+// "./..."-style patterns walk the tree; plain arguments name a single
+// directory. testdata, hidden, and underscore-prefixed directories are
+// skipped, matching the go tool's convention.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if p, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = p, true
+		} else if pat == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" {
+			base = "."
+		}
+		absBase := base
+		if !filepath.IsAbs(absBase) {
+			absBase = filepath.Join(l.root, base)
+		}
+		if !recursive {
+			if hasGoFiles(absBase) {
+				add(absBase)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", absBase)
+			}
+			continue
+		}
+		err := filepath.WalkDir(absBase, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != absBase && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+// goFileNames lists the non-test buildable Go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks the package in dir. A non-empty
+// importPath overrides the path derived from the directory's location
+// under the module root. Type errors are collected, not fatal: the
+// runner reports them as diagnostics.
+func (l *loader) load(dir, importPath string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.root, dir)
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			importPath = l.modPath
+		} else {
+			importPath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+	}
+	// Check returns an error exactly when TypeErrs is non-empty; the
+	// partial result is still usable for reporting.
+	pkg.Types, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// errPosition extracts a position from a type-check error.
+func errPosition(l *loader, err error) token.Position {
+	if te, ok := err.(types.Error); ok {
+		tp := te.Fset.Position(te.Pos)
+		if rel, rerr := filepath.Rel(l.root, tp.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			tp.Filename = filepath.ToSlash(rel)
+		}
+		return tp
+	}
+	return token.Position{}
+}
+
+// errMessage extracts the bare message from a type-check error.
+func errMessage(err error) string {
+	if te, ok := err.(types.Error); ok {
+		return te.Msg
+	}
+	return err.Error()
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// metricPkgRel is the module-relative path of the metric package that
+// owns the torn-read-safe API.
+const metricPkgRel = "internal/metric"
+
+// rawSetAccessors are the per-metric tearable accessors on metric.Set.
+// Reading metrics one at a time can interleave with a sampler's
+// SetValues transaction and observe a torn row; writing outside
+// SetValues skips the DGN/consistent-flag protocol (paper §III-A).
+// Multi-metric state must go through ReadValues (single lock, checks
+// the consistent flag) or SetValues (batched transaction).
+var rawSetAccessors = map[string]bool{
+	"Value":    true,
+	"U64":      true,
+	"S64":      true,
+	"F64":      true,
+	"SetValue": true,
+	"SetU64":   true,
+	"SetS64":   true,
+	"SetF64":   true,
+}
+
+// setaccessAnalyzer flags raw metric.Set data-chunk access outside
+// internal/metric itself. metric.Value and metric.Batch expose methods
+// with the same names; only *metric.Set receivers are restricted.
+var setaccessAnalyzer = &Analyzer{
+	Name:     "setaccess",
+	Doc:      "metric.Set data must be read via ReadValues/SetValues/header accessors",
+	Exclude:  []string{metricPkgRel},
+	Suppress: "rawset",
+	Run:      runSetaccess,
+}
+
+func runSetaccess(p *Pass, _ *Facts) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !rawSetAccessors[sel.Sel.Name] {
+				return true
+			}
+			s := p.Pkg.Info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			if isPkgType(s.Recv(), p.Mod+"/"+metricPkgRel, "Set") {
+				p.Reportf(sel.Pos(), "raw Set.%s access tears against concurrent SetValues; use ReadValues/SetValues (or annotate //ldms:rawset <reason>)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+// Package annot is lint-test input for the annotation grammar itself:
+// suppressions without a reason are diagnostics and do not suppress,
+// and unknown directives are diagnostics.
+package annot
+
+import "time"
+
+func missingReason() time.Time {
+	//ldms:wallclock
+	return time.Now() // still flagged: a reasonless suppression is void
+}
+
+func unknownDirective() {
+	//ldms:frobnicate the analyzer has never heard of this
+}
+
+func wellFormed() time.Time {
+	//ldms:wallclock reasons make the audit trail greppable
+	return time.Now()
+}

@@ -1,0 +1,52 @@
+// Package atomicmix is lint-test input: mixed atomic/plain access
+// patterns the atomicmix analyzer must flag, plus clean patterns it
+// must leave alone.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+	gauge atomic.Int64
+}
+
+var total int64
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counters) mixedRead() int64 {
+	return c.hits // want: plain read of an atomically-written field
+}
+
+func (c *counters) atomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) plainOnly() int64 {
+	return c.drops // fine: never accessed atomically anywhere
+}
+
+func (c *counters) copyTyped() int64 {
+	g := c.gauge // want: copying an atomic-typed field
+	return g.Load()
+}
+
+func (c *counters) methodTyped() int64 {
+	return c.gauge.Load() // fine: method receiver use
+}
+
+func (c *counters) addrTyped() *atomic.Int64 {
+	return &c.gauge // fine: address taken, guarantee preserved
+}
+
+func mixedTotal() int64 {
+	return total // want: plain read of an atomically-written package var
+}
+
+func (c *counters) sanctioned() int64 {
+	return c.hits //ldms:atomicok test fixture reads after all writers have joined
+}

@@ -1,0 +1,44 @@
+// Package clocksource is lint-test input: wall-clock uses that the
+// clocksource analyzer must flag, suppress, or ignore. The test harness
+// type-checks it under a fake in-scope import path.
+package clocksource
+
+import "time"
+
+var tickets int
+
+func bare() time.Time {
+	return time.Now() // want: bare wall-clock read
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want: wall-clock dependent
+	<-time.After(time.Second)
+	t := time.NewTicker(time.Second)
+	t.Stop()
+}
+
+func smuggled() func() time.Time {
+	now := time.Now // want: storing the func is still a wall-clock dependency
+	return now
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want: Since reads the wall clock
+}
+
+func annotated() time.Time {
+	//ldms:wallclock test fixture measures real CPU cost
+	return time.Now()
+}
+
+func annotatedTrailing() time.Time {
+	return time.Now() //ldms:wallclock trailing-comment suppression
+}
+
+func allowed() time.Time {
+	// Constructors and arithmetic never read the clock.
+	base := time.Unix(90000, 0)
+	d, _ := time.ParseDuration("1s")
+	return base.Add(d * time.Duration(tickets))
+}

@@ -1,0 +1,59 @@
+// Package hotpath is lint-test input: allocating constructs inside
+// //ldms:hotpath functions the analyzer must flag, the allocation-free
+// idioms it must accept, and identical code outside hot paths it must
+// ignore.
+package hotpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type row struct{ a, b uint64 }
+
+func sink(v any) { _ = v }
+
+//ldms:hotpath
+func noisy(buf []byte, r row) []byte {
+	s := fmt.Sprintf("%d", r.a) // want: fmt call
+	s += "!"                    // want: string +=
+	t := s + s                  // want: string concatenation
+	_ = t
+	m := map[string]int{} // want: map literal
+	_ = m
+	xs := []uint64{r.a, r.b} // want: slice literal
+	_ = xs
+	bs := []byte(s) // want: string->[]byte copy
+	_ = bs
+	back := string(buf) // want: []byte->string copy
+	_ = back
+	f := func() uint64 { return r.a + r.b } // want: closure captures r
+	_ = f()
+	sink(r) // want: struct boxed into interface parameter
+	dyn := make([]byte, len(buf))
+	_ = dyn // want: non-constant-size make
+	return buf
+}
+
+//ldms:hotpath
+func clean(buf []byte, r row) []byte {
+	scratch := make([]byte, 0, 32) // fine: constant cap stays on the stack
+	scratch = strconv.AppendUint(scratch, r.a, 10)
+	buf = append(buf, scratch...)
+	sink(&r) // fine: pointer into interface, no boxing copy
+	var arr [4]uint64
+	arr[0] = r.b // fine: array value, no literal
+	return append(buf, byte(arr[0]))
+}
+
+//ldms:hotpath
+func sanctioned(r row) {
+	msg := fmt.Sprintf("row %d", r.a) //ldms:alloc once-per-process failure path, off the steady state
+	_ = msg
+}
+
+func cold(r row) string {
+	// Identical constructs outside a hot path are not the analyzer's
+	// business.
+	return fmt.Sprintf("%d-%d", r.a, r.b) + "!"
+}

@@ -1,0 +1,45 @@
+// Package setaccess is lint-test input: raw metric.Set accessor uses
+// the setaccess analyzer must flag, against the torn-read-safe patterns
+// it must accept.
+package setaccess
+
+import "goldms/internal/metric"
+
+func tornRead(s *metric.Set) uint64 {
+	return s.U64(0) // want: per-metric read can interleave with SetValues
+}
+
+func tornLoop(s *metric.Set) (out []metric.Value) {
+	for i := 0; i < s.Card(); i++ {
+		out = append(out, s.Value(i)) // want: multi-metric raw read
+	}
+	return out
+}
+
+func rawWrite(s *metric.Set, v uint64) {
+	s.SetU64(0, v) // want: write outside a SetValues transaction
+}
+
+func safeRead(s *metric.Set) ([]metric.Value, bool) {
+	vals := make([]metric.Value, s.Card())
+	_, _, consistent, _ := s.ReadValues(vals)
+	return vals, consistent
+}
+
+func safeWrite(s *metric.Set, v uint64) {
+	s.SetValues(func(b *metric.Batch) {
+		b.SetU64(0, v) // fine: Batch method inside the transaction lock
+	})
+}
+
+func headerOnly(s *metric.Set) (uint64, bool) {
+	return s.DGN(), s.Consistent() // fine: header accessors are atomic
+}
+
+func valueCopy(v metric.Value) uint64 {
+	return v.U64() // fine: metric.Value is a plain snapshot struct
+}
+
+func sanctioned(s *metric.Set) uint64 {
+	return s.U64(0) //ldms:rawset test fixture owns the set; no concurrent writer
+}

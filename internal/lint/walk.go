@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses a file calling fn with the ancestor stack of each
+// node (stack[len-1] is n's parent). fn returning false prunes the
+// subtree.
+func walkStack(f *ast.File, fn func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		// Inspect only sends the matching nil when it descends, so the
+		// push must be skipped when the subtree is pruned.
+		if !fn(stack, n) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgNameOf resolves an expression to the package it names, if it is a
+// bare package qualifier (e.g. the "time" in time.Now).
+func pkgNameOf(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// namedType unwraps pointers and aliases down to a named type, if any.
+func namedType(t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -27,6 +27,8 @@ type Hist struct {
 
 // Record adds one observation. Negative durations (clock skew between
 // the sampler's stamp and this daemon's clock) clamp to zero.
+//
+//ldms:hotpath
 func (h *Hist) Record(d time.Duration) {
 	if d < 0 {
 		d = 0

@@ -126,6 +126,7 @@ func NewJournal(capacity int, now func() time.Time, logger *slog.Logger) *Journa
 		capacity = DefaultJournalSize
 	}
 	if now == nil {
+		//ldms:wallclock default clock for standalone journals; daemons pass their scheduler clock
 		now = time.Now
 	}
 	if logger == nil {
@@ -141,6 +142,8 @@ func NewJournal(capacity int, now func() time.Time, logger *slog.Logger) *Journa
 // Append records one event, stamping its time and sequence number, and
 // drains it to the structured logger. subject and epoch are optional
 // ("" / 0 omit them).
+//
+//ldms:hotpath
 func (j *Journal) Append(sev Severity, component, subject string, epoch uint64, message string) {
 	j.mu.Lock()
 	ev := Event{

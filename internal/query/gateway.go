@@ -77,11 +77,25 @@ type Gateway struct {
 	Journal *obs.Journal
 	// Started stamps the gateway start time for uptime reporting.
 	Started time.Time
+	// Now supplies the gateway's clock (series window cut-off, uptime).
+	// The owning daemon wires its scheduler clock so virtual-time runs
+	// are deterministic; nil falls back to wall time.
+	Now func() time.Time
 	// PProf additionally mounts net/http/pprof under /debug/pprof/.
 	PProf bool
 
 	requests map[string]*atomic.Int64
 	errors   atomic.Int64
+}
+
+// now resolves the gateway clock, falling back to wall time when no
+// daemon wired a scheduler clock in.
+func (g *Gateway) now() time.Time {
+	if g.Now != nil {
+		return g.Now()
+	}
+	//ldms:wallclock standalone gateways without a daemon default to wall time
+	return time.Now()
 }
 
 // Handler builds the gateway's HTTP routing table.
@@ -315,7 +329,7 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	series := g.Window.Query(metricName, comp, time.Now().Add(-window))
+	series := g.Window.Query(metricName, comp, g.now().Add(-window))
 	type pointOut struct {
 		Time  time.Time `json:"time"`
 		Value any       `json:"value"`
@@ -460,7 +474,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["stores"] = stores
 	}
 	if !g.Started.IsZero() {
-		resp["uptime_seconds"] = time.Since(g.Started).Seconds()
+		resp["uptime_seconds"] = g.now().Sub(g.Started).Seconds()
 	}
 	if len(stale) > 0 {
 		resp["stale"] = stale

@@ -55,6 +55,11 @@ type Window struct {
 	// runs stay deterministic.
 	latHist *obs.Hist
 	latNow  func() time.Time
+
+	// now supplies the retention floor in Query. The owning daemon wires
+	// it to the scheduler clock via SetClock so virtual-time runs prune
+	// against simulated time; standalone windows fall back to wall time.
+	now func() time.Time
 }
 
 // NewWindow creates a window holding up to points samples per series and
@@ -70,6 +75,18 @@ func NewWindow(points int, retention time.Duration) *Window {
 		points:    points,
 		retention: retention,
 		sets:      make(map[string]*setSeries),
+		//ldms:wallclock default clock for standalone windows; daemons override via SetClock
+		now: time.Now,
+	}
+}
+
+// SetClock routes the window's notion of "now" — the Query retention
+// floor — through the given clock. The owning daemon passes its
+// scheduler clock so virtual-time runs are deterministic. Call before
+// the window starts serving; a nil clock is ignored.
+func (w *Window) SetClock(now func() time.Time) {
+	if now != nil {
+		w.now = now
 	}
 }
 
@@ -223,7 +240,7 @@ type Series struct {
 // sorted by instance name and built entirely from the in-memory rings.
 func (w *Window) Query(metricName string, comp uint64, since time.Time) []Series {
 	w.queries.Add(1)
-	floor := time.Now().Add(-w.retention)
+	floor := w.now().Add(-w.retention)
 	if since.Before(floor) {
 		since = floor
 	}

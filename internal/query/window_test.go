@@ -224,3 +224,33 @@ func TestWindowConcurrentObserveAndQuery(t *testing.T) {
 		t.Fatalf("no concurrent progress: %+v", st)
 	}
 }
+
+// TestWindowQueryClockRetentionFloor pins the retention floor to the
+// window's injected clock. Before SetClock existed, Query pruned against
+// time.Now(): a virtual-time daemon whose samples carry simulated
+// timestamps (e.g. 1970s epochs) would find every point "older than
+// retention" and serve nothing.
+func TestWindowQueryClockRetentionFloor(t *testing.T) {
+	w := NewWindow(16, time.Minute)
+	base := time.Unix(90000, 0) // simulated epoch, decades outside wall-clock retention
+	clock := base
+	w.SetClock(func() time.Time { return clock })
+
+	s := testSet(t, "n1/win", 1)
+	for i := 0; i < 5; i++ {
+		sample(s, uint64(i), base.Add(time.Duration(i)*time.Second))
+		w.Observe(s)
+	}
+	clock = base.Add(5 * time.Second)
+
+	got := w.Query("a", 0, time.Unix(0, 0))
+	if len(got) != 1 || len(got[0].Points) != 5 {
+		t.Fatalf("query on the virtual clock = %+v, want one series with all 5 points", got)
+	}
+
+	// Advancing the virtual clock past retention ages the points out.
+	clock = base.Add(time.Minute + 10*time.Second)
+	if got := w.Query("a", 0, time.Unix(0, 0)); len(got) != 0 {
+		t.Fatalf("points older than retention on the virtual clock still served: %+v", got)
+	}
+}

@@ -144,6 +144,8 @@ func (s *csvStore) rollLocked() error {
 func (s *csvStore) Name() string { return "store_csv" }
 
 // appendCSVRow formats one row onto buf.
+//
+//ldms:hotpath
 func appendCSVRow(buf []byte, row metric.Row) []byte {
 	buf = strconv.AppendInt(buf, row.Time.Unix(), 10)
 	buf = append(buf, ',')
@@ -158,6 +160,8 @@ func appendCSVRow(buf []byte, row metric.Row) []byte {
 }
 
 // appendValue formats a metric value in its natural representation.
+//
+//ldms:hotpath
 func appendValue(buf []byte, v metric.Value) []byte {
 	switch v.Type {
 	case metric.TypeD64, metric.TypeF32:

@@ -64,6 +64,8 @@ func sanitize(name string) string {
 func (s *flatStore) Name() string { return "store_flatfile" }
 
 // appendFlatLine formats one "time time_usec compid value" line onto buf.
+//
+//ldms:hotpath
 func appendFlatLine(buf []byte, row metric.Row, v metric.Value) []byte {
 	buf = strconv.AppendInt(buf, row.Time.Unix(), 10)
 	buf = append(buf, ' ')
