@@ -8,6 +8,7 @@
 //	ldms-top -d http://agg1:8080                    # health + set directory
 //	ldms-top -d http://agg1:8080 -metric Active     # latest value per producer
 //	ldms-top -d http://agg1:8080 -metric Active -series -window 5m
+//	ldms-top -d http://agg1:8080 -metric Active -agg sum -step 10s
 //	ldms-top -d http://agg1:8080 -events -n 30      # recent daemon events
 //	ldms-top -d http://agg1:8080 -watch 2s          # refresh until interrupted
 package main
@@ -28,7 +29,10 @@ func main() {
 		metricN = flag.String("metric", "", "metric to display (latest per producer)")
 		comp    = flag.Uint64("comp", 0, "component id filter (0 = all)")
 		series  = flag.Bool("series", false, "sparkline recent history instead of latest values (needs -metric)")
-		window  = flag.Duration("window", 0, "history window for -series (default: the gateway's retention)")
+		window  = flag.Duration("window", 0, "history window for -series/-agg (default: the gateway's retention)")
+		step    = flag.Duration("step", 0, "server-side downsample step for -series/-agg (0 with -window: auto window/48)")
+		aggFn   = flag.String("agg", "", "fold -metric across producers server-side with this func (sum, avg, min, max, count, quantile)")
+		quant   = flag.Float64("q", 0.95, "quantile for -agg quantile")
 		events  = flag.Bool("events", false, "show the daemon's recent event journal")
 		nEvents = flag.Int("n", 20, "events to show with -events")
 		minSev  = flag.String("severity", "", "minimum event severity for -events (info, warn, error)")
@@ -49,8 +53,10 @@ func main() {
 		switch {
 		case *events:
 			return showEvents(client, base, *nEvents, *minSev)
+		case *metricN != "" && *aggFn != "":
+			return showAggregate(client, base, *metricN, *comp, *window, *step, *aggFn, *quant)
 		case *metricN != "" && *series:
-			return showSeries(client, base, *metricN, *comp, *window)
+			return showSeries(client, base, *metricN, *comp, *window, *step)
 		case *metricN != "":
 			return showLatest(client, base, *metricN, *comp)
 		default:
@@ -179,7 +185,16 @@ func showLatest(client *http.Client, base, metricName string, comp uint64) error
 	return nil
 }
 
-func showSeries(client *http.Client, base, metricName string, comp uint64, window time.Duration) error {
+// autoStep picks a downsample step that fits the sparkline width, so
+// the server sends ~one point per cell instead of the raw window.
+func autoStep(step, window time.Duration) time.Duration {
+	if step == 0 && window > 0 {
+		step = window / sparkWidth
+	}
+	return step
+}
+
+func showSeries(client *http.Client, base, metricName string, comp uint64, window, step time.Duration) error {
 	url := fmt.Sprintf("%s/api/v1/series?metric=%s", base, metricName)
 	if comp != 0 {
 		url += fmt.Sprintf("&comp=%d", comp)
@@ -187,8 +202,12 @@ func showSeries(client *http.Client, base, metricName string, comp uint64, windo
 	if window > 0 {
 		url += "&window=" + window.String()
 	}
+	if step = autoStep(step, window); step > 0 {
+		url += "&step=" + step.String()
+	}
 	var s struct {
 		Window string `json:"window"`
+		Step   string `json:"step"`
 		Series []struct {
 			Instance string `json:"instance"`
 			CompID   uint64 `json:"comp_id"`
@@ -201,15 +220,71 @@ func showSeries(client *http.Client, base, metricName string, comp uint64, windo
 	if err := getJSON(client, url, &s); err != nil {
 		return err
 	}
-	fmt.Printf("\n%s over %s (from the aggregator's in-memory window)\n", metricName, s.Window)
+	res := ""
+	if s.Step != "" {
+		res = " @ " + s.Step
+	}
+	fmt.Printf("\n%s over %s%s (from the aggregator's in-memory window)\n", metricName, s.Window, res)
 	for _, sr := range s.Series {
+		vals := make([]float64, len(sr.Points))
+		for i, p := range sr.Points {
+			vals[i] = p.Value
+		}
 		var last float64
-		if n := len(sr.Points); n > 0 {
-			last = sr.Points[n-1].Value
+		if n := len(vals); n > 0 {
+			last = vals[n-1]
 		}
 		fmt.Printf("%-32s %6d %s %g (%d pts)\n",
-			sr.Instance, sr.CompID, spark(sr.Points), last, len(sr.Points))
+			sr.Instance, sr.CompID, spark(vals), last, len(vals))
 	}
+	return nil
+}
+
+// showAggregate renders one cross-producer sparkline from the gateway's
+// server-side fold: a 64-producer view is a single O(buckets) request.
+func showAggregate(client *http.Client, base, metricName string, comp uint64, window, step time.Duration, fn string, q float64) error {
+	url := fmt.Sprintf("%s/api/v1/aggregate?metric=%s&func=%s", base, metricName, fn)
+	if comp != 0 {
+		url += fmt.Sprintf("&comp=%d", comp)
+	}
+	if window > 0 {
+		url += "&window=" + window.String()
+	}
+	if step = autoStep(step, window); step > 0 {
+		url += "&step=" + step.String()
+	}
+	if fn == "quantile" {
+		url += fmt.Sprintf("&q=%g", q)
+	}
+	var a struct {
+		Func        string `json:"func"`
+		Window      string `json:"window"`
+		Step        string `json:"step"`
+		SeriesCount int    `json:"series_count"`
+		Points      []struct {
+			Time  time.Time `json:"time"`
+			Value float64   `json:"value"`
+			Count int       `json:"count"`
+		} `json:"points"`
+	}
+	if err := getJSON(client, url, &a); err != nil {
+		return err
+	}
+	res := ""
+	if a.Step != "" {
+		res = " @ " + a.Step
+	}
+	vals := make([]float64, len(a.Points))
+	for i, p := range a.Points {
+		vals[i] = p.Value
+	}
+	var last float64
+	if n := len(vals); n > 0 {
+		last = vals[n-1]
+	}
+	fmt.Printf("\n%s(%s) over %s%s across %d producers (server-side fold)\n",
+		a.Func, metricName, a.Window, res, a.SeriesCount)
+	fmt.Printf("%-32s %6s %s %g (%d buckets)\n", "aggregate", "-", spark(vals), last, len(vals))
 	return nil
 }
 
@@ -263,33 +338,33 @@ func showEvents(client *http.Client, base string, n int, minSev string) error {
 	return nil
 }
 
+// sparkWidth is the sparkline cell budget; auto-stepping asks the
+// server for about one bucket per cell.
+const sparkWidth = 48
+
 // spark renders values as a unicode sparkline, resampled to fit width.
-func spark(points []struct {
-	Time  time.Time `json:"time"`
-	Value float64   `json:"value"`
-}) string {
-	const width = 48
+func spark(vals []float64) string {
 	ramp := []rune("▁▂▃▄▅▆▇█")
-	if len(points) == 0 {
-		return strings.Repeat(" ", width)
+	if len(vals) == 0 {
+		return strings.Repeat(" ", sparkWidth)
 	}
-	min, max := points[0].Value, points[0].Value
-	for _, p := range points {
-		if p.Value < min {
-			min = p.Value
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
 		}
-		if p.Value > max {
-			max = p.Value
+		if v > max {
+			max = v
 		}
 	}
-	n := len(points)
-	w := width
+	n := len(vals)
+	w := sparkWidth
 	if n < w {
 		w = n
 	}
 	out := make([]rune, w)
 	for i := 0; i < w; i++ {
-		v := points[i*n/w].Value
+		v := vals[i*n/w]
 		level := 0
 		if max > min {
 			level = int((v - min) / (max - min) * float64(len(ramp)-1))

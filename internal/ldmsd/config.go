@@ -25,7 +25,8 @@ import (
 //	stop name=<plugin>
 //	oneshot name=<plugin>
 //	listen xprt=<transport> addr=<addr>
-//	http_listen addr=<addr> [window=<dur>] [points=<n>] [pprof=1]
+//	http_listen addr=<addr> [window=<dur>] [points=<n>] [shards=<n>]
+//	             [compress=1] [pprof=1]
 //	                             (query & observability gateway)
 //	prdcr_add name=<p> xprt=<t> host=<addr> [interval=<us|dur>] [standby=1]
 //	prdcr_start name=<p>
@@ -357,7 +358,11 @@ func (d *Daemon) cmdHTTPListen(args map[string]string) (string, error) {
 	if addr == "" {
 		return "", fmt.Errorf("ldmsd: http_listen requires addr=")
 	}
-	cfg := GatewayConfig{Addr: addr, PProf: args["pprof"] == "1"}
+	cfg := GatewayConfig{
+		Addr:     addr,
+		PProf:    args["pprof"] == "1",
+		Compress: args["compress"] == "1",
+	}
 	if v := args["window"]; v != "" {
 		w, err := parseInterval(v)
 		if err != nil {
@@ -374,6 +379,13 @@ func (d *Daemon) cmdHTTPListen(args map[string]string) (string, error) {
 			return "", fmt.Errorf("ldmsd: bad points %q", v)
 		}
 		cfg.Points = n
+	}
+	if v := args["shards"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("ldmsd: bad shards %q", v)
+		}
+		cfg.Shards = n
 	}
 	return d.ServeHTTP(cfg)
 }

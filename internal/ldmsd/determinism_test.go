@@ -30,8 +30,10 @@ type virtualRunResult struct {
 
 // virtualPipelineRun drives a full sampler → aggregator → window/store
 // pipeline for 20 simulated seconds on a fresh virtual clock and
-// collects every observable output.
-func virtualPipelineRun(t *testing.T) virtualRunResult {
+// collects every observable output. compress selects the recent
+// window's storage mode; the codec is lossless on raw value bits, so
+// served results must not depend on it.
+func virtualPipelineRun(t *testing.T, compress bool) virtualRunResult {
 	t.Helper()
 	sch := sched.NewVirtual(time.Unix(90000, 0))
 	net := transport.NewNetwork()
@@ -56,7 +58,7 @@ func virtualPipelineRun(t *testing.T) virtualRunResult {
 	defer agg.Stop()
 	// The gateway creates the recent window; started before any update
 	// pass so both runs observe from the first sample.
-	if _, err := agg.ServeHTTP(GatewayConfig{Addr: "127.0.0.1:0"}); err != nil {
+	if _, err := agg.ServeHTTP(GatewayConfig{Addr: "127.0.0.1:0", Compress: compress}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,8 +108,8 @@ strgp_start name=s1
 // store/flush stamps, and the updater's pass timing all read time.Now
 // and differed run to run.
 func TestVirtualRunDeterministic(t *testing.T) {
-	a := virtualPipelineRun(t)
-	b := virtualPipelineRun(t)
+	a := virtualPipelineRun(t, false)
+	b := virtualPipelineRun(t, false)
 
 	// The runs must be non-trivial or determinism is vacuous.
 	if a.pull.Count == 0 || a.window.Count == 0 || a.store.Count == 0 {
@@ -149,5 +151,38 @@ func TestVirtualRunDeterministic(t *testing.T) {
 	}
 	if a.csv != b.csv {
 		t.Errorf("stored CSV rows differ:\n run1:\n%s\n run2:\n%s", a.csv, b.csv)
+	}
+}
+
+// TestVirtualRunDeterministicCompressed pins two properties of the
+// compressed window: two compressed runs are byte-identical, and —
+// because Gorilla encoding is lossless on the raw 64-bit value
+// representation — a compressed run serves exactly the same series,
+// rows and histograms as an uncompressed one.
+func TestVirtualRunDeterministicCompressed(t *testing.T) {
+	plain := virtualPipelineRun(t, false)
+	c1 := virtualPipelineRun(t, true)
+	c2 := virtualPipelineRun(t, true)
+
+	if len(c1.series) == 0 || len(c1.series[0].Points) == 0 {
+		t.Fatal("compressed window served no MemFree points")
+	}
+	if !reflect.DeepEqual(c1.series, c2.series) {
+		t.Errorf("compressed runs serve different series:\n run1: %+v\n run2: %+v", c1.series, c2.series)
+	}
+	if c1.csv != c2.csv {
+		t.Errorf("compressed runs stored different CSV rows:\n run1:\n%s\n run2:\n%s", c1.csv, c2.csv)
+	}
+	if c1.stats != c2.stats {
+		t.Errorf("compressed runs differ in stats:\n run1: %+v\n run2: %+v", c1.stats, c2.stats)
+	}
+	if !reflect.DeepEqual(plain.series, c1.series) {
+		t.Errorf("compression changed served series:\n plain: %+v\n compressed: %+v", plain.series, c1.series)
+	}
+	if plain.csv != c1.csv {
+		t.Errorf("compression changed stored rows:\n plain:\n%s\n compressed:\n%s", plain.csv, c1.csv)
+	}
+	if plain.window != c1.window {
+		t.Errorf("compression changed the window-hop histogram:\n plain: %+v\n compressed: %+v", plain.window, c1.window)
 	}
 }

@@ -29,6 +29,14 @@ type GatewayConfig struct {
 	Window time.Duration
 	// Points caps points kept per series (0 = query.DefaultPoints).
 	Points int
+	// Shards is the window's set-index lock-stripe count, rounded up to
+	// a power of two (0 = query.DefaultShards).
+	Shards int
+	// Compress stores sealed window history Gorilla-compressed
+	// (delta-of-delta timestamps + XOR values), cutting RAM per
+	// retained point ≥5× at the price of decode-on-query for history
+	// older than the uncompressed head.
+	Compress bool
 	// PProf additionally mounts net/http/pprof under /debug/pprof/.
 	PProf bool
 }
@@ -56,7 +64,12 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		if retention == 0 {
 			retention = query.DefaultRetention
 		}
-		w = query.NewWindow(cfg.Points, retention)
+		w = query.NewWindowOpts(query.WindowOptions{
+			Points:    cfg.Points,
+			Retention: retention,
+			Shards:    cfg.Shards,
+			Compress:  cfg.Compress,
+		})
 	}
 	if w != nil {
 		// Window-insert hop of the latency pipeline, on the scheduler clock

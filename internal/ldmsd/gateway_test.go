@@ -317,7 +317,9 @@ func TestGatewayEndToEnd(t *testing.T) {
 // sets, relying on -race to catch torn reads.
 func TestGatewayReadsRaceUpdates(t *testing.T) {
 	_, agg := realPipeline(t)
-	addr, err := agg.Exec("http_listen addr=127.0.0.1:0")
+	// Compressed + sharded window: the race must also cover the
+	// compressed append/decode paths and the striped set index.
+	addr, err := agg.Exec("http_listen addr=127.0.0.1:0 shards=8 compress=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,6 +333,9 @@ func TestGatewayReadsRaceUpdates(t *testing.T) {
 		base + "/api/v1/sets/n1/meminfo",
 		base + "/api/v1/metrics?metric=MemTotal",
 		base + "/api/v1/series?metric=MemTotal",
+		base + "/api/v1/series?metric=MemTotal&step=2s&agg=max",
+		base + "/api/v1/aggregate?metric=MemTotal&func=sum",
+		base + "/api/v1/aggregate?metric=MemFree&func=quantile&q=0.5&step=1s",
 		base + "/api/v1/latency",
 		base + "/api/v1/events",
 		base + "/healthz",

@@ -51,12 +51,12 @@ type StoragePolicy struct {
 	flushEvery time.Duration
 	dropOldest bool
 
-	mu        sync.Mutex
-	notFull   sync.Cond // overflow=block enqueuers wait here
-	idle      sync.Cond // broadcast when a drain run finishes
-	ring      []metric.Row
-	head, n   int
-	draining  bool
+	mu         sync.Mutex
+	notFull    sync.Cond // overflow=block enqueuers wait here
+	idle       sync.Cond // broadcast when a drain run finishes
+	ring       []metric.Row
+	head, n    int
+	draining   bool
 	st         store.Store
 	fail       error
 	closed     bool

@@ -9,7 +9,7 @@ import (
 func TestHistBuckets(t *testing.T) {
 	var h Hist
 	h.Record(0)
-	h.Record(1)                // bucket 1: [1, 1]
+	h.Record(1) // bucket 1: [1, 1]
 	h.Record(3 * time.Nanosecond)
 	h.Record(1 * time.Microsecond)
 	h.Record(-time.Second) // clamps to 0

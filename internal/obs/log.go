@@ -18,7 +18,7 @@ func Discard() *slog.Logger {
 // Go 1.24; this keeps the module buildable at its declared go 1.22.)
 type discardHandler struct{}
 
-func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Enabled(context.Context, slog.Level) bool    { return false }
 func (d discardHandler) Handle(context.Context, slog.Record) error { return nil }
 func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return d }
 func (d discardHandler) WithGroup(string) slog.Handler             { return d }

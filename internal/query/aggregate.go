@@ -1,0 +1,221 @@
+package query
+
+// Server-side aggregation over the recent window: downsampling one
+// series to a step grid, and folding a metric across every producer
+// into a single series (sum/avg/min/max/count/quantile per time
+// bucket). This is the CMS-monitoring trick — push the reduction to the
+// server so a dashboard watching 64 producers issues one request whose
+// response is O(buckets), not 64 requests whose responses are
+// O(points × producers).
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// AggPoint is one aggregated time bucket.
+type AggPoint struct {
+	Time  time.Time // bucket start (or newest sample time when step == 0)
+	Value float64
+	Count int // samples folded into the bucket
+}
+
+// AggResult is one cross-producer aggregate query answer.
+type AggResult struct {
+	Metric      string
+	Func        string
+	Step        time.Duration // 0 = one bucket over the whole window
+	SeriesCount int           // series folded together
+	Points      []AggPoint    // ascending time order
+}
+
+// ValidAggFunc reports whether name is a supported aggregation
+// function: sum, avg, min, max, count, or quantile (which takes q).
+func ValidAggFunc(name string) bool {
+	switch name {
+	case "sum", "avg", "min", "max", "count", "quantile":
+		return true
+	}
+	return false
+}
+
+// Aggregate folds the named metric across every matching producer
+// (comp == 0 matches all) into one series: samples at or after since
+// are grouped into step-wide buckets (step <= 0 folds the whole window
+// into a single bucket) and reduced by fn. q is the quantile for
+// fn == "quantile" (e.g. 0.99), ignored otherwise.
+func (w *Window) Aggregate(metricName string, comp uint64, since time.Time, step time.Duration, fn string, q float64) (AggResult, error) {
+	if !ValidAggFunc(fn) {
+		return AggResult{}, fmt.Errorf("query: unknown aggregate func %q (want sum, avg, min, max, count, quantile)", fn)
+	}
+	if fn == "quantile" && (q < 0 || q > 1) {
+		return AggResult{}, fmt.Errorf("query: quantile q=%g out of range [0, 1]", q)
+	}
+	series := w.Query(metricName, comp, since)
+	w.aggregates.Add(1)
+
+	res := AggResult{Metric: metricName, Func: fn, Step: step, SeriesCount: len(series)}
+	if len(series) == 0 {
+		return res, nil
+	}
+
+	buckets := make(map[int64]*aggBucket)
+	keep := fn == "quantile"
+	var newest int64
+	for _, s := range series {
+		for _, p := range s.Points {
+			ts := p.Time.UnixNano()
+			if ts > newest {
+				newest = ts
+			}
+			foldInto(buckets, bucketKey(ts, step), p.Value.F64(), keep)
+		}
+	}
+	keys := make([]int64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	res.Points = make([]AggPoint, len(keys))
+	for i, k := range keys {
+		b := buckets[k]
+		at := k
+		if step <= 0 {
+			// Single whole-window bucket: stamp it with the newest
+			// sample folded in rather than a synthetic epoch.
+			at = newest
+		}
+		res.Points[i] = AggPoint{Time: time.Unix(0, at), Value: b.value(fn, q), Count: b.count}
+	}
+	return res, nil
+}
+
+// Downsample reduces one series to a step grid: each bucket becomes a
+// single point reduced by fn ("last" keeps the newest raw point and its
+// type; the computed funcs produce float64 points stamped at the bucket
+// start). A step <= 0 returns the series unchanged.
+func Downsample(s Series, step time.Duration, fn string, q float64) Series {
+	if step <= 0 || len(s.Points) == 0 {
+		return s
+	}
+	if fn == "last" {
+		out := s
+		out.Points = nil
+		for i, p := range s.Points {
+			// Points are time-ascending, so the last of each bucket run
+			// is the bucket's newest sample.
+			if i+1 == len(s.Points) || bucketKey(s.Points[i+1].Time.UnixNano(), step) != bucketKey(p.Time.UnixNano(), step) {
+				out.Points = append(out.Points, p)
+			}
+		}
+		return out
+	}
+	out := s
+	out.Type = metric.TypeD64
+	out.Points = nil
+	var b aggBucket
+	cur := bucketKey(s.Points[0].Time.UnixNano(), step)
+	flush := func(key int64) {
+		if b.count > 0 {
+			out.Points = append(out.Points, Point{
+				Time:  time.Unix(0, key),
+				Value: metric.F64Value(b.value(fn, q)),
+			})
+		}
+		b = aggBucket{}
+	}
+	for _, p := range s.Points {
+		key := bucketKey(p.Time.UnixNano(), step)
+		if key != cur {
+			flush(cur)
+			cur = key
+		}
+		b.add(p.Value.F64(), fn == "quantile")
+	}
+	flush(cur)
+	return out
+}
+
+// bucketKey floors a unix-nano timestamp onto its step grid. step <= 0
+// collapses everything into bucket 0.
+func bucketKey(ts int64, step time.Duration) int64 {
+	sn := int64(step)
+	if sn <= 0 {
+		return 0
+	}
+	rem := ts % sn
+	if rem < 0 {
+		rem += sn
+	}
+	return ts - rem
+}
+
+// aggBucket accumulates one time bucket's samples.
+type aggBucket struct {
+	sum   float64
+	min   float64
+	max   float64
+	count int
+	vals  []float64 // only kept for quantile
+}
+
+// foldInto adds v into the bucket at key, creating it on first touch.
+func foldInto(buckets map[int64]*aggBucket, key int64, v float64, keep bool) {
+	b := buckets[key]
+	if b == nil {
+		b = &aggBucket{}
+		buckets[key] = b
+	}
+	b.add(v, keep)
+}
+
+// add accumulates one sample.
+func (b *aggBucket) add(v float64, keep bool) {
+	if b.count == 0 || v < b.min {
+		b.min = v
+	}
+	if b.count == 0 || v > b.max {
+		b.max = v
+	}
+	b.sum += v
+	b.count++
+	if keep {
+		b.vals = append(b.vals, v)
+	}
+}
+
+// value reduces the bucket by fn.
+func (b *aggBucket) value(fn string, q float64) float64 {
+	switch fn {
+	case "sum":
+		return b.sum
+	case "avg":
+		if b.count == 0 {
+			return 0
+		}
+		return b.sum / float64(b.count)
+	case "min":
+		return b.min
+	case "max":
+		return b.max
+	case "count":
+		return float64(b.count)
+	case "quantile":
+		return quantile(b.vals, q)
+	}
+	return 0
+}
+
+// quantile returns the q-th (0..1) nearest-rank quantile of vals.
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	i := int(q * float64(len(vals)-1))
+	return vals[i]
+}

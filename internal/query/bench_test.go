@@ -2,10 +2,12 @@ package query
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"goldms/internal/metric"
+	"goldms/internal/obs"
 )
 
 // BenchmarkQueryWindow measures serving a 10-minute series query entirely
@@ -92,5 +94,157 @@ func BenchmarkWindowObserve(b *testing.B) {
 		set.SetU64(0, uint64(n))
 		set.EndTransaction(ts)
 		w.Observe(set)
+	}
+}
+
+// BenchmarkQueryConcurrent is the read-path scale-out guard: parallel
+// dashboard readers against a LIVE 64-producer × 16-metric window while
+// a writer runs an update pass over every set each 3 ms (the paper's
+// aggregator cadence). Each op is one single-producer series query over
+// the last 30 s plus, every 16th op, a cross-producer aggregate. CI
+// asserts the custom metrics: qps ≥ 5000 and p99-ms < 5.
+func BenchmarkQueryConcurrent(b *testing.B) {
+	for _, compress := range []bool{false, true} {
+		name := "rings"
+		if compress {
+			name = "compressed"
+		}
+		b.Run(name, func(b *testing.B) {
+			const (
+				producers = 64
+				nmetrics  = 16
+				points    = 600
+			)
+			w := NewWindowOpts(WindowOptions{
+				Points: points, Retention: time.Hour, Compress: compress,
+			})
+			sch := metric.NewSchema("bench")
+			for m := 0; m < nmetrics; m++ {
+				sch.MustAddMetric(fmt.Sprintf("m%02d", m), metric.TypeU64)
+			}
+			sets := make([]*metric.Set, producers)
+			base := time.Now().Add(-points * time.Second)
+			for p := range sets {
+				set, err := metric.New(fmt.Sprintf("n%03d/bench", p), sch, metric.WithCompID(uint64(p+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sets[p] = set
+				for i := 0; i < points; i++ {
+					set.BeginTransaction()
+					set.SetValues(func(bt *metric.Batch) {
+						for m := 0; m < nmetrics; m++ {
+							bt.SetU64(m, uint64(i*m))
+						}
+					})
+					set.EndTransaction(base.Add(time.Duration(i) * time.Second))
+					w.Observe(set)
+				}
+			}
+
+			// Live writer: one full update pass (all 64 sets) every 3 ms.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				v := uint64(points)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ts := time.Now()
+					for _, set := range sets {
+						set.BeginTransaction()
+						set.SetU64(0, v)
+						set.EndTransaction(ts)
+						w.Observe(set)
+					}
+					v++
+					time.Sleep(3 * time.Millisecond)
+				}
+			}()
+
+			var hist obs.Hist
+			var ops atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				n := 0
+				for pb.Next() {
+					n++
+					comp := uint64(n%producers) + 1
+					m := fmt.Sprintf("m%02d", n%nmetrics)
+					t0 := time.Now()
+					if n%16 == 0 {
+						if _, err := w.Aggregate(m, 0, time.Now().Add(-30*time.Second), 5*time.Second, "avg", 0); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						w.Query(m, comp, time.Now().Add(-30*time.Second))
+					}
+					hist.Record(time.Since(t0))
+					ops.Add(1)
+				}
+			})
+			elapsed := time.Since(start)
+			b.StopTimer()
+			close(stop)
+			<-done
+			if elapsed > 0 {
+				b.ReportMetric(float64(ops.Load())/elapsed.Seconds(), "qps")
+			}
+			p99 := hist.Snapshot().Quantile(0.99)
+			b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
+		})
+	}
+}
+
+// BenchmarkCompressAppend measures the compressed per-sample append —
+// ring write + latest cache + amortized block seal. The pre-loop warms
+// every block slot through one full generation so steady-state buffers
+// are grown; CI asserts 0 allocs/op after that.
+func BenchmarkCompressAppend(b *testing.B) {
+	var c cseries
+	c.init(1024)
+	base := time.Unix(1700000000, 0).UnixNano()
+	ts := base
+	v := uint64(0)
+	// Warm-up: cycle every block slot once so seal buffers reach their
+	// steady-state capacity.
+	for i := 0; i < 2*1024; i++ {
+		ts += int64(time.Second)
+		v++
+		c.push(ts, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ts += int64(time.Second)
+		v++
+		c.push(ts, v)
+	}
+}
+
+// BenchmarkCompressDecode measures serving a full query from sealed
+// blocks: decode of a ~1024-point compressed series.
+func BenchmarkCompressDecode(b *testing.B) {
+	var c cseries
+	c.init(1024)
+	base := time.Unix(1700000000, 0).UnixNano()
+	for i := 0; i < 2*1024; i++ {
+		c.push(base+int64(i)*int64(time.Second), uint64(i))
+	}
+	out := make([]Point, 0, c.count())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out = c.appendSince(out[:0], 0, metric.TypeU64)
+	}
+	if len(out) != c.count() {
+		b.Fatalf("decoded %d points, want %d", len(out), c.count())
 	}
 }

@@ -1,0 +1,347 @@
+package query
+
+// Gorilla-style window-point compression (Facebook's in-memory TSDB,
+// VLDB'15): delta-of-delta timestamp encoding plus XOR float/value
+// encoding, bit-packed. The window's per-series storage becomes a small
+// uncompressed "head" ring — so the latest points stay O(1) readable and
+// the per-sample append is a plain ring write — plus a ring of sealed
+// compressed blocks. Sealing happens once every blockPoints samples and
+// re-encodes the head into the oldest block slot, reusing its byte
+// buffer, so the steady-state append path performs zero allocations.
+//
+// The encoding is lossless on the raw 64-bit value representation
+// (metric.Value.Bits), so integer counters and float gauges round-trip
+// bit-exactly and virtual-clock runs stay byte-identical with
+// compression enabled.
+
+import (
+	"math/bits"
+
+	"goldms/internal/metric"
+)
+
+// blockPoints is how many points a sealed block holds (and the head
+// ring's capacity). 128 points amortizes the per-block fixed cost
+// (one raw 128-bit first point) to ~1 bit/point.
+const blockPoints = 128
+
+// cblock is one sealed, immutable compressed run of points. buf is
+// reused across seals once the block ring wraps.
+type cblock struct {
+	buf   []byte
+	n     int
+	minTS int64
+	maxTS int64
+}
+
+// cseries is one metric series in compressed mode: an uncompressed head
+// ring plus a fixed ring of sealed blocks, oldest overwritten.
+type cseries struct {
+	head     ring
+	blocks   []cblock
+	bnext    int // next block slot a seal writes
+	bn       int // sealed blocks live (saturates at len(blocks))
+	lastTS   int64
+	lastBits uint64
+	haveLast bool
+}
+
+// initCSeries sizes a compressed series for ~points retained samples:
+// one head ring of blockPoints plus enough block slots to cover the
+// rest (capacity rounds up to a multiple of the block size).
+func (c *cseries) init(points int) {
+	c.head.pts = make([]point, blockPoints)
+	nblocks := (points + blockPoints - 1) / blockPoints
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	c.blocks = make([]cblock, nblocks)
+}
+
+// push appends one point. The hot path is one ring write plus the
+// latest-point cache; every blockPoints-th call additionally seals the
+// head into a compressed block (amortized, buffer reused).
+//
+//ldms:hotpath per-sample window append; CI guards 0 allocs/op
+func (c *cseries) push(ts int64, bitsv uint64) {
+	c.head.push(ts, bitsv)
+	c.lastTS, c.lastBits, c.haveLast = ts, bitsv, true
+	if c.head.n == len(c.head.pts) {
+		c.seal()
+	}
+}
+
+// seal compresses the full head into the next block slot and resets the
+// head. The slot's buffer is truncated and reused, so once the block
+// ring has wrapped no allocation happens here either.
+//
+//ldms:hotpath amortized per-block encode on the window append path
+func (c *cseries) seal() {
+	blk := &c.blocks[c.bnext]
+	w := bitWriter{buf: blk.buf[:0]}
+	var e genc
+	n := c.head.n
+	start := c.head.next - n
+	if start < 0 {
+		start += len(c.head.pts)
+	}
+	for k := 0; k < n; k++ {
+		p := c.head.pts[(start+k)%len(c.head.pts)]
+		e.encode(&w, p.ts, p.bits)
+		if k == 0 {
+			blk.minTS = p.ts
+		}
+		blk.maxTS = p.ts
+	}
+	w.flush()
+	blk.buf = w.buf
+	blk.n = n
+	c.bnext++
+	if c.bnext == len(c.blocks) {
+		c.bnext = 0
+	}
+	if c.bn < len(c.blocks) {
+		c.bn++
+	}
+	c.head.n, c.head.next = 0, 0
+}
+
+// count returns the live points retained (sealed + head).
+func (c *cseries) count() int {
+	total := c.head.n
+	start := c.bnext - c.bn
+	if start < 0 {
+		start += len(c.blocks)
+	}
+	for k := 0; k < c.bn; k++ {
+		total += c.blocks[(start+k)%len(c.blocks)].n
+	}
+	return total
+}
+
+// bytes returns the approximate retained footprint: compressed block
+// bytes plus the head ring's fixed backing array.
+func (c *cseries) bytes() int {
+	total := len(c.head.pts) * 16
+	for i := range c.blocks {
+		total += cap(c.blocks[i].buf)
+	}
+	return total
+}
+
+// appendSince decodes every point with ts >= sinceNanos, oldest first,
+// into out. Blocks wholly older than the bound are skipped without
+// decoding (each block carries its time range).
+func (c *cseries) appendSince(out []Point, sinceNanos int64, t metric.Type) []Point {
+	start := c.bnext - c.bn
+	if start < 0 {
+		start += len(c.blocks)
+	}
+	for k := 0; k < c.bn; k++ {
+		blk := &c.blocks[(start+k)%len(c.blocks)]
+		if blk.maxTS < sinceNanos {
+			continue
+		}
+		out = decodeBlock(out, blk, sinceNanos, t)
+	}
+	return c.head.appendSince(out, sinceNanos, t)
+}
+
+// decodeBlock appends the block's points at or after sinceNanos to out.
+func decodeBlock(out []Point, blk *cblock, sinceNanos int64, t metric.Type) []Point {
+	r := bitReader{buf: blk.buf}
+	var d gdec
+	for i := 0; i < blk.n; i++ {
+		ts, bitsv := d.decode(&r)
+		if ts < sinceNanos {
+			continue
+		}
+		out = append(out, makePoint(ts, bitsv, t))
+	}
+	return out
+}
+
+// ---- bit-level writer/reader -------------------------------------------
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf []byte
+	acc uint64 // pending bits in the low `n` positions
+	n   uint   // pending bit count (< 8 between calls)
+}
+
+// writeBits appends the low nb bits of v, MSB first. Wide writes split
+// so the pending accumulator (< 8 bits between calls) never overflows.
+//
+//ldms:hotpath inner loop of the window block encoder
+func (w *bitWriter) writeBits(v uint64, nb uint) {
+	if nb > 32 {
+		w.writeBits(v>>32, nb-32)
+		nb = 32
+	}
+	w.acc = w.acc<<nb | (v & (1<<nb - 1))
+	w.n += nb
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.n))
+	}
+}
+
+// flush pads the pending bits out to a byte boundary with zeros.
+func (w *bitWriter) flush() {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.n)))
+		w.acc, w.n = 0, 0
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos uint // bit offset
+}
+
+func (r *bitReader) readBits(nb uint) uint64 {
+	var v uint64
+	for nb > 0 {
+		b := r.buf[r.pos>>3]
+		off := r.pos & 7
+		avail := 8 - off
+		take := avail
+		if take > nb {
+			take = nb
+		}
+		v = v<<take | uint64((b>>(avail-take))&((1<<take)-1))
+		r.pos += take
+		nb -= take
+	}
+	return v
+}
+
+// ---- streaming point codec ---------------------------------------------
+
+// genc is the per-block encoder state: previous timestamp/delta for
+// delta-of-delta, previous value bits and XOR window for value encoding.
+type genc struct {
+	started   bool
+	prevTS    int64
+	prevDelta int64
+	prevBits  uint64
+	prevLead  uint
+	prevSig   uint // 0 = no reusable XOR window yet
+}
+
+// Timestamp delta-of-delta buckets (zigzag-coded): '0' for 0; '10'+14
+// bits covers microsecond jitter at nanosecond resolution; '110'+28 bits
+// covers ~±134 ms; '1110'+40 bits covers ~±9 min interval changes;
+// '1111'+64 bits is the escape.
+//
+//ldms:hotpath per-point encode inside the amortized block seal
+func (e *genc) encode(w *bitWriter, ts int64, v uint64) {
+	if !e.started {
+		e.started = true
+		e.prevTS, e.prevBits = ts, v
+		w.writeBits(uint64(ts), 64)
+		w.writeBits(v, 64)
+		return
+	}
+	delta := ts - e.prevTS
+	dod := delta - e.prevDelta
+	e.prevTS, e.prevDelta = ts, delta
+	z := zigzag(dod)
+	switch {
+	case z == 0:
+		w.writeBits(0, 1)
+	case z < 1<<14:
+		w.writeBits(0b10, 2)
+		w.writeBits(z, 14)
+	case z < 1<<28:
+		w.writeBits(0b110, 3)
+		w.writeBits(z, 28)
+	case z < 1<<40:
+		w.writeBits(0b1110, 4)
+		w.writeBits(z, 40)
+	default:
+		w.writeBits(0b1111, 4)
+		w.writeBits(z, 64)
+	}
+
+	xor := v ^ e.prevBits
+	e.prevBits = v
+	if xor == 0 {
+		w.writeBits(0, 1)
+		return
+	}
+	lead := uint(bits.LeadingZeros64(xor))
+	trail := uint(bits.TrailingZeros64(xor))
+	sig := 64 - lead - trail
+	if e.prevSig > 0 && lead >= e.prevLead && trail >= 64-e.prevLead-e.prevSig {
+		// Fits the previous meaningful-bit window: '10' + window bits.
+		w.writeBits(0b10, 2)
+		w.writeBits(xor>>(64-e.prevLead-e.prevSig), e.prevSig)
+		return
+	}
+	// New window: '11' + 6-bit leading + 6-bit (sig-1) + sig bits. The
+	// lead field is 6 bits (not Gorilla's 5) because integer counters
+	// produce low-order XORs with 60+ leading zeros; a 5-bit clamp would
+	// widen sig by ~30 bits per new window.
+	e.prevLead, e.prevSig = lead, sig
+	w.writeBits(0b11, 2)
+	w.writeBits(uint64(lead), 6)
+	w.writeBits(uint64(sig-1), 6)
+	w.writeBits(xor>>trail, sig)
+}
+
+// gdec mirrors genc for decoding.
+type gdec struct {
+	started   bool
+	prevTS    int64
+	prevDelta int64
+	prevBits  uint64
+	prevLead  uint
+	prevSig   uint
+}
+
+func (d *gdec) decode(r *bitReader) (int64, uint64) {
+	if !d.started {
+		d.started = true
+		d.prevTS = int64(r.readBits(64))
+		d.prevBits = r.readBits(64)
+		return d.prevTS, d.prevBits
+	}
+	var z uint64
+	if r.readBits(1) == 0 {
+		z = 0
+	} else if r.readBits(1) == 0 {
+		z = r.readBits(14)
+	} else if r.readBits(1) == 0 {
+		z = r.readBits(28)
+	} else if r.readBits(1) == 0 {
+		z = r.readBits(40)
+	} else {
+		z = r.readBits(64)
+	}
+	d.prevDelta += unzigzag(z)
+	d.prevTS += d.prevDelta
+
+	if r.readBits(1) == 1 {
+		if r.readBits(1) == 0 {
+			// Previous meaningful-bit window.
+			xor := r.readBits(d.prevSig) << (64 - d.prevLead - d.prevSig)
+			d.prevBits ^= xor
+		} else {
+			lead := uint(r.readBits(6))
+			sig := uint(r.readBits(6)) + 1
+			xor := r.readBits(sig) << (64 - lead - sig)
+			d.prevLead, d.prevSig = lead, sig
+			d.prevBits ^= xor
+		}
+	}
+	return d.prevTS, d.prevBits
+}
+
+// zigzag maps signed to unsigned so small magnitudes stay small.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }

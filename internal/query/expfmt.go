@@ -1,10 +1,9 @@
 package query
 
 import (
-	"fmt"
+	"io"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Expo builds a Prometheus text-format (version 0.0.4) exposition: the
@@ -12,14 +11,28 @@ import (
 // declared once with HELP/TYPE lines, then samples append with optional
 // labels — so daemon subsystems can contribute counters without depending
 // on any client library.
+//
+// An Expo is reusable: Reset keeps the grown byte buffer and family map
+// so a pooled instance serves scrape after scrape without allocating
+// (the gateway pools one per /metrics request; bench_test.go asserts
+// the steady state allocates nothing inside Expo itself).
 type Expo struct {
-	b        strings.Builder
+	buf      []byte
 	declared map[string]bool
 }
 
 // NewExpo returns an empty exposition.
 func NewExpo() *Expo {
 	return &Expo{declared: make(map[string]bool)}
+}
+
+// Reset truncates the exposition for reuse, keeping the buffer capacity
+// and the family map's storage.
+func (e *Expo) Reset() {
+	e.buf = e.buf[:0]
+	for k := range e.declared {
+		delete(e.declared, k)
+	}
 }
 
 // Label is one exposition label pair.
@@ -36,30 +49,38 @@ func (e *Expo) Family(name, typ, help string) {
 	}
 	e.declared[name] = true
 	if help != "" {
-		fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+		e.buf = append(e.buf, "# HELP "...)
+		e.buf = append(e.buf, name...)
+		e.buf = append(e.buf, ' ')
+		e.buf = appendEscaped(e.buf, help, false)
+		e.buf = append(e.buf, '\n')
 	}
-	fmt.Fprintf(&e.b, "# TYPE %s %s\n", name, typ)
+	e.buf = append(e.buf, "# TYPE "...)
+	e.buf = append(e.buf, name...)
+	e.buf = append(e.buf, ' ')
+	e.buf = append(e.buf, typ...)
+	e.buf = append(e.buf, '\n')
 }
 
 // Sample appends one sample line for a declared family.
 func (e *Expo) Sample(name string, labels []Label, v float64) {
-	e.b.WriteString(name)
+	e.buf = append(e.buf, name...)
 	if len(labels) > 0 {
-		e.b.WriteByte('{')
+		e.buf = append(e.buf, '{')
 		for i, l := range labels {
 			if i > 0 {
-				e.b.WriteByte(',')
+				e.buf = append(e.buf, ',')
 			}
-			e.b.WriteString(l.K)
-			e.b.WriteString(`="`)
-			e.b.WriteString(escapeLabel(l.V))
-			e.b.WriteByte('"')
+			e.buf = append(e.buf, l.K...)
+			e.buf = append(e.buf, '=', '"')
+			e.buf = appendEscaped(e.buf, l.V, true)
+			e.buf = append(e.buf, '"')
 		}
-		e.b.WriteByte('}')
+		e.buf = append(e.buf, '}')
 	}
-	e.b.WriteByte(' ')
-	e.b.WriteString(formatFloat(v))
-	e.b.WriteByte('\n')
+	e.buf = append(e.buf, ' ')
+	e.buf = appendValue(e.buf, v)
+	e.buf = append(e.buf, '\n')
 }
 
 // Counter declares a counter family and appends one sample.
@@ -74,28 +95,47 @@ func (e *Expo) Gauge(name, help string, labels []Label, v float64) {
 	e.Sample(name, labels, v)
 }
 
-// String renders the exposition.
-func (e *Expo) String() string { return e.b.String() }
+// String renders the exposition (copies; WriteTo avoids the copy).
+func (e *Expo) String() string { return string(e.buf) }
 
-// formatFloat renders a sample value: integers without an exponent, other
-// values in Go's shortest representation.
-func formatFloat(v float64) string {
+// Len returns the rendered byte length.
+func (e *Expo) Len() int { return len(e.buf) }
+
+// WriteTo writes the rendered exposition to w without copying.
+func (e *Expo) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.buf)
+	return int64(n), err
+}
+
+// appendValue renders a sample value: integers without an exponent,
+// other values in Go's shortest representation.
+func appendValue(b []byte, v float64) []byte {
 	if v == float64(int64(v)) {
-		return strconv.FormatInt(int64(v), 10)
+		return strconv.AppendInt(b, int64(v), 10)
 	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
-// escapeLabel escapes a label value per the exposition format.
-func escapeLabel(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(s)
-}
-
-// escapeHelp escapes a HELP string.
-func escapeHelp(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(s)
+// appendEscaped appends s escaped per the exposition format: backslash
+// and newline always, double quote only inside label values.
+func appendEscaped(b []byte, s string, quoteLabel bool) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '"':
+			if quoteLabel {
+				b = append(b, '\\', '"')
+			} else {
+				b = append(b, c)
+			}
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
 }
 
 // SortedLabels returns m as a deterministic label list.

@@ -1,0 +1,44 @@
+package query
+
+import (
+	"io"
+	"testing"
+)
+
+// TestExpoReuseNoAllocs pins the pooled-scrape property: once an Expo's
+// buffer and family map have grown, Reset + re-render + WriteTo performs
+// zero allocations, so the gateway's pooled instance serves scrape after
+// scrape for free.
+func TestExpoReuseNoAllocs(t *testing.T) {
+	e := NewExpo()
+	labels := []Label{{"daemon", "agg-1"}, {"endpoint", "/api/v1/series"}}
+	render := func() {
+		e.Reset()
+		e.Counter("ldmsd_http_requests_total", "HTTP requests served.", labels, 12345)
+		e.Counter("ldmsd_window_observed_total", "Samples recorded.", nil, 67890)
+		e.Gauge("ldmsd_window_points", "Points retained.", labels[:1], 4096.5)
+		e.Gauge("ldmsd_goroutines", "", nil, 42)
+		e.WriteTo(io.Discard)
+	}
+	render() // warm-up: grow buffer and family map
+	if allocs := testing.AllocsPerRun(100, render); allocs != 0 {
+		t.Fatalf("pooled Expo re-render allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestExpoResetKeepsOutputIdentical asserts a reused Expo renders the
+// same bytes as a fresh one.
+func TestExpoResetKeepsOutputIdentical(t *testing.T) {
+	build := func(e *Expo) string {
+		e.Counter("x_total", "Things.", []Label{{"a", "b"}}, 3)
+		e.Gauge("y", "Level.", nil, 1.25)
+		return e.String()
+	}
+	fresh := build(NewExpo())
+	e := NewExpo()
+	build(e)
+	e.Reset()
+	if got := build(e); got != fresh {
+		t.Fatalf("reused Expo rendered:\n%q\nfresh:\n%q", got, fresh)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -106,6 +107,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("/api/v1/sets/", g.count("/api/v1/sets", g.handleSet))
 	mux.Handle("/api/v1/metrics", g.count("/api/v1/metrics", g.handleMetrics))
 	mux.Handle("/api/v1/series", g.count("/api/v1/series", g.handleSeries))
+	mux.Handle("/api/v1/aggregate", g.count("/api/v1/aggregate", g.handleAggregate))
 	mux.Handle("/api/v1/latency", g.count("/api/v1/latency", g.handleLatency))
 	mux.Handle("/api/v1/events", g.count("/api/v1/events", g.handleEvents))
 	mux.Handle("/healthz", g.count("/healthz", g.handleHealthz))
@@ -304,7 +306,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSeries serves recent history of one metric from the in-memory
-// window: no storage backend is touched.
+// window: no storage backend is touched. step= asks the server to
+// downsample each series onto a step grid (agg= picks the per-bucket
+// reduction, default avg) so dashboard payloads are O(buckets) rather
+// than O(raw points).
 func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 	if g.Window == nil {
 		g.fail(w, http.StatusServiceUnavailable, "recent window disabled (start the gateway with a window)")
@@ -329,6 +334,27 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var step time.Duration
+	if s := q.Get("step"); s != "" {
+		step, err = time.ParseDuration(s)
+		if err != nil || step <= 0 {
+			g.fail(w, http.StatusBadRequest, "bad step %q (want a positive duration)", s)
+			return
+		}
+	}
+	aggFn := q.Get("agg")
+	if aggFn == "" {
+		aggFn = "avg"
+	}
+	if aggFn != "last" && !ValidAggFunc(aggFn) {
+		g.fail(w, http.StatusBadRequest, "bad agg %q (want sum, avg, min, max, count, quantile, last)", aggFn)
+		return
+	}
+	qv, err := parseQuantile(q.Get("q"))
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	series := g.Window.Query(metricName, comp, g.now().Add(-window))
 	type pointOut struct {
 		Time  time.Time `json:"time"`
@@ -343,6 +369,9 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]seriesOut, len(series))
 	for i, s := range series {
+		if step > 0 {
+			s = Downsample(s, step, aggFn, qv)
+		}
 		so := seriesOut{
 			Instance: s.Instance,
 			Schema:   s.Schema,
@@ -355,11 +384,91 @@ func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = so
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"metric": metricName,
 		"window": window.String(),
 		"series": out,
-	})
+	}
+	if step > 0 {
+		resp["step"] = step.String()
+		resp["agg"] = aggFn
+	}
+	writeJSON(w, resp)
+}
+
+// handleAggregate folds one metric across every matching producer into
+// a single series, reduced server-side (sum/avg/min/max/count/quantile
+// per step bucket). The multi-producer dashboard view becomes one
+// request with an O(buckets) response.
+func (g *Gateway) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if g.Window == nil {
+		g.fail(w, http.StatusServiceUnavailable, "recent window disabled (start the gateway with a window)")
+		return
+	}
+	q := r.URL.Query()
+	metricName := q.Get("metric")
+	if metricName == "" {
+		g.fail(w, http.StatusBadRequest, "metric= is required")
+		return
+	}
+	comp, err := parseComp(q.Get("comp"))
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "bad comp: %v", err)
+		return
+	}
+	window := g.Window.Retention()
+	if s := q.Get("window"); s != "" {
+		window, err = time.ParseDuration(s)
+		if err != nil {
+			g.fail(w, http.StatusBadRequest, "bad window: %v", err)
+			return
+		}
+	}
+	var step time.Duration
+	if s := q.Get("step"); s != "" {
+		step, err = time.ParseDuration(s)
+		if err != nil || step < 0 {
+			g.fail(w, http.StatusBadRequest, "bad step %q", s)
+			return
+		}
+	}
+	fn := q.Get("func")
+	if fn == "" {
+		fn = "avg"
+	}
+	qv, err := parseQuantile(q.Get("q"))
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := g.Window.Aggregate(metricName, comp, g.now().Add(-window), step, fn, qv)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type pointOut struct {
+		Time  time.Time `json:"time"`
+		Value float64   `json:"value"`
+		Count int       `json:"count"`
+	}
+	points := make([]pointOut, len(res.Points))
+	for i, p := range res.Points {
+		points[i] = pointOut{Time: p.Time, Value: p.Value, Count: p.Count}
+	}
+	resp := map[string]any{
+		"metric":       res.Metric,
+		"func":         res.Func,
+		"window":       window.String(),
+		"series_count": res.SeriesCount,
+		"points":       points,
+	}
+	if step > 0 {
+		resp["step"] = step.String()
+	}
+	if fn == "quantile" {
+		resp["q"] = qv
+	}
+	writeJSON(w, resp)
 }
 
 // handleLatency serves the per-hop sample-age histograms: for each hop of
@@ -487,9 +596,17 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// expoPool recycles exposition builders across scrapes: the grown byte
+// buffer and family map survive between requests, so a steady-state
+// scrape allocates nothing inside Expo itself (asserted in
+// bench_test.go).
+var expoPool = sync.Pool{New: func() any { return NewExpo() }}
+
 // handleExposition serves the Prometheus-style self-metrics text page.
 func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
-	e := NewExpo()
+	e := expoPool.Get().(*Expo)
+	defer expoPool.Put(e)
+	e.Reset()
 	self := []Label{{"daemon", g.DaemonName}}
 	for key, c := range g.requests {
 		e.Counter("ldmsd_http_requests_total", "Gateway requests served, by endpoint.",
@@ -500,9 +617,18 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 		ws := g.Window.Stats()
 		e.Gauge("ldmsd_window_sets", "Set instances tracked by the recent window.", self, float64(ws.SeriesSets))
 		e.Gauge("ldmsd_window_series", "Metric series tracked by the recent window.", self, float64(ws.Series))
+		e.Gauge("ldmsd_window_points", "Samples currently retained across all window series.", self, float64(ws.Points))
+		e.Gauge("ldmsd_window_bytes", "Approximate retained-storage footprint of the window.", self, float64(ws.Bytes))
+		e.Gauge("ldmsd_window_shards", "Lock stripes over the window set index.", self, float64(g.Window.Shards()))
+		compressed := 0.0
+		if g.Window.Compressed() {
+			compressed = 1
+		}
+		e.Gauge("ldmsd_window_compressed", "1 when sealed window history is Gorilla-compressed.", self, compressed)
 		e.Counter("ldmsd_window_observed_total", "Samples recorded into the recent window.", self, float64(ws.Observed))
 		e.Counter("ldmsd_window_skipped_total", "Samples the window dropped (inconsistent or stale DGN).", self, float64(ws.Skipped))
 		e.Counter("ldmsd_window_queries_total", "Series/latest queries answered from the window.", self, float64(ws.Queries))
+		e.Counter("ldmsd_window_aggregates_total", "Server-side aggregate queries answered from the window.", self, float64(ws.Aggregates))
 	}
 	if g.Latency != nil {
 		for _, h := range g.Latency.Snapshot() {
@@ -535,7 +661,7 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 		g.Collect(e)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, e.String())
+	e.WriteTo(w)
 }
 
 // parseComp parses a component-id query parameter ("" = all).
@@ -544,4 +670,16 @@ func parseComp(s string) (uint64, error) {
 		return 0, nil
 	}
 	return strconv.ParseUint(s, 10, 64)
+}
+
+// parseQuantile parses a q= query parameter ("" = 0.95).
+func parseQuantile(s string) (float64, error) {
+	if s == "" {
+		return 0.95, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("bad q %q (want a value in [0, 1])", s)
+	}
+	return v, nil
 }

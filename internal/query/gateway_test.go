@@ -2,6 +2,7 @@ package query
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -208,5 +209,157 @@ func TestExpoFormat(t *testing.T) {
 		"# TYPE y gauge\ny 2\n"
 	if got != want {
 		t.Errorf("exposition:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// testGatewayHistory builds a gateway whose window holds 3 producers ×
+// 8 samples at a 1 s cadence (a = comp*100 + i), for step/aggregate tests.
+func testGatewayHistory(t *testing.T) (*httptest.Server, time.Time) {
+	t.Helper()
+	reg := metric.NewRegistry()
+	w := NewWindowOpts(WindowOptions{Points: 64, Retention: time.Hour, Shards: 4, Compress: true})
+	base := time.Now().Truncate(4 * time.Second).Add(-time.Minute)
+	for p := 1; p <= 3; p++ {
+		s := testSet(t, fmt.Sprintf("n%d/win", p), uint64(p))
+		if err := reg.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			sample(s, uint64(p*100+i), base.Add(time.Duration(i)*time.Second))
+			w.Observe(s)
+		}
+	}
+	g := &Gateway{DaemonName: "agg-test", Sets: reg, Window: w, Started: time.Now()}
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+	return srv, base
+}
+
+func TestGatewaySeriesStep(t *testing.T) {
+	srv, _ := testGatewayHistory(t)
+
+	// Raw: 8 points per series.
+	raw := getJSON(t, srv.URL+"/api/v1/series?metric=a&window=10m", 200)
+	if pts := raw["series"].([]any)[0].(map[string]any)["points"].([]any); len(pts) != 8 {
+		t.Fatalf("raw points = %d, want 8", len(pts))
+	}
+
+	// step=4s downsamples each series to 2 buckets; avg is the default.
+	ds := getJSON(t, srv.URL+"/api/v1/series?metric=a&window=10m&step=4s", 200)
+	if ds["step"] != "4s" || ds["agg"] != "avg" {
+		t.Fatalf("step/agg echo = %v/%v", ds["step"], ds["agg"])
+	}
+	series := ds["series"].([]any)
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	s0 := series[0].(map[string]any)
+	pts := s0["points"].([]any)
+	if len(pts) != 2 {
+		t.Fatalf("downsampled points = %d, want 2", len(pts))
+	}
+	// comp 1: buckets avg(100..103)=101.5 and avg(104..107)=105.5.
+	if v := pts[0].(map[string]any)["value"].(float64); v != 101.5 {
+		t.Errorf("bucket 0 = %v, want 101.5", v)
+	}
+	if v := pts[1].(map[string]any)["value"].(float64); v != 105.5 {
+		t.Errorf("bucket 1 = %v, want 105.5", v)
+	}
+
+	// agg=last keeps raw newest-per-bucket points.
+	last := getJSON(t, srv.URL+"/api/v1/series?metric=a&window=10m&step=4s&agg=last", 200)
+	lp := last["series"].([]any)[0].(map[string]any)["points"].([]any)
+	if v := lp[0].(map[string]any)["value"].(float64); v != 103 {
+		t.Errorf("last bucket 0 = %v, want 103", v)
+	}
+
+	getJSON(t, srv.URL+"/api/v1/series?metric=a&step=bogus", 400)
+	getJSON(t, srv.URL+"/api/v1/series?metric=a&step=-3s", 400)
+	getJSON(t, srv.URL+"/api/v1/series?metric=a&step=4s&agg=median", 400)
+	getJSON(t, srv.URL+"/api/v1/series?metric=a&step=4s&agg=quantile&q=7", 400)
+}
+
+func TestGatewayAggregate(t *testing.T) {
+	srv, _ := testGatewayHistory(t)
+
+	// Whole-window sum across 3 producers.
+	sum := getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=10m&func=sum", 200)
+	if sum["func"] != "sum" || sum["series_count"].(float64) != 3 {
+		t.Fatalf("aggregate header = %v", sum)
+	}
+	pts := sum["points"].([]any)
+	if len(pts) != 1 {
+		t.Fatalf("whole-window buckets = %d, want 1", len(pts))
+	}
+	p0 := pts[0].(map[string]any)
+	// sum over p=1..3, i=0..7 of p*100+i = 100*6*8 + 3*28.
+	if want := float64(100*6*8 + 3*28); p0["value"].(float64) != want {
+		t.Errorf("sum = %v, want %v", p0["value"], want)
+	}
+	if p0["count"].(float64) != 24 {
+		t.Errorf("count = %v, want 24", p0["count"])
+	}
+
+	// Stepped max: 2 buckets, max of comp 3's run.
+	mx := getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=10m&func=max&step=4s", 200)
+	if mx["step"] != "4s" {
+		t.Fatalf("step echo = %v", mx["step"])
+	}
+	mpts := mx["points"].([]any)
+	if len(mpts) != 2 {
+		t.Fatalf("stepped buckets = %d, want 2", len(mpts))
+	}
+	if v := mpts[1].(map[string]any)["value"].(float64); v != 307 {
+		t.Errorf("bucket 1 max = %v, want 307", v)
+	}
+
+	// Quantile echoes q; default func is avg; comp filter applies.
+	qn := getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=10m&func=quantile&q=1", 200)
+	if qn["q"].(float64) != 1 || qn["points"].([]any)[0].(map[string]any)["value"].(float64) != 307 {
+		t.Fatalf("quantile result = %v", qn)
+	}
+	one := getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=10m&comp=2", 200)
+	if one["series_count"].(float64) != 1 || one["func"] != "avg" {
+		t.Fatalf("comp-filtered aggregate = %v", one)
+	}
+
+	// Errors.
+	getJSON(t, srv.URL+"/api/v1/aggregate", 400)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&func=median", 400)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&q=2", 400)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&comp=zzz", 400)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=bogus", 400)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&step=bogus", 400)
+
+	// No window configured: 503.
+	g2 := &Gateway{DaemonName: "bare", Sets: metric.NewRegistry()}
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+	getJSON(t, srv2.URL+"/api/v1/aggregate?metric=a", 503)
+}
+
+// TestGatewayExpositionWindowKnobs asserts the new shard/compression
+// gauges and the aggregate counter reach /metrics.
+func TestGatewayExpositionWindowKnobs(t *testing.T) {
+	srv, _ := testGatewayHistory(t)
+	getJSON(t, srv.URL+"/api/v1/aggregate?metric=a&window=10m", 200)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`ldmsd_window_shards{daemon="agg-test"} 4`,
+		`ldmsd_window_compressed{daemon="agg-test"} 1`,
+		`ldmsd_window_aggregates_total{daemon="agg-test"} 1`,
+		"# TYPE ldmsd_window_points gauge",
+		"# TYPE ldmsd_window_bytes gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

@@ -10,6 +10,13 @@
 // lock acquisition (metric.Set.ReadValues) and carry the DGN and
 // consistent flag, so a reader racing an update pass sees either the old
 // chunk or the new one, never a mix (§III-A reader protocol).
+//
+// The window is built for heavy concurrent read traffic: the set index
+// is sharded with striped locks (shard.go), per-series history can be
+// held Gorilla-compressed (compress.go) to grow in-RAM retention ~10×
+// at the same footprint, and dashboards can ask the server to
+// downsample (`step=`) or fold series across producers (aggregate.go)
+// so a 64-producer view is one request, not 64.
 package query
 
 import (
@@ -30,24 +37,45 @@ const DefaultPoints = 1024
 // DefaultRetention is the default maximum age served from the window.
 const DefaultRetention = 10 * time.Minute
 
+// WindowOptions configures a recent-window cache. Zero values select
+// the defaults.
+type WindowOptions struct {
+	// Points is the per-series retained sample budget (default
+	// DefaultPoints). With compression enabled, capacity rounds up to a
+	// multiple of the compressed block size.
+	Points int
+	// Retention is the maximum history age served (default
+	// DefaultRetention).
+	Retention time.Duration
+	// Shards is the set-index lock-stripe count, rounded up to a power
+	// of two (default DefaultShards).
+	Shards int
+	// Compress stores sealed history Gorilla-compressed
+	// (delta-of-delta timestamps + XOR values) behind a small
+	// uncompressed head ring, cutting RAM per retained point ≥5×.
+	Compress bool
+}
+
 // Window is the recent-window cache. One Observe call per fresh consistent
-// sample pushes every metric of the set into per-series rings; Query and
-// Latest answer entirely from those rings.
+// sample pushes every metric of the set into per-series storage; Query,
+// Latest and Aggregate answer entirely from RAM.
 //
-// Concurrency: the set index is guarded by an RWMutex taken only to look
-// up or create a set's series block; each block has its own mutex, so
-// concurrent update passes observing different sets never contend, and
-// readers block a writer only for the duration of a ring copy.
+// Concurrency: the set index is hash-sharded with one RWMutex per shard
+// (taken only to look up or create a set's series block), so updater
+// inserts and HTTP queries on different sets never contend on a single
+// structure; each series block has its own mutex, held only for the
+// duration of a ring write or copy.
 type Window struct {
 	points    int
 	retention time.Duration
+	compress  bool
 
-	mu   sync.RWMutex
-	sets map[string]*setSeries
+	shards []windowShard
 
-	observed atomic.Int64 // samples recorded
-	skipped  atomic.Int64 // samples dropped (inconsistent or DGN-stale)
-	queries  atomic.Int64 // Query + Latest calls answered
+	observed   atomic.Int64 // samples recorded
+	skipped    atomic.Int64 // samples dropped (inconsistent or DGN-stale)
+	queries    atomic.Int64 // Query + Latest calls answered
+	aggregates atomic.Int64 // Aggregate calls answered
 
 	// Latency tap: when set, every recorded sample's age (sample timestamp
 	// vs latNow) lands in latHist — the "window" hop of the end-to-end
@@ -63,21 +91,32 @@ type Window struct {
 }
 
 // NewWindow creates a window holding up to points samples per series and
-// serving at most retention of history. Zero values select the defaults.
+// serving at most retention of history, with default sharding and no
+// compression. Zero values select the defaults.
 func NewWindow(points int, retention time.Duration) *Window {
-	if points <= 0 {
-		points = DefaultPoints
+	return NewWindowOpts(WindowOptions{Points: points, Retention: retention})
+}
+
+// NewWindowOpts creates a window from the full option set.
+func NewWindowOpts(o WindowOptions) *Window {
+	if o.Points <= 0 {
+		o.Points = DefaultPoints
 	}
-	if retention <= 0 {
-		retention = DefaultRetention
+	if o.Retention <= 0 {
+		o.Retention = DefaultRetention
 	}
-	return &Window{
-		points:    points,
-		retention: retention,
-		sets:      make(map[string]*setSeries),
+	w := &Window{
+		points:    o.Points,
+		retention: o.Retention,
+		compress:  o.Compress,
+		shards:    make([]windowShard, roundPow2(o.Shards)),
 		//ldms:wallclock default clock for standalone windows; daemons override via SetClock
 		now: time.Now,
 	}
+	for i := range w.shards {
+		w.shards[i].sets = make(map[string]*setSeries)
+	}
+	return w
 }
 
 // SetClock routes the window's notion of "now" — the Query retention
@@ -101,10 +140,16 @@ func (w *Window) SetLatencyTap(h *obs.Hist, now func() time.Time) {
 // Retention returns the maximum history age the window serves.
 func (w *Window) Retention() time.Duration { return w.retention }
 
-// Points returns the per-series ring capacity.
+// Points returns the per-series retained sample budget.
 func (w *Window) Points() int { return w.points }
 
-// setSeries is one set instance's block of rings, one ring per metric.
+// Compressed reports whether sealed history is Gorilla-compressed.
+func (w *Window) Compressed() bool { return w.compress }
+
+// Shards returns the set-index lock-stripe count.
+func (w *Window) Shards() int { return len(w.shards) }
+
+// setSeries is one set instance's block of per-metric series.
 type setSeries struct {
 	instance string
 	schema   string
@@ -114,7 +159,8 @@ type setSeries struct {
 	index    map[string]int
 
 	mu      sync.Mutex
-	rings   []ring
+	rings   []ring    // uncompressed mode
+	cs      []cseries // compressed mode (nil when rings is used)
 	scratch []metric.Value
 	lastDGN uint64
 	haveDGN bool
@@ -135,7 +181,14 @@ type point struct {
 	bits uint64
 }
 
+// makePoint rebuilds a served Point from its stored representation.
+func makePoint(ts int64, bits uint64, t metric.Type) Point {
+	return Point{Time: time.Unix(0, ts), Value: metric.Value{Type: t, Bits: bits}}
+}
+
 // push appends one point, overwriting the oldest once full.
+//
+//ldms:hotpath per-sample window append; CI guards 0 allocs/op
 func (r *ring) push(ts int64, bits uint64) {
 	r.pts[r.next] = point{ts, bits}
 	r.next++
@@ -150,7 +203,8 @@ func (r *ring) push(ts int64, bits uint64) {
 // Observe records the set's current sample into the window. Inconsistent
 // chunks and chunks whose DGN has not advanced since the last observation
 // are dropped, mirroring the updater's own storage filter. It is safe to
-// call concurrently with Query/Latest and with Observes of other sets.
+// call concurrently with Query/Latest/Aggregate and with Observes of
+// other sets.
 func (w *Window) Observe(set *metric.Set) {
 	ss := w.seriesFor(set)
 	ss.mu.Lock()
@@ -162,8 +216,14 @@ func (w *Window) Observe(set *metric.Set) {
 	}
 	ss.lastDGN, ss.haveDGN = dgn, true
 	tn := ts.UnixNano()
-	for i := 0; i < n; i++ {
-		ss.rings[i].push(tn, ss.scratch[i].Bits)
+	if ss.cs != nil {
+		for i := 0; i < n; i++ {
+			ss.cs[i].push(tn, ss.scratch[i].Bits)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ss.rings[i].push(tn, ss.scratch[i].Bits)
+		}
 	}
 	ss.mu.Unlock()
 	w.observed.Add(1)
@@ -175,9 +235,10 @@ func (w *Window) Observe(set *metric.Set) {
 // seriesFor returns (creating if needed) the set's series block.
 func (w *Window) seriesFor(set *metric.Set) *setSeries {
 	name := set.Name()
-	w.mu.RLock()
-	ss := w.sets[name]
-	w.mu.RUnlock()
+	sh := w.shardFor(name)
+	sh.mu.RLock()
+	ss := sh.sets[name]
+	sh.mu.RUnlock()
 	if ss != nil {
 		return ss
 	}
@@ -189,32 +250,41 @@ func (w *Window) seriesFor(set *metric.Set) *setSeries {
 		names:    make([]string, card),
 		types:    make([]metric.Type, card),
 		index:    make(map[string]int, card),
-		rings:    make([]ring, card),
 		scratch:  make([]metric.Value, card),
+	}
+	if w.compress {
+		ss.cs = make([]cseries, card)
+	} else {
+		ss.rings = make([]ring, card)
 	}
 	for i := 0; i < card; i++ {
 		ss.names[i] = set.MetricName(i)
 		ss.types[i] = set.MetricType(i)
 		ss.index[ss.names[i]] = i
-		ss.rings[i].pts = make([]point, w.points)
+		if w.compress {
+			ss.cs[i].init(w.points)
+		} else {
+			ss.rings[i].pts = make([]point, w.points)
+		}
 	}
-	w.mu.Lock()
-	if prev := w.sets[name]; prev != nil {
+	sh.mu.Lock()
+	if prev := sh.sets[name]; prev != nil {
 		// Another observer created it first.
-		w.mu.Unlock()
+		sh.mu.Unlock()
 		return prev
 	}
-	w.sets[name] = ss
-	w.mu.Unlock()
+	sh.sets[name] = ss
+	sh.mu.Unlock()
 	return ss
 }
 
 // Forget drops the named set's series (e.g. after the set left the
 // directory). Queries issued concurrently finish against the old block.
 func (w *Window) Forget(instance string) {
-	w.mu.Lock()
-	delete(w.sets, instance)
-	w.mu.Unlock()
+	sh := w.shardFor(instance)
+	sh.mu.Lock()
+	delete(sh.sets, instance)
+	sh.mu.Unlock()
 }
 
 // Point is one sample of a series as served to consumers.
@@ -237,7 +307,9 @@ type Series struct {
 // Query returns every series for the named metric — across all producers,
 // or only component comp when comp != 0 — restricted to points at or after
 // since (and never older than the window's retention). The result is
-// sorted by instance name and built entirely from the in-memory rings.
+// sorted by instance name and built entirely from the in-memory storage;
+// compressed blocks decode on the fly, skipping blocks wholly outside
+// the bound.
 func (w *Window) Query(metricName string, comp uint64, since time.Time) []Series {
 	w.queries.Add(1)
 	floor := w.now().Add(-w.retention)
@@ -260,7 +332,11 @@ func (w *Window) Query(metricName string, comp uint64, since time.Time) []Series
 			Type:     ss.types[i],
 		}
 		ss.mu.Lock()
-		s.Points = ss.rings[i].copySince(sinceNanos, ss.types[i])
+		if ss.cs != nil {
+			s.Points = ss.cs[i].appendSince(nil, sinceNanos, ss.types[i])
+		} else {
+			s.Points = ss.rings[i].copySince(sinceNanos, ss.types[i])
+		}
 		ss.mu.Unlock()
 		if len(s.Points) > 0 {
 			out = append(out, s)
@@ -273,7 +349,8 @@ func (w *Window) Query(metricName string, comp uint64, since time.Time) []Series
 // copySince extracts points with ts >= sinceNanos in ascending order.
 // Pushes arrive time-ordered, so the ring is sorted from its oldest slot;
 // a binary search finds the cut and one exact-size copy serves the rest.
-// Caller holds the series lock.
+// An empty ring or a bound past the newest point returns nil rather than
+// an empty non-nil slice. Caller holds the series lock.
 func (r *ring) copySince(sinceNanos int64, t metric.Type) []Point {
 	if r.n == 0 {
 		return nil
@@ -290,13 +367,35 @@ func (r *ring) copySince(sinceNanos int64, t metric.Type) []Point {
 	out := make([]Point, r.n-cut)
 	for k := range out {
 		p := at(cut + k)
-		out[k] = Point{Time: time.Unix(0, p.ts), Value: metric.Value{Type: t, Bits: p.bits}}
+		out[k] = makePoint(p.ts, p.bits, t)
+	}
+	return out
+}
+
+// appendSince appends points with ts >= sinceNanos in ascending order to
+// out (the compressed head path; same cut rules as copySince). Caller
+// holds the series lock.
+func (r *ring) appendSince(out []Point, sinceNanos int64, t metric.Type) []Point {
+	if r.n == 0 {
+		return out
+	}
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.pts)
+	}
+	at := func(k int) point { return r.pts[(start+k)%len(r.pts)] }
+	cut := sort.Search(r.n, func(k int) bool { return at(k).ts >= sinceNanos })
+	for k := cut; k < r.n; k++ {
+		p := at(k)
+		out = append(out, makePoint(p.ts, p.bits, t))
 	}
 	return out
 }
 
 // Latest returns the newest recorded point of the named metric for every
 // matching series (comp == 0 matches all components), sorted by instance.
+// In compressed mode this is O(1) per series: the head keeps a cached
+// latest point, never a block decode.
 func (w *Window) Latest(metricName string, comp uint64) []Series {
 	w.queries.Add(1)
 	var out []Series
@@ -306,15 +405,22 @@ func (w *Window) Latest(metricName string, comp uint64) []Series {
 			continue
 		}
 		ss.mu.Lock()
-		r := &ss.rings[i]
 		var p point
-		have := r.n > 0
-		if have {
-			last := r.next - 1
-			if last < 0 {
-				last = len(r.pts) - 1
+		var have bool
+		if ss.cs != nil {
+			c := &ss.cs[i]
+			if c.haveLast {
+				p, have = point{c.lastTS, c.lastBits}, true
 			}
-			p = r.pts[last]
+		} else {
+			r := &ss.rings[i]
+			if r.n > 0 {
+				last := r.next - 1
+				if last < 0 {
+					last = len(r.pts) - 1
+				}
+				p, have = r.pts[last], true
+			}
 		}
 		ss.mu.Unlock()
 		if !have {
@@ -326,7 +432,7 @@ func (w *Window) Latest(metricName string, comp uint64) []Series {
 			Metric:   metricName,
 			CompID:   ss.comp,
 			Type:     ss.types[i],
-			Points:   []Point{{Time: time.Unix(0, p.ts), Value: metric.Value{Type: ss.types[i], Bits: p.bits}}},
+			Points:   []Point{makePoint(p.ts, p.bits, ss.types[i])},
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Instance < out[b].Instance })
@@ -349,13 +455,16 @@ func (w *Window) MetricNames() []string {
 	return names
 }
 
-// blocks snapshots the series-block list.
+// blocks snapshots the series-block list across every shard.
 func (w *Window) blocks() []*setSeries {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	out := make([]*setSeries, 0, len(w.sets))
-	for _, ss := range w.sets {
-		out = append(out, ss)
+	var out []*setSeries
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.RLock()
+		for _, ss := range sh.sets {
+			out = append(out, ss)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -364,24 +473,40 @@ func (w *Window) blocks() []*setSeries {
 type WindowStats struct {
 	SeriesSets int   // set instances tracked
 	Series     int   // individual metric series
+	Points     int64 // samples currently retained across all series
+	Bytes      int64 // approximate retained-storage footprint
 	Observed   int64 // samples recorded
 	Skipped    int64 // samples dropped (inconsistent / stale DGN)
 	Queries    int64 // Query/Latest calls served
+	Aggregates int64 // Aggregate calls served
 }
 
-// Stats returns the window's counters.
+// Stats returns the window's counters. Points and Bytes take each
+// series block's mutex briefly.
 func (w *Window) Stats() WindowStats {
-	w.mu.RLock()
-	sets, series := len(w.sets), 0
-	for _, ss := range w.sets {
-		series += len(ss.rings)
-	}
-	w.mu.RUnlock()
-	return WindowStats{
-		SeriesSets: sets,
-		Series:     series,
+	st := WindowStats{
 		Observed:   w.observed.Load(),
 		Skipped:    w.skipped.Load(),
 		Queries:    w.queries.Load(),
+		Aggregates: w.aggregates.Load(),
 	}
+	for _, ss := range w.blocks() {
+		st.SeriesSets++
+		ss.mu.Lock()
+		if ss.cs != nil {
+			st.Series += len(ss.cs)
+			for i := range ss.cs {
+				st.Points += int64(ss.cs[i].count())
+				st.Bytes += int64(ss.cs[i].bytes())
+			}
+		} else {
+			st.Series += len(ss.rings)
+			for i := range ss.rings {
+				st.Points += int64(ss.rings[i].n)
+				st.Bytes += int64(len(ss.rings[i].pts) * 16)
+			}
+		}
+		ss.mu.Unlock()
+	}
+	return st
 }

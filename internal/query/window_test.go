@@ -254,3 +254,218 @@ func TestWindowQueryClockRetentionFloor(t *testing.T) {
 		t.Fatalf("points older than retention on the virtual clock still served: %+v", got)
 	}
 }
+
+// TestWindowCompressedMatchesRings runs every mode-sensitive path in
+// both storage modes and asserts identical served results.
+func TestWindowCompressedMatchesRings(t *testing.T) {
+	base := time.Now().Truncate(time.Second)
+	build := func(compress bool) *Window {
+		w := NewWindowOpts(WindowOptions{Points: 300, Retention: time.Hour, Compress: compress})
+		for p := 1; p <= 3; p++ {
+			s := testSet(t, fmt.Sprintf("n%d/win", p), uint64(p))
+			for i := 0; i < 250; i++ {
+				sample(s, uint64(p*1000+i), base.Add(time.Duration(i)*time.Second))
+				w.Observe(s)
+			}
+		}
+		return w
+	}
+	plain, comp := build(false), build(true)
+	if !comp.Compressed() || plain.Compressed() {
+		t.Fatal("Compressed() flag wrong")
+	}
+	for _, since := range []time.Time{
+		base.Add(-time.Minute),
+		base.Add(100 * time.Second),
+		base.Add(249 * time.Second),
+		base.Add(10 * time.Minute),
+	} {
+		a := plain.Query("a", 0, since)
+		b := comp.Query("a", 0, since)
+		if len(a) != len(b) {
+			t.Fatalf("since %v: %d vs %d series", since, len(a), len(b))
+		}
+		for i := range a {
+			if len(a[i].Points) != len(b[i].Points) {
+				t.Fatalf("since %v series %d: %d vs %d points", since, i, len(a[i].Points), len(b[i].Points))
+			}
+			for j := range a[i].Points {
+				pa, pb := a[i].Points[j], b[i].Points[j]
+				if !pa.Time.Equal(pb.Time) || pa.Value.Bits != pb.Value.Bits {
+					t.Fatalf("since %v series %d point %d: %v/%#x vs %v/%#x",
+						since, i, j, pa.Time, pa.Value.Bits, pb.Time, pb.Value.Bits)
+				}
+			}
+		}
+	}
+	la, lb := plain.Latest("b", 0), comp.Latest("b", 0)
+	if len(la) != 3 || len(lb) != 3 {
+		t.Fatalf("latest: %d vs %d series", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i].Points[0].Value.Bits != lb[i].Points[0].Value.Bits {
+			t.Fatalf("latest series %d differs", i)
+		}
+	}
+}
+
+// TestWindowEmptyQuery pins the empty-window sort.Search cut: a series
+// block that exists but has recorded nothing must serve nil, and a bound
+// past the newest point must serve nothing rather than everything.
+func TestWindowEmptyQuery(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		w := NewWindowOpts(WindowOptions{Points: 8, Retention: time.Hour, Compress: compress})
+		if got := w.Query("a", 0, time.Now().Add(-time.Minute)); got != nil {
+			t.Fatalf("compress=%v: empty window served %v", compress, got)
+		}
+		if got := w.Latest("a", 0); got != nil {
+			t.Fatalf("compress=%v: empty window Latest served %v", compress, got)
+		}
+		s := testSet(t, "n1/win", 1)
+		ts := time.Now().Truncate(time.Second)
+		sample(s, 9, ts)
+		w.Observe(s)
+		// Bound strictly after the only point: no series at all.
+		if got := w.Query("a", 0, ts.Add(time.Second)); len(got) != 0 {
+			t.Fatalf("compress=%v: future bound served %v", compress, got)
+		}
+	}
+}
+
+// TestWindowWrapAtExactCapacity pins the wraparound boundary: exactly
+// `points` pushes must serve all points, one more must evict exactly one.
+func TestWindowWrapAtExactCapacity(t *testing.T) {
+	const capN = 8
+	w := NewWindow(capN, time.Hour)
+	s := testSet(t, "n1/win", 1)
+	base := time.Now().Truncate(time.Second)
+	for i := 0; i < capN; i++ {
+		sample(s, uint64(i), base.Add(time.Duration(i)*time.Second))
+		w.Observe(s)
+	}
+	got := w.Query("a", 0, base.Add(-time.Minute))
+	if len(got) != 1 || len(got[0].Points) != capN {
+		t.Fatalf("at capacity: served %d series / %d points, want 1/%d", len(got), len(got[0].Points), capN)
+	}
+	if got[0].Points[0].Value.U64() != 0 || got[0].Points[capN-1].Value.U64() != capN-1 {
+		t.Fatalf("at capacity: endpoints %d..%d", got[0].Points[0].Value.U64(), got[0].Points[capN-1].Value.U64())
+	}
+	// One more push wraps: oldest point evicted, newest present.
+	sample(s, capN, base.Add(capN*time.Second))
+	w.Observe(s)
+	got = w.Query("a", 0, base.Add(-time.Minute))
+	pts := got[0].Points
+	if len(pts) != capN {
+		t.Fatalf("after wrap: %d points, want %d", len(pts), capN)
+	}
+	if pts[0].Value.U64() != 1 || pts[capN-1].Value.U64() != capN {
+		t.Fatalf("after wrap: endpoints %d..%d, want 1..%d", pts[0].Value.U64(), pts[capN-1].Value.U64(), capN)
+	}
+}
+
+// TestWindowStaleDGNCompressed pins the DGN-stale filter in compressed
+// mode: re-observing an unchanged set must not grow compressed history.
+func TestWindowStaleDGNCompressed(t *testing.T) {
+	w := NewWindowOpts(WindowOptions{Points: 256, Retention: time.Hour, Compress: true})
+	s := testSet(t, "n1/win", 1)
+	sample(s, 7, time.Now())
+	w.Observe(s)
+	for i := 0; i < 10; i++ {
+		w.Observe(s) // same DGN: all dropped
+	}
+	st := w.Stats()
+	if st.Observed != 1 || st.Skipped != 10 {
+		t.Fatalf("stale filter: %+v", st)
+	}
+	got := w.Query("a", 0, time.Now().Add(-time.Minute))
+	if len(got) != 1 || len(got[0].Points) != 1 {
+		t.Fatalf("stale observes leaked into history: %+v", got)
+	}
+}
+
+// TestWindowShardOptions pins shard-count rounding and distribution.
+func TestWindowShardOptions(t *testing.T) {
+	if got := NewWindowOpts(WindowOptions{}).Shards(); got != DefaultShards {
+		t.Fatalf("default shards = %d, want %d", got, DefaultShards)
+	}
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32}} {
+		if got := NewWindowOpts(WindowOptions{Shards: tc.in}).Shards(); got != tc.want {
+			t.Fatalf("shards %d rounded to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Sets spread across shards and stats still see all of them.
+	w := NewWindowOpts(WindowOptions{Shards: 4})
+	for i := 0; i < 32; i++ {
+		s := testSet(t, fmt.Sprintf("node%02d/win", i), uint64(i+1))
+		sample(s, uint64(i), time.Now())
+		w.Observe(s)
+	}
+	used := 0
+	for i := range w.shards {
+		w.shards[i].mu.RLock()
+		if len(w.shards[i].sets) > 0 {
+			used++
+		}
+		w.shards[i].mu.RUnlock()
+	}
+	if used < 2 {
+		t.Fatalf("32 sets landed in %d of 4 shards", used)
+	}
+	if st := w.Stats(); st.SeriesSets != 32 {
+		t.Fatalf("stats sets = %d, want 32", st.SeriesSets)
+	}
+}
+
+// TestWindowConcurrentAggregate races writers against Query, Latest and
+// Aggregate in both storage modes; run under -race.
+func TestWindowConcurrentAggregate(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		name := "rings"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			w := NewWindowOpts(WindowOptions{Points: 256, Retention: time.Hour, Compress: compress})
+			const sets = 8
+			all := make([]*metric.Set, sets)
+			for i := range all {
+				all[i] = testSet(t, fmt.Sprintf("n%d/win", i), uint64(i+1))
+				sample(all[i], 0, time.Now())
+				w.Observe(all[i])
+			}
+			// Fixed iteration counts on both sides: unbounded spinning
+			// writers starve the readers on low-core machines, and the
+			// race detector sees the same interleavings either way.
+			var wg sync.WaitGroup
+			for i := range all {
+				wg.Add(1)
+				go func(s *metric.Set) {
+					defer wg.Done()
+					for v := uint64(1); v <= 400; v++ {
+						sample(s, v, time.Now())
+						w.Observe(s)
+					}
+				}(all[i])
+			}
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for n := 0; n < 50; n++ {
+						w.Query("a", 0, time.Now().Add(-time.Minute))
+						w.Latest("b", 0)
+						if _, err := w.Aggregate("a", 0, time.Now().Add(-time.Minute), time.Second, "avg", 0); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			st := w.Stats()
+			if st.Observed == 0 || st.Queries == 0 || st.Aggregates == 0 {
+				t.Fatalf("no concurrent progress: %+v", st)
+			}
+		})
+	}
+}
