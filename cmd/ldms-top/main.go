@@ -93,6 +93,7 @@ func showHealth(client *http.Client, base string) error {
 	var h struct {
 		Status    string  `json:"status"`
 		Daemon    string  `json:"daemon"`
+		Tier      string  `json:"tier"`
 		Uptime    float64 `json:"uptime_seconds"`
 		Producers []struct {
 			Name              string    `json:"name"`
@@ -105,13 +106,18 @@ func showHealth(client *http.Client, base string) error {
 			LastUpdate        time.Time `json:"last_update"`
 			ConsecutiveErrors int64     `json:"consecutive_errors"`
 			Stale             bool      `json:"stale"`
+			Sets              int       `json:"sets"`
 		} `json:"producers"`
 	}
 	if err := getJSON(client, base+"/healthz", &h); err != nil {
 		return err
 	}
-	fmt.Printf("%s  status=%s  uptime=%s  producers=%d\n",
-		h.Daemon, h.Status, (time.Duration(h.Uptime) * time.Second).String(), len(h.Producers))
+	tier := ""
+	if h.Tier != "" {
+		tier = "  tier=" + h.Tier
+	}
+	fmt.Printf("%s  status=%s%s  uptime=%s  producers=%d\n",
+		h.Daemon, h.Status, tier, (time.Duration(h.Uptime) * time.Second).String(), len(h.Producers))
 	for _, p := range h.Producers {
 		mark := " "
 		if p.Stale {
@@ -128,8 +134,8 @@ func showHealth(client *http.Client, base string) error {
 				role = " standby(active)"
 			}
 		}
-		fmt.Printf(" %s %-16s %-12s conns=%d/%d last_update=%s errs=%d%s\n",
-			mark, p.Name, p.State, p.Connects, p.Disconnects, last, p.ConsecutiveErrors, role)
+		fmt.Printf(" %s %-16s %-12s conns=%d/%d sets=%d last_update=%s errs=%d%s\n",
+			mark, p.Name, p.State, p.Connects, p.Disconnects, p.Sets, last, p.ConsecutiveErrors, role)
 	}
 	return nil
 }

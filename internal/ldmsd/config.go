@@ -9,6 +9,7 @@ import (
 
 	"goldms/internal/metric"
 	"goldms/internal/obs"
+	"goldms/internal/tier"
 )
 
 // Exec interprets one ldmsd configuration command, in the style of the
@@ -36,6 +37,10 @@ import (
 //	prdcr_status                 (per-producer connection + transfer counters)
 //	updtr_add name=<u> interval=<us|dur> [offset=<us|dur>] [synchronous=1]
 //	             [concurrency=<n>] [batch=<n>]
+//	             [reduce=<op>[,<op>...]] [export=raw|reduced]
+//	                             (in-flight reduction: fold each producer
+//	                             group's sets into synthetic <op> sets;
+//	                             export=reduced publishes only the folds)
 //	updtr_prdcr_add name=<u> prdcr=<p>
 //	updtr_prdcr_del name=<u> prdcr=<p>
 //	updtr_match_add name=<u> match=<substring>
@@ -391,17 +396,21 @@ func (d *Daemon) cmdHTTPListen(args map[string]string) (string, error) {
 }
 
 // cmdPrdcrStatus renders per-producer connection state and transfer
-// counters: one line per producer in name order.
+// counters: one line per producer in name order. Each line carries the
+// daemon's tier role and the producer's mirrored-set count so a topology
+// consumer (ldms-top) can render fan-in depth from status output alone.
 func (d *Daemon) cmdPrdcrStatus() (string, error) {
 	d.mu.Lock()
 	prdcrs := mapValues(d.prdcrs)
 	d.mu.Unlock()
+	role := d.TierRole()
 	var lines []string
 	for _, p := range prdcrs {
 		c := p.Counters()
 		line := fmt.Sprintf(
-			"name=%s host=%s xprt=%s state=%s standby=%v active=%v connects=%d disconnects=%d connect_fails=%d bytes_in=%d bytes_out=%d msgs_in=%d msgs_out=%d batches=%d batched_ops=%d connected_since=%s",
-			p.Name(), p.Host(), p.TransportName(), p.State(), p.Standby(), p.Active(),
+			"name=%s host=%s xprt=%s state=%s tier=%s sets=%d standby=%v active=%v connects=%d disconnects=%d connect_fails=%d bytes_in=%d bytes_out=%d msgs_in=%d msgs_out=%d batches=%d batched_ops=%d connected_since=%s",
+			p.Name(), p.Host(), p.TransportName(), p.State(), role,
+			d.mirroredSetCount(p.Name()), p.Standby(), p.Active(),
 			c.Connects, c.Disconnects, c.ConnectFails,
 			c.Transport.BytesIn, c.Transport.BytesOut,
 			c.Transport.MsgsIn, c.Transport.MsgsOut,
@@ -527,6 +536,24 @@ func (d *Daemon) cmdUpdtrAdd(args map[string]string) (string, error) {
 		}
 		batch = n
 	}
+	var reduceOps []tier.Op
+	if v := args["reduce"]; v != "" {
+		reduceOps, err = tier.ParseOps(v)
+		if err != nil {
+			return "", fmt.Errorf("ldmsd: %w", err)
+		}
+	}
+	exportRaw := true
+	switch v := args["export"]; v {
+	case "", "raw":
+	case "reduced":
+		exportRaw = false
+	default:
+		return "", fmt.Errorf("ldmsd: bad export %q (want raw or reduced)", v)
+	}
+	if args["export"] != "" && len(reduceOps) == 0 {
+		return "", fmt.Errorf("ldmsd: export= requires reduce=")
+	}
 	u, err := d.AddUpdater(name, interval, offset, args["synchronous"] == "1")
 	if err != nil {
 		return "", err
@@ -536,6 +563,11 @@ func (d *Daemon) cmdUpdtrAdd(args map[string]string) (string, error) {
 	}
 	if batch >= 1 {
 		u.SetBatch(batch)
+	}
+	if len(reduceOps) > 0 {
+		if err := u.SetReduce(reduceOps, exportRaw); err != nil {
+			return "", err
+		}
 	}
 	return "", nil
 }
@@ -586,15 +618,26 @@ func (d *Daemon) cmdUpdtrStatus() (string, error) {
 		batch := u.batch
 		interval := u.interval
 		u.mu.Unlock()
-		lines = append(lines, fmt.Sprintf(
+		uline := fmt.Sprintf(
 			"name=%s state=%s interval=%s producers=%d concurrency=%d batch=%d passes=%d inflight=%d last_pass_us=%d updates=%d skipped_busy=%d errors=%d",
 			u.name, state, interval, nprdcr, conc, batch,
 			u.passes.Load(), u.inflight.Load(), u.lastPassNanos.Load()/1000,
-			u.updates.Load(), u.skippedBusy.Load(), u.errors.Load()))
+			u.updates.Load(), u.skippedBusy.Load(), u.errors.Load())
+		if ops, exportRaw, rst, enabled := u.ReduceStatus(); enabled {
+			exp := "raw"
+			if !exportRaw {
+				exp = "reduced"
+			}
+			uline += fmt.Sprintf(
+				" reduce=%s export=%s reduce_groups=%d reduce_members=%d reduce_sets=%d folds=%d published=%d",
+				ops, exp, rst.Groups, rst.Members, rst.Outputs, rst.Folds, rst.Published)
+		}
+		lines = append(lines, uline)
 		for _, ph := range u.PullHealth() {
 			line := fmt.Sprintf(
-				"  prdcr=%s last_update=%s consec_errors=%d",
-				ph.Producer, timestampOrNever(ph.LastSuccess), ph.ConsecErrors)
+				"  prdcr=%s sets=%d last_update=%s consec_errors=%d",
+				ph.Producer, u.MirroredSets(ph.Producer),
+				timestampOrNever(ph.LastSuccess), ph.ConsecErrors)
 			if p := d.Producer(ph.Producer); p != nil {
 				line += " connected_since=" + timestampOrNever(d.producerConnectedSince(p))
 			}

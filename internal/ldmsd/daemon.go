@@ -200,6 +200,37 @@ func New(opts Options) (*Daemon, error) {
 // Name returns the daemon's name.
 func (d *Daemon) Name() string { return d.name }
 
+// TierRole derives the daemon's position in a tiered aggregation topology
+// from its configuration: "leaf" with no producers (samplers and daemons
+// that only serve), "mid" when it both pulls from producers and serves a
+// transport listener for the tier above, "top" when it pulls but serves
+// nothing upstream.
+func (d *Daemon) TierRole() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case len(d.prdcrs) == 0:
+		return "leaf"
+	case len(d.listeners) > 0:
+		return "mid"
+	default:
+		return "top"
+	}
+}
+
+// mirroredSetCount sums, across every updater, the sets currently
+// mirrored from the named producer.
+func (d *Daemon) mirroredSetCount(name string) int {
+	d.mu.Lock()
+	updtrs := mapValues(d.updtrs)
+	d.mu.Unlock()
+	n := 0
+	for _, u := range updtrs {
+		n += u.MirroredSets(name)
+	}
+	return n
+}
+
 // Registry returns the daemon's local set registry (its own sampled sets
 // plus mirrors of aggregated sets, which daisy-chained aggregators pull in
 // turn).
@@ -353,6 +384,7 @@ type Stats struct {
 	UpdatesInconsistent int64
 	UpdateErrors        int64
 	UpdatesSkippedBusy  int64 // passes skipped because the previous one was in flight
+	ReducedPublishes    int64 // reduced-set updates published by in-flight reduction
 	StoredRows          int64
 	DroppedRows         int64 // rows lost to store-queue overflow or failed policies
 }
@@ -375,6 +407,9 @@ func (d *Daemon) Stats() Stats {
 		st.UpdatesInconsistent += u.inconsistent.Load()
 		st.UpdateErrors += u.errors.Load()
 		st.UpdatesSkippedBusy += u.skippedBusy.Load()
+		if _, _, rst, enabled := u.ReduceStatus(); enabled {
+			st.ReducedPublishes += int64(rst.Published)
+		}
 	}
 	for _, sp := range d.strgps {
 		st.StoredRows += sp.rows.Load()

@@ -88,6 +88,7 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		Collect:    d.collectSelfMetrics,
 		Latency:    &d.lat,
 		Journal:    d.journal,
+		TierRole:   d.TierRole,
 		Started:    d.sch.Now(),
 		Now:        d.sch.Now,
 		PProf:      cfg.PProf,
@@ -193,6 +194,9 @@ func (d *Daemon) producerHealth() []query.ProducerHealth {
 				ph.Stale = true
 			}
 		}
+		for _, u := range updtrs {
+			ph.Sets += u.MirroredSets(p.Name())
+		}
 		out = append(out, ph)
 	}
 	return out
@@ -254,6 +258,14 @@ func (d *Daemon) collectSelfMetrics(e *query.Expo) {
 		} {
 			e.Counter("ldmsd_updater_updates_total", "Completed data pulls by outcome.",
 				append([]query.Label{{K: "result", V: rc.result}}, l...), float64(rc.v))
+		}
+		if ops, _, rst, enabled := u.ReduceStatus(); enabled {
+			rl := append([]query.Label{{K: "ops", V: ops}}, l...)
+			e.Gauge("ldmsd_reduce_groups", "Schema groups being folded by in-flight reduction.", rl, float64(rst.Groups))
+			e.Gauge("ldmsd_reduce_members", "Mirrored sets feeding in-flight reduction.", rl, float64(rst.Members))
+			e.Gauge("ldmsd_reduce_sets", "Synthetic reduced sets produced by in-flight reduction.", rl, float64(rst.Outputs))
+			e.Counter("ldmsd_reduce_folds_total", "Reduction fold passes executed.", rl, float64(rst.Folds))
+			e.Counter("ldmsd_reduce_published_total", "Reduced-set publications (fold passes x output sets).", rl, float64(rst.Published))
 		}
 	}
 

@@ -227,12 +227,13 @@ func TestGatewayEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(body, &lat); err != nil {
 		t.Fatalf("latency: %v", err)
 	}
-	if len(lat.Hops) != 3 || lat.Hops[0].Hop != "pull" || lat.Hops[1].Hop != "window" {
+	if len(lat.Hops) != 4 || lat.Hops[0].Hop != "pull" || lat.Hops[1].Hop != "reduce" || lat.Hops[2].Hop != "window" {
 		t.Fatalf("latency hops = %+v", lat.Hops)
 	}
-	for _, h := range lat.Hops[:2] { // no storage policy: store hop stays 0
-		if h.Count == 0 || h.P50Seconds <= 0 {
-			t.Errorf("hop %s = %+v, want recorded samples", h.Hop, h)
+	// No reduction and no storage policy: reduce and store hops stay 0.
+	for _, h := range []int{0, 2} {
+		if lat.Hops[h].Count == 0 || lat.Hops[h].P50Seconds <= 0 {
+			t.Errorf("hop %s = %+v, want recorded samples", lat.Hops[h].Hop, lat.Hops[h])
 		}
 	}
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package ldmsd
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// tests scale themselves down under it.
+const raceEnabled = true

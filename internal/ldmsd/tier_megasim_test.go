@@ -1,0 +1,223 @@
+package ldmsd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/simcluster"
+	"goldms/internal/transport"
+)
+
+// megaSimScale returns (nodes, leaves, mids, ticks) for the 3-tier
+// mega-sim: the full run drives 10k+ simulated samplers; -short and
+// -race runs shrink to keep the suite fast.
+func megaSimScale() (int, int, int, int) {
+	if testing.Short() || raceEnabled {
+		return 256, 16, 4, 4
+	}
+	return 10240, 64, 8, 4
+}
+
+// megaSimRun builds leaf→mid→top over a simulated cluster and returns a
+// fingerprint of everything observable at the end: the top directory,
+// every reduced value, per-hop latency histograms, and daemon status.
+// Two runs from the same seed must produce identical bytes.
+func megaSimRun(t *testing.T, seed int64) string {
+	t.Helper()
+	nodes, leaves, mids, ticks := megaSimScale()
+
+	cl, err := simcluster.New(simcluster.Options{
+		Profile: simcluster.ProfileChama,
+		Nodes:   nodes,
+		Seed:    seed,
+		Start:   time.Unix(80000, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sch := sched.NewVirtual(cl.Now())
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+
+	// Tier 0: leaves. Raw registry servers (no daemon machinery needed
+	// at the edge), each exporting nodes/leaves per-node sets rendered
+	// from the simulated kernel state.
+	nodeSchema := metric.NewSchema("simnode")
+	nodeSchema.MustAddMetric("load1", metric.TypeD64)
+	nodeSchema.MustAddMetric("memfree_kb", metric.TypeU64)
+	nodeSchema.MustAddMetric("ctxt", metric.TypeU64)
+	nodeSchema.MustAddMetric("pgfault", metric.TypeU64)
+	type nodeSet struct {
+		node *simcluster.Node
+		set  *metric.Set
+	}
+	sample := func(ns nodeSet, at time.Time) {
+		ns.set.BeginTransaction()
+		ns.node.State.Update(func(s *procfs.NodeState) {
+			ns.set.SetF64(0, s.Load1)
+			ns.set.SetU64(1, s.MemFreeKB)
+			ns.set.SetU64(2, s.Ctxt)
+			ns.set.SetU64(3, s.PgFault)
+		})
+		ns.set.EndTransaction(at)
+	}
+	all := make([]nodeSet, 0, nodes)
+	perLeaf := nodes / leaves
+	for l := 0; l < leaves; l++ {
+		reg := metric.NewRegistry()
+		for i := l * perLeaf; i < (l+1)*perLeaf; i++ {
+			set, err := metric.New(fmt.Sprintf("node%05d", i), nodeSchema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ns := nodeSet{node: cl.Node(i), set: set}
+			sample(ns, sch.Now())
+			if err := reg.Add(set); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, ns)
+		}
+		if _, err := fac.Listen(fmt.Sprintf("leaf%02d", l), transport.NewServer(reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tier 1: reducing mids, each pulling leaves/mids leaf servers and
+	// publishing only the folds upstream.
+	midDs := make([]*Daemon, mids)
+	for m := 0; m < mids; m++ {
+		var b strings.Builder
+		for l := m; l < leaves; l += mids {
+			fmt.Fprintf(&b, "prdcr_add name=leaf%02d xprt=mem host=leaf%02d interval=1s\nprdcr_start name=leaf%02d\n", l, l, l)
+		}
+		b.WriteString("updtr_add name=u interval=1s reduce=min,max,avg,sum export=reduced\n")
+		for l := m; l < leaves; l += mids {
+			fmt.Fprintf(&b, "updtr_prdcr_add name=u prdcr=leaf%02d\n", l)
+		}
+		b.WriteString("updtr_start name=u\n")
+		name := fmt.Sprintf("mid%02d", m)
+		d, err := New(Options{Name: name, Scheduler: sch, Transports: []transport.Factory{fac}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Stop()
+		if _, err := d.ExecScript(b.String()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Listen("mem", name); err != nil {
+			t.Fatal(err)
+		}
+		midDs[m] = d
+	}
+
+	// Tier 2: the top pulls every mid's reduced sets.
+	top, err := New(Options{Name: "top", Scheduler: sch, Transports: []transport.Factory{fac}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Stop()
+	var b strings.Builder
+	for m := 0; m < mids; m++ {
+		fmt.Fprintf(&b, "prdcr_add name=mid%02d xprt=mem host=mid%02d interval=1s\nprdcr_start name=mid%02d\n", m, m, m)
+	}
+	b.WriteString("updtr_add name=u interval=1s\n")
+	for m := 0; m < mids; m++ {
+		fmt.Fprintf(&b, "updtr_prdcr_add name=u prdcr=mid%02d\n", m)
+	}
+	b.WriteString("updtr_start name=u\n")
+	if _, err := top.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive: each virtual second the cluster evolves, every node set is
+	// re-sampled, and the schedulers run one tier-cascaded pull.
+	for i := 0; i < ticks; i++ {
+		cl.Step(time.Second)
+		for _, ns := range all {
+			sample(ns, cl.Now())
+		}
+		sch.AdvanceBy(time.Second)
+	}
+
+	// Fingerprint everything observable at the end of the run.
+	var fp strings.Builder
+	fmt.Fprintf(&fp, "nodes=%d leaves=%d mids=%d ticks=%d\n", nodes, leaves, mids, ticks)
+	fmt.Fprintf(&fp, "topdir=%s\n", strings.Join(top.Registry().Dir(), ","))
+	for _, name := range top.Registry().Dir() {
+		s := top.Registry().Get(name)
+		fmt.Fprintf(&fp, "set=%s dgn=%d ts=%d", name, s.DGN(), s.Timestamp().UnixNano())
+		for i := 0; i < s.Card(); i++ {
+			switch s.MetricType(i) {
+			case metric.TypeD64:
+				fmt.Fprintf(&fp, " %s=%g", s.MetricName(i), s.F64(i))
+			default:
+				fmt.Fprintf(&fp, " %s=%d", s.MetricName(i), s.U64(i))
+			}
+		}
+		fp.WriteString("\n")
+	}
+	for _, d := range append(midDs, top) {
+		us, err := d.Exec("updtr_status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&fp, "%s updtr_status:\n%s\n", d.name, us)
+		lat := d.Latency()
+		fmt.Fprintf(&fp, "%s lat pull=%+v reduce=%+v window=%+v store=%+v\n",
+			d.name, lat.Pull.Snapshot(), lat.Reduce.Snapshot(), lat.Window.Snapshot(), lat.Store.Snapshot())
+	}
+	return fp.String()
+}
+
+// TestTierMegaSimDeterministic replays a 10k-sampler, 3-tier virtual-clock
+// run twice from the same seed and requires byte-identical observable
+// state (directories, reduced values, histograms, status output).
+func TestTierMegaSimDeterministic(t *testing.T) {
+	a := megaSimRun(t, 42)
+	b := megaSimRun(t, 42)
+	if a != b {
+		// Find the first divergence for a readable failure.
+		la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("replay diverged at line %d:\n run1: %s\n run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("replay diverged in length: %d vs %d bytes", len(a), len(b))
+	}
+
+	// Sanity on the content itself: every mid contributed its four folds.
+	nodes, _, mids, _ := megaSimScale()
+	wantSets := mids * 4
+	gotSets := strings.Count(a, "\nset=")
+	if gotSets != wantSets {
+		t.Errorf("top holds %d reduced sets, want %d (fingerprint head:\n%s)",
+			gotSets, wantSets, a[:min(len(a), 600)])
+	}
+	// The sum-fold's reduce_count across mids must account for every
+	// simulated sampler: fan-in lost nothing on the way up.
+	total := 0
+	for _, line := range strings.Split(a, "\n") {
+		if !strings.HasPrefix(line, "set=") || !strings.Contains(line, "_sum ") {
+			continue
+		}
+		idx := strings.Index(line, "reduce_count=")
+		if idx < 0 {
+			t.Fatalf("no reduce_count in %q", line)
+		}
+		var n int
+		if _, err := fmt.Sscanf(line[idx+len("reduce_count="):], "%d", &n); err != nil {
+			t.Fatalf("bad reduce_count in %q", line)
+		}
+		total += n
+	}
+	if total != nodes {
+		t.Errorf("sum folds account for %d samplers, want %d", total, nodes)
+	}
+}

@@ -1,0 +1,527 @@
+package ldmsd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/procfs"
+	"goldms/internal/sched"
+	"goldms/internal/transport"
+)
+
+// leafRegistry builds a registry of n bare-named sets ("node00", ...), the
+// shape a sampler-only daemon serves before any tier qualifies the names.
+// Each set carries one u64 and one f64 metric seeded from base.
+func leafRegistry(tb testing.TB, n int, base uint64, at time.Time) *metric.Registry {
+	tb.Helper()
+	reg := metric.NewRegistry()
+	for i := 0; i < n; i++ {
+		sch := metric.NewSchema("tiernode")
+		sch.MustAddMetric("cnt", metric.TypeU64)
+		sch.MustAddMetric("load", metric.TypeD64)
+		set, err := metric.New(fmt.Sprintf("node%02d", i), sch)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		set.BeginTransaction()
+		set.SetU64(0, base+uint64(i))
+		set.SetF64(1, float64(base+uint64(i))/2)
+		set.EndTransaction(at)
+		if err := reg.Add(set); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// bumpRegistry writes a fresh sample into every set of a leaf registry.
+func bumpRegistry(reg *metric.Registry, base uint64, at time.Time) {
+	for i, name := range reg.Dir() {
+		set := reg.Get(name)
+		set.BeginTransaction()
+		set.SetU64(0, base+uint64(i))
+		set.SetF64(1, float64(base+uint64(i))/2)
+		set.EndTransaction(at)
+	}
+}
+
+// tierAgg builds a virtual-clock aggregator pulling the named producers.
+func tierAgg(t *testing.T, name string, sch *sched.Scheduler, fac transport.Factory, pulls []string, script string) *Daemon {
+	t.Helper()
+	d, err := New(Options{Name: name, Scheduler: sch, Transports: []transport.Factory{fac}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, p := range pulls {
+		fmt.Fprintf(&b, "prdcr_add name=%s xprt=mem host=%s interval=1s\nprdcr_start name=%s\n", p, p, p)
+	}
+	b.WriteString(script)
+	if _, err := d.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestTierReExportPrefixesOrigin pins the <producer>/<set> re-export
+// convention across two aggregation hops: bare leaf names gain exactly one
+// origin qualifier at the first tier and pass through unchanged above it,
+// and the remote DGN/timestamp ride each hop verbatim.
+func TestTierReExportPrefixesOrigin(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(70000, 0))
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+	t0 := sch.Now()
+
+	leaf1 := leafRegistry(t, 2, 100, t0)
+	leaf2 := leafRegistry(t, 1, 500, t0)
+	for name, reg := range map[string]*metric.Registry{"n1": leaf1, "n2": leaf2} {
+		if _, err := fac.Listen(name, transport.NewServer(reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mid := tierAgg(t, "mid", sch, fac, []string{"n1", "n2"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=n1
+updtr_prdcr_add name=u prdcr=n2
+updtr_start name=u
+`)
+	defer mid.Stop()
+	if _, err := mid.Listen("mem", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	top := tierAgg(t, "top", sch, fac, []string{"mid"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=mid
+updtr_start name=u
+`)
+	defer top.Stop()
+
+	sch.AdvanceBy(5 * time.Second)
+
+	wantDir := []string{"n1/node00", "n1/node01", "n2/node00"}
+	gotMid := mid.Registry().Dir()
+	if strings.Join(gotMid, ",") != strings.Join(wantDir, ",") {
+		t.Fatalf("mid dir = %v, want %v", gotMid, wantDir)
+	}
+	// The second hop must not re-qualify: names already carrying an origin
+	// pass through unchanged.
+	gotTop := top.Registry().Dir()
+	if strings.Join(gotTop, ",") != strings.Join(wantDir, ",") {
+		t.Fatalf("top dir = %v, want %v", gotTop, wantDir)
+	}
+
+	src := leaf2.Get("node00")
+	mir := top.Registry().Get("n2/node00")
+	if mir == nil {
+		t.Fatal("n2/node00 missing at top")
+	}
+	if mir.DGN() != src.DGN() || mir.MGN() != src.MGN() {
+		t.Errorf("generations did not propagate: top dgn=%d mgn=%d, leaf dgn=%d mgn=%d",
+			mir.DGN(), mir.MGN(), src.DGN(), src.MGN())
+	}
+	if !mir.Timestamp().Equal(src.Timestamp()) {
+		t.Errorf("timestamp after two hops = %v, leaf = %v", mir.Timestamp(), src.Timestamp())
+	}
+	if i, ok := mir.MetricIndex("cnt"); !ok || mir.U64(i) != 500 {
+		t.Errorf("value after two hops wrong")
+	}
+
+	// ls on the aggregator resolves the qualified instance name.
+	out, err := mid.Exec("ls name=n1/node01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n1/node01: tiernode") || !strings.Contains(out, "cnt") {
+		t.Errorf("ls on a mirror = %q", out)
+	}
+}
+
+// TestTierReduction drives two leaves through a reducing mid tier into a
+// top tier: the mid publishes only the synthetic reduced sets
+// (export=reduced), their values fold the leaf samples, and the top pulls
+// them like any other set.
+func TestTierReduction(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(71000, 0))
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+	t0 := sch.Now()
+
+	leaf1 := leafRegistry(t, 1, 10, t0) // cnt=10 load=5
+	leaf2 := leafRegistry(t, 1, 30, t0) // cnt=30 load=15
+	for name, reg := range map[string]*metric.Registry{"n1": leaf1, "n2": leaf2} {
+		if _, err := fac.Listen(name, transport.NewServer(reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mid := tierAgg(t, "mid", sch, fac, []string{"n1", "n2"}, `
+updtr_add name=u interval=1s reduce=min,max,avg,sum export=reduced
+updtr_prdcr_add name=u prdcr=n1
+updtr_prdcr_add name=u prdcr=n2
+updtr_start name=u
+`)
+	defer mid.Stop()
+	if _, err := mid.Listen("mem", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	top := tierAgg(t, "top", sch, fac, []string{"mid"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=mid
+updtr_start name=u
+`)
+	defer top.Stop()
+
+	sch.AdvanceBy(5 * time.Second)
+
+	// export=reduced: the mid's directory carries only the folds.
+	wantDir := []string{"mid/tiernode_avg", "mid/tiernode_max", "mid/tiernode_min", "mid/tiernode_sum"}
+	if got := mid.Registry().Dir(); strings.Join(got, ",") != strings.Join(wantDir, ",") {
+		t.Fatalf("mid dir = %v, want %v", got, wantDir)
+	}
+
+	check := func(reg *metric.Registry, where string) {
+		t.Helper()
+		for _, tc := range []struct {
+			set  string
+			cnt  uint64
+			load float64
+		}{
+			{"mid/tiernode_min", 10, 5},
+			{"mid/tiernode_max", 30, 15},
+			{"mid/tiernode_sum", 40, 20},
+		} {
+			s := reg.Get(tc.set)
+			if s == nil {
+				t.Fatalf("%s: %s missing", where, tc.set)
+			}
+			ci, _ := s.MetricIndex("cnt")
+			li, _ := s.MetricIndex("load")
+			ni, ok := s.MetricIndex("reduce_count")
+			if !ok {
+				t.Fatalf("%s: %s lacks reduce_count", where, tc.set)
+			}
+			if got := s.U64(ci); got != tc.cnt {
+				t.Errorf("%s: %s cnt = %d, want %d", where, tc.set, got, tc.cnt)
+			}
+			if got := s.F64(li); got != tc.load {
+				t.Errorf("%s: %s load = %g, want %g", where, tc.set, got, tc.load)
+			}
+			if got := s.U64(ni); got != 2 {
+				t.Errorf("%s: %s reduce_count = %d, want 2", where, tc.set, got)
+			}
+		}
+		avg := reg.Get("mid/tiernode_avg")
+		if i, _ := avg.MetricIndex("cnt"); avg.F64(i) != 20 {
+			t.Errorf("%s: avg cnt = %g, want 20", where, avg.F64(i))
+		}
+	}
+	check(mid.Registry(), "mid")
+	// The reduced sets traverse the next hop under their qualified names.
+	check(top.Registry(), "top")
+
+	// Status surfaces: reduce config on updtr_status, tier role and
+	// mirrored-set counts on prdcr_status.
+	out, err := mid.Exec("updtr_status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reduce=min,max,avg,sum", "export=reduced",
+		"reduce_groups=1", "reduce_members=2", "reduce_sets=4", "prdcr=n1 sets=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("updtr_status missing %q:\n%s", want, out)
+		}
+	}
+	out, err = mid.Exec("prdcr_status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tier=mid", "sets=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prdcr_status missing %q:\n%s", want, out)
+		}
+	}
+	if got := top.TierRole(); got != "top" {
+		t.Errorf("top role = %q", got)
+	}
+
+	// Stale leaves hold the reduced DGN still, so the top sees stale
+	// pulls — then a single leaf bump folds through both tiers.
+	frozen := top.Registry().Get("mid/tiernode_sum").DGN()
+	sch.AdvanceBy(3 * time.Second)
+	if got := top.Registry().Get("mid/tiernode_sum").DGN(); got != frozen {
+		t.Fatalf("reduced DGN advanced with no fresh members: %d -> %d", frozen, got)
+	}
+	bumpRegistry(leaf1, 12, sch.Now()) // cnt 10 -> 12: sum 40 -> 42
+	sch.AdvanceBy(3 * time.Second)
+	sum := top.Registry().Get("mid/tiernode_sum")
+	if i, _ := sum.MetricIndex("cnt"); sum.U64(i) != 42 {
+		t.Errorf("sum after re-fold = %d, want 42", sum.U64(i))
+	}
+	if st := mid.Stats(); st.ReducedPublishes == 0 {
+		t.Error("mid stats report no reduced publishes")
+	}
+}
+
+// TestTierJoinLeavePropagation pins directory-generation propagation at a
+// tier boundary: a set joining a leaf appears at the mid and then the top
+// within one pull interval per hop, and disappears the same way on leave.
+func TestTierJoinLeavePropagation(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(72000, 0))
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+	leaf := leafRegistry(t, 1, 7, sch.Now())
+	if _, err := fac.Listen("n1", transport.NewServer(leaf)); err != nil {
+		t.Fatal(err)
+	}
+
+	mid := tierAgg(t, "mid", sch, fac, []string{"n1"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=n1
+updtr_start name=u
+`)
+	defer mid.Stop()
+	if _, err := mid.Listen("mem", "mid"); err != nil {
+		t.Fatal(err)
+	}
+	top := tierAgg(t, "top", sch, fac, []string{"mid"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=mid
+updtr_start name=u
+`)
+	defer top.Stop()
+
+	sch.AdvanceBy(4 * time.Second)
+	if top.Registry().Get("n1/node00") == nil {
+		t.Fatal("initial set did not reach the top tier")
+	}
+
+	// Join: a new set appears on the leaf.
+	sch2 := metric.NewSchema("tiernode")
+	sch2.MustAddMetric("cnt", metric.TypeU64)
+	sch2.MustAddMetric("load", metric.TypeD64)
+	joined, err := metric.New("node99", sch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined.BeginTransaction()
+	joined.SetU64(0, 9000)
+	joined.EndTransaction(sch.Now())
+	if err := leaf.Add(joined); err != nil {
+		t.Fatal(err)
+	}
+	// One interval to reach the mid's directory (+1 for its lookup), one
+	// more hop's worth for the top.
+	sch.AdvanceBy(2 * time.Second)
+	if mid.Registry().Get("n1/node99") == nil {
+		t.Fatal("joined set not at mid within one pull interval of its lookup")
+	}
+	sch.AdvanceBy(2 * time.Second)
+	mir := top.Registry().Get("n1/node99")
+	if mir == nil {
+		t.Fatal("joined set did not propagate to top")
+	}
+	if i, _ := mir.MetricIndex("cnt"); mir.U64(i) != 9000 {
+		t.Errorf("joined value at top = %d", mir.U64(i))
+	}
+
+	// Leave: the set is removed from the leaf; each tier releases its
+	// mirror on the next directory-generation poll.
+	if s := leaf.Remove("node99"); s == nil {
+		t.Fatal("leaf remove failed")
+	}
+	sch.AdvanceBy(2 * time.Second)
+	if mid.Registry().Get("n1/node99") != nil {
+		t.Fatal("left set still at mid")
+	}
+	sch.AdvanceBy(2 * time.Second)
+	if top.Registry().Get("n1/node99") != nil {
+		t.Fatal("left set still at top")
+	}
+	// The survivor keeps flowing.
+	if top.Registry().Get("n1/node00") == nil {
+		t.Fatal("surviving set lost during leave propagation")
+	}
+}
+
+// TestAdvertiseTierBoundary walks an advertised (reversed-connection) leaf
+// across a tier boundary over real TCP: the leaf dials the mid, the top
+// pulls the mid, and the leaf's set appears at — then cleanly leaves —
+// the top tier.
+func TestAdvertiseTierBoundary(t *testing.T) {
+	mid, err := New(Options{Name: "mid", Transports: []transport.Factory{transport.SockFactory{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Stop()
+	peerAddr, err := mid.ListenForProducers("sock", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upAddr, err := mid.Listen("sock", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mid.ExecScript(`
+prdcr_add name=n1 type=passive
+prdcr_start name=n1
+updtr_add name=u interval=20000
+updtr_prdcr_add name=u prdcr=n1
+updtr_start name=u
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	top, err := New(Options{Name: "top", Transports: []transport.Factory{transport.SockFactory{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Stop()
+	if _, err := top.ExecScript(`
+prdcr_add name=mid xprt=sock host=` + upAddr + ` interval=20000
+prdcr_start name=mid
+updtr_add name=u interval=20000
+updtr_prdcr_add name=u prdcr=mid
+updtr_start name=u
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	leaf, err := New(Options{
+		Name: "n1", FS: procfs.NewSimFS(procfs.NewNodeState("n1", 2, 1<<20)),
+		Transports: []transport.Factory{transport.SockFactory{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Stop()
+	if _, err := leaf.ExecScript(`
+load name=meminfo
+start name=meminfo interval=10000
+advertise xprt=sock host=` + peerAddr + ` interval=50000`); err != nil {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, 10*time.Second, func() bool {
+		return top.Registry().Get("n1/meminfo") != nil
+	}, "advertised set to reach the top tier")
+	if got := mid.TierRole(); got != "mid" {
+		t.Errorf("mid role = %q", got)
+	}
+
+	// Leave: the sampler stops and its set leaves the leaf's directory;
+	// both tiers must release their mirrors.
+	leaf.Sampler("meminfo").Stop()
+	if s := leaf.Registry().Remove("n1/meminfo"); s == nil {
+		t.Fatal("leaf set remove failed")
+	}
+	waitUntil(t, 10*time.Second, func() bool {
+		return mid.Registry().Get("n1/meminfo") == nil
+	}, "left set to clear the mid tier")
+	waitUntil(t, 10*time.Second, func() bool {
+		return top.Registry().Get("n1/meminfo") == nil
+	}, "left set to clear the top tier")
+}
+
+// TestTierMidFailoverNoLoss kills a mid-tier aggregator and fails the top
+// tier over to a standby mid pulling the same leaves: after the watchdog
+// protocol (deregister the dead mid, then activate the standby) data
+// resumes, and nothing is lost beyond the declared overflow policy —
+// with overflow=block and an adequate queue, zero dropped rows.
+func TestTierMidFailoverNoLoss(t *testing.T) {
+	sch := sched.NewVirtual(time.Unix(73000, 0))
+	net := transport.NewNetwork()
+	fac := transport.MemFactory{Net: net}
+	leaf := leafRegistry(t, 4, 1000, sch.Now())
+	if _, err := fac.Listen("n1", transport.NewServer(leaf)); err != nil {
+		t.Fatal(err)
+	}
+
+	mkMid := func(name string) *Daemon {
+		d := tierAgg(t, name, sch, fac, []string{"n1"}, `
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=n1
+updtr_start name=u
+`)
+		if _, err := d.Listen("mem", name); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	midA := mkMid("mid-a")
+	defer midA.Stop()
+	midB := mkMid("mid-b")
+	defer midB.Stop()
+
+	top, err := New(Options{Name: "top", Scheduler: sch, Transports: []transport.Factory{fac}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Stop()
+	csv := t.TempDir() + "/tier.csv"
+	if _, err := top.ExecScript(`
+prdcr_add name=mid-a xprt=mem host=mid-a interval=1s
+prdcr_start name=mid-a
+prdcr_add name=mid-b xprt=mem host=mid-b interval=1s standby=1
+prdcr_start name=mid-b
+updtr_add name=u interval=1s
+updtr_prdcr_add name=u prdcr=mid-a
+updtr_prdcr_add name=u prdcr=mid-b
+updtr_start name=u
+strgp_add name=s plugin=store_csv schema=tiernode container=` + csv + ` overflow=block queue=4096
+strgp_start name=s
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	tick := uint64(1000)
+	advance := func(secs int) {
+		for i := 0; i < secs; i++ {
+			tick += 10
+			bumpRegistry(leaf, tick, sch.Now())
+			sch.AdvanceBy(time.Second)
+		}
+	}
+
+	advance(5)
+	if top.Stats().UpdatesFresh == 0 {
+		t.Fatal("no data through mid-a before the kill")
+	}
+
+	// Kill the primary mid; the external watchdog deregisters it from the
+	// updater, lets the prune release its mirrors, then activates the
+	// standby (see docs/TOPOLOGY.md failover ordering).
+	midA.Stop()
+	u := top.Updater("u")
+	u.RemoveProducer("mid-a")
+	advance(1)
+	top.Producer("mid-b").Activate()
+	advance(5)
+
+	freshAtTakeover := u.fresh.Load()
+	advance(3)
+	if got := u.fresh.Load(); got <= freshAtTakeover {
+		t.Fatalf("no fresh updates after standby takeover: %d -> %d", freshAtTakeover, got)
+	}
+	// The takeover swapped mirrors under the same re-export names; the
+	// directory must show mid-b's copies, carrying current leaf values.
+	mir := top.Registry().Get("n1/node00")
+	if mir == nil {
+		t.Fatal("set missing at top after takeover")
+	}
+	if i, _ := mir.MetricIndex("cnt"); mir.U64(i) != tick {
+		t.Errorf("top value after takeover = %d, want %d", mir.U64(i), tick)
+	}
+	st := top.Stats()
+	if st.DroppedRows != 0 {
+		t.Errorf("dropped rows = %d, want 0 under overflow=block", st.DroppedRows)
+	}
+	if st.StoredRows != st.UpdatesFresh {
+		t.Errorf("stored %d rows for %d fresh updates: samples lost outside the overflow policy",
+			st.StoredRows, st.UpdatesFresh)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"goldms/internal/metric"
 	"goldms/internal/obs"
 	"goldms/internal/sched"
+	"goldms/internal/tier"
 	"goldms/internal/transport"
 )
 
@@ -49,6 +51,14 @@ type Updater struct {
 
 	busy atomic.Bool
 
+	// reducer, when non-nil, folds this updater's mirrors into synthetic
+	// reduced sets each pass (tiered aggregation's in-flight reduction).
+	// exportRaw controls whether raw mirrors still register in the daemon
+	// directory: false means upstream tiers see only the reduced sets.
+	// Both are fixed before Start and never mutated while running.
+	reducer   *tier.Reducer
+	exportRaw bool
+
 	// smu guards the state map's structure. Each value is owned by the
 	// single goroutine pulling that producer during a pass.
 	smu   sync.Mutex
@@ -82,6 +92,12 @@ const defaultUpdateBatch = 32
 type updProducerState struct {
 	epoch uint64
 	sets  map[string]*updSet
+	// Directory-generation tracking: the remote registry's generation as of
+	// the last full Dir fetch. When the transport supports the DirGen poll,
+	// each pass re-fetches the directory only when this moved, so set joins
+	// and leaves propagate one pull interval per hop at O(1) steady cost.
+	dirGen  uint64
+	haveGen bool
 	// Scratch reused across passes by this producer's pull goroutine.
 	due []*updSet
 	ops []transport.UpdateOp
@@ -103,13 +119,26 @@ type ProducerPullHealth struct {
 
 // updSet is the pull state for one remote metric set.
 type updSet struct {
-	name    string
+	name    string // instance name in the remote directory
+	regName string // local re-export name: <producer>/<name> for bare names
 	remote  transport.RemoteSet
 	mirror  *metric.Set
 	buf     []byte
 	lastDGN uint64
 	haveDGN bool
 	inReg   bool
+}
+
+// exportName is the paper's <producer>/<set> re-export convention: a bare
+// remote instance name is qualified with the producer it came from, so an
+// upstream tier's directory shows each set's origin. Names already
+// qualified by a lower tier (they contain "/") pass through unchanged —
+// the origin producer survives every hop.
+func exportName(producer, set string) string {
+	if strings.Contains(set, "/") {
+		return set
+	}
+	return producer + "/" + set
 }
 
 // AddUpdater registers an update policy.
@@ -123,15 +152,16 @@ func (d *Daemon) AddUpdater(name string, interval, offset time.Duration, synchro
 		return nil, fmt.Errorf("ldmsd %s: updater %q already exists", d.name, name)
 	}
 	u := &Updater{
-		d:        d,
-		name:     name,
-		interval: interval,
-		offset:   offset,
-		synced:   synchronous,
-		timeout:  interval,
-		batch:    defaultUpdateBatch,
-		state:    make(map[string]*updProducerState),
-		health:   make(map[string]*prdcrPullHealth),
+		d:         d,
+		name:      name,
+		interval:  interval,
+		offset:    offset,
+		synced:    synchronous,
+		timeout:   interval,
+		batch:     defaultUpdateBatch,
+		exportRaw: true,
+		state:     make(map[string]*updProducerState),
+		health:    make(map[string]*prdcrPullHealth),
 	}
 	d.updtrs[name] = u
 	return u, nil
@@ -196,6 +226,63 @@ func (u *Updater) SetBatch(n int) {
 	u.mu.Lock()
 	u.batch = n
 	u.mu.Unlock()
+}
+
+// SetReduce configures in-flight reduction: each pass, this updater's
+// mirrors fold per schema into reduced sets (<daemon>/<schema>_<op>) that
+// publish through the daemon directory, storage policies, and query window
+// like any local set. exportRaw false additionally hides the raw mirrors
+// from the directory, so upstream tiers pull only the aggregates; the local
+// window and stores still see full-resolution raw samples. Reduction is
+// fixed while the updater runs.
+func (u *Updater) SetReduce(ops []tier.Op, exportRaw bool) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started {
+		return fmt.Errorf("ldmsd %s: updater %s: reduction cannot be altered while started", u.d.name, u.name)
+	}
+	if len(ops) == 0 {
+		u.reducer = nil
+		u.exportRaw = true
+		return nil
+	}
+	u.reducer = tier.New(tier.Config{
+		Daemon:  u.d.name,
+		Ops:     ops,
+		SetOpts: []metric.Option{metric.WithArena(u.d.arena)},
+	})
+	u.exportRaw = exportRaw
+	return nil
+}
+
+// ReduceStatus reports the updater's reduction configuration and counters.
+// enabled is false when no reduction is configured.
+func (u *Updater) ReduceStatus() (ops string, exportRaw bool, st tier.Stats, enabled bool) {
+	u.mu.Lock()
+	r, raw := u.reducer, u.exportRaw
+	u.mu.Unlock()
+	if r == nil {
+		return "", true, tier.Stats{}, false
+	}
+	return tier.OpsString(r.Ops()), raw, r.Stats(), true
+}
+
+// MirroredSets counts the producer's sets this updater currently mirrors
+// locally (lookup completed, mirror allocated).
+func (u *Updater) MirroredSets(prdcrName string) int {
+	u.smu.Lock()
+	defer u.smu.Unlock()
+	ps := u.state[prdcrName]
+	if ps == nil {
+		return 0
+	}
+	n := 0
+	for _, us := range ps.sets {
+		if us.mirror != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Start arms the update schedule. The schedule is fixed once started.
@@ -266,6 +353,16 @@ func (u *Updater) run(now time.Time) {
 	}
 
 	u.prune(prdcrs)
+	if u.reducer != nil {
+		// Fold after every producer's pulls landed, so each reduced set
+		// reflects one coherent pass over the group. The reduce hop records
+		// each output's age: newest contributing member sample → publish.
+		nowT := u.d.sch.Now()
+		for _, f := range u.reducer.Fold() {
+			u.d.lat.Reduce.Record(nowT.Sub(f.Time))
+			u.d.storeSet(f.Set)
+		}
+	}
 	u.passes.Add(1)
 	u.lastPassNanos.Store(u.d.sch.Now().Sub(start).Nanoseconds())
 }
@@ -300,13 +397,19 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 	}
 
 	ps := u.producerState(name, epoch, names)
+	if fresh, changed, ok := u.refreshDir(conn, p, ps, epoch); !ok {
+		u.recordHealth(name, false)
+		return
+	} else if changed {
+		names = fresh
+	}
 	failed := false
 	looked := 0
 	due := ps.due[:0]
 	for _, sn := range names {
 		us := ps.sets[sn]
 		if us == nil {
-			us = &updSet{name: sn}
+			us = &updSet{name: sn, regName: exportName(name, sn)}
 			ps.sets[sn] = us
 		}
 		if match != nil && !match(sn) {
@@ -355,6 +458,57 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 		p.disconnected(epoch)
 	}
 	u.recordHealth(name, !failed)
+}
+
+// refreshDir re-fetches the producer's directory when its registry
+// generation moved (or has never been observed). It reports the fresh name
+// list when a refresh ran, whether names changed, and ok=false on a
+// connection-level failure. Transports without DirGen support keep the
+// connect-time directory, as before.
+func (u *Updater) refreshDir(conn transport.Conn, p *Producer, ps *updProducerState, epoch uint64) (names []string, changed, ok bool) {
+	ctx, cancel := u.ctx()
+	gen, supported, err := transport.DirGenOf(ctx, conn)
+	cancel()
+	if err != nil {
+		p.disconnected(epoch)
+		return nil, false, false
+	}
+	if !supported || (ps.haveGen && gen == ps.dirGen) {
+		return nil, false, true
+	}
+	// Generation read precedes the Dir fetch: a membership change landing
+	// between the two is already in the fetched directory and triggers one
+	// redundant (harmless) refresh next pass.
+	ctx, cancel = u.ctx()
+	fresh, err := conn.Dir(ctx)
+	cancel()
+	if err != nil {
+		p.disconnected(epoch)
+		return nil, false, false
+	}
+	p.updateDir(epoch, fresh)
+	u.syncSets(ps, fresh)
+	ps.dirGen, ps.haveGen = gen, true
+	return fresh, true, true
+}
+
+// syncSets releases pull state for sets that vanished from the refreshed
+// directory (the leave half of join/leave propagation; joins are picked up
+// by the pull loop creating state for unseen names).
+func (u *Updater) syncSets(ps *updProducerState, names []string) {
+	if len(ps.sets) == 0 {
+		return
+	}
+	seen := make(map[string]struct{}, len(names))
+	for _, sn := range names {
+		seen[sn] = struct{}{}
+	}
+	for sn, us := range ps.sets {
+		if _, ok := seen[sn]; !ok {
+			u.releaseSet(us)
+			delete(ps.sets, sn)
+		}
+	}
 }
 
 // recordHealth updates one producer's pull-health record at the end of its
@@ -417,7 +571,7 @@ func (u *Updater) producerState(name string, epoch uint64, names []string) *updP
 	old := ps
 	ps = &updProducerState{epoch: epoch, sets: make(map[string]*updSet)}
 	for _, sn := range names {
-		us := &updSet{name: sn}
+		us := &updSet{name: sn, regName: exportName(name, sn)}
 		if old != nil {
 			if prev, okp := old.sets[sn]; okp {
 				us.mirror = prev.mirror
@@ -473,12 +627,15 @@ func (u *Updater) prune(current []string) {
 	u.hmu.Unlock()
 }
 
-// releaseSet drops one set's mirror: out of the daemon registry, its arena
-// chunks freed.
+// releaseSet drops one set's mirror: out of the reducer's fold group, out
+// of the daemon registry, its arena chunks freed.
 func (u *Updater) releaseSet(us *updSet) {
 	if us.mirror != nil {
+		if u.reducer != nil {
+			u.retireReduced(u.reducer.RemoveMember(us.regName))
+		}
 		if us.inReg {
-			u.d.reg.Remove(us.name)
+			u.d.reg.Remove(us.regName)
 			us.inReg = false
 		}
 		us.mirror.Delete()
@@ -486,6 +643,15 @@ func (u *Updater) releaseSet(us *updSet) {
 	}
 	us.remote = nil
 	us.buf = nil
+}
+
+// retireReduced deregisters and releases reduced sets whose last member
+// left (the tail half of a schema's group disappearing from this tier).
+func (u *Updater) retireReduced(sets []*metric.Set) {
+	for _, rs := range sets {
+		u.d.reg.Remove(rs.Name())
+		rs.Delete()
+	}
 }
 
 // batchSize returns the configured pipeline batch size (>= 1).
@@ -522,26 +688,53 @@ func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
 	// Reuse the existing mirror when the metadata generation still
 	// matches; otherwise build a fresh one.
 	if us.mirror == nil || us.mirror.MGN() != remote.Meta().MGN {
-		if us.mirror != nil && us.inReg {
-			u.d.reg.Remove(us.name)
+		if us.mirror != nil {
+			if u.reducer != nil {
+				u.retireReduced(u.reducer.RemoveMember(us.regName))
+			}
+			if us.inReg {
+				u.d.reg.Remove(us.regName)
+				us.inReg = false
+			}
 			us.mirror.Delete()
-			us.inReg = false
 		}
-		mirror, err := remote.Meta().NewMirror(metric.WithArena(u.d.arena))
+		// The mirror takes the local re-export name: the remote MGN/DGN
+		// still propagate verbatim through LoadData, so staleness and
+		// torn-read detection survive the hop under the qualified name.
+		mirror, err := remote.Meta().NewMirrorNamed(us.regName, metric.WithArena(u.d.arena))
 		if err != nil {
 			// Arena exhaustion or malformed metadata: count and retry on a
 			// later pass.
+			us.mirror = nil
 			u.errors.Add(1)
 			return true
 		}
 		us.mirror = mirror
 		us.buf = make([]byte, remote.Meta().DataSize)
 		us.haveDGN = false
-		if err := u.d.reg.Add(mirror); err == nil {
-			us.inReg = true
+		if u.reducer != nil {
+			created, rerr := u.reducer.AddMember(us.regName, mirror)
+			if rerr != nil {
+				u.d.journal.Appendf(obs.SevWarn, obs.CompUpdater, us.regName, 0,
+					"%s: set excluded from reduction: %v", u.name, rerr)
+			}
+			for _, rs := range created {
+				if err := u.d.reg.Add(rs); err != nil {
+					u.d.journal.Appendf(obs.SevWarn, obs.CompUpdater, rs.Name(), 0,
+						"%s: reduced set not exported: %v", u.name, err)
+				}
+			}
 		}
 	}
 	us.remote = remote
+	// Registration retries on every lookup (not just mirror creation): a
+	// name squatted by another producer's mirror — e.g. the failed half of
+	// a failover pair — may have been released since.
+	if u.exportRaw && !us.inReg && us.mirror != nil {
+		if err := u.d.reg.Add(us.mirror); err == nil {
+			us.inReg = true
+		}
+	}
 	return true
 }
 
@@ -583,6 +776,11 @@ func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	// so the hot path stays one timestamp read + one atomic increment.
 	if ts := metric.DataTimestamp(us.buf); !ts.IsZero() {
 		u.d.lat.Pull.Record(u.d.sch.Now().Sub(ts))
+	}
+	// Mark the member fresh so the end-of-pass fold re-reduces its group:
+	// one map lookup and a flag, nothing allocated.
+	if u.reducer != nil {
+		u.reducer.Observe(us.regName)
 	}
 	// Fan the sample out to the recent window and storage policies. This
 	// is a bounded-queue enqueue, never a store write: a slow or syncing

@@ -33,6 +33,7 @@ var clocksourceAnalyzer = &Analyzer{
 		"internal/transport",
 		"internal/store",
 		"internal/obs",
+		"internal/tier",
 	},
 	Suppress: "wallclock",
 	Run:      runClocksource,

@@ -173,6 +173,15 @@ func ParseMeta(b []byte) (*Meta, error) {
 // paper). The mirror's data chunk starts zeroed and inconsistent; the first
 // completed update fills it.
 func (m *Meta) NewMirror(opts ...Option) (*Set, error) {
+	return m.NewMirrorNamed(m.Instance, opts...)
+}
+
+// NewMirrorNamed is NewMirror with an explicit local instance name. Tiered
+// aggregators use it to re-export mirrors under the paper's <producer>/<set>
+// convention: the mirror's directory entry, query series, and storage rows
+// all carry the qualified name while the remote MGN/DGN generations still
+// propagate verbatim.
+func (m *Meta) NewMirrorNamed(instance string, opts ...Option) (*Set, error) {
 	schema := NewSchema(m.SchemaName)
 	for _, mm := range m.Metrics {
 		idx, err := schema.AddMetric(mm.Name, mm.Type)
@@ -188,7 +197,7 @@ func (m *Meta) NewMirror(opts ...Option) (*Set, error) {
 		return nil, fmt.Errorf("metric: mirror %q: data size mismatch: computed %d, remote %d",
 			m.Instance, schema.DataSize(), m.DataSize)
 	}
-	s, err := New(m.Instance, schema, opts...)
+	s, err := New(instance, schema, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is the daemon-local directory of metric sets, served to peers
@@ -11,6 +12,7 @@ import (
 type Registry struct {
 	mu   sync.RWMutex
 	sets map[string]*Set
+	gen  atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -27,15 +29,26 @@ func (r *Registry) Add(s *Set) error {
 		return fmt.Errorf("metric: set %q already registered", s.Name())
 	}
 	r.sets[s.Name()] = s
+	r.gen.Add(1)
 	return nil
 }
+
+// Gen returns the directory generation: a counter bumped on every Add and
+// every effective Remove. Peers poll it (transport DirGen op) to detect
+// membership changes without re-fetching and diffing the full directory,
+// which keeps tiered aggregation passes cheap when the set population is
+// stable.
+func (r *Registry) Gen() uint64 { return r.gen.Load() }
 
 // Remove deregisters the named set, returning it (or nil if absent).
 func (r *Registry) Remove(name string) *Set {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.sets[name]
-	delete(r.sets, name)
+	if s != nil {
+		delete(r.sets, name)
+		r.gen.Add(1)
+	}
 	return s
 }
 

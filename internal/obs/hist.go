@@ -109,6 +109,7 @@ func (s HistSnapshot) Max() time.Duration {
 // Pipeline hop names, in sample-flow order.
 const (
 	HopPull   = "pull"   // sample timestamp → update received by the aggregator
+	HopReduce = "reduce" // member sample timestamp → reduced-set publish (tiered fan-in)
 	HopWindow = "window" // sample timestamp → recent-window insert
 	HopStore  = "store"  // sample timestamp → row handed to the store plugin
 )
@@ -117,6 +118,7 @@ const (
 // path. The zero value is ready to use.
 type Pipeline struct {
 	Pull   Hist
+	Reduce Hist
 	Window Hist
 	Store  Hist
 }
@@ -136,11 +138,11 @@ type HopLatency struct {
 // observations are included with zero quantiles so consumers always see
 // the full pipeline shape.
 func (p *Pipeline) Snapshot() []HopLatency {
-	out := make([]HopLatency, 0, 3)
+	out := make([]HopLatency, 0, 4)
 	for _, h := range []struct {
 		name string
 		h    *Hist
-	}{{HopPull, &p.Pull}, {HopWindow, &p.Window}, {HopStore, &p.Store}} {
+	}{{HopPull, &p.Pull}, {HopReduce, &p.Reduce}, {HopWindow, &p.Window}, {HopStore, &p.Store}} {
 		s := h.h.Snapshot()
 		out = append(out, HopLatency{
 			Hop:   h.name,

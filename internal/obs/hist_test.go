@@ -98,18 +98,19 @@ func TestPipelineSnapshot(t *testing.T) {
 	p.Pull.Record(time.Millisecond)
 	p.Pull.Record(2 * time.Millisecond)
 	p.Window.Record(3 * time.Millisecond)
+	p.Reduce.Record(4 * time.Millisecond)
 	hops := p.Snapshot()
-	if len(hops) != 3 {
-		t.Fatalf("hops = %d, want 3", len(hops))
+	if len(hops) != 4 {
+		t.Fatalf("hops = %d, want 4", len(hops))
 	}
-	if hops[0].Hop != HopPull || hops[1].Hop != HopWindow || hops[2].Hop != HopStore {
+	if hops[0].Hop != HopPull || hops[1].Hop != HopReduce || hops[2].Hop != HopWindow || hops[3].Hop != HopStore {
 		t.Fatalf("hop order = %v", hops)
 	}
-	if hops[0].Count != 2 || hops[1].Count != 1 || hops[2].Count != 0 {
-		t.Errorf("counts = %d/%d/%d", hops[0].Count, hops[1].Count, hops[2].Count)
+	if hops[0].Count != 2 || hops[1].Count != 1 || hops[2].Count != 1 || hops[3].Count != 0 {
+		t.Errorf("counts = %d/%d/%d/%d", hops[0].Count, hops[1].Count, hops[2].Count, hops[3].Count)
 	}
-	if hops[2].P99 != 0 {
-		t.Errorf("empty store hop p99 = %v, want 0", hops[2].P99)
+	if hops[3].P99 != 0 {
+		t.Errorf("empty store hop p99 = %v, want 0", hops[3].P99)
 	}
 	if hops[0].P50 < time.Millisecond {
 		t.Errorf("pull p50 = %v, want >= 1ms", hops[0].P50)

@@ -38,6 +38,10 @@ type ProducerHealth struct {
 	LastUpdate        time.Time `json:"last_update,omitempty"`
 	ConsecutiveErrors int64     `json:"consecutive_errors"`
 	Stale             bool      `json:"stale"`
+	// Sets counts the metric sets currently mirrored from this producer,
+	// summed across updaters — the fan-in contribution of one downstream
+	// daemon in a tiered topology.
+	Sets int `json:"sets"`
 }
 
 // StoreHealth describes one storage policy for /healthz: a policy whose
@@ -76,6 +80,10 @@ type Gateway struct {
 	// Journal, when non-nil, serves the daemon's event journal on
 	// /api/v1/events.
 	Journal *obs.Journal
+	// TierRole, when non-nil, reports the daemon's position in a tiered
+	// aggregation topology (leaf/mid/top) on /healthz and /metrics, so
+	// topology consumers can render fan-in depth.
+	TierRole func() string
 	// Started stamps the gateway start time for uptime reporting.
 	Started time.Time
 	// Now supplies the gateway's clock (series window cut-off, uptime).
@@ -579,6 +587,9 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"daemon":    g.DaemonName,
 		"producers": producers,
 	}
+	if g.TierRole != nil {
+		resp["tier"] = g.TierRole()
+	}
 	if len(stores) > 0 {
 		resp["stores"] = stores
 	}
@@ -613,6 +624,10 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 			append([]Label{{"endpoint", key}}, self...), float64(c.Load()))
 	}
 	e.Counter("ldmsd_http_errors_total", "Gateway error responses.", self, float64(g.errors.Load()))
+	if g.TierRole != nil {
+		e.Gauge("ldmsd_tier_info", "Daemon tier role in the aggregation topology (constant 1; role in the label).",
+			append([]Label{{"tier", g.TierRole()}}, self...), 1)
+	}
 	if g.Window != nil {
 		ws := g.Window.Stats()
 		e.Gauge("ldmsd_window_sets", "Set instances tracked by the recent window.", self, float64(ws.SeriesSets))

@@ -1,0 +1,336 @@
+package tier
+
+import (
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// newMember builds a local set with two metrics (u64 "a", d64 "b") sampled
+// once at ts with the given values.
+func newMember(t *testing.T, name string, a uint64, b float64, ts time.Time) *metric.Set {
+	t.Helper()
+	sch := metric.NewSchema("s")
+	sch.MustAddMetric("a", metric.TypeU64)
+	sch.MustAddMetric("b", metric.TypeD64)
+	set, err := metric.New(name, sch, metric.WithCompID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample(set, a, b, ts)
+	return set
+}
+
+func sample(set *metric.Set, a uint64, b float64, ts time.Time) {
+	set.BeginTransaction()
+	set.SetValues(func(batch *metric.Batch) {
+		batch.SetU64(0, a)
+		batch.SetF64(1, b)
+	})
+	set.EndTransaction(ts)
+}
+
+func readOut(t *testing.T, set *metric.Set) (vals []metric.Value, ts time.Time, dgn uint64) {
+	t.Helper()
+	vals = make([]metric.Value, set.Card())
+	ts, dgn, consistent, n := set.ReadValues(vals)
+	if !consistent || n != set.Card() {
+		t.Fatalf("reduced set %q: consistent=%v n=%d", set.Name(), consistent, n)
+	}
+	return vals, ts, dgn
+}
+
+func TestParseOps(t *testing.T) {
+	ops, err := ParseOps("min, max,avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if OpsString(ops) != "min,max,avg" {
+		t.Fatalf("ops = %q", OpsString(ops))
+	}
+	for _, bad := range []string{"", "median", "min,min", "min,,max"} {
+		if _, err := ParseOps(bad); err == nil {
+			t.Errorf("ParseOps(%q): no error", bad)
+		}
+	}
+}
+
+func TestFoldSemantics(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpMin, OpMax, OpAvg, OpSum, OpLast}})
+	t0 := time.Unix(1000, 0)
+	m1 := newMember(t, "p1/s", 10, 1.5, t0)
+	m2 := newMember(t, "p2/s", 4, 2.5, t0.Add(time.Second))
+	created, err := r.AddMember("p1/s", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 5 {
+		t.Fatalf("created %d reduced sets, want 5", len(created))
+	}
+	if created[0].Name() != "agg/s_min" || created[0].SchemaName() != "s_min" {
+		t.Fatalf("first output = %s schema %s", created[0].Name(), created[0].SchemaName())
+	}
+	if more, err := r.AddMember("p2/s", m2); err != nil || len(more) != 0 {
+		t.Fatalf("second member: created=%d err=%v", len(more), err)
+	}
+
+	r.Observe("p1/s")
+	r.Observe("p2/s")
+	folded := r.Fold()
+	if len(folded) != 5 {
+		t.Fatalf("folded %d outputs, want 5", len(folded))
+	}
+	want := map[string]struct {
+		a float64
+		b float64
+	}{
+		"agg/s_min":  {4, 1.5},
+		"agg/s_max":  {10, 2.5},
+		"agg/s_avg":  {7, 2.0},
+		"agg/s_sum":  {14, 4.0},
+		"agg/s_last": {4, 2.5}, // p2 sampled later
+	}
+	for _, f := range folded {
+		w, ok := want[f.Set.Name()]
+		if !ok {
+			t.Fatalf("unexpected output %q", f.Set.Name())
+		}
+		if f.Members != 2 {
+			t.Errorf("%s: members = %d, want 2", f.Set.Name(), f.Members)
+		}
+		if !f.Time.Equal(t0.Add(time.Second)) {
+			t.Errorf("%s: time = %v", f.Set.Name(), f.Time)
+		}
+		vals, ts, _ := readOut(t, f.Set)
+		if got := vals[0].F64(); got != w.a {
+			t.Errorf("%s: a = %v, want %v", f.Set.Name(), got, w.a)
+		}
+		if got := vals[1].F64(); got != w.b {
+			t.Errorf("%s: b = %v, want %v", f.Set.Name(), got, w.b)
+		}
+		if got := vals[2].U64(); got != 2 {
+			t.Errorf("%s: reduce_count = %d, want 2", f.Set.Name(), got)
+		}
+		if !ts.Equal(t0.Add(time.Second)) {
+			t.Errorf("%s: sample ts = %v, want %v", f.Set.Name(), ts, t0.Add(time.Second))
+		}
+	}
+}
+
+func TestFoldTypes(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpMin, OpAvg, OpSum, OpRate}})
+	m := newMember(t, "p1/s", 1, 1, time.Unix(1000, 0))
+	created, err := r.AddMember("p1/s", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*metric.Set{}
+	for _, s := range created {
+		byName[s.Name()] = s
+	}
+	// min keeps the source type; avg and rate coerce to d64; sum widens in
+	// class; reduce_count is always u64.
+	checks := []struct {
+		set    string
+		metric int
+		want   metric.Type
+	}{
+		{"agg/s_min", 0, metric.TypeU64},
+		{"agg/s_min", 1, metric.TypeD64},
+		{"agg/s_avg", 0, metric.TypeD64},
+		{"agg/s_sum", 0, metric.TypeU64},
+		{"agg/s_rate", 0, metric.TypeD64},
+		{"agg/s_min", 2, metric.TypeU64},
+	}
+	for _, c := range checks {
+		if got := byName[c.set].MetricType(c.metric); got != c.want {
+			t.Errorf("%s metric %d: type %s, want %s", c.set, c.metric, got, c.want)
+		}
+	}
+}
+
+func TestFoldRate(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpRate}})
+	t0 := time.Unix(1000, 0)
+	m1 := newMember(t, "p1/s", 100, 0, t0)
+	m2 := newMember(t, "p2/s", 200, 0, t0)
+	if _, err := r.AddMember("p1/s", m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddMember("p2/s", m2); err != nil {
+		t.Fatal(err)
+	}
+	r.Observe("p1/s")
+	r.Observe("p2/s")
+	folded := r.Fold()
+	vals, _, _ := readOut(t, folded[0].Set)
+	if got := vals[0].F64(); got != 0 {
+		t.Fatalf("first-pass rate = %v, want 0 (no previous sample)", got)
+	}
+
+	// p1: +50/s, p2: counter reset (clamps to 0).
+	sample(m1, 150, 0, t0.Add(time.Second))
+	sample(m2, 10, 0, t0.Add(time.Second))
+	r.Observe("p1/s")
+	r.Observe("p2/s")
+	folded = r.Fold()
+	vals, _, _ = readOut(t, folded[0].Set)
+	if got := vals[0].F64(); got != 50 {
+		t.Fatalf("rate = %v, want 50 (u64 counter reset contributes 0)", got)
+	}
+}
+
+// TestFoldStaleGroupHoldsDGN pins the staleness contract: a group with no
+// fresh members does not fold, so its reduced sets' DGNs hold still and an
+// upstream tier skips them exactly like an idle sampler's raw set.
+func TestFoldStaleGroupHoldsDGN(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpSum}})
+	m := newMember(t, "p1/s", 1, 1, time.Unix(1000, 0))
+	created, _ := r.AddMember("p1/s", m)
+	r.Observe("p1/s")
+	if n := len(r.Fold()); n != 1 {
+		t.Fatalf("first fold published %d", n)
+	}
+	_, _, dgn1 := readOut(t, created[0])
+	if folded := r.Fold(); len(folded) != 0 {
+		t.Fatalf("stale fold published %d outputs, want 0", len(folded))
+	}
+	_, _, dgn2 := readOut(t, created[0])
+	if dgn1 != dgn2 {
+		t.Fatalf("DGN advanced %d → %d with no fresh members", dgn1, dgn2)
+	}
+
+	// An inconsistent member (mid-transaction) must not contribute either.
+	m.BeginTransaction()
+	r.Observe("p1/s")
+	if folded := r.Fold(); len(folded) != 0 {
+		t.Fatalf("inconsistent member folded %d outputs, want 0", len(folded))
+	}
+}
+
+func TestFoldDeterministicOrder(t *testing.T) {
+	// Values chosen so float summation order matters: folding must
+	// accumulate in sorted member-name order regardless of insertion order.
+	vals := []float64{1e16, 1, -1e16, 3.5, 2.25, -7}
+	build := func(order []int) float64 {
+		r := New(Config{Daemon: "agg", Ops: []Op{OpSum}})
+		var out *metric.Set
+		for _, i := range order {
+			name := string(rune('a'+i)) + "/s"
+			m := newMember(t, name, 0, vals[i], time.Unix(1000, 0))
+			created, err := r.AddMember(name, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(created) > 0 {
+				out = created[0]
+			}
+			r.Observe(name)
+		}
+		r.Fold()
+		v, _, _ := readOut(t, out)
+		return v[1].F64()
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5})
+	b := build([]int{5, 3, 1, 4, 2, 0})
+	if a != b {
+		t.Fatalf("fold order-dependent: %v != %v", a, b)
+	}
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpSum, OpAvg}})
+	m1 := newMember(t, "p1/s", 1, 1, time.Unix(1000, 0))
+	m2 := newMember(t, "p2/s", 2, 2, time.Unix(1000, 0))
+	created, _ := r.AddMember("p1/s", m1)
+	if _, err := r.AddMember("p2/s", m2); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Groups != 1 || st.Members != 2 || st.Outputs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Dropping one member keeps the group; dropping the last retires the
+	// reduced sets.
+	if retired := r.RemoveMember("p1/s"); len(retired) != 0 {
+		t.Fatalf("retired %d sets with a member remaining", len(retired))
+	}
+	r.Observe("p2/s")
+	folded := r.Fold()
+	if len(folded) != 2 || folded[0].Members != 1 {
+		t.Fatalf("post-removal fold: %d outputs, members=%d", len(folded), folded[0].Members)
+	}
+	retired := r.RemoveMember("p2/s")
+	if len(retired) != 2 || retired[0] != created[0] {
+		t.Fatalf("retired = %v", retired)
+	}
+	if st := r.Stats(); st.Groups != 0 || st.Members != 0 {
+		t.Fatalf("stats after retirement = %+v", st)
+	}
+
+	// Unknown member: no-op.
+	if retired := r.RemoveMember("nope"); retired != nil {
+		t.Fatalf("RemoveMember(nope) = %v", retired)
+	}
+}
+
+func TestAddMemberSchemaMismatch(t *testing.T) {
+	r := New(Config{Daemon: "agg", Ops: []Op{OpSum}})
+	m1 := newMember(t, "p1/s", 1, 1, time.Unix(1000, 0))
+	if _, err := r.AddMember("p1/s", m1); err != nil {
+		t.Fatal(err)
+	}
+	sch := metric.NewSchema("s")
+	sch.MustAddMetric("a", metric.TypeU64)
+	sch.MustAddMetric("b", metric.TypeU32) // type differs from the group's d64
+	odd, err := metric.New("p2/s", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddMember("p2/s", odd); err == nil {
+		t.Fatal("incongruent member accepted")
+	}
+
+	// Re-adding a known member with a congruent set (reconnect epoch)
+	// replaces it silently.
+	m1b := newMember(t, "p1/s", 5, 5, time.Unix(2000, 0))
+	if created, err := r.AddMember("p1/s", m1b); err != nil || len(created) != 0 {
+		t.Fatalf("replace: created=%d err=%v", len(created), err)
+	}
+	r.Observe("p1/s")
+	folded := r.Fold()
+	vals, _, _ := readOut(t, folded[0].Set)
+	if vals[0].U64() != 5 {
+		t.Fatalf("replaced member not used: a = %v", vals[0])
+	}
+}
+
+// TestReduceCountNameCollision: a source schema that already defines
+// "reduce_count" keeps its own metric; the synthetic counter is omitted.
+func TestReduceCountNameCollision(t *testing.T) {
+	sch := metric.NewSchema("clash")
+	sch.MustAddMetric("reduce_count", metric.TypeU64)
+	set, err := metric.New("p1/clash", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.BeginTransaction()
+	set.SetU64(0, 9)
+	set.EndTransaction(time.Unix(1000, 0))
+
+	r := New(Config{Daemon: "agg", Ops: []Op{OpMax}})
+	created, err := r.AddMember("p1/clash", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created[0].Card() != 1 {
+		t.Fatalf("card = %d, want 1 (no synthetic counter)", created[0].Card())
+	}
+	r.Observe("p1/clash")
+	folded := r.Fold()
+	vals, _, _ := readOut(t, folded[0].Set)
+	if vals[0].U64() != 9 {
+		t.Fatalf("max = %v", vals[0])
+	}
+}

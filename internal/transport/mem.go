@@ -169,6 +169,19 @@ func (c *memConn) Dir(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
+// DirGen implements DirGenConn: a single atomic load on the serving
+// registry, with the Delay hook observing the poll like any other client op.
+func (c *memConn) DirGen(ctx context.Context) (uint64, error) {
+	if err := c.check(ctx); err != nil {
+		return 0, err
+	}
+	c.pause("dir_gen")
+	gen := c.l.srv.serveDirGen()
+	c.countOut(0)
+	c.countIn(8)
+	return gen, nil
+}
+
 // Lookup implements Conn.
 func (c *memConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
 	if err := c.check(ctx); err != nil {

@@ -66,6 +66,13 @@ func (s *Server) serveDir() []string {
 	return names
 }
 
+// serveDirGen implements the dir-generation poll: a single atomic load on
+// the serving side, so tiered peers can check for membership changes every
+// pass without paying for a full directory walk.
+func (s *Server) serveDirGen() uint64 {
+	return s.reg.Gen()
+}
+
 // serveLookup implements the lookup operation, returning the set (for
 // handle registration) and its serialized metadata.
 func (s *Server) serveLookup(name string) (*metric.Set, []byte, error) {

@@ -214,7 +214,7 @@ func (sc *sockConn) readLoop() {
 		}
 		sc.countIn(frameHeader + len(payload))
 		switch typ {
-		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello:
+		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello, msgDirGenReq:
 			err := sc.serveRequest(typ, id, payload)
 			putBuf(payload)
 			if err != nil {
@@ -258,6 +258,8 @@ func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 	switch typ {
 	case msgDirReq:
 		return sc.send(msgDirResp, id, encodeDirResp(sc.srv.serveDir()))
+	case msgDirGenReq:
+		return sc.send(msgDirGenResp, id, wireLE.AppendUint64(nil, sc.srv.serveDirGen()))
 	case msgLookupReq:
 		name, _, err := readString(payload, 0)
 		if err != nil {
@@ -390,6 +392,22 @@ func (sc *sockConn) Dir(ctx context.Context) ([]string, error) {
 	names, err := decodeDirResp(resp.payload)
 	putBuf(resp.payload)
 	return names, err
+}
+
+// DirGen implements DirGenConn: one small round trip for the remote
+// registry's directory generation.
+func (sc *sockConn) DirGen(ctx context.Context) (uint64, error) {
+	resp, err := sc.roundTrip(ctx, msgDirGenReq, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.payload) < 8 {
+		putBuf(resp.payload)
+		return 0, fmt.Errorf("transport: short dir-gen response")
+	}
+	gen := wireLE.Uint64(resp.payload)
+	putBuf(resp.payload)
+	return gen, nil
 }
 
 // Lookup implements Conn.

@@ -56,6 +56,28 @@ type RemoteSet interface {
 	Update(ctx context.Context, dst []byte) (int, error)
 }
 
+// DirGenConn is an optional Conn capability: poll the remote registry's
+// directory generation (bumped on every set add/remove). An aggregator in a
+// tiered topology checks it once per pull pass and only re-runs the full
+// dir/lookup handshake when membership actually changed, so joins and leaves
+// propagate one pull interval per hop with O(1) steady-state cost.
+type DirGenConn interface {
+	DirGen(ctx context.Context) (uint64, error)
+}
+
+// DirGenOf polls conn's directory generation when the transport supports it.
+func DirGenOf(ctx context.Context, conn Conn) (uint64, bool, error) {
+	dg, ok := conn.(DirGenConn)
+	if !ok {
+		return 0, false, nil
+	}
+	gen, err := dg.DirGen(ctx)
+	if err != nil {
+		return 0, true, err
+	}
+	return gen, true, nil
+}
+
 // UpdateOp is one data pull in a pipelined batch: Set and Dst are filled by
 // the caller; N and Err carry the per-op result, exactly as RemoteSet.Update
 // would return them.

@@ -163,3 +163,15 @@ func decodeDirResp(b []byte) ([]string, error) {
 // msgHello announces the dialing peer's name for reversed-direction pulls
 // (connection initiation from either side, §IV-B).
 const msgHello = msgErrResp + 1
+
+// msgDirGenReq/msgDirGenResp poll the peer registry's directory generation
+// (a u64 counter bumped on set add/remove). Tiered aggregators check it once
+// per pass and only re-fetch the full directory when it moved, so membership
+// changes propagate one pull interval per hop without per-pass dir traffic.
+//
+//	dirGenReq   (empty)
+//	dirGenResp  u64 generation
+const (
+	msgDirGenReq  = msgHello + 1
+	msgDirGenResp = msgHello + 2
+)
