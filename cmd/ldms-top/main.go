@@ -107,6 +107,9 @@ func showHealth(client *http.Client, base string) error {
 			ConsecutiveErrors int64     `json:"consecutive_errors"`
 			Stale             bool      `json:"stale"`
 			Sets              int       `json:"sets"`
+			Updates           int64     `json:"updates"`
+			DeltaUpdates      int64     `json:"delta_updates"`
+			BytesPerSample    float64   `json:"bytes_per_sample"`
 		} `json:"producers"`
 	}
 	if err := getJSON(client, base+"/healthz", &h); err != nil {
@@ -134,8 +137,17 @@ func showHealth(client *http.Client, base string) error {
 				role = " standby(active)"
 			}
 		}
-		fmt.Printf(" %s %-16s %-12s conns=%d/%d sets=%d last_update=%s errs=%d%s\n",
-			mark, p.Name, p.State, p.Connects, p.Disconnects, p.Sets, last, p.ConsecutiveErrors, role)
+		// Wire efficiency: delta hit rate and bytes per pulled sample, the
+		// cost curve the delta/dictionary protocol flattens at high fan-in.
+		cost := ""
+		if p.Updates > 0 {
+			cost = fmt.Sprintf(" B/sample=%.0f", p.BytesPerSample)
+			if p.DeltaUpdates > 0 {
+				cost += fmt.Sprintf(" delta=%d%%", 100*p.DeltaUpdates/p.Updates)
+			}
+		}
+		fmt.Printf(" %s %-16s %-12s conns=%d/%d sets=%d last_update=%s errs=%d%s%s\n",
+			mark, p.Name, p.State, p.Connects, p.Disconnects, p.Sets, last, p.ConsecutiveErrors, cost, role)
 	}
 	return nil
 }

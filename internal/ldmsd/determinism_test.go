@@ -26,14 +26,19 @@ type virtualRunResult struct {
 	store       obs.HistSnapshot
 	series      []query.Series
 	csv         string
+	// deltaUpdates counts pulls the transport answered with a delta rather
+	// than a full chunk — proof of which wire path a run exercised.
+	deltaUpdates int64
 }
 
 // virtualPipelineRun drives a full sampler → aggregator → window/store
 // pipeline for 20 simulated seconds on a fresh virtual clock and
 // collects every observable output. compress selects the recent
 // window's storage mode; the codec is lossless on raw value bits, so
-// served results must not depend on it.
-func virtualPipelineRun(t *testing.T, compress bool) virtualRunResult {
+// served results must not depend on it. noDelta models a legacy peer:
+// every pull moves a full data chunk, and since the delta codec is exact,
+// nothing downstream of the transport may differ.
+func virtualPipelineRun(t *testing.T, compress, noDelta bool) virtualRunResult {
 	t.Helper()
 	sch := sched.NewVirtual(time.Unix(90000, 0))
 	net := transport.NewNetwork()
@@ -49,7 +54,7 @@ func virtualPipelineRun(t *testing.T, compress bool) virtualRunResult {
 	agg, err := New(Options{
 		Name:        "agg",
 		Scheduler:   sch,
-		Transports:  []transport.Factory{transport.MemFactory{Net: net}},
+		Transports:  []transport.Factory{transport.MemFactory{Net: net, NoDelta: noDelta}},
 		JournalSize: 64,
 	})
 	if err != nil {
@@ -78,6 +83,7 @@ strgp_start name=s1
 	sch.AdvanceBy(20 * time.Second)
 
 	res := virtualRunResult{stats: agg.Stats()}
+	res.deltaUpdates = agg.Producer("n1").Counters().Transport.DeltaUpdates
 	if res.updtrStatus, err = agg.Exec("updtr_status"); err != nil {
 		t.Fatal(err)
 	}
@@ -108,8 +114,17 @@ strgp_start name=s1
 // store/flush stamps, and the updater's pass timing all read time.Now
 // and differed run to run.
 func TestVirtualRunDeterministic(t *testing.T) {
-	a := virtualPipelineRun(t, false)
-	b := virtualPipelineRun(t, false)
+	a := virtualPipelineRun(t, false, false)
+	b := virtualPipelineRun(t, false, false)
+
+	// The runs exercise the delta protocol, not just full chunks: after the
+	// first pull of each set, every steady-state pull is a delta.
+	if a.deltaUpdates == 0 {
+		t.Fatal("virtual pipeline moved no delta updates")
+	}
+	if a.deltaUpdates != b.deltaUpdates {
+		t.Errorf("delta updates differ: %d vs %d", a.deltaUpdates, b.deltaUpdates)
+	}
 
 	// The runs must be non-trivial or determinism is vacuous.
 	if a.pull.Count == 0 || a.window.Count == 0 || a.store.Count == 0 {
@@ -160,9 +175,9 @@ func TestVirtualRunDeterministic(t *testing.T) {
 // representation — a compressed run serves exactly the same series,
 // rows and histograms as an uncompressed one.
 func TestVirtualRunDeterministicCompressed(t *testing.T) {
-	plain := virtualPipelineRun(t, false)
-	c1 := virtualPipelineRun(t, true)
-	c2 := virtualPipelineRun(t, true)
+	plain := virtualPipelineRun(t, false, false)
+	c1 := virtualPipelineRun(t, true, false)
+	c2 := virtualPipelineRun(t, true, false)
 
 	if len(c1.series) == 0 || len(c1.series[0].Points) == 0 {
 		t.Fatal("compressed window served no MemFree points")
@@ -184,5 +199,37 @@ func TestVirtualRunDeterministicCompressed(t *testing.T) {
 	}
 	if plain.window != c1.window {
 		t.Errorf("compression changed the window-hop histogram:\n plain: %+v\n compressed: %+v", plain.window, c1.window)
+	}
+}
+
+// TestVirtualRunDeltaEquivalence pins the delta protocol's exactness at the
+// system level: a pipeline pulling deltas and a pipeline pulling only full
+// chunks (a legacy peer) must produce byte-identical windows, stored rows,
+// histograms and status output — the wire encoding may never leak into what
+// the daemon observes.
+func TestVirtualRunDeltaEquivalence(t *testing.T) {
+	delta := virtualPipelineRun(t, false, false)
+	full := virtualPipelineRun(t, false, true)
+
+	if delta.deltaUpdates == 0 {
+		t.Fatal("delta run moved no delta updates")
+	}
+	if full.deltaUpdates != 0 {
+		t.Fatalf("legacy run moved %d delta updates", full.deltaUpdates)
+	}
+	if delta.stats != full.stats {
+		t.Errorf("stats differ:\n delta: %+v\n full:  %+v", delta.stats, full.stats)
+	}
+	if delta.updtrStatus != full.updtrStatus {
+		t.Errorf("updtr_status differs:\n delta: %s\n full:  %s", delta.updtrStatus, full.updtrStatus)
+	}
+	if delta.pull != full.pull {
+		t.Errorf("pull-hop histograms differ:\n delta: %+v\n full:  %+v", delta.pull, full.pull)
+	}
+	if !reflect.DeepEqual(delta.series, full.series) {
+		t.Errorf("window series differ:\n delta: %+v\n full:  %+v", delta.series, full.series)
+	}
+	if delta.csv != full.csv {
+		t.Errorf("stored CSV rows differ:\n delta:\n%s\n full:\n%s", delta.csv, full.csv)
 	}
 }

@@ -177,13 +177,16 @@ func (d *Daemon) producerHealth() []query.ProducerHealth {
 	for _, p := range prdcrs {
 		c := p.Counters()
 		ph := query.ProducerHealth{
-			Name:        p.Name(),
-			Host:        p.Host(),
-			State:       p.State().String(),
-			Standby:     p.Standby(),
-			Active:      p.Active(),
-			Connects:    c.Connects,
-			Disconnects: c.Disconnects,
+			Name:           p.Name(),
+			Host:           p.Host(),
+			State:          p.State().String(),
+			Standby:        p.Standby(),
+			Active:         p.Active(),
+			Connects:       c.Connects,
+			Disconnects:    c.Disconnects,
+			Updates:        c.Transport.Updates,
+			DeltaUpdates:   c.Transport.DeltaUpdates,
+			BytesPerSample: c.Transport.BytesPerSample(),
 		}
 		if pr, ok := pulls[p.Name()]; ok && ph.Active {
 			ph.LastUpdate = pr.last
@@ -289,6 +292,9 @@ func (d *Daemon) collectSelfMetrics(e *query.Expo) {
 		}
 		e.Counter("ldmsd_transport_batches_total", "Pipelined update batches issued.", l, float64(c.Transport.Batches))
 		e.Counter("ldmsd_transport_batched_ops_total", "Update ops carried in pipelined batches.", l, float64(c.Transport.BatchedOps))
+		e.Counter("ldmsd_transport_updates_total", "Completed data pulls over this producer's connection.", l, float64(c.Transport.Updates))
+		e.Counter("ldmsd_transport_delta_updates_total", "Data pulls answered with a delta instead of a full chunk.", l, float64(c.Transport.DeltaUpdates))
+		e.Gauge("ldmsd_transport_bytes_per_sample", "Inbound transport bytes per completed pull (wire cost of one sample).", l, c.Transport.BytesPerSample())
 	}
 
 	for _, sp := range samplers {

@@ -127,6 +127,13 @@ type updSet struct {
 	lastDGN uint64
 	haveDGN bool
 	inReg   bool
+	// Delta-update ack state: bufValid means buf holds a byte-accurate copy
+	// of the remote data chunk as of generation bufDGN, so the next pull may
+	// ask the server for just the changes since then. Cleared on any pull
+	// error and on every re-lookup (reconnects, metadata changes), which
+	// transparently degrades the next pull to a full chunk.
+	bufDGN   uint64
+	bufValid bool
 }
 
 // exportName is the paper's <producer>/<set> re-export convention: a bare
@@ -441,7 +448,13 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 		hi := min(lo+batch, len(due))
 		ops := ps.ops[:0]
 		for _, us := range due[lo:hi] {
-			ops = append(ops, transport.UpdateOp{Set: us.remote, Dst: us.buf})
+			// Carrying the acknowledged DGN lets a delta-capable transport
+			// ship only the metrics that changed since the chunk already in
+			// buf; transports (or peers) without the capability ignore it.
+			ops = append(ops, transport.UpdateOp{
+				Set: us.remote, Dst: us.buf,
+				AckDGN: us.bufDGN, HaveAck: us.bufValid,
+			})
 		}
 		ps.ops = ops
 		ctx, cancel := u.ctx()
@@ -577,6 +590,9 @@ func (u *Updater) producerState(name string, epoch uint64, names []string) *updP
 				us.mirror = prev.mirror
 				us.buf = prev.buf
 				us.inReg = prev.inReg
+				// bufValid is deliberately NOT carried across epochs: the
+				// peer may have restarted with rebuilt generation counters,
+				// so the first pull after a reconnect is always a full chunk.
 				delete(old.sets, sn)
 			}
 		}
@@ -727,6 +743,11 @@ func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
 		}
 	}
 	us.remote = remote
+	// A fresh lookup means the connection or the set changed under us (new
+	// epoch, recreated set, metadata bump). Whatever buf held is no longer a
+	// trusted delta base; the first pull on the new handle moves the full
+	// chunk and re-arms delta from there.
+	us.bufValid = false
 	// Registration retries on every lookup (not just mirror creation): a
 	// name squatted by another producer's mirror — e.g. the failed half of
 	// a failover pair — may have been released since.
@@ -746,23 +767,29 @@ func (u *Updater) lookupSet(conn transport.Conn, us *updSet) bool {
 //ldms:hotpath
 func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	if err != nil {
+		us.bufValid = false
 		u.errors.Add(1)
 		return false
 	}
 	u.updates.Add(1)
 	if err := us.mirror.LoadData(us.buf[:n]); err != nil {
-		// Metadata generation changed: schedule a fresh lookup.
+		// Metadata generation changed: schedule a fresh lookup. The chunk in
+		// buf belongs to the new layout, so it is not a usable delta base.
 		us.remote = nil
+		us.bufValid = false
 		u.errors.Add(1)
 		return true
 	}
+	dgn := us.mirror.DGN()
+	// buf now holds a truthful remote snapshot at dgn — even a torn or stale
+	// one is a byte-accurate base for the next delta request.
+	us.bufDGN, us.bufValid = dgn, true
 	// "Collection of a metric set whose data has not been updated or is
 	// incomplete does not result in a write to storage."
 	if !us.mirror.Consistent() {
 		u.inconsistent.Add(1)
 		return true
 	}
-	dgn := us.mirror.DGN()
 	if us.haveDGN && dgn == us.lastDGN {
 		u.stale.Add(1)
 		return true

@@ -44,8 +44,10 @@ type Set struct {
 	meta     []byte   // serialized metadata chunk
 	data     []byte   // data chunk (header + values)
 	entryOff []uint32 // offset of each metric's entry in the metadata chunk
+	changed  []uint64 // per-metric DGN at which the stored bits last changed
 	arena    *mmgr.Arena
 	local    bool // true if this daemon samples into the set
+	loaded   bool // true once LoadData has filled the chunk at least once
 }
 
 // Option configures set creation.
@@ -83,7 +85,15 @@ func New(instance string, schema *Schema, opts ...Option) (*Set, error) {
 	}
 	schema.freeze()
 
-	s := &Set{name: instance, schema: schema, arena: cfg.arena, local: true}
+	// The change journal is daemon bookkeeping, not part of the set's wire
+	// or memory format, so it lives on the Go heap even for arena sets.
+	s := &Set{
+		name:    instance,
+		schema:  schema,
+		changed: make([]uint64, schema.Card()),
+		arena:   cfg.arena,
+		local:   true,
+	}
 
 	metaSize := schema.MetaSize(instance)
 	dataSize := schema.DataSize()
@@ -237,8 +247,11 @@ func (s *Set) SetValue(i int, v Value) {
 	off := s.schema.offsets[i]
 	t := s.schema.defs[i].Type
 	s.mu.Lock()
-	s.put(off, t, convertBits(v, t))
-	le.PutUint64(s.data[offDGN:], le.Uint64(s.data[offDGN:])+1)
+	dgn := le.Uint64(s.data[offDGN:]) + 1
+	if s.putDiff(off, t, convertBits(v, t)) {
+		s.changed[i] = dgn
+	}
+	le.PutUint64(s.data[offDGN:], dgn)
 	s.mu.Unlock()
 }
 
@@ -246,8 +259,9 @@ func (s *Set) SetValue(i int, v Value) {
 // SetValues. It lets a sampling pass store every metric of the pass under a
 // single lock acquisition instead of one per metric.
 type Batch struct {
-	s   *Set
-	dgn uint64
+	s    *Set
+	base uint64 // DGN when the batch began
+	dgn  uint64
 }
 
 // SetValue stores v into metric i, converting to the metric's declared
@@ -256,8 +270,10 @@ type Batch struct {
 func (b *Batch) SetValue(i int, v Value) {
 	off := b.s.schema.offsets[i]
 	t := b.s.schema.defs[i].Type
-	b.s.put(off, t, convertBits(v, t))
 	b.dgn++
+	if b.s.putDiff(off, t, convertBits(v, t)) {
+		b.s.changed[i] = b.base + b.dgn
+	}
 }
 
 // SetU64 stores an unsigned integer into metric i.
@@ -274,7 +290,7 @@ func (b *Batch) SetF64(i int, v float64) { b.SetValue(i, F64Value(v)) }
 // use this instead of per-metric SetValue calls, which each lock.
 func (s *Set) SetValues(fn func(*Batch)) {
 	s.mu.Lock()
-	b := Batch{s: s}
+	b := Batch{s: s, base: le.Uint64(s.data[offDGN:])}
 	fn(&b)
 	if b.dgn > 0 {
 		le.PutUint64(s.data[offDGN:], le.Uint64(s.data[offDGN:])+b.dgn)
@@ -349,24 +365,45 @@ func (s *Set) put(off uint32, t Type, bits uint64) {
 	}
 }
 
+// putDiff writes raw bits of type t at data offset off and reports whether
+// the stored representation actually changed — the predicate feeding the
+// per-metric change journal. Comparison happens at the metric's natural
+// width (store then re-read), so value bits outside the stored width never
+// register as perpetual change. Caller holds the lock.
+//
+//ldms:hotpath
+func (s *Set) putDiff(off uint32, t Type, bits uint64) bool {
+	old := getBits(s.data, off, t)
+	s.put(off, t, bits)
+	return getBits(s.data, off, t) != old
+}
+
 // get reads raw bits of type t at data offset off, widening to 64 bits.
 // Caller holds the lock.
 func (s *Set) get(off uint32, t Type) uint64 {
+	return getBits(s.data, off, t)
+}
+
+// getBits reads raw bits of type t at offset off in a data chunk, widening
+// to 64 bits.
+//
+//ldms:hotpath
+func getBits(data []byte, off uint32, t Type) uint64 {
 	switch t {
 	case TypeU8:
-		return uint64(s.data[off])
+		return uint64(data[off])
 	case TypeS8:
-		return uint64(int64(int8(s.data[off])))
+		return uint64(int64(int8(data[off])))
 	case TypeU16:
-		return uint64(le.Uint16(s.data[off:]))
+		return uint64(le.Uint16(data[off:]))
 	case TypeS16:
-		return uint64(int64(int16(le.Uint16(s.data[off:]))))
+		return uint64(int64(int16(le.Uint16(data[off:]))))
 	case TypeU32, TypeF32:
-		return uint64(le.Uint32(s.data[off:]))
+		return uint64(le.Uint32(data[off:]))
 	case TypeS32:
-		return uint64(int64(int32(le.Uint32(s.data[off:]))))
+		return uint64(int64(int32(le.Uint32(data[off:]))))
 	default:
-		return le.Uint64(s.data[off:])
+		return le.Uint64(data[off:])
 	}
 }
 
@@ -417,7 +454,10 @@ func (e *ErrMGNMismatch) Error() string {
 }
 
 // LoadData replaces the set's data chunk with src, as an aggregator does
-// when an update completes. It validates the length and the MGN.
+// when an update completes. It validates the length and the MGN. While
+// copying it diffs each metric against the incoming chunk and journals the
+// ones whose bits changed, so mirrors can themselves serve delta updates
+// when re-exported by a mid-tier aggregator.
 func (s *Set) LoadData(src []byte) error {
 	if len(src) != len(s.data) {
 		return fmt.Errorf("metric: set %q: data length %d, want %d", s.name, len(src), len(s.data))
@@ -428,6 +468,24 @@ func (s *Set) LoadData(src []byte) error {
 		return &ErrMGNMismatch{Want: want, Got: got}
 	}
 	s.mu.Lock()
+	dgn := le.Uint64(src[offDGN:])
+	if !s.loaded {
+		// First load into a fresh mirror: the zeroed chunk says nothing
+		// about what a downstream consumer may already hold (a rebuilt
+		// mirror keeps the remote's MGN and DGN sequence), so journal every
+		// metric rather than trusting a diff against zeros.
+		for i := range s.changed {
+			s.changed[i] = dgn
+		}
+		s.loaded = true
+	} else {
+		for i, off := range s.schema.offsets {
+			t := s.schema.defs[i].Type
+			if getBits(src, off, t) != getBits(s.data, off, t) {
+				s.changed[i] = dgn
+			}
+		}
+	}
 	copy(s.data, src)
 	s.mu.Unlock()
 	return nil

@@ -42,6 +42,13 @@ type ProducerHealth struct {
 	// summed across updaters — the fan-in contribution of one downstream
 	// daemon in a tiered topology.
 	Sets int `json:"sets"`
+	// Updates and DeltaUpdates count completed data pulls over this
+	// producer's connection and how many of them were answered with a
+	// delta; BytesPerSample is inbound wire bytes per completed pull, the
+	// per-sample cost the delta protocol exists to shrink.
+	Updates        int64   `json:"updates,omitempty"`
+	DeltaUpdates   int64   `json:"delta_updates,omitempty"`
+	BytesPerSample float64 `json:"bytes_per_sample,omitempty"`
 }
 
 // StoreHealth describes one storage policy for /healthz: a policy whose

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package transport
+
+// raiseFDLimit is a no-op where rlimits don't exist; assume descriptors
+// are plentiful and let the dial loop surface any real ceiling.
+func raiseFDLimit() uint64 { return 1 << 20 }

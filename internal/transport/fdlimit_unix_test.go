@@ -1,0 +1,26 @@
+//go:build unix
+
+package transport
+
+import "syscall"
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE to the hard limit and returns
+// the resulting ceiling. The 10k-connection scale benchmark needs two file
+// descriptors per loopback connection, far past the common 1024 soft
+// default; the hard limit is the kernel's final word, so callers size
+// themselves to what this returns rather than assuming the full target.
+func raiseFDLimit() uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 1024
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		// Best effort: on failure the current soft limit still stands.
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl); err == nil {
+			return rl.Max
+		}
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	return rl.Cur
+}

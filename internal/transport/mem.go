@@ -35,6 +35,9 @@ type MemFactory struct {
 	// batch, however many ops it carries — "update_batch". Tests use it to
 	// model round-trip latency or to stall a chosen peer.
 	Delay func(addr, op string)
+	// NoDelta disables the delta update path, modeling a legacy peer:
+	// batched ops always move full chunks regardless of acknowledged DGNs.
+	NoDelta bool
 }
 
 // Name returns the transport kind.
@@ -86,7 +89,7 @@ func (f MemFactory) Dial(addr string) (Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
 	}
-	return &memConn{l: l, addr: addr, delay: f.Delay}, nil
+	return &memConn{l: l, addr: addr, delay: f.Delay, noDelta: f.NoDelta}, nil
 }
 
 // memListener is a bound in-process address.
@@ -121,11 +124,12 @@ func (l *memListener) alive() bool {
 
 // memConn is a direct-call client connection.
 type memConn struct {
-	l      *memListener
-	addr   string
-	delay  func(addr, op string)
-	mu     sync.Mutex
-	closed bool
+	l       *memListener
+	addr    string
+	delay   func(addr, op string)
+	noDelta bool
+	mu      sync.Mutex
+	closed  bool
 
 	// Transfer counters, mirroring what the sock transport counts on the
 	// wire: one message per request and per reply, payload bytes in.
@@ -228,6 +232,9 @@ func (rs *memRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 	n, err := rs.fetch(dst)
 	rs.conn.countOut(4) // the sock transport's handle word
 	rs.conn.countIn(n)
+	if err == nil {
+		rs.conn.countUpdate(false)
+	}
 	return n, err
 }
 
@@ -238,6 +245,34 @@ func (rs *memRemoteSet) fetch(dst []byte) (int, error) {
 		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), rs.set.DataSize())
 	}
 	return rs.conn.l.srv.serveUpdate(rs.set, dst), nil
+}
+
+// fetchDelta runs the genuine delta encode+apply path in process: the
+// serving side encodes the changes since the acknowledged DGN and the
+// client patches dst — the same payload bytes a sock peer would move — so
+// virtual-clock runs and determinism tests exercise the real codec. It
+// returns the chunk size and the wire payload size, setting *wasDelta when
+// the server answered with a delta rather than its full-chunk fallback.
+func (rs *memRemoteSet) fetchDelta(dst []byte, since uint64, wasDelta *bool) (n, wire int, err error) {
+	ds := rs.set.DataSize()
+	if len(dst) < ds {
+		return 0, 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), ds)
+	}
+	buf := getBuf(1 + ds + 64)
+	out := rs.conn.l.srv.serveUpdateDelta(rs.set, since, buf)
+	if out[0] == deltaKindDelta {
+		if err := rs.meta.ApplyDelta(dst[:ds], out[1:]); err != nil {
+			putBuf(buf)
+			return 0, 0, err
+		}
+		*wasDelta = true
+		n = ds
+	} else {
+		n = copy(dst, out[1:])
+	}
+	wire = len(out)
+	putBuf(buf)
+	return n, wire, nil
 }
 
 // UpdateBatch implements BatchUpdater: the in-process analogue of the sock
@@ -263,17 +298,35 @@ func (c *memConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 		failOps(ops, err)
 		return
 	}
-	var bytesIn int64
+	var bytesIn, bytesOut, done, deltas int64
 	for i := range ops {
-		ops[i].N, ops[i].Err = ops[i].Set.(*memRemoteSet).fetch(ops[i].Dst)
-		bytesIn += int64(ops[i].N)
+		rs := ops[i].Set.(*memRemoteSet)
+		ops[i].WasDelta = false
+		if ops[i].HaveAck && !c.noDelta {
+			n, wire, err := rs.fetchDelta(ops[i].Dst, ops[i].AckDGN, &ops[i].WasDelta)
+			ops[i].N, ops[i].Err = n, err
+			bytesIn += int64(wire)
+			bytesOut += 12 // handle word + acknowledged DGN
+		} else {
+			ops[i].N, ops[i].Err = rs.fetch(ops[i].Dst)
+			bytesIn += int64(ops[i].N)
+			bytesOut += 4 // the sock transport's handle word
+		}
+		if ops[i].Err == nil {
+			done++
+		}
+		if ops[i].WasDelta {
+			deltas++
+		}
 	}
 	// One counter update per batch keeps the tap invisible to the update
 	// fan-in hot path.
 	c.msgsOut.Add(int64(len(ops)))
-	c.bytesOut.Add(4 * int64(len(ops)))
+	c.bytesOut.Add(bytesOut)
 	c.msgsIn.Add(int64(len(ops)))
 	c.bytesIn.Add(bytesIn)
 	c.batches.Add(1)
 	c.batchedOps.Add(int64(len(ops)))
+	c.updates.Add(done)
+	c.deltaUpdates.Add(deltas)
 }

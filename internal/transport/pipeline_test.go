@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"goldms/internal/metric"
 )
@@ -246,4 +247,414 @@ func BenchmarkSockUpdate(b *testing.B) {
 			UpdateAll(ctx, conn, ops)
 		}
 	})
+}
+
+// readDGN extracts the data generation number from a pulled data chunk, the
+// value an updater acknowledges on its next delta request.
+func readDGN(t *testing.T, op UpdateOp) uint64 {
+	t.Helper()
+	mir, err := op.Set.Meta().NewMirror()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mir.LoadData(op.Dst[:op.N]); err != nil {
+		t.Fatal(err)
+	}
+	return mir.DGN()
+}
+
+// TestSockDeltaUpdates drives the delta protocol end to end over TCP: a full
+// first pull, then an acknowledged pull that must arrive as a delta and
+// patch the buffer to exactly the server's current bytes, then a bogus
+// (future) ack that must transparently fall back to a full chunk.
+func TestSockDeltaUpdates(t *testing.T) {
+	reg := newTestRegistry(t, 4)
+	srv := NewServer(reg)
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	if _, err := conn.Dir(ctx); err != nil { // negotiates capabilities
+		t.Fatal(err)
+	}
+
+	ops := lookupAll(t, conn, reg.Dir())
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if ops[i].WasDelta {
+			t.Fatalf("op %d: first pull arrived as a delta", i)
+		}
+		ops[i].AckDGN, ops[i].HaveAck = readDGN(t, ops[i]), true
+	}
+
+	// Mutate one metric per set, then pull with acks: every response must
+	// be a delta and the patched chunks must match the new values.
+	for i, name := range reg.Dir() {
+		set := reg.Get(name)
+		set.BeginTransaction()
+		set.SetU64(0, uint64(100+i)) // checkOps expects a = 100+i
+		set.EndTransaction(time.Unix(2000, 0))
+	}
+	for i := range ops {
+		ops[i].N, ops[i].Err, ops[i].WasDelta = 0, nil, false
+	}
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if !ops[i].WasDelta {
+			t.Errorf("op %d: acknowledged pull was not a delta", i)
+		}
+	}
+	st, _ := StatsOf(conn)
+	if st.Updates != 8 || st.DeltaUpdates != 4 {
+		t.Errorf("conn stats updates=%d delta=%d, want 8/4", st.Updates, st.DeltaUpdates)
+	}
+	if got := srv.Stats().DeltaUpdates; got != 4 {
+		t.Errorf("server delta updates = %d want 4", got)
+	}
+
+	// A future ack (the peer restarted, generations rewound) must fall back
+	// to a full chunk, not an error.
+	for i := range ops {
+		ops[i].N, ops[i].Err, ops[i].WasDelta = 0, nil, false
+		ops[i].AckDGN = 1 << 60
+	}
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if ops[i].WasDelta {
+			t.Errorf("op %d: future ack still answered with a delta", i)
+		}
+	}
+}
+
+// TestSockDeltaBytesPerSample verifies the wire saving the delta path
+// exists for: steady-state acknowledged pulls of a wide set move far fewer
+// bytes per sample than full-chunk pulls of the same set.
+func TestSockDeltaBytesPerSample(t *testing.T) {
+	sch := metric.NewSchema("wide")
+	for i := 0; i < 64; i++ {
+		sch.MustAddMetric(fmt.Sprintf("m%02d", i), metric.TypeU64)
+	}
+	set, err := metric.New("wide0", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metric.NewRegistry()
+	if err := reg.Add(set); err != nil {
+		t.Fatal(err)
+	}
+	// Seed every metric with pseudorandom bits so the full chunk looks like
+	// real telemetry (counters at arbitrary values) rather than zeros that
+	// frame compression would collapse on its own.
+	set.BeginTransaction()
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 64; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		set.SetU64(i, seed)
+	}
+	set.EndTransaction(time.Unix(1, 0))
+	tick := func(v uint64) {
+		set.BeginTransaction()
+		set.SetU64(3, v) // one changing metric out of 64
+		set.EndTransaction(time.Unix(int64(v), 0))
+	}
+	tick(1)
+
+	pull := func(f SockFactory, ack bool) (perSample float64, deltas int64) {
+		ln, err := f.Listen("127.0.0.1:0", NewServer(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		conn, err := f.Dial(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		ctx := context.Background()
+		if _, err := conn.Dir(ctx); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := conn.Lookup(ctx, "wide0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := []UpdateOp{{Set: rs, Dst: make([]byte, rs.Meta().DataSize)}}
+		UpdateAll(ctx, conn, ops)
+		if ops[0].Err != nil {
+			t.Fatal(ops[0].Err)
+		}
+		base, _ := StatsOf(conn)
+		const rounds = 50
+		for r := 0; r < rounds; r++ {
+			tick(uint64(2 + r))
+			if ack {
+				ops[0].AckDGN, ops[0].HaveAck = readDGN(t, ops[0]), true
+			}
+			ops[0].N, ops[0].Err = 0, nil
+			UpdateAll(ctx, conn, ops)
+			if ops[0].Err != nil {
+				t.Fatal(ops[0].Err)
+			}
+		}
+		st, _ := StatsOf(conn)
+		return float64(st.BytesIn-base.BytesIn) / rounds, st.DeltaUpdates
+	}
+
+	full, fdeltas := pull(SockFactory{NoDelta: true}, false)
+	delta, ddeltas := pull(SockFactory{}, true)
+	if fdeltas != 0 {
+		t.Fatalf("NoDelta factory produced %d deltas", fdeltas)
+	}
+	if ddeltas == 0 {
+		t.Fatal("acknowledged pulls produced no deltas")
+	}
+	if delta*5 > full {
+		t.Errorf("delta path = %.1f B/sample, full = %.1f: saving < 5x", delta, full)
+	}
+}
+
+// TestSockDictionaryNames checks dictionary-coded directory traffic: after
+// the first dir response defines each name, the client's receive dictionary
+// resolves ids, lookups go over the wire by id, and a repeat dir moves
+// fewer bytes than the defining one.
+func TestSockDictionaryNames(t *testing.T) {
+	reg := newTestRegistry(t, 6)
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", NewServer(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+
+	names, err := conn.Dir(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 6 {
+		t.Fatalf("dir = %v", names)
+	}
+	sc := conn.(*sockConn)
+	st1, _ := StatsOf(conn)
+	sc.dmu.Lock()
+	ids := len(sc.rdict.ids)
+	sc.dmu.Unlock()
+	if ids != 6 {
+		t.Fatalf("receive dictionary holds %d ids, want 6", ids)
+	}
+
+	// Repeat dir: every name is now a 5-byte reference instead of a
+	// definition carrying the string.
+	if _, err := conn.Dir(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := StatsOf(conn)
+	if grew, first := st2.BytesIn-st1.BytesIn, st1.BytesIn; grew >= first {
+		t.Errorf("referencing dir response (%d B) not smaller than defining one (%d B)", grew, first)
+	}
+
+	// Lookups resolve through the dictionary (the request is a 4-byte id).
+	for _, n := range names {
+		rs, err := conn.Lookup(ctx, n)
+		if err != nil {
+			t.Fatalf("dictionary lookup %s: %v", n, err)
+		}
+		if rs.Meta().Instance != n {
+			t.Errorf("lookup %s resolved to %s", n, rs.Meta().Instance)
+		}
+	}
+}
+
+// TestSockCompressionSavesBytes compares the same large directory exchange
+// with and without the compression capability: the compressed connection
+// must move fewer bytes and still decode identically.
+func TestSockCompressionSavesBytes(t *testing.T) {
+	reg := metric.NewRegistry()
+	for i := 0; i < 40; i++ {
+		sch := metric.NewSchema(fmt.Sprintf("schema%02d", i))
+		sch.MustAddMetric("a", metric.TypeU64)
+		set, err := metric.New(fmt.Sprintf("very/long/compressible/instance/name/%04d", i), sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirBytes := func(f SockFactory) int64 {
+		ln, err := f.Listen("127.0.0.1:0", NewServer(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		conn, err := f.Dial(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		// First dir negotiates caps but pre-dates them on the wire; the
+		// second exercises the negotiated compression.
+		if _, err := conn.Dir(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		st1, _ := StatsOf(conn)
+		names, err := conn.Dir(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 40 {
+			t.Fatalf("dir = %d names", len(names))
+		}
+		st2, _ := StatsOf(conn)
+		return st2.BytesIn - st1.BytesIn
+	}
+	// NoDict isolates compression: dictionary refs would shrink the repeat
+	// response on their own.
+	plain := dirBytes(SockFactory{NoCompress: true, NoDict: true})
+	packed := dirBytes(SockFactory{NoDict: true})
+	if packed >= plain {
+		t.Errorf("compressed dir moved %d B, uncompressed %d B", packed, plain)
+	}
+}
+
+// TestSockLegacyServerFallback peers a fully capable client with a legacy
+// (no-capability) server: everything must keep working over the plain
+// protocol — full updates despite acknowledged DGNs, un-dictionaried names,
+// no compression.
+func TestSockLegacyServerFallback(t *testing.T) {
+	reg := newTestRegistry(t, 3)
+	srv := NewServer(reg)
+	ln, err := SockFactory{Legacy: true}.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+
+	names, err := conn.Dir(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("dir over legacy peer = %v", names)
+	}
+	if got := conn.(*sockConn).peerCaps.Load(); got != 0 {
+		t.Fatalf("legacy server advertised caps %#x", got)
+	}
+
+	ops := lookupAll(t, conn, names)
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		ops[i].AckDGN, ops[i].HaveAck = readDGN(t, ops[i]), true
+		ops[i].N, ops[i].Err = 0, nil
+	}
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if ops[i].WasDelta {
+			t.Errorf("op %d: delta from a legacy server", i)
+		}
+	}
+	if st, _ := StatsOf(conn); st.DeltaUpdates != 0 {
+		t.Errorf("delta updates against legacy server = %d", st.DeltaUpdates)
+	}
+	if got := srv.Stats().DeltaUpdates; got != 0 {
+		t.Errorf("legacy server served %d deltas", got)
+	}
+}
+
+// TestSockLegacyClientFallback is the inverse pairing: an old client against
+// a new server. The server must answer with the plain protocol (the legacy
+// client never offered capabilities) and the client must remain oblivious
+// to the capability trailer on dir responses.
+func TestSockLegacyClientFallback(t *testing.T) {
+	reg := newTestRegistry(t, 3)
+	srv := NewServer(reg)
+	ln, err := SockFactory{}.Listen("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := SockFactory{Legacy: true}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+
+	names, err := conn.Dir(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("legacy dir against new server = %v", names)
+	}
+	ops := lookupAll(t, conn, names)
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	// Even a (buggy) caller setting acks on a legacy connection gets full
+	// chunks: the client never negotiated the capability.
+	for i := range ops {
+		ops[i].AckDGN, ops[i].HaveAck = readDGN(t, ops[i]), true
+		ops[i].N, ops[i].Err = 0, nil
+	}
+	UpdateAll(ctx, conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if ops[i].WasDelta {
+			t.Errorf("op %d: delta on a legacy client", i)
+		}
+	}
+	if got := srv.Stats().DeltaUpdates; got != 0 {
+		t.Errorf("server served %d deltas to a legacy client", got)
+	}
+}
+
+// TestMemLegacyPeerFallback covers the mem transport's model of an old
+// peer: NoDelta connections ignore acknowledged DGNs and always move full
+// chunks, so mixed-version simulations behave like mixed-version daemons.
+func TestMemLegacyPeerFallback(t *testing.T) {
+	reg := newTestRegistry(t, 3)
+	fac := MemFactory{Net: NewNetwork(), NoDelta: true}
+	if _, err := fac.Listen("node", NewServer(reg)); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := fac.Dial("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := lookupAll(t, conn, reg.Dir())
+	for i := range ops {
+		ops[i].HaveAck = true // would be a delta on a capable connection
+	}
+	UpdateAll(context.Background(), conn, ops)
+	checkOps(t, ops)
+	for i := range ops {
+		if ops[i].WasDelta {
+			t.Errorf("op %d: NoDelta mem conn produced a delta", i)
+		}
+	}
+	if st, _ := StatsOf(conn); st.DeltaUpdates != 0 {
+		t.Errorf("NoDelta mem conn counted %d delta updates", st.DeltaUpdates)
+	}
 }

@@ -17,12 +17,13 @@ type Server struct {
 	// HostCPU.
 	OneSided bool
 
-	dirs     atomic.Int64
-	lookups  atomic.Int64
-	updates  atomic.Int64
-	bytesOut atomic.Int64
-	hostCPU  atomic.Int64 // nanoseconds of host CPU consumed serving pulls
-	nicCPU   atomic.Int64 // nanoseconds of one-sided (NIC-side) data movement
+	dirs         atomic.Int64
+	lookups      atomic.Int64
+	updates      atomic.Int64
+	deltaUpdates atomic.Int64
+	bytesOut     atomic.Int64
+	hostCPU      atomic.Int64 // nanoseconds of host CPU consumed serving pulls
+	nicCPU       atomic.Int64 // nanoseconds of one-sided (NIC-side) data movement
 }
 
 // NewServer wraps a registry for serving.
@@ -35,23 +36,25 @@ func (s *Server) Registry() *metric.Registry { return s.reg }
 
 // ServerStats is a snapshot of serving-side counters.
 type ServerStats struct {
-	Dirs     int64         // dir requests served
-	Lookups  int64         // lookup requests served
-	Updates  int64         // update (data pull) requests served
-	BytesOut int64         // payload bytes returned
-	HostCPU  time.Duration // host CPU consumed by serving (two-sided ops)
-	NICCPU   time.Duration // simulated NIC time for one-sided reads
+	Dirs         int64         // dir requests served
+	Lookups      int64         // lookup requests served
+	Updates      int64         // update (data pull) requests served
+	DeltaUpdates int64         // updates answered with a metric delta
+	BytesOut     int64         // payload bytes returned
+	HostCPU      time.Duration // host CPU consumed by serving (two-sided ops)
+	NICCPU       time.Duration // simulated NIC time for one-sided reads
 }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Dirs:     s.dirs.Load(),
-		Lookups:  s.lookups.Load(),
-		Updates:  s.updates.Load(),
-		BytesOut: s.bytesOut.Load(),
-		HostCPU:  time.Duration(s.hostCPU.Load()),
-		NICCPU:   time.Duration(s.nicCPU.Load()),
+		Dirs:         s.dirs.Load(),
+		Lookups:      s.lookups.Load(),
+		Updates:      s.updates.Load(),
+		DeltaUpdates: s.deltaUpdates.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		HostCPU:      time.Duration(s.hostCPU.Load()),
+		NICCPU:       time.Duration(s.nicCPU.Load()),
 	}
 }
 
@@ -90,6 +93,37 @@ func (s *Server) serveLookup(name string) (*metric.Set, []byte, error) {
 	//ldms:wallclock second half of the real serving-cost measurement
 	s.hostCPU.Add(int64(time.Since(start)))
 	return set, meta, nil
+}
+
+// serveUpdateDelta implements the delta update operation: encode the
+// metrics changed since the requester's acknowledged DGN, or fall back to
+// a full chunk snapshot when the set cannot honor the base (restarted
+// incarnation, schema too wide, or a delta that would not beat the full
+// chunk). dst must be at least 1+DataSize bytes with a little slack for
+// the delta header; the returned payload starts with the kind byte at
+// dst[0].
+func (s *Server) serveUpdateDelta(set *metric.Set, since uint64, dst []byte) []byte {
+	//ldms:wallclock hostCPU/nicCPU account real serving cost (paper overhead model), not sample time
+	start := time.Now()
+	out, ok := set.AppendDelta(dst[:1], since)
+	if ok {
+		out[0] = deltaKindDelta
+		s.deltaUpdates.Add(1)
+	} else {
+		out = dst[:1+set.DataSize()]
+		out[0] = deltaKindFull
+		set.CopyDataInto(out[1:])
+	}
+	s.updates.Add(1)
+	s.bytesOut.Add(int64(len(out) - 1))
+	if s.OneSided {
+		//ldms:wallclock second half of the real serving-cost measurement
+		s.nicCPU.Add(int64(time.Since(start)))
+	} else {
+		//ldms:wallclock second half of the real serving-cost measurement
+		s.hostCPU.Add(int64(time.Since(start)))
+	}
+	return out
 }
 
 // serveUpdate implements the update operation: snapshot the set's data

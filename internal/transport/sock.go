@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"goldms/internal/metric"
 )
@@ -19,10 +20,75 @@ import (
 // the aggregator (DialNamed, announcing its name with a hello message),
 // and the aggregator pulls over the incoming connection exactly as if it
 // had dialed out.
+//
+// Connection scaling: each connection runs one read goroutine over the Go
+// netpoller (which is itself a shared epoll/kqueue event loop multiplexing
+// every blocked read onto a handful of threads), so the per-connection
+// cost is one goroutine stack plus the two bufio buffers. Those buffers
+// are the knob that matters at 10k connections — ReadBuf/WriteBuf size
+// them per factory (BenchmarkSockConnScale compares tunings), and the
+// default is deliberately small because aggregation traffic is dominated
+// by sub-kB delta frames.
+
+// sockDefaultBuf is the default bufio size per direction. 4 KiB holds any
+// delta frame and the typical data chunk while keeping 10k connections
+// under ~80 MB of buffer memory.
+const sockDefaultBuf = 4 << 10
 
 // SockFactory implements the sock transport: the paper's TCP socket
-// transport plugin.
-type SockFactory struct{}
+// transport plugin. The zero value speaks the full protocol (delta
+// updates, dictionaries, compression) with capability-aware peers and
+// plain LDMS wire protocol with everything else.
+type SockFactory struct {
+	// Legacy advertises no capabilities at all, making connections
+	// byte-identical to pre-capability builds. Mixed-version tests use it
+	// to stand in for an old peer.
+	Legacy bool
+	// NoDelta / NoDict / NoCompress mask individual capabilities.
+	NoDelta    bool
+	NoDict     bool
+	NoCompress bool
+	// ReadBuf / WriteBuf size the per-connection bufio buffers; 0 means
+	// sockDefaultBuf.
+	ReadBuf  int
+	WriteBuf int
+}
+
+// caps returns the capability bits this factory's connections advertise.
+func (sf SockFactory) caps() uint32 {
+	if sf.Legacy {
+		return 0
+	}
+	c := uint32(capsAll)
+	if sf.NoDelta {
+		c &^= capDelta
+	}
+	if sf.NoDict {
+		c &^= capDict
+	}
+	if sf.NoCompress {
+		c &^= capCompress
+	}
+	return c
+}
+
+// cfg resolves the factory's connection configuration.
+func (sf SockFactory) cfg() sockCfg {
+	rb, wb := sf.ReadBuf, sf.WriteBuf
+	if rb <= 0 {
+		rb = sockDefaultBuf
+	}
+	if wb <= 0 {
+		wb = sockDefaultBuf
+	}
+	return sockCfg{caps: sf.caps(), rbuf: rb, wbuf: wb}
+}
+
+// sockCfg is the per-connection configuration resolved from a factory.
+type sockCfg struct {
+	caps       uint32
+	rbuf, wbuf int
+}
 
 // Name returns "sock".
 func (SockFactory) Name() string { return "sock" }
@@ -31,32 +97,33 @@ func (SockFactory) Name() string { return "sock" }
 func (SockFactory) MaxFanIn() int { return 9000 }
 
 // Listen serves srv on a TCP address such as "127.0.0.1:0".
-func (SockFactory) Listen(addr string, srv *Server) (Listener, error) {
-	return listenTCP(addr, srv, nil)
+func (sf SockFactory) Listen(addr string, srv *Server) (Listener, error) {
+	return listenTCP(addr, srv, nil, sf.cfg())
 }
 
 // ListenPeer serves srv and additionally reports each dialing peer that
 // announces itself (via DialNamed) so the listener side can pull from it.
-func (SockFactory) ListenPeer(addr string, srv *Server, onPeer func(name string, conn Conn)) (Listener, error) {
-	return listenTCP(addr, srv, onPeer)
+func (sf SockFactory) ListenPeer(addr string, srv *Server, onPeer func(name string, conn Conn)) (Listener, error) {
+	return listenTCP(addr, srv, onPeer, sf.cfg())
 }
 
 // Dial connects to a TCP peer for pulling.
-func (SockFactory) Dial(addr string) (Conn, error) {
-	return dialTCP(addr, "", nil)
+func (sf SockFactory) Dial(addr string) (Conn, error) {
+	return dialTCP(addr, "", nil, sf.cfg())
 }
 
 // DialNamed connects to a TCP peer, announces name, and serves srv (which
 // may be nil) over the same connection, so the remote side can pull from
 // the dialer.
-func (SockFactory) DialNamed(addr, name string, srv *Server) (Conn, error) {
-	return dialTCP(addr, name, srv)
+func (sf SockFactory) DialNamed(addr, name string, srv *Server) (Conn, error) {
+	return dialTCP(addr, name, srv, sf.cfg())
 }
 
 // sockListener accepts TCP connections and runs a peer per connection.
 type sockListener struct {
 	ln     net.Listener
 	srv    *Server
+	cfg    sockCfg
 	onPeer func(string, Conn)
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -64,12 +131,12 @@ type sockListener struct {
 	closed bool
 }
 
-func listenTCP(addr string, srv *Server, onPeer func(string, Conn)) (Listener, error) {
+func listenTCP(addr string, srv *Server, onPeer func(string, Conn), cfg sockCfg) (Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	l := &sockListener{ln: ln, srv: srv, onPeer: onPeer, peers: make(map[*sockConn]struct{})}
+	l := &sockListener{ln: ln, srv: srv, cfg: cfg, onPeer: onPeer, peers: make(map[*sockConn]struct{})}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -98,7 +165,7 @@ func (l *sockListener) acceptLoop() {
 		if err != nil {
 			return
 		}
-		peer := newSockConn(c, l.srv)
+		peer := newSockConn(c, l.srv, l.cfg)
 		peer.onHello = l.onPeer
 		l.mu.Lock()
 		if l.closed {
@@ -129,6 +196,23 @@ type sockConn struct {
 	// scratch holds small request payloads (update handles) built under
 	// wmu, so pipelined batches write frames without per-frame allocation.
 	scratch []byte
+	// defl compresses outgoing frames; guarded by wmu.
+	defl frameDeflater
+
+	// Capabilities: localCaps is what this side offers (fixed at dial or
+	// accept); peerCaps is learned from the peer's first dir exchange in
+	// either direction and stays zero for legacy peers, which disables
+	// every extension transparently.
+	localCaps uint32
+	rbufSize  int
+	peerCaps  atomic.Uint32
+
+	// Dictionaries. sdict backs our serving half (touched only by the
+	// readLoop goroutine); rdict mirrors the peer's serving dictionary and
+	// is shared by requesting goroutines, hence the lock.
+	sdict sendDict
+	dmu   sync.Mutex
+	rdict recvDict
 
 	// Client half. Each registered request ID reserves exactly one
 	// buffered slot in its response channel, so readLoop and fail deliver
@@ -140,7 +224,9 @@ type sockConn struct {
 	closed bool
 	err    error
 
-	// Server half.
+	// Server half. handles is allocated on first served lookup: the
+	// aggregator side of a 10k-producer fan-in never serves lookups on
+	// those connections and skips the map entirely.
 	srv     *Server
 	handles map[uint32]*metric.Set
 	hmu     sync.Mutex
@@ -148,7 +234,8 @@ type sockConn struct {
 	onHello func(string, Conn)
 
 	// Transfer counters for prdcr_status and /metrics (both halves of the
-	// symmetric connection share them).
+	// symmetric connection share them). Byte counts are wire bytes: frames
+	// that went out compressed count their compressed size.
 	connStats
 }
 
@@ -165,24 +252,35 @@ type sockResp struct {
 // never escapes UpdateBatch.
 var errUnresolved = errors.New("transport: update response pending")
 
-func newSockConn(c net.Conn, srv *Server) *sockConn {
+var (
+	errShortDeltaResp = errors.New("transport: short delta update response")
+	errBadDeltaResp   = errors.New("transport: bad delta update response kind")
+)
+
+func newSockConn(c net.Conn, srv *Server, cfg sockCfg) *sockConn {
 	return &sockConn{
-		c:       c,
-		w:       bufio.NewWriter(c),
-		wait:    make(map[uint64]chan sockResp),
-		srv:     srv,
-		handles: make(map[uint32]*metric.Set),
+		c:         c,
+		w:         bufio.NewWriterSize(c, cfg.wbuf),
+		localCaps: cfg.caps,
+		rbufSize:  cfg.rbuf,
+		wait:      make(map[uint64]chan sockResp),
+		srv:       srv,
 	}
 }
 
-func dialTCP(addr, name string, srv *Server) (Conn, error) {
+func dialTCP(addr, name string, srv *Server, cfg sockCfg) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	sc := newSockConn(c, srv)
+	sc := newSockConn(c, srv, cfg)
 	if name != "" {
-		if err := sc.send(msgHello, 0, appendString(nil, name)); err != nil {
+		hello, err := appendString(nil, name)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := sc.send(msgHello, 0, hello); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -191,30 +289,60 @@ func dialTCP(addr, name string, srv *Server) (Conn, error) {
 	return sc, nil
 }
 
-// send writes one frame under the write lock and flushes.
+// compressEnabled reports whether outgoing frames may be compressed.
+func (sc *sockConn) compressEnabled() bool {
+	return sc.localCaps&capCompress != 0 && sc.peerCaps.Load()&capCompress != 0
+}
+
+// deltaEnabled reports whether the peer serves delta update requests.
+func (sc *sockConn) deltaEnabled() bool {
+	return sc.localCaps&capDelta != 0 && sc.peerCaps.Load()&capDelta != 0
+}
+
+// dictEnabled reports whether dictionary-coded dir/lookup traffic is on.
+func (sc *sockConn) dictEnabled() bool {
+	return sc.localCaps&capDict != 0 && sc.peerCaps.Load()&capDict != 0
+}
+
+// send writes one frame under the write lock and flushes, compressing the
+// payload when the capability is negotiated and compression wins.
 func (sc *sockConn) send(typ byte, id uint64, payload []byte) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	if err := writeFrame(sc.w, typ, id, payload); err != nil {
+	out := payload
+	if sc.compressEnabled() {
+		if cp, ok := sc.defl.compress(payload); ok {
+			typ |= compressFlag
+			out = cp
+		}
+	}
+	if err := writeFrame(sc.w, typ, id, out); err != nil {
 		return err
 	}
-	sc.countOut(frameHeader + len(payload))
+	sc.countOut(frameHeader + len(out))
 	return sc.w.Flush()
 }
 
 // readLoop dispatches incoming frames: requests to the server half,
 // responses to waiting callers.
 func (sc *sockConn) readLoop() {
-	r := bufio.NewReader(sc.c)
+	r := bufio.NewReaderSize(sc.c, sc.rbufSize)
 	for {
 		typ, id, payload, err := readFrame(r)
 		if err != nil {
 			sc.fail(err)
 			return
 		}
+		// Wire bytes: counted at compressed size, before inflating.
 		sc.countIn(frameHeader + len(payload))
+		typ, payload, err = maybeInflate(typ, payload)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
 		switch typ {
-		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello, msgDirGenReq:
+		case msgDirReq, msgLookupReq, msgUpdateReq, msgHello, msgDirGenReq,
+			msgDeltaUpdateReq, msgLookupDictReq:
 			err := sc.serveRequest(typ, id, payload)
 			putBuf(payload)
 			if err != nil {
@@ -236,11 +364,33 @@ func (sc *sockConn) readLoop() {
 	}
 }
 
+// handleFor resolves a set handle from a request payload's leading u32.
+func (sc *sockConn) handleFor(payload []byte) (*metric.Set, bool) {
+	sc.hmu.Lock()
+	set, ok := sc.handles[wireLE.Uint32(payload)]
+	sc.hmu.Unlock()
+	return set, ok
+}
+
+// registerHandle assigns the next handle for a successfully looked-up set.
+func (sc *sockConn) registerHandle(set *metric.Set) uint32 {
+	sc.hmu.Lock()
+	if sc.handles == nil {
+		sc.handles = make(map[uint32]*metric.Set)
+	}
+	h := sc.nextH
+	sc.nextH++
+	sc.handles[h] = set
+	sc.hmu.Unlock()
+	return h
+}
+
 // serveRequest handles one request from the remote peer. It must not
 // retain payload past return (readLoop recycles it).
 func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 	replyErr := func(msg string) error {
-		return sc.send(msgErrResp, id, appendString(nil, msg))
+		p, _ := appendString(nil, clipString(msg))
+		return sc.send(msgErrResp, id, p)
 	}
 	if typ == msgHello {
 		name, _, err := readString(payload, 0)
@@ -257,39 +407,77 @@ func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 	}
 	switch typ {
 	case msgDirReq:
-		return sc.send(msgDirResp, id, encodeDirResp(sc.srv.serveDir()))
-	case msgDirGenReq:
-		return sc.send(msgDirGenResp, id, wireLE.AppendUint64(nil, sc.srv.serveDirGen()))
-	case msgLookupReq:
-		name, _, err := readString(payload, 0)
+		// A capability-aware requester sends its caps block as the payload;
+		// legacy requesters send none and get the legacy response shape.
+		caps, _ := parseCaps(payload, 0)
+		sc.peerCaps.Store(caps)
+		names := sc.srv.serveDir()
+		if caps&capDict != 0 && sc.localCaps&capDict != 0 {
+			b, err := encodeDirDictResp(names, &sc.sdict, sc.localCaps)
+			if err != nil {
+				return replyErr(err.Error())
+			}
+			return sc.send(msgDirDictResp, id, b)
+		}
+		b, err := encodeDirResp(names, sc.localCaps)
 		if err != nil {
 			return replyErr(err.Error())
+		}
+		return sc.send(msgDirResp, id, b)
+	case msgDirGenReq:
+		return sc.send(msgDirGenResp, id, wireLE.AppendUint64(nil, sc.srv.serveDirGen()))
+	case msgLookupReq, msgLookupDictReq:
+		var name string
+		if typ == msgLookupDictReq {
+			if len(payload) < 4 {
+				return replyErr("transport: short dict lookup request")
+			}
+			n, ok := sc.sdict.name(wireLE.Uint32(payload))
+			if !ok {
+				return replyErr("transport: unknown dictionary id")
+			}
+			name = n
+		} else {
+			n, _, err := readString(payload, 0)
+			if err != nil {
+				return replyErr(err.Error())
+			}
+			name = n
 		}
 		set, meta, err := sc.srv.serveLookup(name)
 		if err != nil {
 			return replyErr(err.Error())
 		}
-		sc.hmu.Lock()
-		h := sc.nextH
-		sc.nextH++
-		sc.handles[h] = set
-		sc.hmu.Unlock()
-		resp := wireLE.AppendUint32(nil, h)
+		resp := wireLE.AppendUint32(nil, sc.registerHandle(set))
 		resp = append(resp, meta...)
 		return sc.send(msgLookupResp, id, resp)
 	case msgUpdateReq:
 		if len(payload) < 4 {
 			return replyErr("transport: short update request")
 		}
-		sc.hmu.Lock()
-		set, ok := sc.handles[wireLE.Uint32(payload)]
-		sc.hmu.Unlock()
+		set, ok := sc.handleFor(payload)
 		if !ok {
 			return replyErr("transport: unknown set handle")
 		}
 		buf := getBuf(set.DataSize())
 		n := sc.srv.serveUpdate(set, buf)
 		err := sc.send(msgUpdateResp, id, buf[:n])
+		putBuf(buf)
+		return err
+	case msgDeltaUpdateReq:
+		if len(payload) < 12 {
+			return replyErr("transport: short delta update request")
+		}
+		set, ok := sc.handleFor(payload)
+		if !ok {
+			return replyErr("transport: unknown set handle")
+		}
+		since := wireLE.Uint64(payload[4:])
+		// Slack beyond DataSize covers the delta header on sets smaller
+		// than it, so serveUpdateDelta never reallocates.
+		buf := getBuf(1 + set.DataSize() + 64)
+		out := sc.srv.serveUpdateDelta(set, since, buf)
+		err := sc.send(msgDeltaUpdateResp, id, out)
 		putBuf(buf)
 		return err
 	}
@@ -383,15 +571,34 @@ func (sc *sockConn) roundTrip(ctx context.Context, typ byte, payload []byte) (so
 	}
 }
 
-// Dir implements Conn.
+// Dir implements Conn. A capability-aware connection carries its caps
+// block in the request and learns the peer's from the response, so both
+// sides finish the first dir exchange knowing exactly which protocol
+// extensions are safe on this connection.
 func (sc *sockConn) Dir(ctx context.Context) ([]string, error) {
-	resp, err := sc.roundTrip(ctx, msgDirReq, nil)
+	var req []byte
+	if sc.localCaps != 0 {
+		req = appendCaps(nil, sc.localCaps)
+	}
+	resp, err := sc.roundTrip(ctx, msgDirReq, req)
 	if err != nil {
 		return nil, err
 	}
-	names, err := decodeDirResp(resp.payload)
+	var names []string
+	var caps uint32
+	if resp.typ == msgDirDictResp {
+		sc.dmu.Lock()
+		names, caps, err = decodeDirDictResp(resp.payload, &sc.rdict)
+		sc.dmu.Unlock()
+	} else {
+		names, caps, err = decodeDirResp(resp.payload)
+	}
 	putBuf(resp.payload)
-	return names, err
+	if err != nil {
+		return nil, err
+	}
+	sc.peerCaps.Store(caps)
+	return names, nil
 }
 
 // DirGen implements DirGenConn: one small round trip for the remote
@@ -410,9 +617,27 @@ func (sc *sockConn) DirGen(ctx context.Context) (uint64, error) {
 	return gen, nil
 }
 
-// Lookup implements Conn.
+// Lookup implements Conn. Names the peer's dictionary already defined go
+// over the wire as a bare u32 id.
 func (sc *sockConn) Lookup(ctx context.Context, name string) (RemoteSet, error) {
-	resp, err := sc.roundTrip(ctx, msgLookupReq, appendString(nil, name))
+	typ := byte(msgLookupReq)
+	var req []byte
+	if sc.dictEnabled() {
+		sc.dmu.Lock()
+		id, ok := sc.rdict.ids[name]
+		sc.dmu.Unlock()
+		if ok {
+			typ = msgLookupDictReq
+			req = wireLE.AppendUint32(nil, id)
+		}
+	}
+	if req == nil {
+		var err error
+		if req, err = appendString(nil, name); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := sc.roundTrip(ctx, typ, req)
 	if err != nil {
 		return nil, err
 	}
@@ -443,6 +668,11 @@ func (sc *sockConn) Close() error {
 // by request ID, which may arrive in any order relative to the remote's
 // own traffic on this symmetric connection) are awaited together. An
 // error frame for one op is recorded on that op alone.
+//
+// Ops that carry an acknowledged base DGN become delta update requests
+// when the peer negotiated the capability; the server's response is
+// either a delta patched into Dst or a full chunk (its fallback), and a
+// legacy peer simply never negotiates, leaving every op a full update.
 func (sc *sockConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 	if len(ops) == 0 {
 		return
@@ -465,14 +695,20 @@ func (sc *sockConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 		return
 	}
 	for i := range ops {
-		ops[i].N, ops[i].Err = 0, errUnresolved
+		ops[i].N, ops[i].Err, ops[i].WasDelta = 0, errUnresolved, false
 	}
+	useDelta := sc.deltaEnabled()
 
 	sc.wmu.Lock()
 	var werr error
 	for i, rs := range sets {
+		typ := byte(msgUpdateReq)
 		sc.scratch = wireLE.AppendUint32(sc.scratch[:0], rs.handle)
-		if werr = writeFrame(sc.w, msgUpdateReq, first+uint64(i), sc.scratch); werr != nil {
+		if useDelta && ops[i].HaveAck {
+			typ = msgDeltaUpdateReq
+			sc.scratch = wireLE.AppendUint64(sc.scratch, ops[i].AckDGN)
+		}
+		if werr = writeFrame(sc.w, typ, first+uint64(i), sc.scratch); werr != nil {
 			break
 		}
 		sc.countOut(frameHeader + len(sc.scratch))
@@ -527,14 +763,51 @@ func (sc *sockConn) resolveOp(ops []UpdateOp, first uint64, r sockResp) bool {
 		ops[i].Err = r.err
 	case r.typ == msgErrResp:
 		ops[i].Err = respError(r.payload)
+	case r.typ == msgDeltaUpdateResp:
+		resolveDeltaResp(&ops[i], r.payload)
+		if ops[i].Err == nil {
+			sc.countUpdate(ops[i].WasDelta)
+		}
 	case len(ops[i].Dst) < len(r.payload):
 		ops[i].Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(ops[i].Dst), len(r.payload))
 		putBuf(r.payload)
 	default:
 		ops[i].N, ops[i].Err = copy(ops[i].Dst, r.payload), nil
 		putBuf(r.payload)
+		sc.countUpdate(false)
 	}
 	return true
+}
+
+// resolveDeltaResp decodes a delta update response into its op: kind full
+// copies the chunk, kind delta patches Dst in place via the set metadata.
+func resolveDeltaResp(op *UpdateOp, payload []byte) {
+	defer putBuf(payload)
+	if len(payload) < 1 {
+		op.Err = errShortDeltaResp
+		return
+	}
+	switch payload[0] {
+	case deltaKindFull:
+		if len(op.Dst) < len(payload)-1 {
+			op.Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(op.Dst), len(payload)-1)
+			return
+		}
+		op.N, op.Err = copy(op.Dst, payload[1:]), nil
+	case deltaKindDelta:
+		ds := op.Set.Meta().DataSize
+		if len(op.Dst) < ds {
+			op.Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(op.Dst), ds)
+			return
+		}
+		if err := op.Set.Meta().ApplyDelta(op.Dst[:ds], payload[1:]); err != nil {
+			op.Err = err
+			return
+		}
+		op.N, op.Err, op.WasDelta = ds, nil, true
+	default:
+		op.Err = errBadDeltaResp
+	}
 }
 
 // resolveDelivered drains already-buffered responses after the batch gave
@@ -560,7 +833,8 @@ type sockRemoteSet struct {
 // Meta implements RemoteSet.
 func (rs *sockRemoteSet) Meta() *metric.Meta { return rs.meta }
 
-// Update implements RemoteSet.
+// Update implements RemoteSet: always a full-chunk pull (delta updates
+// ride the batch path, which owns the acknowledged-DGN bookkeeping).
 func (rs *sockRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 	var hb [4]byte
 	wireLE.PutUint32(hb[:], rs.handle)
@@ -574,5 +848,6 @@ func (rs *sockRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 	}
 	n := copy(dst, resp.payload)
 	putBuf(resp.payload)
+	rs.conn.countUpdate(false)
 	return n, nil
 }

@@ -81,11 +81,21 @@ func DirGenOf(ctx context.Context, conn Conn) (uint64, bool, error) {
 // UpdateOp is one data pull in a pipelined batch: Set and Dst are filled by
 // the caller; N and Err carry the per-op result, exactly as RemoteSet.Update
 // would return them.
+//
+// A caller whose Dst already holds the data chunk from a previous completed
+// pull may set AckDGN to that chunk's DGN and HaveAck true; transports that
+// negotiated delta updates then ask the server for only the metrics changed
+// since, patch them into Dst, and report WasDelta. Transports or peers
+// without the capability ignore the ack and perform a full pull — Dst ends
+// up holding the current chunk either way.
 type UpdateOp struct {
-	Set RemoteSet
-	Dst []byte
-	N   int
-	Err error
+	Set      RemoteSet
+	Dst      []byte
+	AckDGN   uint64 // DGN of the chunk Dst currently holds
+	HaveAck  bool   // Dst holds a complete prior chunk at AckDGN
+	N        int
+	Err      error
+	WasDelta bool // this pull moved a delta, not a full chunk
 }
 
 // BatchUpdater is an optional Conn capability: issue every op's update
@@ -108,10 +118,12 @@ func UpdateAll(ctx context.Context, conn Conn, ops []UpdateOp) {
 	sequentialUpdates(ctx, ops)
 }
 
-// sequentialUpdates is the non-pipelined fallback: one round trip per op.
+// sequentialUpdates is the non-pipelined fallback: one round trip per op,
+// always a full chunk.
 func sequentialUpdates(ctx context.Context, ops []UpdateOp) {
 	for i := range ops {
 		ops[i].N, ops[i].Err = ops[i].Set.Update(ctx, ops[i].Dst)
+		ops[i].WasDelta = false
 	}
 }
 
@@ -128,12 +140,18 @@ func failOps(ops []UpdateOp, err error) {
 // transport-level half of the daemon's observability surface (prdcr_status
 // and the gateway's /metrics).
 type ConnStats struct {
-	BytesIn    int64 // payload + framing bytes received
+	BytesIn    int64 // payload + framing bytes received (wire bytes: post-compression)
 	BytesOut   int64 // payload + framing bytes sent
 	MsgsIn     int64 // messages (frames / direct-call replies) received
 	MsgsOut    int64 // messages sent
 	Batches    int64 // pipelined update batches issued
 	BatchedOps int64 // update ops carried by those batches
+	// Update-efficiency counters, maintained on the pulling side: every
+	// completed data pull counts as an update; the ones the peer answered
+	// with a metric delta rather than a full chunk also count as delta
+	// updates. BytesIn / Updates is the connection's bytes-per-sample.
+	Updates      int64
+	DeltaUpdates int64
 }
 
 // Add accumulates o into s (for totals across reconnect epochs).
@@ -144,6 +162,18 @@ func (s *ConnStats) Add(o ConnStats) {
 	s.MsgsOut += o.MsgsOut
 	s.Batches += o.Batches
 	s.BatchedOps += o.BatchedOps
+	s.Updates += o.Updates
+	s.DeltaUpdates += o.DeltaUpdates
+}
+
+// BytesPerSample is the average wire cost of one completed data pull over
+// this connection's lifetime, the headline efficiency figure of the delta
+// update path. Zero before any pull completes.
+func (s ConnStats) BytesPerSample() float64 {
+	if s.Updates == 0 {
+		return 0
+	}
+	return float64(s.BytesIn) / float64(s.Updates)
 }
 
 // StatConn is implemented by connections that count their traffic.
@@ -162,17 +192,28 @@ func StatsOf(conn Conn) (ConnStats, bool) {
 // connStats is the embeddable atomic counter block behind ConnStats.
 type connStats struct {
 	bytesIn, bytesOut, msgsIn, msgsOut, batches, batchedOps atomic.Int64
+	updates, deltaUpdates                                   atomic.Int64
 }
 
 // ConnStats snapshots the counters.
 func (s *connStats) ConnStats() ConnStats {
 	return ConnStats{
-		BytesIn:    s.bytesIn.Load(),
-		BytesOut:   s.bytesOut.Load(),
-		MsgsIn:     s.msgsIn.Load(),
-		MsgsOut:    s.msgsOut.Load(),
-		Batches:    s.batches.Load(),
-		BatchedOps: s.batchedOps.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		MsgsIn:       s.msgsIn.Load(),
+		MsgsOut:      s.msgsOut.Load(),
+		Batches:      s.batches.Load(),
+		BatchedOps:   s.batchedOps.Load(),
+		Updates:      s.updates.Load(),
+		DeltaUpdates: s.deltaUpdates.Load(),
+	}
+}
+
+// countUpdate records one completed data pull and whether it was a delta.
+func (s *connStats) countUpdate(wasDelta bool) {
+	s.updates.Add(1)
+	if wasDelta {
+		s.deltaUpdates.Add(1)
 	}
 }
 

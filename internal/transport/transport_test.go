@@ -306,9 +306,16 @@ func TestFanInConstants(t *testing.T) {
 }
 
 func TestWireStringRoundTrip(t *testing.T) {
-	b := appendString(nil, "hello")
-	b = appendString(b, "")
-	b = appendString(b, "world")
+	b, err := appendString(nil, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err = appendString(b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = appendString(b, "world"); err != nil {
+		t.Fatal(err)
+	}
 	s1, pos, err := readString(b, 0)
 	if err != nil || s1 != "hello" {
 		t.Fatalf("s1=%q err=%v", s1, err)
@@ -328,9 +335,16 @@ func TestWireStringRoundTrip(t *testing.T) {
 
 func TestDirRespRoundTrip(t *testing.T) {
 	names := []string{"a/b", "c", "a-very-long-set-instance-name/with/slashes"}
-	got, err := decodeDirResp(encodeDirResp(names))
+	enc, err := encodeDirResp(names, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	got, caps, err := decodeDirResp(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != 0 {
+		t.Errorf("caps = %#x want 0", caps)
 	}
 	if len(got) != len(names) {
 		t.Fatalf("got %v", got)
@@ -340,7 +354,7 @@ func TestDirRespRoundTrip(t *testing.T) {
 			t.Errorf("name %d = %q want %q", i, got[i], names[i])
 		}
 	}
-	if _, err := decodeDirResp([]byte{1}); err == nil {
+	if _, _, err := decodeDirResp([]byte{1}); err == nil {
 		t.Error("short dir response accepted")
 	}
 }

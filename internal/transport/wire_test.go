@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -62,7 +63,11 @@ func TestDirRespRoundTripQuick(t *testing.T) {
 				names[i] = n[:60000]
 			}
 		}
-		got, err := decodeDirResp(encodeDirResp(names))
+		enc, err := encodeDirResp(names, 0)
+		if err != nil {
+			return false
+		}
+		got, _, err := decodeDirResp(enc)
 		if err != nil {
 			return false
 		}
@@ -113,5 +118,29 @@ func TestWriteFrameErrors(t *testing.T) {
 	}
 	if err := writeFrame(&errWriter{n: frameHeader}, 1, 1, []byte("x")); err == nil {
 		t.Error("payload write error swallowed")
+	}
+}
+
+// TestAppendStringTooLong is the regression test for the silent u16
+// truncation bug: a name of 64 KiB or more used to encode a wrapped length
+// prefix and corrupt every field after it. It must be refused outright.
+func TestAppendStringTooLong(t *testing.T) {
+	long := strings.Repeat("x", maxWireString+1)
+	if _, err := appendString(nil, long); err != errStringTooLong {
+		t.Fatalf("oversized string: err = %v, want errStringTooLong", err)
+	}
+	// The boundary length still round-trips.
+	edge := strings.Repeat("y", maxWireString)
+	b, err := appendString(nil, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := readString(b, 0)
+	if err != nil || got != edge {
+		t.Fatalf("boundary string corrupted: len=%d err=%v", len(got), err)
+	}
+	// Encoders that carry names refuse rather than truncate.
+	if _, err := encodeDirResp([]string{"ok", long}, 0); err == nil {
+		t.Error("encodeDirResp accepted an oversized name")
 	}
 }
