@@ -10,6 +10,7 @@
 //	ldms-top -d http://agg1:8080 -metric Active -series -window 5m
 //	ldms-top -d http://agg1:8080 -metric Active -agg sum -step 10s
 //	ldms-top -d http://agg1:8080 -events -n 30      # recent daemon events
+//	ldms-top -d http://agg1:8080 -trace             # cross-tier hop latency + chains
 //	ldms-top -d http://agg1:8080 -watch 2s          # refresh until interrupted
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		aggFn   = flag.String("agg", "", "fold -metric across producers server-side with this func (sum, avg, min, max, count, quantile)")
 		quant   = flag.Float64("q", 0.95, "quantile for -agg quantile")
 		events  = flag.Bool("events", false, "show the daemon's recent event journal")
+		trace   = flag.Bool("trace", false, "show cross-tier per-hop sample ages and set hop chains")
 		nEvents = flag.Int("n", 20, "events to show with -events")
 		minSev  = flag.String("severity", "", "minimum event severity for -events (info, warn, error)")
 		watch   = flag.Duration("watch", 0, "refresh every interval until interrupted")
@@ -53,6 +55,8 @@ func main() {
 		switch {
 		case *events:
 			return showEvents(client, base, *nEvents, *minSev)
+		case *trace:
+			return showTrace(client, base)
 		case *metricN != "" && *aggFn != "":
 			return showAggregate(client, base, *metricN, *comp, *window, *step, *aggFn, *quant)
 		case *metricN != "" && *series:
@@ -354,6 +358,56 @@ func showEvents(client *http.Client, base string, n int, minSev string) error {
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// showTrace renders the cross-tier tracing pane: per-(daemon, role,
+// stage) sample-age quantiles over every traced hop below this
+// aggregator, followed by each set's hop chain (origin first) so fan-in
+// paths and their depth read directly off the screen.
+func showTrace(client *http.Client, base string) error {
+	var t struct {
+		Spans []struct {
+			Daemon string  `json:"daemon"`
+			Role   string  `json:"role"`
+			Stage  string  `json:"stage"`
+			Count  uint64  `json:"count"`
+			P50    float64 `json:"p50_seconds"`
+			P95    float64 `json:"p95_seconds"`
+			Max    float64 `json:"max_seconds"`
+		} `json:"spans"`
+		Chains []struct {
+			Set   string `json:"set"`
+			Depth int    `json:"depth"`
+			Hops  []struct {
+				Daemon string `json:"daemon"`
+				Role   string `json:"role"`
+			} `json:"hops"`
+		} `json:"chains"`
+	}
+	if err := getJSON(client, base+"/api/v1/trace", &t); err != nil {
+		return err
+	}
+	fmt.Printf("\n%-16s %-5s %-7s %10s %10s %10s %10s\n",
+		"HOP DAEMON", "ROLE", "STAGE", "COUNT", "P50", "P95", "MAX")
+	for _, s := range t.Spans {
+		fmt.Printf("%-16s %-5s %-7s %10d %10s %10s %10s\n",
+			s.Daemon, s.Role, s.Stage, s.Count,
+			secs(s.P50), secs(s.P95), secs(s.Max))
+	}
+	fmt.Printf("\nCHAINS (%d sets)\n", len(t.Chains))
+	for _, c := range t.Chains {
+		hops := make([]string, len(c.Hops))
+		for i, h := range c.Hops {
+			hops[i] = fmt.Sprintf("%s(%s)", h.Daemon, h.Role)
+		}
+		fmt.Printf("%-32s depth=%d %s\n", c.Set, c.Depth, strings.Join(hops, " -> "))
+	}
+	return nil
+}
+
+// secs renders a seconds value as a compact duration.
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Truncate(time.Microsecond).String()
 }
 
 // sparkWidth is the sparkline cell budget; auto-stepping asks the

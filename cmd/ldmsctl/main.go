@@ -10,14 +10,17 @@
 //	ldmsctl -S /tmp/ldmsd.sock updtr_status
 //	ldmsctl -S /tmp/ldmsd.sock events n=50 severity=warn
 //	ldmsctl -S /tmp/ldmsd.sock latency
+//	ldmsctl -S /tmp/ldmsd.sock trace chains=1
 //	echo -e "dir\nstats" | ldmsctl -S /tmp/ldmsd.sock -
 //
 // On an aggregator, "updtr_status" reports the pull path's concurrency
 // counters (passes, in-flight producer pulls, last pass latency, skipped
 // busy passes) and "stats" includes the aggregate skipped_busy count.
 // "events" dumps the daemon's structured event journal (producer epochs,
-// standby activations, store failures, config changes) and "latency" the
-// per-hop sample-age histograms.
+// standby activations, store failures, config changes), "latency" the
+// per-hop sample-age histograms, and "trace" the cross-tier span summary
+// (sample age per hop daemon, tier role, and pipeline stage — add
+// chains=1 for each set's current hop chain).
 package main
 
 import (

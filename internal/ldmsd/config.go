@@ -66,6 +66,9 @@ import (
 //	events [n=<count>] [severity=info|warn|error] [component=<c>] [subject=<s>]
 //	                             (recent entries of the event journal)
 //	latency                      (per-hop sample-age histogram summary)
+//	trace [chains=1]             (cross-tier span summary per hop daemon/
+//	                             role/stage; chains=1 additionally lists
+//	                             every set's current hop chain)
 func (d *Daemon) Exec(line string) (string, error) {
 	cmd, args, err := parseCommand(line)
 	if err != nil {
@@ -176,6 +179,8 @@ func (d *Daemon) exec(cmd string, args map[string]string) (string, error) {
 		return d.cmdEvents(args)
 	case "latency":
 		return d.cmdLatency()
+	case "trace":
+		return d.cmdTrace(args)
 	default:
 		return "", fmt.Errorf("ldmsd: unknown command %q", cmd)
 	}
@@ -895,6 +900,30 @@ func (d *Daemon) cmdLatency() (string, error) {
 		lines = append(lines, fmt.Sprintf(
 			"hop=%s count=%d p50=%s p95=%s p99=%s max=%s",
 			h.Hop, h.Count, h.P50, h.P95, h.P99, h.Max))
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// cmdTrace renders the cross-tier span summaries: sample age per hop
+// daemon, tier role, and pipeline stage, covering this daemon and every
+// traced hop below it. chains=1 additionally lists each published set's
+// current hop chain, origin hop first.
+func (d *Daemon) cmdTrace(args map[string]string) (string, error) {
+	var lines []string
+	for _, s := range d.Spans() {
+		lines = append(lines, fmt.Sprintf(
+			"daemon=%s role=%s stage=%s count=%d p50=%s p95=%s p99=%s max=%s",
+			s.Daemon, s.Role, s.Stage, s.Count, s.P50, s.P95, s.P99, s.Max))
+	}
+	if args["chains"] == "1" {
+		for _, c := range d.Chains() {
+			var hops []string
+			for _, h := range c.Hops {
+				hops = append(hops, fmt.Sprintf("%s(%s)", h.Daemon, h.Role))
+			}
+			lines = append(lines, fmt.Sprintf("set=%s depth=%d chain=%s",
+				c.Set, len(c.Hops), strings.Join(hops, "->")))
+		}
 	}
 	return strings.Join(lines, "\n"), nil
 }

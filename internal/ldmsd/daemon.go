@@ -98,6 +98,7 @@ type Daemon struct {
 	log     *slog.Logger
 	journal *obs.Journal
 	lat     obs.Pipeline
+	trace   *tracePlane
 
 	mu       sync.Mutex
 	samplers map[string]*SamplerPolicy
@@ -149,6 +150,8 @@ func New(opts Options) (*Daemon, error) {
 		strgps:     make(map[string]*StoragePolicy),
 	}
 	d.srv = transport.NewServer(d.reg)
+	d.trace = newTracePlane(d)
+	d.srv.Trace = d.trace.appendWire
 	w := opts.Workers
 	if w <= 0 {
 		w = 4

@@ -88,6 +88,8 @@ func (d *Daemon) ServeHTTP(cfg GatewayConfig) (string, error) {
 		Collect:    d.collectSelfMetrics,
 		Latency:    &d.lat,
 		Journal:    d.journal,
+		Spans:      d.Spans,
+		Chains:     d.Chains,
 		TierRole:   d.TierRole,
 		Started:    d.sch.Now(),
 		Now:        d.sch.Now,

@@ -2,11 +2,13 @@ package ldmsd
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"goldms/internal/sampler"
 	"goldms/internal/sched"
+	"goldms/internal/transport"
 )
 
 // SamplerPolicy runs one sampling plugin on a schedule. The sampling
@@ -53,6 +55,7 @@ func (d *Daemon) loadSamplerComp(pluginName, instance string, compID uint64, opt
 		CompID:   compID,
 		Arena:    d.arena,
 		Options:  options,
+		Self:     d.selfStats,
 	})
 	if err != nil {
 		return nil, err
@@ -66,6 +69,53 @@ func (d *Daemon) loadSamplerComp(pluginName, instance string, compID uint64, opt
 	d.samplers[pluginName] = sp
 	d.mu.Unlock()
 	return sp, nil
+}
+
+// selfStats snapshots the daemon's own operational counters for the
+// ldmsd_self plugin: updater and storage-pipeline activity, producer
+// transfer totals, journal counts, and Go runtime gauges. The runtime
+// gauges are zeroed under a virtual clock — they are inherently
+// nondeterministic and would break byte-identical simulation replays.
+func (d *Daemon) selfStats() sampler.SelfStats {
+	var st sampler.SelfStats
+	d.mu.Lock()
+	updtrs := mapValues(d.updtrs)
+	strgps := mapValues(d.strgps)
+	prdcrs := mapValues(d.prdcrs)
+	d.mu.Unlock()
+	for _, u := range updtrs {
+		st.Passes += u.passes.Load()
+		st.Updates += u.updates.Load()
+		st.Fresh += u.fresh.Load()
+		st.Errors += u.errors.Load()
+		st.SkippedBusy += u.skippedBusy.Load()
+		st.Lookups += u.lookups.Load()
+	}
+	for _, sp := range strgps {
+		c := sp.Counters()
+		st.StoreEnqueued += c.Enqueued
+		st.StoreDropped += c.Dropped
+		st.StoreQueueDepth += int64(c.QueueDepth)
+	}
+	var conn transport.ConnStats
+	for _, p := range prdcrs {
+		conn.Add(p.Counters().Transport)
+	}
+	st.BytesIn = conn.BytesIn
+	st.BytesOut = conn.BytesOut
+	st.DeltaUpdates = conn.DeltaUpdates
+	st.BytesPerSample = conn.BytesPerSample()
+	st.JournalEvents = int64(d.journal.Total())
+	_, _, errs := d.journal.CountBySeverity()
+	st.JournalErrors = errs
+	if !d.sch.Virtual() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st.Goroutines = uint64(runtime.NumGoroutine())
+		st.HeapAllocBytes = ms.HeapAlloc
+		st.GCCycles = uint64(ms.NumGC)
+	}
+	return st
 }
 
 // Sampler returns the named loaded sampler policy, or nil.

@@ -254,17 +254,24 @@ func (sp *StoragePolicy) Store() store.Store {
 // taps are cheap on the pull path: one atomic load each, and the policy
 // side is an enqueue, not a store write.
 func (d *Daemon) storeSet(set *metric.Set) {
+	windowed := false
 	if w := d.window.Load(); w != nil {
 		w.Observe(set)
+		windowed = true
 	}
-	policies := d.strgpList.Load()
-	if policies == nil {
-		return
-	}
-	for _, sp := range *policies {
-		if sp.schema == set.SchemaName() {
-			sp.enqueue(set)
+	enqueued := false
+	if policies := d.strgpList.Load(); policies != nil {
+		for _, sp := range *policies {
+			if sp.schema == set.SchemaName() {
+				sp.enqueue(set)
+				enqueued = true
+			}
 		}
+	}
+	// Stamp the window/store stages on the sample's hop chain. Samples that
+	// reach neither tap pay nothing here.
+	if windowed || enqueued {
+		d.trace.stored(set, windowed, enqueued)
 	}
 }
 

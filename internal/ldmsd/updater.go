@@ -134,6 +134,9 @@ type updSet struct {
 	// transparently degrades the next pull to a full chunk.
 	bufDGN   uint64
 	bufValid bool
+	// trace is the producer's hop-chain block from the last pull (recycled
+	// capacity; length 0 on legacy peers and errors).
+	trace []byte
 }
 
 // exportName is the paper's <producer>/<set> re-export convention: a bare
@@ -367,6 +370,9 @@ func (u *Updater) run(now time.Time) {
 		nowT := u.d.sch.Now()
 		for _, f := range u.reducer.Fold() {
 			u.d.lat.Reduce.Record(nowT.Sub(f.Time))
+			// The folded set inherits its newest member's hop chain, with
+			// the reduce stage stamped at publish time.
+			u.d.trace.reduced(f.Set.Name(), f.Newest, f.Time, nowT)
 			u.d.storeSet(f.Set)
 		}
 	}
@@ -454,6 +460,7 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 			ops = append(ops, transport.UpdateOp{
 				Set: us.remote, Dst: us.buf,
 				AckDGN: us.bufDGN, HaveAck: us.bufValid,
+				Trace: us.trace[:0],
 			})
 		}
 		ps.ops = ops
@@ -461,6 +468,7 @@ func (u *Updater) pullProducer(name string, match func(string) bool, now time.Ti
 		transport.UpdateAll(ctx, conn, ops)
 		cancel()
 		for i, us := range due[lo:hi] {
+			us.trace = ops[i].Trace
 			if !u.finishUpdate(us, ops[i].N, ops[i].Err) {
 				failed = true
 				break
@@ -654,11 +662,13 @@ func (u *Updater) releaseSet(us *updSet) {
 			u.d.reg.Remove(us.regName)
 			us.inReg = false
 		}
+		u.d.trace.drop(us.regName)
 		us.mirror.Delete()
 		us.mirror = nil
 	}
 	us.remote = nil
 	us.buf = nil
+	us.trace = nil
 }
 
 // retireReduced deregisters and releases reduced sets whose last member
@@ -666,6 +676,7 @@ func (u *Updater) releaseSet(us *updSet) {
 func (u *Updater) retireReduced(sets []*metric.Set) {
 	for _, rs := range sets {
 		u.d.reg.Remove(rs.Name())
+		u.d.trace.drop(rs.Name())
 		rs.Delete()
 	}
 }
@@ -802,7 +813,11 @@ func (u *Updater) finishUpdate(us *updSet, n int, err error) bool {
 	// DataTimestamp reads the header straight off the single-owner buffer,
 	// so the hot path stays one timestamp read + one atomic increment.
 	if ts := metric.DataTimestamp(us.buf); !ts.IsZero() {
-		u.d.lat.Pull.Record(u.d.sch.Now().Sub(ts))
+		now := u.d.sch.Now()
+		u.d.lat.Pull.Record(now.Sub(ts))
+		// Install the sample's hop chain: the producer's trace block (empty
+		// on legacy peers) plus this daemon's pull stamp.
+		u.d.trace.pulled(us.regName, us.trace, ts, now)
 	}
 	// Mark the member fresh so the end-of-pass fold re-reduces its group:
 	// one map lookup and a flag, nothing allocated.

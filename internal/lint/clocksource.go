@@ -34,6 +34,7 @@ var clocksourceAnalyzer = &Analyzer{
 		"internal/store",
 		"internal/obs",
 		"internal/tier",
+		"internal/sampler",
 	},
 	Suppress: "wallclock",
 	Run:      runClocksource,

@@ -30,6 +30,20 @@ func BenchmarkHistRecordParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkSpanRecord guards the trace hot path: the top tier of a
+// 10k-sampler topology records several spans per pulled set per pass,
+// so steady-state Record must stay a lock-free map load plus a Hist
+// increment — a few tens of ns, 0 allocs (CI asserts the alloc count;
+// TestSpanRecordAllocs pins it locally).
+func BenchmarkSpanRecord(b *testing.B) {
+	r := NewSpanRecorder()
+	r.Record("leaf01", RoleLeaf, StagePull, time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record("leaf01", RoleLeaf, StagePull, time.Duration(i)*time.Nanosecond)
+	}
+}
+
 // BenchmarkPipelineSnapshot is the read side: one /api/v1/latency or
 // /metrics scrape.
 func BenchmarkPipelineSnapshot(b *testing.B) {

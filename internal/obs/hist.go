@@ -23,6 +23,9 @@ const histBuckets = 65
 // inherent resolution of power-of-two buckets).
 type Hist struct {
 	buckets [histBuckets]atomic.Uint64
+	// sum accumulates total observed nanoseconds so the Prometheus
+	// exposition can emit a faithful _sum series next to the buckets.
+	sum atomic.Uint64
 }
 
 // Record adds one observation. Negative durations (clock skew between
@@ -34,6 +37,7 @@ func (h *Hist) Record(d time.Duration) {
 		d = 0
 	}
 	h.buckets[bits.Len64(uint64(d))].Add(1)
+	h.sum.Add(uint64(d))
 }
 
 // Count returns the total number of observations.
@@ -54,6 +58,7 @@ func (h *Hist) Snapshot() HistSnapshot {
 		s.Buckets[i] = h.buckets[i].Load()
 		s.Count += s.Buckets[i]
 	}
+	s.Sum = time.Duration(h.sum.Load())
 	return s
 }
 
@@ -61,7 +66,19 @@ func (h *Hist) Snapshot() HistSnapshot {
 type HistSnapshot struct {
 	Buckets [histBuckets]uint64
 	Count   uint64
+	// Sum is the total of all observations (may lag the buckets by
+	// in-flight Records; monotone across snapshots).
+	Sum time.Duration
 }
+
+// NumBuckets is the log2 bucket count of a Hist, exported for
+// exposition emitters that iterate Buckets.
+const NumBuckets = histBuckets
+
+// BucketUpper returns the inclusive upper bound of bucket i in
+// nanoseconds (0 for bucket 0), the `le` boundary of the Prometheus
+// cumulative-bucket rendering.
+func BucketUpper(i int) time.Duration { return bucketUpper(i) }
 
 // bucketUpper returns the inclusive upper bound of bucket i in
 // nanoseconds (0 for bucket 0).
@@ -132,6 +149,24 @@ type HopLatency struct {
 	P95   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+}
+
+// NamedHist pairs a pipeline hop name with its histogram, for
+// exposition emitters that need raw buckets rather than quantiles.
+type NamedHist struct {
+	Hop  string
+	Hist *Hist
+}
+
+// ByHop returns the pipeline's histograms with their hop names, in
+// sample-flow order.
+func (p *Pipeline) ByHop() []NamedHist {
+	return []NamedHist{
+		{HopPull, &p.Pull},
+		{HopReduce, &p.Reduce},
+		{HopWindow, &p.Window},
+		{HopStore, &p.Store},
+	}
 }
 
 // Snapshot summarizes every hop, in sample-flow order. Hops with no

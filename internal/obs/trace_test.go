@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func sampleChain() []HopRecord {
+	return []HopRecord{
+		{Daemon: "leaf01", Role: RoleLeaf, Pull: 1_000_000_000},
+		{Daemon: "mid-a", Role: RoleMid, Pull: 1_050_000_000, Reduce: 1_060_000_000, Window: 1_061_000_000, Store: 1_062_000_000},
+		{Daemon: "top", Role: RoleTop, Pull: 1_100_000_000, Store: 1_110_000_000},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	chain := sampleChain()
+	wire := AppendHops(nil, chain)
+
+	var dec HopDecoder
+	got, err := dec.Decode(wire, nil)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(chain) {
+		t.Fatalf("decoded %d hops, want %d", len(got), len(chain))
+	}
+	for i := range chain {
+		if got[i] != chain[i] {
+			t.Errorf("hop %d: got %+v want %+v", i, got[i], chain[i])
+		}
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	wire := AppendHops(nil, nil)
+	var dec HopDecoder
+	got, err := dec.Decode(wire, nil)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d hops from empty chain", len(got))
+	}
+}
+
+// TestTraceChainCap: chains deeper than MaxTraceHops keep their most
+// recent hops, so the local hop (the tail) always survives.
+func TestTraceChainCap(t *testing.T) {
+	chain := make([]HopRecord, MaxTraceHops+5)
+	for i := range chain {
+		chain[i] = HopRecord{Daemon: "d" + string(rune('a'+i)), Role: RoleMid, Pull: int64(i + 1)}
+	}
+	wire := AppendHops(nil, chain)
+
+	var dec HopDecoder
+	got, err := dec.Decode(wire, nil)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != MaxTraceHops {
+		t.Fatalf("decoded %d hops, want cap %d", len(got), MaxTraceHops)
+	}
+	if got[len(got)-1] != chain[len(chain)-1] {
+		t.Errorf("tail hop lost: got %+v want %+v", got[len(got)-1], chain[len(chain)-1])
+	}
+}
+
+func TestTraceNameTruncation(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	wire := AppendHops(nil, []HopRecord{{Daemon: string(long), Role: RoleLeaf, Pull: 1}})
+	var dec HopDecoder
+	got, err := dec.Decode(wire, nil)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got[0].Daemon) != 255 {
+		t.Fatalf("name length %d, want truncation to 255", len(got[0].Daemon))
+	}
+}
+
+// TestTraceDecodeHostile walks every decoder error path with corrupted
+// input; a hostile or buggy peer must never panic the decoder.
+func TestTraceDecodeHostile(t *testing.T) {
+	good := AppendHops(nil, sampleChain())
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTraceTruncated},
+		{"short header", good[:3], ErrTraceTruncated},
+		{"bad magic", append([]byte{'X', 'X', 'X', 'X'}, good[4:]...), ErrTraceMagic},
+		{"hop count over cap", append(append([]byte{}, good[:4]...), append([]byte{MaxTraceHops + 1}, good[5:]...)...), ErrTraceHops},
+		{"truncated hop", good[:len(good)-1], ErrTraceTruncated},
+		{"truncated name", good[:6], ErrTraceTruncated},
+		{"trailing bytes", append(append([]byte{}, good...), 0xff), ErrTraceTrailing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var dec HopDecoder
+			if _, err := dec.Decode(tc.b, nil); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Unknown role byte.
+	bad := append([]byte{}, good...)
+	bad[5+1+len("leaf01")] = byte(nRoles)
+	var dec HopDecoder
+	if _, err := dec.Decode(bad, nil); !errors.Is(err, ErrTraceRole) {
+		t.Fatalf("bad role: got %v, want %v", err, ErrTraceRole)
+	}
+}
+
+// TestTraceDecodeAllocs: once every daemon name has been interned, a
+// steady-topology decode allocates nothing beyond the caller's dst.
+func TestTraceDecodeAllocs(t *testing.T) {
+	wire := AppendHops(nil, sampleChain())
+	var dec HopDecoder
+	dst := make([]HopRecord, 0, MaxTraceHops)
+	if _, err := dec.Decode(wire, dst); err != nil { // warm the intern map
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		if _, err = dec.Decode(wire, dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decode allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for r := HopRole(0); r < nRoles; r++ {
+		got, err := ParseRole(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRole(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseRole("galaxy"); err == nil {
+		t.Error("ParseRole accepted unknown role")
+	}
+}
+
+func TestHopRecordStages(t *testing.T) {
+	h := HopRecord{Daemon: "d", Pull: 10, Window: 30}
+	var stages []Stage
+	var times []int64
+	h.Stages(func(s Stage, ts int64) {
+		stages = append(stages, s)
+		times = append(times, ts)
+	})
+	if len(stages) != 2 || stages[0] != StagePull || stages[1] != StageWindow {
+		t.Fatalf("stages = %v, want [pull window]", stages)
+	}
+	if times[0] != 10 || times[1] != 30 {
+		t.Fatalf("times = %v", times)
+	}
+	// Zero-valued hops stamp nothing.
+	bare := HopRecord{Daemon: "d"}
+	bare.Stages(func(Stage, int64) { t.Fatal("bare hop yielded a stage") })
+}
+
+func TestSpanRecorder(t *testing.T) {
+	r := NewSpanRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record("leaf01", RoleLeaf, StagePull, time.Millisecond)
+		r.Record("mid-a", RoleMid, StageReduce, 2*time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(snap))
+	}
+	// Sorted by daemon: leaf01 before mid-a.
+	if snap[0].Daemon != "leaf01" || snap[0].Stage != StagePull || snap[0].Count != 100 {
+		t.Errorf("span 0 = %+v", snap[0])
+	}
+	if snap[1].Daemon != "mid-a" || snap[1].Role != RoleMid || snap[1].Count != 100 {
+		t.Errorf("span 1 = %+v", snap[1])
+	}
+	if snap[0].P50 <= 0 || snap[0].Max <= 0 {
+		t.Errorf("span 0 quantiles unset: %+v", snap[0])
+	}
+}
+
+// TestSpanRecordAllocs pins the hot path: after a key's first sight,
+// Record is a lock-free map load plus an atomic histogram increment.
+// CI's bench guard asserts the same via BenchmarkSpanRecord.
+func TestSpanRecordAllocs(t *testing.T) {
+	r := NewSpanRecorder()
+	r.Record("leaf01", RoleLeaf, StagePull, time.Millisecond) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record("leaf01", RoleLeaf, StagePull, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			daemons := [...]string{"a", "b", "c", "d"}
+			for i := 0; i < 1000; i++ {
+				r.Record(daemons[(g+i)%4], RoleMid, Stage(i%int(nStages)), time.Microsecond)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	var total uint64
+	for _, s := range r.Snapshot() {
+		total += s.Count
+	}
+	if total != 4000 {
+		t.Fatalf("recorded %d observations, want 4000", total)
+	}
+}

@@ -87,6 +87,13 @@ type Gateway struct {
 	// Journal, when non-nil, serves the daemon's event journal on
 	// /api/v1/events.
 	Journal *obs.Journal
+	// Spans, when non-nil, serves the cross-tier span summaries — sample
+	// age per (daemon, role, stage) over every traced hop below this tier —
+	// on /api/v1/trace and as ldmsd_trace_hop_seconds on /metrics.
+	Spans func() []obs.SpanLatency
+	// Chains, when non-nil, serves each published set's current hop chain
+	// on /api/v1/trace.
+	Chains func() []obs.ChainSnapshot
 	// TierRole, when non-nil, reports the daemon's position in a tiered
 	// aggregation topology (leaf/mid/top) on /healthz and /metrics, so
 	// topology consumers can render fan-in depth.
@@ -102,6 +109,39 @@ type Gateway struct {
 
 	requests map[string]*atomic.Int64
 	errors   atomic.Int64
+
+	// Memstats cache for /metrics: runtime.ReadMemStats stops the world,
+	// so scrapes within the TTL reuse the last reading instead of pausing
+	// the daemon once per scraper. readMemStats is injectable for tests;
+	// nil means runtime.ReadMemStats.
+	readMemStats func(*runtime.MemStats)
+	memMu        sync.Mutex
+	memAt        time.Time
+	memStats     runtime.MemStats
+	memRoutines  int
+}
+
+// memStatsTTL bounds how often /metrics may stop the world for a fresh
+// runtime.MemStats reading. Scrapes arriving faster than this — multiple
+// Prometheus servers, dashboards polling sub-second — share one reading.
+const memStatsTTL = time.Second
+
+// memSnapshot returns the cached runtime reading, refreshing it when the
+// TTL (on the gateway clock) has elapsed.
+func (g *Gateway) memSnapshot() (runtime.MemStats, int) {
+	now := g.now()
+	g.memMu.Lock()
+	defer g.memMu.Unlock()
+	if g.memAt.IsZero() || now.Sub(g.memAt) >= memStatsTTL || now.Before(g.memAt) {
+		if g.readMemStats != nil {
+			g.readMemStats(&g.memStats)
+		} else {
+			runtime.ReadMemStats(&g.memStats)
+		}
+		g.memRoutines = runtime.NumGoroutine()
+		g.memAt = now
+	}
+	return g.memStats, g.memRoutines
 }
 
 // now resolves the gateway clock, falling back to wall time when no
@@ -125,6 +165,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("/api/v1/aggregate", g.count("/api/v1/aggregate", g.handleAggregate))
 	mux.Handle("/api/v1/latency", g.count("/api/v1/latency", g.handleLatency))
 	mux.Handle("/api/v1/events", g.count("/api/v1/events", g.handleEvents))
+	mux.Handle("/api/v1/trace", g.count("/api/v1/trace", g.handleTrace))
 	mux.Handle("/healthz", g.count("/healthz", g.handleHealthz))
 	mux.Handle("/metrics", g.count("/metrics", g.handleExposition))
 	if g.PProf {
@@ -558,6 +599,73 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTrace serves cross-tier sample tracing: the span summaries (sample
+// age per daemon/role/stage over every traced hop below this tier) and
+// each published set's current hop chain, origin hop first. Chain stamps
+// are scheduler-clock unix nanoseconds; 0 means the stage was not reached.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if g.Spans == nil && g.Chains == nil {
+		g.fail(w, http.StatusServiceUnavailable, "sample tracing disabled")
+		return
+	}
+	type spanOut struct {
+		Daemon     string  `json:"daemon"`
+		Role       string  `json:"role"`
+		Stage      string  `json:"stage"`
+		Count      uint64  `json:"count"`
+		P50Seconds float64 `json:"p50_seconds"`
+		P95Seconds float64 `json:"p95_seconds"`
+		P99Seconds float64 `json:"p99_seconds"`
+		MaxSeconds float64 `json:"max_seconds"`
+	}
+	type hopOut struct {
+		Daemon string `json:"daemon"`
+		Role   string `json:"role"`
+		Pull   int64  `json:"pull,omitempty"`
+		Reduce int64  `json:"reduce,omitempty"`
+		Window int64  `json:"window,omitempty"`
+		Store  int64  `json:"store,omitempty"`
+	}
+	type chainOut struct {
+		Set   string   `json:"set"`
+		Depth int      `json:"depth"`
+		Hops  []hopOut `json:"hops"`
+	}
+	spans := []spanOut{}
+	if g.Spans != nil {
+		for _, s := range g.Spans() {
+			spans = append(spans, spanOut{
+				Daemon:     s.Daemon,
+				Role:       s.Role.String(),
+				Stage:      s.Stage.String(),
+				Count:      s.Count,
+				P50Seconds: s.P50.Seconds(),
+				P95Seconds: s.P95.Seconds(),
+				P99Seconds: s.P99.Seconds(),
+				MaxSeconds: s.Max.Seconds(),
+			})
+		}
+	}
+	chains := []chainOut{}
+	if g.Chains != nil {
+		for _, c := range g.Chains() {
+			co := chainOut{Set: c.Set, Depth: len(c.Hops), Hops: make([]hopOut, len(c.Hops))}
+			for i, h := range c.Hops {
+				co.Hops[i] = hopOut{
+					Daemon: h.Daemon,
+					Role:   h.Role.String(),
+					Pull:   h.Pull,
+					Reduce: h.Reduce,
+					Window: h.Window,
+					Store:  h.Store,
+				}
+			}
+			chains = append(chains, co)
+		}
+	}
+	writeJSON(w, map[string]any{"daemon": g.DaemonName, "spans": spans, "chains": chains})
+}
+
 // handleHealthz reports daemon liveness plus per-producer staleness and
 // per-storage-policy failures; a stale producer or a failed store policy
 // degrades the response to 503 so orchestration probes and external
@@ -664,6 +772,31 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 					append([]Label{{"quantile", qv.q}}, hop...), qv.d.Seconds())
 			}
 		}
+		// Cumulative histogram rendering of the same hop histograms, so
+		// PromQL histogram_quantile and cross-daemon aggregation work on the
+		// raw log2 buckets (the quantile gauges above cannot be aggregated).
+		for _, nh := range g.Latency.ByHop() {
+			s := nh.Hist.Snapshot()
+			hop := []Label{{"hop", nh.Hop}, {"daemon", g.DaemonName}}
+			e.emitHistBuckets("ldmsd_hop_latency_seconds", hop, s)
+		}
+	}
+	if g.Spans != nil {
+		for _, s := range g.Spans() {
+			span := []Label{
+				{"hop_daemon", s.Daemon}, {"role", s.Role.String()},
+				{"stage", s.Stage.String()}, {"daemon", g.DaemonName},
+			}
+			e.Counter("ldmsd_trace_hop_count", "Traced samples observed per hop daemon, role, and stage.",
+				span, float64(s.Count))
+			for _, qv := range []struct {
+				q string
+				d time.Duration
+			}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+				e.Gauge("ldmsd_trace_hop_seconds", "Cross-tier sample age quantiles per hop daemon, role, and stage (log2-bucket upper bounds).",
+					append([]Label{{"quantile", qv.q}}, span...), qv.d.Seconds())
+			}
+		}
 	}
 	if g.Journal != nil {
 		info, warn, errs := g.Journal.CountBySeverity()
@@ -675,15 +808,39 @@ func (g *Gateway) handleExposition(w http.ResponseWriter, r *http.Request) {
 				append([]Label{{"severity", sv.sev}}, self...), float64(sv.n))
 		}
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	e.Gauge("ldmsd_goroutines", "Goroutines in the daemon process.", self, float64(runtime.NumGoroutine()))
+	ms, goroutines := g.memSnapshot()
+	e.Gauge("ldmsd_goroutines", "Goroutines in the daemon process.", self, float64(goroutines))
 	e.Gauge("ldmsd_heap_alloc_bytes", "Live heap bytes.", self, float64(ms.HeapAlloc))
 	if g.Collect != nil {
 		g.Collect(e)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.WriteTo(w)
+}
+
+// emitHistBuckets renders one log2 age histogram as Prometheus cumulative
+// counters — <name>_bucket{le=...}, <name>_sum, <name>_count — so PromQL
+// histogram_quantile and cross-daemon aggregation work on the raw buckets.
+// Only buckets up to the highest occupied one are emitted (plus +Inf), so
+// an empty histogram costs three lines, not 65.
+func (e *Expo) emitHistBuckets(name string, labels []Label, s obs.HistSnapshot) {
+	bucket := name + "_bucket"
+	e.Family(bucket, "counter", "Cumulative sample-age distribution (log2 bucket upper bounds in seconds).")
+	top := -1
+	for i := 0; i < obs.NumBuckets; i++ {
+		if s.Buckets[i] != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		le := strconv.FormatFloat(obs.BucketUpper(i).Seconds(), 'g', -1, 64)
+		e.Sample(bucket, append(append([]Label{}, labels...), Label{"le", le}), float64(cum))
+	}
+	e.Sample(bucket, append(append([]Label{}, labels...), Label{"le", "+Inf"}), float64(s.Count))
+	e.Counter(name+"_sum", "Total observed sample age in seconds.", labels, s.Sum.Seconds())
+	e.Counter(name+"_count", "Total observations in the cumulative buckets.", labels, float64(s.Count))
 }
 
 // parseComp parses a component-id query parameter ("" = all).

@@ -1,0 +1,319 @@
+package query
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"goldms/internal/metric"
+	"goldms/internal/obs"
+)
+
+// eventsGateway builds a gateway over a seeded journal.
+func eventsGateway(t *testing.T) *httptest.Server {
+	t.Helper()
+	at := time.Unix(50000, 0)
+	j := obs.NewJournal(64, func() time.Time { return at }, nil)
+	j.Append(obs.SevInfo, obs.CompProducer, "n1", 1, "connected")
+	j.Append(obs.SevWarn, obs.CompProducer, "n1", 1, "slow pull")
+	j.Append(obs.SevError, obs.CompStore, "s1", 0, "write failed")
+	j.Append(obs.SevWarn, obs.CompProducer, "n2", 2, "reconnect")
+	j.Append(obs.SevInfo, obs.CompConfig, "", 0, "updtr_add")
+	g := &Gateway{
+		DaemonName: "agg-test",
+		Sets:       metric.NewRegistry(),
+		Journal:    j,
+		Started:    at,
+		Now:        func() time.Time { return at },
+	}
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestGatewayEventsFilterCombinations drives /api/v1/events through every
+// filter knob at once and each failure mode: combined n=, severity=,
+// component= and subject= narrowing; filters that match nothing; and bad
+// parameter values rejected with 400.
+func TestGatewayEventsFilterCombinations(t *testing.T) {
+	srv := eventsGateway(t)
+
+	count := func(q string) int {
+		t.Helper()
+		out := getJSON(t, srv.URL+"/api/v1/events"+q, 200)
+		return len(out["events"].([]any))
+	}
+
+	if got := count(""); got != 5 {
+		t.Errorf("unfiltered = %d events, want 5", got)
+	}
+	if got := count("?severity=warn"); got != 3 {
+		t.Errorf("severity=warn = %d, want 3 (2 warn + 1 error)", got)
+	}
+	if got := count("?component=producer"); got != 3 {
+		t.Errorf("component=producer = %d, want 3", got)
+	}
+	if got := count("?component=producer&subject=n1"); got != 2 {
+		t.Errorf("component+subject = %d, want 2", got)
+	}
+	// Every filter at once: producer events about n1 at warn or above,
+	// capped to one entry.
+	out := getJSON(t, srv.URL+"/api/v1/events?n=1&severity=warn&component=producer&subject=n1", 200)
+	events := out["events"].([]any)
+	if len(events) != 1 {
+		t.Fatalf("all filters = %d events, want 1", len(events))
+	}
+	ev := events[0].(map[string]any)
+	if ev["message"] != "slow pull" || ev["subject"] != "n1" {
+		t.Errorf("filtered event = %+v", ev)
+	}
+	// total/capacity report the whole journal regardless of filtering.
+	if out["total"].(float64) != 5 {
+		t.Errorf("total = %v, want 5", out["total"])
+	}
+
+	// Filters that match nothing return an empty array, not null.
+	body, _ := io.ReadAll(mustGet(t, srv.URL+"/api/v1/events?component=producer&subject=ghost", 200).Body)
+	if !strings.Contains(string(body), `"events":[]`) {
+		t.Errorf("empty result body = %s, want empty events array", body)
+	}
+
+	// Bad parameter values are 400s, not silent defaults.
+	for _, q := range []string{"?n=x", "?n=-1", "?severity=fatal", "?n=2&severity=loud"} {
+		resp := mustGet(t, srv.URL+"/api/v1/events"+q, 400)
+		resp.Body.Close()
+	}
+
+	// n=0 is valid (no count limit).
+	if got := count("?n=0&severity=error"); got != 1 {
+		t.Errorf("n=0&severity=error = %d, want 1", got)
+	}
+}
+
+// mustGet fetches a URL expecting a status code, returning the response.
+func mustGet(t *testing.T, url string, wantCode int) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d, want %d (%s)", url, resp.StatusCode, wantCode, body)
+	}
+	return resp
+}
+
+// TestGatewayTrace serves span summaries and hop chains on /api/v1/trace.
+func TestGatewayTrace(t *testing.T) {
+	rec := obs.NewSpanRecorder()
+	for i := 0; i < 10; i++ {
+		rec.Record("n1", obs.RoleLeaf, obs.StagePull, 2*time.Millisecond)
+		rec.Record("mid", obs.RoleMid, obs.StagePull, 5*time.Millisecond)
+	}
+	chains := func() []obs.ChainSnapshot {
+		return []obs.ChainSnapshot{{
+			Set: "n1/meminfo",
+			Hops: []obs.HopRecord{
+				{Daemon: "n1", Role: obs.RoleLeaf},
+				{Daemon: "mid", Role: obs.RoleMid, Pull: 123},
+				{Daemon: "top", Role: obs.RoleTop, Pull: 456, Store: 789},
+			},
+		}}
+	}
+	g := &Gateway{
+		DaemonName: "top",
+		Sets:       metric.NewRegistry(),
+		Spans:      rec.Snapshot,
+		Chains:     chains,
+		Started:    time.Unix(0, 0),
+		Now:        func() time.Time { return time.Unix(1, 0) },
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	out := getJSON(t, srv.URL+"/api/v1/trace", 200)
+	spans := out["spans"].([]any)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	s0 := spans[0].(map[string]any)
+	if s0["daemon"] != "mid" || s0["role"] != "mid" || s0["stage"] != "pull" {
+		t.Errorf("span 0 = %+v (snapshot sorts by daemon)", s0)
+	}
+	if s0["count"].(float64) != 10 || s0["p50_seconds"].(float64) <= 0 {
+		t.Errorf("span 0 quantiles = %+v", s0)
+	}
+
+	cs := out["chains"].([]any)
+	c0 := cs[0].(map[string]any)
+	if c0["set"] != "n1/meminfo" || c0["depth"].(float64) != 3 {
+		t.Fatalf("chain = %+v", c0)
+	}
+	hops := c0["hops"].([]any)
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d, want 3", len(hops))
+	}
+	last := hops[2].(map[string]any)
+	if last["daemon"] != "top" || last["role"] != "top" || last["store"].(float64) != 789 {
+		t.Errorf("last hop = %+v", last)
+	}
+	// Unstamped stages are omitted, keeping chains compact on the wire.
+	first := hops[0].(map[string]any)
+	if _, present := first["pull"]; present {
+		t.Errorf("bare hop serialized zero stamps: %+v", first)
+	}
+
+	// A daemon without tracing wired serves 503.
+	g2 := &Gateway{DaemonName: "old", Sets: metric.NewRegistry(), Started: time.Unix(0, 0)}
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+	mustGet(t, srv2.URL+"/api/v1/trace", 503).Body.Close()
+}
+
+// TestGatewayMemStatsTTL is the /metrics self-scrape regression test:
+// runtime.ReadMemStats stops the world, so back-to-back scrapes inside
+// the TTL must share one reading instead of pausing the daemon per
+// scraper.
+func TestGatewayMemStatsTTL(t *testing.T) {
+	now := time.Unix(60000, 0)
+	reads := 0
+	g := &Gateway{
+		DaemonName: "agg",
+		Sets:       metric.NewRegistry(),
+		Started:    now,
+		Now:        func() time.Time { return now },
+		readMemStats: func(m *runtime.MemStats) {
+			reads++
+			m.HeapAlloc = uint64(1000 + reads)
+		},
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp := mustGet(t, srv.URL+"/metrics", 200)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body)
+	}
+
+	body := scrape()
+	if reads != 1 {
+		t.Fatalf("first scrape read memstats %d times, want 1", reads)
+	}
+	if !strings.Contains(body, `ldmsd_heap_alloc_bytes{daemon="agg"} 1001`) {
+		t.Errorf("first scrape body missing cached reading:\n%s", body)
+	}
+
+	// A burst of scrapes inside the TTL reuses the reading.
+	now = now.Add(memStatsTTL / 2)
+	for i := 0; i < 5; i++ {
+		scrape()
+	}
+	if reads != 1 {
+		t.Errorf("burst inside TTL read memstats %d times, want 1", reads)
+	}
+
+	// Past the TTL the cache refreshes once.
+	now = now.Add(memStatsTTL)
+	body = scrape()
+	if reads != 2 {
+		t.Errorf("scrape past TTL read memstats %d times, want 2", reads)
+	}
+	if !strings.Contains(body, `ldmsd_heap_alloc_bytes{daemon="agg"} 1002`) {
+		t.Errorf("post-TTL scrape served stale reading:\n%s", body)
+	}
+
+	// A clock that moved backwards (virtual replays) forces a refresh
+	// rather than serving from the future.
+	now = now.Add(-10 * memStatsTTL)
+	scrape()
+	if reads != 3 {
+		t.Errorf("backwards clock read memstats %d times, want 3", reads)
+	}
+}
+
+// TestGatewayExpositionHistBuckets checks the cumulative Prometheus
+// histogram export: every per-hop pipeline histogram serves
+// _bucket/_sum/_count families with monotone cumulative counts, and span
+// summaries export as ldmsd_trace_hop_seconds quantiles.
+func TestGatewayExpositionHistBuckets(t *testing.T) {
+	var p obs.Pipeline
+	p.Pull.Record(3 * time.Millisecond)
+	p.Pull.Record(5 * time.Millisecond)
+	p.Pull.Record(700 * time.Millisecond)
+	rec := obs.NewSpanRecorder()
+	rec.Record("n1", obs.RoleLeaf, obs.StagePull, time.Millisecond)
+
+	g := &Gateway{
+		DaemonName: "agg",
+		Sets:       metric.NewRegistry(),
+		Latency:    &p,
+		Spans:      rec.Snapshot,
+		Started:    time.Unix(0, 0),
+		Now:        func() time.Time { return time.Unix(1, 0) },
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp := mustGet(t, srv.URL+"/metrics", 200)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+
+	if !strings.Contains(text, `# TYPE ldmsd_hop_latency_seconds_bucket counter`) {
+		t.Fatalf("no bucket family:\n%s", text)
+	}
+	// The pull hop's buckets end in a +Inf sample equal to the count.
+	var infCount, cumPrev float64
+	var bucketLines int
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, `ldmsd_hop_latency_seconds_bucket{`) || !strings.Contains(line, `hop="pull"`) {
+			continue
+		}
+		bucketLines++
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < cumPrev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		cumPrev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infCount = v
+		}
+	}
+	if bucketLines < 3 {
+		t.Fatalf("only %d pull bucket lines:\n%s", bucketLines, text)
+	}
+	if infCount != 3 {
+		t.Errorf("+Inf bucket = %g, want 3", infCount)
+	}
+	if !strings.Contains(text, `ldmsd_hop_latency_seconds_count{hop="pull",daemon="agg"} 3`) {
+		t.Errorf("no _count sample:\n%s", text)
+	}
+	if !strings.Contains(text, `ldmsd_hop_latency_seconds_sum{hop="pull",daemon="agg"}`) {
+		t.Errorf("no _sum sample:\n%s", text)
+	}
+	// Quantile gauges stay alongside the buckets.
+	if !strings.Contains(text, `ldmsd_hop_latency_seconds{quantile="0.5",hop="pull"`) {
+		t.Errorf("quantile gauges dropped:\n%s", text)
+	}
+	// Span summaries export per traced hop.
+	if !strings.Contains(text, `ldmsd_trace_hop_seconds{`) ||
+		!strings.Contains(text, `hop_daemon="n1"`) {
+		t.Errorf("no trace hop export:\n%s", text)
+	}
+	if !strings.Contains(text, `ldmsd_trace_hop_count{`) {
+		t.Errorf("no trace hop count:\n%s", text)
+	}
+}

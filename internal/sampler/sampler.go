@@ -47,6 +47,10 @@ type Config struct {
 	Arena *mmgr.Arena
 	// Options holds plugin-specific settings (e.g. lustre "llite" list).
 	Options map[string]string
+	// Self, when set by the hosting daemon, reports the daemon's own
+	// operational counters. Required by the ldmsd_self plugin; ignored by
+	// every other plugin.
+	Self SelfSource
 }
 
 // setOptions converts a Config to metric.New options.

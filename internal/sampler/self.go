@@ -1,0 +1,138 @@
+package sampler
+
+import (
+	"fmt"
+	"time"
+
+	"goldms/internal/metric"
+)
+
+// SelfStats is one snapshot of the hosting daemon's operational counters,
+// as published by the ldmsd_self plugin. The hosting daemon supplies it
+// via Config.Self; the sampler package defines the shape so the plugin
+// stays decoupled from the daemon engine.
+type SelfStats struct {
+	// Updater activity, summed across update policies.
+	Passes      int64
+	Updates     int64
+	Fresh       int64
+	Errors      int64
+	SkippedBusy int64
+	Lookups     int64
+	// Storage pipeline, summed across policies.
+	StoreEnqueued   int64
+	StoreDropped    int64
+	StoreQueueDepth int64
+	// Producer-connection transfer totals.
+	BytesIn        int64
+	BytesOut       int64
+	DeltaUpdates   int64
+	BytesPerSample float64
+	// Event journal.
+	JournalEvents int64
+	JournalErrors int64
+	// Go runtime. The daemon zeroes these under a virtual clock so
+	// simulated replays stay byte-identical.
+	Goroutines     uint64
+	HeapAllocBytes uint64
+	GCCycles       uint64
+}
+
+// SelfSource reports the hosting daemon's current SelfStats.
+type SelfSource func() SelfStats
+
+// selfSampler is the ldmsd_self plugin: the daemon monitoring itself
+// through its own data path. The set it publishes travels the normal
+// pull/reduce/store pipeline, so an upper tier collects every lower
+// daemon's health exactly the way it collects compute-node metrics — no
+// side channel, no extra transport.
+type selfSampler struct {
+	base
+	src SelfSource
+}
+
+// Metric indices of the ldmsd_self schema, in registration order.
+const (
+	selfPasses = iota
+	selfUpdates
+	selfFresh
+	selfErrors
+	selfSkippedBusy
+	selfLookups
+	selfStoreEnqueued
+	selfStoreDropped
+	selfStoreQueueDepth
+	selfBytesIn
+	selfBytesOut
+	selfDeltaUpdates
+	selfBytesPerSample
+	selfJournalEvents
+	selfJournalErrors
+	selfGoroutines
+	selfHeapAlloc
+	selfGCCycles
+)
+
+func newSelf(cfg Config) (Plugin, error) {
+	if cfg.Self == nil {
+		return nil, fmt.Errorf("sampler ldmsd_self: no self-stats source (plugin must be loaded by a daemon)")
+	}
+	p := &selfSampler{base: base{name: "ldmsd_self", fs: cfg.FS}, src: cfg.Self}
+	schema := metric.NewSchema("ldmsd_self")
+	schema.MustAddMetric("updater_passes", metric.TypeU64)
+	schema.MustAddMetric("updates", metric.TypeU64)
+	schema.MustAddMetric("updates_fresh", metric.TypeU64)
+	schema.MustAddMetric("update_errors", metric.TypeU64)
+	schema.MustAddMetric("updates_skipped_busy", metric.TypeU64)
+	schema.MustAddMetric("lookups", metric.TypeU64)
+	schema.MustAddMetric("store_enqueued", metric.TypeU64)
+	schema.MustAddMetric("store_dropped", metric.TypeU64)
+	schema.MustAddMetric("store_queue_depth", metric.TypeU64)
+	schema.MustAddMetric("bytes_in", metric.TypeU64)
+	schema.MustAddMetric("bytes_out", metric.TypeU64)
+	schema.MustAddMetric("delta_updates", metric.TypeU64)
+	schema.MustAddMetric("bytes_per_sample", metric.TypeD64)
+	schema.MustAddMetric("journal_events", metric.TypeU64)
+	schema.MustAddMetric("journal_errors", metric.TypeU64)
+	schema.MustAddMetric("goroutines", metric.TypeU64)
+	schema.MustAddMetric("heap_alloc_bytes", metric.TypeU64)
+	schema.MustAddMetric("gc_cycles", metric.TypeU64)
+	set, err := metric.New(cfg.Instance, schema, cfg.setOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
+	return p, nil
+}
+
+// Sample implements Plugin.
+func (p *selfSampler) Sample(now time.Time) error {
+	st := p.src()
+	p.set.BeginTransaction()
+	p.set.SetValues(func(bt *metric.Batch) {
+		bt.SetU64(selfPasses, uint64(st.Passes))
+		bt.SetU64(selfUpdates, uint64(st.Updates))
+		bt.SetU64(selfFresh, uint64(st.Fresh))
+		bt.SetU64(selfErrors, uint64(st.Errors))
+		bt.SetU64(selfSkippedBusy, uint64(st.SkippedBusy))
+		bt.SetU64(selfLookups, uint64(st.Lookups))
+		bt.SetU64(selfStoreEnqueued, uint64(st.StoreEnqueued))
+		bt.SetU64(selfStoreDropped, uint64(st.StoreDropped))
+		bt.SetU64(selfStoreQueueDepth, uint64(st.StoreQueueDepth))
+		bt.SetU64(selfBytesIn, uint64(st.BytesIn))
+		bt.SetU64(selfBytesOut, uint64(st.BytesOut))
+		bt.SetU64(selfDeltaUpdates, uint64(st.DeltaUpdates))
+		bt.SetF64(selfBytesPerSample, st.BytesPerSample)
+		bt.SetU64(selfJournalEvents, uint64(st.JournalEvents))
+		bt.SetU64(selfJournalErrors, uint64(st.JournalErrors))
+		bt.SetU64(selfGoroutines, st.Goroutines)
+		bt.SetU64(selfHeapAlloc, st.HeapAllocBytes)
+		bt.SetU64(selfGCCycles, st.GCCycles)
+	})
+	p.set.EndTransaction(now)
+	return nil
+}
+
+func init() {
+	Register("ldmsd_self", newSelf)
+}

@@ -204,6 +204,12 @@ type Folded struct {
 	// Time is the newest contributing member sample timestamp — the reduced
 	// set's own sample time, so age-based staleness survives the hop.
 	Time time.Time
+	// Newest is the member (source name) that supplied Time. Sample
+	// tracing inherits the reduced set's upstream hop chain from it, so a
+	// reduced set's age attribution follows its newest contributor.
+	// Deterministic: members fold in sorted name order and ties keep the
+	// first.
+	Newest string
 	// Members is the number of members whose samples contributed.
 	Members int
 }
@@ -478,6 +484,7 @@ func (g *group) fold(out []Folded) []Folded {
 	card := len(g.names)
 	contrib := 0
 	var maxTS, lastTS time.Time
+	var newest string
 
 	for i := 0; i < card; i++ {
 		g.accSum[i] = metric.Value{Type: g.types[i]}
@@ -528,6 +535,7 @@ func (g *group) fold(out []Folded) []Folded {
 		}
 		if ts.After(maxTS) {
 			maxTS = ts
+			newest = m.name
 		}
 		if contrib == 0 || ts.After(lastTS) {
 			copy(g.accLast, g.vals[:card])
@@ -563,7 +571,7 @@ func (g *group) fold(out []Folded) []Folded {
 			}
 		})
 		o.set.EndTransaction(maxTS)
-		out = append(out, Folded{Set: o.set, Time: maxTS, Members: contrib})
+		out = append(out, Folded{Set: o.set, Time: maxTS, Newest: newest, Members: contrib})
 	}
 	return out
 }

@@ -38,6 +38,10 @@ type MemFactory struct {
 	// NoDelta disables the delta update path, modeling a legacy peer:
 	// batched ops always move full chunks regardless of acknowledged DGNs.
 	NoDelta bool
+	// NoTrace disables the trace-block path, modeling a legacy peer that
+	// never negotiated the trace capability: batched ops complete with
+	// empty Trace and the pulling daemon sees only its own hop.
+	NoTrace bool
 }
 
 // Name returns the transport kind.
@@ -89,7 +93,7 @@ func (f MemFactory) Dial(addr string) (Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("transport: mem dial %q: connection refused", addr)
 	}
-	return &memConn{l: l, addr: addr, delay: f.Delay, noDelta: f.NoDelta}, nil
+	return &memConn{l: l, addr: addr, delay: f.Delay, noDelta: f.NoDelta, noTrace: f.NoTrace}, nil
 }
 
 // memListener is a bound in-process address.
@@ -128,6 +132,7 @@ type memConn struct {
 	addr    string
 	delay   func(addr, op string)
 	noDelta bool
+	noTrace bool
 	mu      sync.Mutex
 	closed  bool
 
@@ -298,10 +303,19 @@ func (c *memConn) UpdateBatch(ctx context.Context, ops []UpdateOp) {
 		failOps(ops, err)
 		return
 	}
+	// Trace blocks move exactly as on the sock transport — the server's
+	// Trace hook encodes the real TRC1 bytes, counted at their framed wire
+	// cost — so virtual-clock runs exercise the genuine codec.
+	traceOn := !c.noTrace && c.l.srv.Trace != nil
 	var bytesIn, bytesOut, done, deltas int64
 	for i := range ops {
 		rs := ops[i].Set.(*memRemoteSet)
 		ops[i].WasDelta = false
+		ops[i].Trace = ops[i].Trace[:0]
+		if traceOn {
+			ops[i].Trace = c.l.srv.Trace(rs.set, ops[i].Trace)
+			bytesIn += int64(traceLenPrefix + len(ops[i].Trace))
+		}
 		if ops[i].HaveAck && !c.noDelta {
 			n, wire, err := rs.fetchDelta(ops[i].Dst, ops[i].AckDGN, &ops[i].WasDelta)
 			ops[i].N, ops[i].Err = n, err

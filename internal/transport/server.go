@@ -17,6 +17,12 @@ type Server struct {
 	// HostCPU.
 	OneSided bool
 
+	// Trace, when non-nil, appends the owning daemon's current hop chain
+	// for set (an obs.AppendHops trace block) to dst and returns the
+	// extended slice. Wired by ldmsd; consulted only on connections that
+	// negotiated the trace capability.
+	Trace func(set *metric.Set, dst []byte) []byte
+
 	dirs         atomic.Int64
 	lookups      atomic.Int64
 	updates      atomic.Int64
@@ -93,6 +99,27 @@ func (s *Server) serveLookup(name string) (*metric.Set, []byte, error) {
 	//ldms:wallclock second half of the real serving-cost measurement
 	s.hostCPU.Add(int64(time.Since(start)))
 	return set, meta, nil
+}
+
+// appendTraceFor writes a u16-length-prefixed trace block for set onto b:
+// a reserved length slot, the Trace hook's bytes (zero-length when no hook
+// is wired or the daemon has no chain for the set), then the patched
+// length. Callers append the legacy payload immediately after.
+func (s *Server) appendTraceFor(b []byte, set *metric.Set) []byte {
+	at := len(b)
+	b = append(b, 0, 0)
+	if s.Trace != nil {
+		b = s.Trace(set, b)
+	}
+	n := len(b) - at - traceLenPrefix
+	if n > maxWireString {
+		// MaxTraceHops bounds a real block to ~5 kB; a larger result is a
+		// bug in the hook. Drop it rather than corrupt the prefix.
+		b = b[:at+traceLenPrefix]
+		n = 0
+	}
+	wireLE.PutUint16(b[at:], uint16(n))
+	return b
 }
 
 // serveUpdateDelta implements the delta update operation: encode the

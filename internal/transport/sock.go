@@ -44,10 +44,11 @@ type SockFactory struct {
 	// byte-identical to pre-capability builds. Mixed-version tests use it
 	// to stand in for an old peer.
 	Legacy bool
-	// NoDelta / NoDict / NoCompress mask individual capabilities.
+	// NoDelta / NoDict / NoCompress / NoTrace mask individual capabilities.
 	NoDelta    bool
 	NoDict     bool
 	NoCompress bool
+	NoTrace    bool
 	// ReadBuf / WriteBuf size the per-connection bufio buffers; 0 means
 	// sockDefaultBuf.
 	ReadBuf  int
@@ -68,6 +69,9 @@ func (sf SockFactory) caps() uint32 {
 	}
 	if sf.NoCompress {
 		c &^= capCompress
+	}
+	if sf.NoTrace {
+		c &^= capTrace
 	}
 	return c
 }
@@ -304,6 +308,13 @@ func (sc *sockConn) dictEnabled() bool {
 	return sc.localCaps&capDict != 0 && sc.peerCaps.Load()&capDict != 0
 }
 
+// traceEnabled reports whether update responses carry a trace-block
+// prefix. Both sides compute it from the same negotiated pair, so the
+// serving half prefixes exactly when the pulling half splits.
+func (sc *sockConn) traceEnabled() bool {
+	return sc.localCaps&capTrace != 0 && sc.peerCaps.Load()&capTrace != 0
+}
+
 // send writes one frame under the write lock and flushes, compressing the
 // payload when the capability is negotiated and compression wins.
 func (sc *sockConn) send(typ byte, id uint64, payload []byte) error {
@@ -459,10 +470,22 @@ func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 		if !ok {
 			return replyErr("transport: unknown set handle")
 		}
-		buf := getBuf(set.DataSize())
-		n := sc.srv.serveUpdate(set, buf)
-		err := sc.send(msgUpdateResp, id, buf[:n])
-		putBuf(buf)
+		ds := set.DataSize()
+		if !sc.traceEnabled() {
+			buf := getBuf(ds)
+			n := sc.srv.serveUpdate(set, buf)
+			err := sc.send(msgUpdateResp, id, buf[:n])
+			putBuf(buf)
+			return err
+		}
+		// Trace-prefixed shape: u16 length | trace block | data chunk.
+		buf := getBuf(traceLenPrefix + traceSlack + ds)
+		b := sc.srv.appendTraceFor(buf[:0], set)
+		off := len(b)
+		b = growTo(b, off+ds)
+		n := sc.srv.serveUpdate(set, b[off:])
+		err := sc.send(msgUpdateResp, id, b[:off+n])
+		putBuf(b)
 		return err
 	case msgDeltaUpdateReq:
 		if len(payload) < 12 {
@@ -473,12 +496,23 @@ func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 			return replyErr("transport: unknown set handle")
 		}
 		since := wireLE.Uint64(payload[4:])
-		// Slack beyond DataSize covers the delta header on sets smaller
-		// than it, so serveUpdateDelta never reallocates.
-		buf := getBuf(1 + set.DataSize() + 64)
-		out := sc.srv.serveUpdateDelta(set, since, buf)
-		err := sc.send(msgDeltaUpdateResp, id, out)
-		putBuf(buf)
+		ds := set.DataSize()
+		if !sc.traceEnabled() {
+			// Slack beyond DataSize covers the delta header on sets smaller
+			// than it, so serveUpdateDelta never reallocates.
+			buf := getBuf(1 + ds + 64)
+			out := sc.srv.serveUpdateDelta(set, since, buf)
+			err := sc.send(msgDeltaUpdateResp, id, out)
+			putBuf(buf)
+			return err
+		}
+		buf := getBuf(traceLenPrefix + traceSlack + 1 + ds + 64)
+		b := sc.srv.appendTraceFor(buf[:0], set)
+		off := len(b)
+		b = growTo(b, off+1+ds+64)
+		out := sc.srv.serveUpdateDelta(set, since, b[off:])
+		err := sc.send(msgDeltaUpdateResp, id, b[:off+len(out)])
+		putBuf(b)
 		return err
 	}
 	return replyErr(fmt.Sprintf("transport: unknown message type %d", typ))
@@ -758,21 +792,36 @@ func (sc *sockConn) resolveOp(ops []UpdateOp, first uint64, r sockResp) bool {
 		putBuf(r.payload)
 		return false
 	}
+	// Data-bearing responses on a trace-negotiated connection carry a
+	// trace-block prefix; peel it into the op before legacy decoding. The
+	// trace bytes are copied out because r.payload is recycled below.
+	ops[i].Trace = ops[i].Trace[:0]
+	payload := r.payload
+	if r.err == nil && r.typ != msgErrResp && sc.traceEnabled() {
+		trace, rest, err := splitTracePrefix(payload)
+		if err != nil {
+			ops[i].Err = err
+			putBuf(r.payload)
+			return true
+		}
+		ops[i].Trace = append(ops[i].Trace, trace...)
+		payload = rest
+	}
 	switch {
 	case r.err != nil:
 		ops[i].Err = r.err
 	case r.typ == msgErrResp:
 		ops[i].Err = respError(r.payload)
 	case r.typ == msgDeltaUpdateResp:
-		resolveDeltaResp(&ops[i], r.payload)
+		resolveDeltaResp(&ops[i], payload, r.payload)
 		if ops[i].Err == nil {
 			sc.countUpdate(ops[i].WasDelta)
 		}
-	case len(ops[i].Dst) < len(r.payload):
-		ops[i].Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(ops[i].Dst), len(r.payload))
+	case len(ops[i].Dst) < len(payload):
+		ops[i].Err = fmt.Errorf("transport: update buffer too small: %d < %d", len(ops[i].Dst), len(payload))
 		putBuf(r.payload)
 	default:
-		ops[i].N, ops[i].Err = copy(ops[i].Dst, r.payload), nil
+		ops[i].N, ops[i].Err = copy(ops[i].Dst, payload), nil
 		putBuf(r.payload)
 		sc.countUpdate(false)
 	}
@@ -781,8 +830,10 @@ func (sc *sockConn) resolveOp(ops []UpdateOp, first uint64, r sockResp) bool {
 
 // resolveDeltaResp decodes a delta update response into its op: kind full
 // copies the chunk, kind delta patches Dst in place via the set metadata.
-func resolveDeltaResp(op *UpdateOp, payload []byte) {
-	defer putBuf(payload)
+// payload may be a sub-slice of owned (a trace prefix was peeled off);
+// owned is what goes back to the buffer pool.
+func resolveDeltaResp(op *UpdateOp, payload, owned []byte) {
+	defer putBuf(owned)
 	if len(payload) < 1 {
 		op.Err = errShortDeltaResp
 		return
@@ -842,11 +893,22 @@ func (rs *sockRemoteSet) Update(ctx context.Context, dst []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(dst) < len(resp.payload) {
-		putBuf(resp.payload)
-		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), len(resp.payload))
+	payload := resp.payload
+	if rs.conn.traceEnabled() {
+		// Single round trips have no op to carry the trace into; peel the
+		// prefix and discard it.
+		_, rest, err := splitTracePrefix(payload)
+		if err != nil {
+			putBuf(resp.payload)
+			return 0, err
+		}
+		payload = rest
 	}
-	n := copy(dst, resp.payload)
+	if len(dst) < len(payload) {
+		putBuf(resp.payload)
+		return 0, fmt.Errorf("transport: update buffer too small: %d < %d", len(dst), len(payload))
+	}
+	n := copy(dst, payload)
 	putBuf(resp.payload)
 	rs.conn.countUpdate(false)
 	return n, nil

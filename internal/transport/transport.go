@@ -96,6 +96,13 @@ type UpdateOp struct {
 	N        int
 	Err      error
 	WasDelta bool // this pull moved a delta, not a full chunk
+	// Trace receives the server's hop-chain trace block for this pull when
+	// the connection negotiated the trace capability: the transport appends
+	// the block's bytes to Trace (reusing its capacity — pass a recycled
+	// slice truncated to length 0) before the op completes. Left at length
+	// 0 on legacy connections, transports without trace support, and
+	// errors. The bytes decode with obs.HopDecoder.
+	Trace []byte
 }
 
 // BatchUpdater is an optional Conn capability: issue every op's update
@@ -124,6 +131,7 @@ func sequentialUpdates(ctx context.Context, ops []UpdateOp) {
 	for i := range ops {
 		ops[i].N, ops[i].Err = ops[i].Set.Update(ctx, ops[i].Dst)
 		ops[i].WasDelta = false
+		ops[i].Trace = ops[i].Trace[:0]
 	}
 }
 

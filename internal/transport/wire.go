@@ -109,6 +109,18 @@ func putBuf(b []byte) {
 	}
 }
 
+// growTo extends b to length n, reallocating through the buffer pool
+// when its capacity falls short (the original is recycled).
+func growTo(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	nb := getBuf(n)
+	copy(nb, b)
+	putBuf(b)
+	return nb
+}
+
 // writeFrame sends one frame. Callers serialize access to w.
 func writeFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
 	var hdr [frameHeader]byte
@@ -242,13 +254,14 @@ const (
 	capDelta    = 1 << 0 // peer serves delta update requests
 	capDict     = 1 << 1 // peer speaks dictionary-coded dir/lookup traffic
 	capCompress = 1 << 2 // peer accepts deflate-compressed frames
+	capTrace    = 1 << 3 // peer speaks trace-block-prefixed update responses ("TRC1")
 
 	capsMagic = 0x43505331 // "CPS1"
 	capsLen   = 8
 )
 
 // capsAll is what this implementation offers by default.
-const capsAll = capDelta | capDict | capCompress
+const capsAll = capDelta | capDict | capCompress | capTrace
 
 // appendCaps appends a caps block.
 func appendCaps(b []byte, caps uint32) []byte {
@@ -342,6 +355,38 @@ const (
 	deltaKindFull  = 0 // payload is a full data chunk (server fell back)
 	deltaKindDelta = 1 // payload is a metric delta update
 )
+
+// Trace blocks. With capTrace negotiated by both peers, every update and
+// delta-update response payload is prefixed with
+//
+//	u16 trace length | trace block ("TRC1", see obs.AppendHops)
+//
+// followed by the exact legacy payload bytes. The block rides in front —
+// not behind — because delta payloads are validated to their exact length
+// by metric.ApplyDelta, so trailing bytes would be rejected. A zero trace
+// length is valid (the server has no hop chain for the set). Peers that
+// never advertised capTrace see byte-identical legacy payloads.
+const traceLenPrefix = 2
+
+// traceSlack is the buffer headroom reserved for a trace block ahead of a
+// data chunk: obs.MaxTraceHops hops of worst-case realistic names stay
+// well inside it, and Server.appendTraceFor drops oversized blocks.
+const traceSlack = 2048
+
+// splitTracePrefix slices a trace-prefixed payload into its trace block
+// and the legacy payload bytes.
+func splitTracePrefix(b []byte) (trace, rest []byte, err error) {
+	if len(b) < traceLenPrefix {
+		return nil, nil, errBadTracePrefix
+	}
+	n := int(wireLE.Uint16(b))
+	if traceLenPrefix+n > len(b) {
+		return nil, nil, errBadTracePrefix
+	}
+	return b[traceLenPrefix : traceLenPrefix+n], b[traceLenPrefix+n:], nil
+}
+
+var errBadTracePrefix = errors.New("transport: malformed trace prefix")
 
 // String dictionaries. Dir and lookup traffic repeats the same instance
 // names every pass; with capDict negotiated the serving side assigns each
