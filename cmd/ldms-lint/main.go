@@ -1,49 +1,114 @@
 // Command ldms-lint runs the project's static-analysis suite
-// (internal/lint) over the module: clocksource, atomicmix, setaccess
-// and hotpath. It exits non-zero if any diagnostic is reported.
+// (internal/lint) over the module: clocksource, atomicmix, setaccess,
+// hotpath, lockorder, wirebound, goroleak and errdrop. It exits
+// non-zero if any diagnostic is reported.
 //
 // Usage:
 //
 //	go run ./cmd/ldms-lint ./...
 //	go run ./cmd/ldms-lint ./internal/ldmsd ./internal/query
+//	go run ./cmd/ldms-lint -json ./...
+//	go run ./cmd/ldms-lint -annotate ./...
+//
+// -json prints machine-readable findings (one JSON array). -annotate
+// prints GitHub Actions workflow commands (::error ...) so CI runs
+// surface findings as inline problem annotations on the PR diff.
 //
 // See docs/DEVELOPMENT.md for the invariants and the //ldms:
 // annotation grammar.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"goldms/internal/lint"
 )
 
-func main() {
-	root := flag.String("C", ".", "module root directory (must contain go.mod)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ldms-lint [-C dir] [packages]\n\nAnalyzers:\n")
-		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
-		}
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+// jsonDiag is the machine-readable finding shape, stable for CI
+// tooling: file is module-relative with forward slashes.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
-	patterns := flag.Args()
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, lints, renders, and
+// returns the process exit code (0 clean, 1 findings, 2 usage/load
+// error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ldms-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("C", ".", "module root directory (must contain go.mod)")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array")
+	annotate := fs.Bool("annotate", false, "print findings as GitHub Actions ::error annotations")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ldms-lint [-C dir] [-json|-annotate] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	diags, err := lint.Run(*root, patterns, lint.Analyzers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ldms-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ldms-lint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *asJSON:
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "ldms-lint:", err)
+			return 2
+		}
+	case *annotate:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=ldms-lint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, escapeWorkflowData(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ldms-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ldms-lint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// escapeWorkflowData escapes a GitHub Actions workflow-command data
+// payload (the runner un-escapes in this order).
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

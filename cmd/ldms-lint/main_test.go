@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// moduleRoot is the repo root relative to this package's test binary.
+const moduleRoot = "../.."
+
+// The dirty testdata package always produces diagnostics (an unknown
+// directive and a reasonless suppression fire in any package); the
+// clean one carries a correctly reasoned annotation and none.
+const (
+	dirtyPkg = "./internal/lint/testdata/dirty"
+	cleanPkg = "./internal/lint/testdata/clean"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-C", moduleRoot}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitNonZeroOnFindings(t *testing.T) {
+	code, stdout, stderr := runCmd(t, dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "unknown directive") || !strings.Contains(stdout, "requires a reason") {
+		t.Errorf("expected both dirty findings on stdout, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("expected a findings summary on stderr, got:\n%s", stderr)
+	}
+}
+
+func TestExitZeroOnCleanTree(t *testing.T) {
+	code, stdout, stderr := runCmd(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no output on a clean package, got:\n%s", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-json", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(diags), stdout)
+	}
+	for _, d := range diags {
+		if d.File != "internal/lint/testdata/dirty/dirty.go" {
+			t.Errorf("file = %q, want module-relative path", d.File)
+		}
+		if d.Analyzer != "annotation" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete finding: %+v", d)
+		}
+	}
+}
+
+func TestJSONEmptyArrayWhenClean(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-json", cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 0 {
+		t.Errorf("got %d findings, want 0", len(diags))
+	}
+}
+
+func TestAnnotateOutput(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-annotate", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d annotation lines, want 2:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=internal/lint/testdata/dirty/dirty.go,line=") {
+			t.Errorf("malformed workflow command: %s", line)
+		}
+		if !strings.Contains(line, "title=ldms-lint annotation::") {
+			t.Errorf("missing analyzer title: %s", line)
+		}
+	}
+}
+
+func TestEscapeWorkflowData(t *testing.T) {
+	got := escapeWorkflowData("50% of\nlines\r")
+	want := "50%25 of%0Alines%0D"
+	if got != want {
+		t.Errorf("escapeWorkflowData = %q, want %q", got, want)
+	}
+}

@@ -566,6 +566,7 @@ func (sp *StoragePolicy) settleLocked() {
 // meaning for tests and analysis tooling.
 func (sp *StoragePolicy) Flush() error {
 	sp.mu.Lock()
+	//ldms:lockorder settleLocked releases sp.mu before draining and re-acquires it to return, so sp.mu is never held across the drain
 	sp.settleLocked()
 	st := sp.st
 	sp.mu.Unlock()

@@ -1,0 +1,540 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The call-graph fact layer gives analyzers a module-wide view that a
+// single package walk cannot: which locks a function acquires
+// (directly or through anything it calls), which calls happen while a
+// lock is held, whether a function ever blocks on a channel signal,
+// and how wire-decoded integers flow between functions. It is built
+// once per lint run over every loaded package — analysis targets and
+// their in-module dependencies alike — and the lockorder, wirebound
+// and goroleak analyzers consume it.
+//
+// Identity is positional: functions and locks are keyed by the
+// module-relative file:line of their declaration. Positions survive a
+// package being type-checked under an override import path (the
+// testdata harness) and are stable across runs, which object pointers
+// are not guaranteed to be.
+
+// FuncID identifies a function by the module-relative position of its
+// declaration, e.g. "internal/ldmsd/updater.go:210".
+type FuncID string
+
+// LockID identifies a mutex by the declaration position of its field
+// or variable, e.g. the position of Daemon.mu. Two instances of the
+// same struct share a LockID: the analyzers reason about lock
+// *classes*, the granularity at which ordering invariants are stated.
+type LockID string
+
+// lockEdge records "from was held while to was acquired" at Pos.
+// Via names the callee when the acquisition happens transitively
+// inside a call rather than in the holding function itself.
+type lockEdge struct {
+	From, To LockID
+	Pos      token.Pos
+	Pkg      string // module-relative package path of the site
+	Via      string // callee display name, "" for a direct acquisition
+}
+
+// callHolding records an in-module call made while locks were held;
+// finalize expands these into lockEdges using the callee's transitive
+// acquire set.
+type callHolding struct {
+	Held   []LockID
+	Callee FuncID
+	Pos    token.Pos
+	Name   string // callee display name
+}
+
+// sinkParam describes a function parameter that flows into an
+// allocation- or slicing-size position without an intervening bound
+// check, so passing a wire-tainted value as this argument is as bad as
+// using it in the sink directly.
+type sinkParam struct {
+	Sink string // description of the sink the parameter reaches
+}
+
+// funcFacts is the per-function summary.
+type funcFacts struct {
+	ID   FuncID
+	Name string // display name, e.g. (*Updater).pass
+	Pkg  string // module-relative package path
+	Decl *ast.FuncDecl
+	Info *types.Info
+
+	Calls []FuncID // static in-module callees, deduplicated
+
+	DirectAcquires map[LockID]token.Pos // first direct acquisition site
+	AllAcquires    map[LockID]bool      // transitive closure over Calls
+	Edges          []lockEdge           // direct held-while-acquiring edges
+	CallsHolding   []callHolding
+
+	WaitsDirect bool // body contains select / chan receive / chan range
+	Waits       bool // WaitsDirect or any callee Waits (transitive)
+
+	TaintedResults []bool            // result i derives from a wire-decoded integer
+	SinkParams     map[int]sinkParam // param index -> unbounded sink it reaches
+}
+
+// lockMeta is the display metadata for one lock class.
+type lockMeta struct {
+	Name string // e.g. "Updater.smu" or "transport.poolMu"
+}
+
+// Graph is the module-wide fact layer.
+type Graph struct {
+	Funcs map[FuncID]*funcFacts
+	Locks map[LockID]*lockMeta
+
+	mod string // module path, for the in-module test
+	pos func(token.Pos) token.Position
+
+	// lockorder memoization: edges that participate in a cycle,
+	// computed once per run on first use.
+	cycleFindings []cycleFinding
+	cycleDone     bool
+}
+
+// Position resolves a token.Pos module-relatively (shared with Pass).
+func (g *Graph) Position(p token.Pos) token.Position { return g.pos(p) }
+
+// FuncIDOf returns the positional ID for a declared function object.
+func (g *Graph) FuncIDOf(obj *types.Func) FuncID {
+	p := g.pos(obj.Pos())
+	return FuncID(fmt.Sprintf("%s:%d", p.Filename, p.Line))
+}
+
+// buildGraph constructs the fact layer over every package the loader
+// has touched, in deterministic path order, and runs the summary
+// fixpoints.
+func buildGraph(l *loader, extra []*Package) *Graph {
+	byPath := make(map[string]*Package, len(l.pkgs)+len(extra))
+	for path, pkg := range l.pkgs {
+		byPath[path] = pkg
+	}
+	for _, pkg := range extra {
+		byPath[pkg.Path] = pkg
+	}
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	g := &Graph{
+		Funcs: make(map[FuncID]*funcFacts),
+		Locks: make(map[LockID]*lockMeta),
+		mod:   l.modPath,
+		pos: func(p token.Pos) token.Position {
+			tp := l.fset.Position(p)
+			if rel, err := relIfUnder(l.root, tp.Filename); err == nil {
+				tp.Filename = rel
+			}
+			return tp
+		},
+	}
+	for _, path := range paths {
+		pkg := byPath[path]
+		if !strings.HasPrefix(pkg.Path, l.modPath) {
+			continue
+		}
+		rel := l.relPath(pkg.Path)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				g.collectFunc(pkg, rel, fn)
+			}
+		}
+	}
+	g.propagate()
+	return g
+}
+
+// collectFunc builds the pre-fixpoint summary of one function: call
+// list, lock walk, and channel-wait flag.
+func (g *Graph) collectFunc(pkg *Package, relPkg string, fn *ast.FuncDecl) {
+	obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	ff := &funcFacts{
+		ID:             g.FuncIDOf(obj),
+		Name:           shortFuncName(obj),
+		Pkg:            relPkg,
+		Decl:           fn,
+		Info:           pkg.Info,
+		DirectAcquires: make(map[LockID]token.Pos),
+		SinkParams:     make(map[int]sinkParam),
+	}
+	g.Funcs[ff.ID] = ff
+
+	seenCall := make(map[FuncID]bool)
+	g.walkLocks(ff, fn.Body, nil, func(callee *types.Func, pos token.Pos, held []LockID) {
+		id := g.FuncIDOf(callee)
+		if !seenCall[id] {
+			seenCall[id] = true
+			ff.Calls = append(ff.Calls, id)
+		}
+		if len(held) > 0 {
+			ff.CallsHolding = append(ff.CallsHolding, callHolding{
+				Held: append([]LockID(nil), held...), Callee: id, Pos: pos, Name: shortFuncName(callee),
+			})
+		}
+	})
+	ff.WaitsDirect = waitsDirectly(pkg.Info, fn.Body)
+}
+
+// walkLocks traverses a statement tree in source order tracking the
+// held-lock stack, recording direct held-while-acquiring edges on ff
+// and handing every resolvable in-module call to onCall. Function
+// literals are walked with the current held state — a conservative
+// "callback may run synchronously" assumption — except goroutine
+// bodies, which start with nothing held.
+func (g *Graph) walkLocks(ff *funcFacts, body ast.Node, held []LockID, onCall func(*types.Func, token.Pos, []LockID)) {
+	heldStack := append([]LockID(nil), held...)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// The goroutine does not inherit the launcher's locks. Walk
+			// its function body (if literal) with an empty held stack;
+			// named callees are still reported for the call graph.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				g.walkLocks(ff, lit.Body, nil, onCall)
+				for _, arg := range x.Call.Args {
+					ast.Inspect(arg, walk)
+				}
+			} else {
+				if callee := staticCallee(ff.Info, x.Call); callee != nil && g.inModule(callee) {
+					onCall(callee, x.Call.Pos(), nil)
+				}
+				ast.Inspect(x.Call, func(n ast.Node) bool {
+					if n == x.Call {
+						return true
+					}
+					return walk(n)
+				})
+			}
+			return false
+		case *ast.FuncLit:
+			g.walkLocks(ff, x.Body, heldStack, onCall)
+			return false
+		case *ast.CallExpr:
+			if op, ok := g.lockOpOf(ff.Info, x); ok {
+				if op.acquire {
+					for _, h := range heldStack {
+						ff.Edges = append(ff.Edges, lockEdge{From: h, To: op.id, Pos: x.Pos(), Pkg: ff.Pkg})
+					}
+					if _, seen := ff.DirectAcquires[op.id]; !seen {
+						ff.DirectAcquires[op.id] = x.Pos()
+					}
+					heldStack = append(heldStack, op.id)
+				} else {
+					for i := len(heldStack) - 1; i >= 0; i-- {
+						if heldStack[i] == op.id {
+							heldStack = append(heldStack[:i], heldStack[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if callee := staticCallee(ff.Info, x); callee != nil && g.inModule(callee) {
+				onCall(callee, x.Pos(), heldStack)
+			}
+			return true
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function, which is exactly what not processing the release
+			// models; other deferred calls are treated as call sites
+			// under the current held set.
+			if op, ok := g.lockOpOf(ff.Info, x.Call); ok && !op.acquire {
+				return false
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// lockOp classifies one sync.Mutex / sync.RWMutex method call.
+type lockOp struct {
+	acquire bool
+	id      LockID
+	name    string
+}
+
+var lockAcquire = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": false, "RUnlock": false,
+}
+
+// lockOpOf resolves a call to a lock operation and the identity of the
+// lock it operates on. Unresolvable lock operands (e.g. a mutex behind
+// an interface) are skipped rather than guessed.
+func (g *Graph) lockOpOf(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !(isPkgType(recv.Type(), "sync", "Mutex") || isPkgType(recv.Type(), "sync", "RWMutex")) {
+		return lockOp{}, false
+	}
+	acquire, known := lockAcquire[fn.Name()]
+	if !known {
+		return lockOp{}, false
+	}
+	obj, name := g.lockIdentity(info, sel)
+	if obj == nil {
+		return lockOp{}, false
+	}
+	p := g.pos(obj.Pos())
+	id := LockID(fmt.Sprintf("%s:%d", p.Filename, p.Line))
+	if _, ok := g.Locks[id]; !ok {
+		g.Locks[id] = &lockMeta{Name: name}
+	}
+	return lockOp{acquire: acquire, id: id, name: name}, true
+}
+
+// lockIdentity resolves the variable or field object that declares the
+// lock a method call operates on, plus a display name.
+func (g *Graph) lockIdentity(info *types.Info, methodSel *ast.SelectorExpr) (types.Object, string) {
+	x := ast.Unparen(methodSel.X)
+	if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		x = ast.Unparen(u.X)
+	}
+	switch lockExpr := x.(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[lockExpr]; s != nil && s.Kind() == types.FieldVal {
+			fld := s.Obj()
+			return fld, ownerName(s.Recv()) + "." + fld.Name()
+		}
+		// Package-qualified global: pkg.mu.Lock().
+		if v, ok := info.Uses[lockExpr.Sel].(*types.Var); ok && !v.IsField() {
+			return v, v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[lockExpr].(*types.Var); ok {
+			if v.IsField() {
+				// Embedded mutex promoted onto the receiver ident is not
+				// hit here (that is the method-selection case below);
+				// a plain field ident inside a method body is.
+				return v, v.Name()
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v, v.Pkg().Name() + "." + v.Name()
+			}
+			return v, v.Name() // function-local mutex
+		}
+	}
+	// Embedded sync.Mutex: s.Lock() selects the promoted method through
+	// an embedded field; recover that field from the selection path.
+	if s := info.Selections[methodSel]; s != nil && len(s.Index()) > 1 {
+		if fld := fieldAlongPath(s.Recv(), s.Index()[:len(s.Index())-1]); fld != nil {
+			return fld, ownerName(s.Recv()) + "." + fld.Name()
+		}
+	}
+	return nil, ""
+}
+
+// fieldAlongPath follows a types.Selection embedded-field index path.
+func fieldAlongPath(t types.Type, path []int) *types.Var {
+	var fld *types.Var
+	for _, i := range path {
+		s, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				s, ok = p.Elem().Underlying().(*types.Struct)
+				if !ok {
+					return nil
+				}
+			} else {
+				return nil
+			}
+		}
+		if i >= s.NumFields() {
+			return nil
+		}
+		fld = s.Field(i)
+		t = fld.Type()
+	}
+	return fld
+}
+
+// ownerName renders the named type owning a selection's receiver.
+func ownerName(t types.Type) string {
+	if n, ok := namedType(t); ok {
+		return n.Obj().Name()
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// staticCallee resolves a call expression to a declared function or
+// concrete method, or nil for interface calls, func values, builtins
+// and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if s.Kind() == types.MethodVal {
+				if fn, ok := s.Obj().(*types.Func); ok {
+					// Interface methods have no body to summarize.
+					if _, isIface := s.Recv().Underlying().(*types.Interface); !isIface {
+						return fn
+					}
+				}
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// inModule reports whether a function belongs to this module (the only
+// functions the graph holds bodies for).
+func (g *Graph) inModule(fn *types.Func) bool {
+	return fn.Pkg() != nil && (fn.Pkg().Path() == g.mod || strings.HasPrefix(fn.Pkg().Path(), g.mod+"/"))
+}
+
+// waitsDirectly reports whether a body syntactically blocks on a
+// channel signal: a select, a receive expression, or a range over a
+// channel. Nested function literals count — a loop that calls a local
+// closure which receives still has its stop signal inside the loop.
+func waitsDirectly(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// propagate runs the module-wide fixpoints: transitive lock acquires,
+// transitive channel waits, call-derived lock edges, and the wire
+// taint summaries (see taint.go).
+func (g *Graph) propagate() {
+	ids := make([]FuncID, 0, len(g.Funcs))
+	for id := range g.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Transitive acquires and waits, iterated to fixpoint.
+	for _, id := range ids {
+		ff := g.Funcs[id]
+		ff.AllAcquires = make(map[LockID]bool, len(ff.DirectAcquires))
+		for l := range ff.DirectAcquires {
+			ff.AllAcquires[l] = true
+		}
+		ff.Waits = ff.WaitsDirect
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			ff := g.Funcs[id]
+			for _, callee := range ff.Calls {
+				cf := g.Funcs[callee]
+				if cf == nil {
+					continue
+				}
+				for l := range cf.AllAcquires {
+					if !ff.AllAcquires[l] {
+						ff.AllAcquires[l] = true
+						changed = true
+					}
+				}
+				if cf.Waits && !ff.Waits {
+					ff.Waits = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Expand calls-while-holding into edges using the callee closure.
+	for _, id := range ids {
+		ff := g.Funcs[id]
+		for _, ch := range ff.CallsHolding {
+			cf := g.Funcs[ch.Callee]
+			if cf == nil {
+				continue
+			}
+			targets := make([]LockID, 0, len(cf.AllAcquires))
+			for l := range cf.AllAcquires {
+				targets = append(targets, l)
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, to := range targets {
+				for _, from := range ch.Held {
+					ff.Edges = append(ff.Edges, lockEdge{From: from, To: to, Pos: ch.Pos, Pkg: ff.Pkg, Via: ch.Name})
+				}
+			}
+		}
+	}
+
+	g.propagateTaint(ids)
+}
+
+// shortFuncName renders a function for diagnostics: pkg-local, with a
+// receiver for methods, e.g. "(*Updater).pass" or "readFrame".
+func shortFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			return "(*" + ownerName(p.Elem()) + ")." + fn.Name()
+		}
+		return ownerName(t) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// relIfUnder returns path relative to root when it is under root.
+func relIfUnder(root, path string) (string, error) {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("outside root")
+	}
+	return filepath.ToSlash(rel), nil
+}

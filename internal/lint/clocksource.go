@@ -35,6 +35,8 @@ var clocksourceAnalyzer = &Analyzer{
 		"internal/obs",
 		"internal/tier",
 		"internal/sampler",
+		"internal/watchdog",
+		"internal/simcluster",
 	},
 	Suppress: "wallclock",
 	Run:      runClocksource,

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropAnalyzer forbids silently discarding errors returned by the
+// subsystems whose failures the daemon must surface: the store layer
+// (a dropped store error is lost telemetry), the transport layer (a
+// dropped transport error hides a dead peer from the
+// reconnect/standby machinery), and the obs journal (the audit trail
+// itself). In the daemon packages, a call into internal/store,
+// internal/transport (or their subpackages) or an obs.Journal method
+// whose error result is thrown away — an expression statement, an `_`
+// assignment slot, or a bare defer/go — is a finding. Handling means
+// binding the error to a variable (go vet keeps it honest from
+// there), returning it, or passing it on; a deliberate drop carries
+// //ldms:errok <reason>.
+var errdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "errors from store/transport/journal calls must be handled or annotated",
+	Include: []string{
+		"internal/ldmsd",
+		"internal/transport",
+		"internal/query",
+		"internal/tier",
+		"internal/obs",
+	},
+	Suppress: "errok",
+	Run:      runErrdrop,
+}
+
+// errdropCalleePkgs are the module-relative package prefixes whose
+// returned errors must not be dropped.
+var errdropCalleePkgs = []string{
+	"internal/store",
+	"internal/transport",
+}
+
+func runErrdrop(p *Pass, _ *Facts) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					p.checkErrDrop(call, -1, nil)
+				}
+				return false
+			case *ast.DeferStmt:
+				p.checkErrDrop(x.Call, -1, nil)
+				return false
+			case *ast.GoStmt:
+				p.checkErrDrop(x.Call, -1, nil)
+				// The call's arguments may contain further calls.
+				return true
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if len(x.Lhs) > len(x.Rhs) {
+						// Tuple assignment: one call, one lhs per result.
+						p.checkErrDrop(call, -2, x.Lhs)
+					} else if i < len(x.Lhs) {
+						p.checkErrDrop(call, -2, []ast.Expr{x.Lhs[i]})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrDrop reports call when it returns an error that the
+// statement context discards. lhs is the assignment target list (nil
+// for statement/defer/go contexts, where every result is discarded).
+func (p *Pass) checkErrDrop(call *ast.CallExpr, _ int, lhs []ast.Expr) {
+	fn := staticCallee(p.Pkg.Info, call)
+	if fn == nil || !p.errdropCallee(fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	if lhs != nil {
+		// Single-value context: lhs has one entry for the whole call.
+		if sig.Results().Len() == 1 {
+			if !isBlank(lhs[0]) {
+				return
+			}
+		} else {
+			if errIdx >= len(lhs) || !isBlank(lhs[errIdx]) {
+				return
+			}
+		}
+	}
+	p.Reportf(call.Pos(), "error from %s discarded; handle or journal it, or annotate //ldms:errok <reason>", shortFuncName(fn))
+}
+
+// errdropCallee reports whether a callee's errors are load-bearing:
+// store/transport package functions and obs.Journal methods.
+func (p *Pass) errdropCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	rel, ok := strings.CutPrefix(pkg.Path(), p.Mod+"/")
+	if !ok {
+		return false
+	}
+	for _, prefix := range errdropCalleePkgs {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return true
+		}
+	}
+	if rel == "internal/obs" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if isPkgType(sig.Recv().Type(), p.Mod+"/internal/obs", "Journal") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isBlank reports whether an assignment target is the blank
+// identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroleakAnalyzer demands a provable exit for every goroutine the
+// daemon packages launch. A `go` statement passes when the code it
+// runs — the function literal at the site, or the static callee's body
+// via the call-graph fact layer, followed transitively through every
+// in-module call — contains no infinite loop, or when each infinite
+// loop carries a reachable way out: a select or channel receive (the
+// done-channel / context pattern), a range over a channel (closed on
+// shutdown), or a return/break/panic that leaves the loop. Goroutines
+// that run through sched.Pool or a WaitGroup-joined worker body
+// satisfy this naturally: their loops block on the pool's task/stop
+// channels. A goroutine that is intentionally daemonic for the process
+// lifetime carries //ldms:daemonize <reason>.
+var goroleakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine launched in daemon packages must have a reachable exit",
+	Include: []string{
+		"internal/ldmsd",
+		"internal/transport",
+		"internal/query",
+		"internal/tier",
+		"internal/obs",
+	},
+	Suppress: "daemonize",
+	Run:      runGoroleak,
+}
+
+func runGoroleak(p *Pass, facts *Facts) {
+	g := facts.Graph
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if risky, detail := g.goStmtRisk(p.Pkg.Info, gs); risky {
+				p.Reportf(gs.Pos(), "goroutine has no reachable exit: %s; receive on a stop/done channel inside the loop, bound it, or annotate //ldms:daemonize <reason>", detail)
+			}
+			return true
+		})
+	}
+}
+
+// goStmtRisk assesses one go statement.
+func (g *Graph) goStmtRisk(info *types.Info, gs *ast.GoStmt) (bool, string) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return g.bodyLeakRisk(info, lit.Body, make(map[FuncID]bool))
+	}
+	callee := staticCallee(info, gs.Call)
+	if callee == nil || !g.inModule(callee) {
+		// Interface methods, func values and external callees carry no
+		// body facts; stay silent rather than guess.
+		return false, ""
+	}
+	return g.funcLeakRisk(g.FuncIDOf(callee), make(map[FuncID]bool))
+}
+
+// funcLeakRisk assesses a declared function (memo-free: visiting set
+// guards recursion; bodies are only a few hops deep).
+func (g *Graph) funcLeakRisk(id FuncID, visiting map[FuncID]bool) (bool, string) {
+	if visiting[id] {
+		return false, ""
+	}
+	visiting[id] = true
+	defer delete(visiting, id)
+	ff := g.Funcs[id]
+	if ff == nil || ff.Decl == nil {
+		return false, ""
+	}
+	if risky, detail := g.bodyLeakRisk(ff.Info, ff.Decl.Body, visiting); risky {
+		return true, ff.Name + " " + detail
+	}
+	return false, ""
+}
+
+// bodyLeakRisk scans a body for infinite loops with no exit construct,
+// following in-module calls for both the "loops forever" and the
+// "blocks on a signal" halves of the question.
+func (g *Graph) bodyLeakRisk(info *types.Info, body ast.Node, visiting map[FuncID]bool) (bool, string) {
+	risky := false
+	detail := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if risky {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // not executed by this body's control flow
+		case *ast.ForStmt:
+			if x.Cond == nil && !g.loopHasExit(info, x, visiting) {
+				risky = true
+				detail = "infinite for-loop with no select, channel receive, return or break"
+				return false
+			}
+		case *ast.CallExpr:
+			// A call that itself loops forever without an exit keeps this
+			// goroutine alive just the same.
+			if callee := staticCallee(info, x); callee != nil && g.inModule(callee) {
+				if r, d := g.funcLeakRisk(g.FuncIDOf(callee), visiting); r {
+					risky = true
+					detail = "calls " + d
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return risky, detail
+}
+
+// loopHasExit reports whether an unconditional for-loop contains a way
+// out or a shutdown signal: select, channel receive, channel range,
+// return, panic, a break binding to this loop, or a call into a
+// function that blocks on a channel (Waits fact).
+func (g *Graph) loopHasExit(info *types.Info, loop *ast.ForStmt, visiting map[FuncID]bool) bool {
+	has := false
+	// breakDepth tracks constructs an unlabeled break would bind to
+	// instead of our loop.
+	var scan func(n ast.Node, breakDepth int) bool
+	scan = func(n ast.Node, breakDepth int) bool {
+		if has {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			has = true
+		case *ast.SelectStmt:
+			has = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				has = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					has = true
+					return false
+				}
+			}
+			walkChildren(x, func(c ast.Node) { scanNode(c, breakDepth+1, scan) })
+			return false
+		case *ast.ForStmt:
+			walkChildren(x, func(c ast.Node) { scanNode(c, breakDepth+1, scan) })
+			return false
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			walkChildren(x, func(c ast.Node) { scanNode(c, breakDepth+1, scan) })
+			return false
+		case *ast.BranchStmt:
+			// An unlabeled break inside a nested breakable construct does
+			// not leave our loop; a labeled one (or goto) is taken to.
+			if x.Tok == token.BREAK && (breakDepth == 0 || x.Label != nil) {
+				has = true
+			}
+			if x.Tok == token.GOTO {
+				has = true
+			}
+		case *ast.CallExpr:
+			if isPanicCall(info, x) {
+				has = true
+				break
+			}
+			if callee := staticCallee(info, x); callee != nil && g.inModule(callee) {
+				if ff := g.Funcs[g.FuncIDOf(callee)]; ff != nil && ff.Waits {
+					has = true
+				}
+			}
+		}
+		return !has
+	}
+	for _, stmt := range loop.Body.List {
+		scanNode(stmt, 0, scan)
+		if has {
+			break
+		}
+	}
+	return has
+}
+
+// scanNode runs scan over n and its children, threading breakDepth.
+func scanNode(n ast.Node, breakDepth int, scan func(ast.Node, int) bool) {
+	if n == nil {
+		return
+	}
+	if !scan(n, breakDepth) {
+		return
+	}
+	walkChildren(n, func(c ast.Node) { scanNode(c, breakDepth, scan) })
+}
+
+// walkChildren calls fn for each direct child node of n.
+func walkChildren(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// isPanicCall reports a call to the panic builtin.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -84,6 +84,10 @@ type Facts struct {
 	// AtomicFields maps a field identity key (declaration position) to a
 	// human-readable description of the first atomic access observed.
 	AtomicFields map[string]string
+
+	// Graph is the call-graph + dataflow fact layer (callgraph.go),
+	// built over every loaded package before any analyzer runs.
+	Graph *Graph
 }
 
 func newFacts() *Facts {
@@ -99,6 +103,15 @@ type Pass struct {
 	root     string // module root, for rel-path formatting
 	fset     *token.FileSet
 	diags    *[]Diagnostic
+}
+
+// relPkg returns the module-relative path of the package under
+// analysis (the same form analyzer Include/Exclude lists use).
+func (p *Pass) relPkg() string {
+	if p.Pkg.Path == p.Mod {
+		return ""
+	}
+	return strings.TrimPrefix(p.Pkg.Path, p.Mod+"/")
 }
 
 // Position resolves a token.Pos with the filename made relative to the
@@ -135,6 +148,10 @@ var knownDirectives = map[string]bool{
 	"atomicok":  true,  // atomicmix suppression
 	"alloc":     true,  // hotpath per-line suppression
 	"hotpath":   false, // function marker: body is checked by the hotpath analyzer
+	"lockorder": true,  // lockorder suppression: states the instance/order argument
+	"bounded":   true,  // wirebound suppression: why the value is safe unchecked
+	"daemonize": true,  // goroleak suppression: why the goroutine may run forever
+	"errok":     true,  // errdrop suppression: why the error is droppable
 }
 
 // annotations indexes every //ldms: comment in a package by file and line.
@@ -171,7 +188,7 @@ func parseAnnotations(p *Package, pos func(token.Pos) token.Position, diags *[]D
 				switch {
 				case !known:
 					*diags = append(*diags, Diagnostic{Pos: tp, Analyzer: "annotation",
-						Message: fmt.Sprintf("unknown directive %q (known: alloc, atomicok, hotpath, rawset, wallclock)", directivePrefix+d.name)})
+						Message: fmt.Sprintf("unknown directive %q (known: alloc, atomicok, bounded, daemonize, errok, hotpath, lockorder, rawset, wallclock)", directivePrefix+d.name)})
 					continue
 				case needReason && d.reason == "":
 					*diags = append(*diags, Diagnostic{Pos: tp, Analyzer: "annotation",
@@ -224,7 +241,10 @@ func funcHasDirective(fn *ast.FuncDecl, name string) bool {
 
 // Analyzers returns the full project suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{clocksourceAnalyzer, atomicmixAnalyzer, setaccessAnalyzer, hotpathAnalyzer}
+	return []*Analyzer{
+		clocksourceAnalyzer, atomicmixAnalyzer, setaccessAnalyzer, hotpathAnalyzer,
+		lockorderAnalyzer, wireboundAnalyzer, goroleakAnalyzer, errdropAnalyzer,
+	}
 }
 
 // Run loads every package matched by patterns (e.g. "./...") under the
@@ -269,6 +289,11 @@ func RunPackage(root, dir, asImportPath string, analyzers []*Analyzer) ([]Diagno
 func analyze(l *loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	facts := newFacts()
+	// The fact layer covers every package the loader touched — analysis
+	// targets and their in-module dependencies — so cross-package lock,
+	// taint and goroutine facts are available regardless of which
+	// packages were requested.
+	facts.Graph = buildGraph(l, pkgs)
 	passes := make(map[*Package]*annotations, len(pkgs))
 	for _, pkg := range pkgs {
 		pos := func(p token.Pos) token.Position {

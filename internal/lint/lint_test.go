@@ -90,6 +90,61 @@ func TestHotpathGolden(t *testing.T) {
 	checkGolden(t, "hotpath", got)
 }
 
+func TestLockorderGolden(t *testing.T) {
+	got := runTestdata(t, "lockorder", "goldms/internal/ldmsd/lintcheck", Analyzers())
+	checkGolden(t, "lockorder", got)
+}
+
+func TestLockorderOutOfScope(t *testing.T) {
+	// The same cycles analyzed outside the daemon packages produce no
+	// findings (the dep package contributes facts, never findings).
+	got := runTestdata(t, "lockorder", "goldms/internal/sched/lintcheck", Analyzers())
+	if strings.Contains(got, "[lockorder]") {
+		t.Errorf("lockorder must not fire out of scope, got:\n%s", got)
+	}
+}
+
+func TestLockorderCrossPackage(t *testing.T) {
+	// The cross-package cycle leg exists only because dep.Grab's
+	// transitive acquire of Locker.Mu propagates to the call site.
+	got := runTestdata(t, "lockorder", "goldms/internal/ldmsd/lintcheck", Analyzers())
+	if !strings.Contains(got, "via call to (*Locker).Grab") {
+		t.Errorf("expected a cycle edge established via dep.Grab, got:\n%s", got)
+	}
+}
+
+func TestWireboundGolden(t *testing.T) {
+	got := runTestdata(t, "wirebound", "goldms/internal/transport/lintcheck", Analyzers())
+	checkGolden(t, "wirebound", got)
+}
+
+func TestWireboundCrossPackage(t *testing.T) {
+	got := runTestdata(t, "wirebound", "goldms/internal/transport/lintcheck", Analyzers())
+	if !strings.Contains(got, "wire-decoded result of ReadLen") {
+		t.Errorf("expected taint through dep.ReadLen's result summary, got:\n%s", got)
+	}
+	if !strings.Contains(got, "argument 1 of Alloc") {
+		t.Errorf("expected the sink-param summary of dep.Alloc to fire, got:\n%s", got)
+	}
+}
+
+func TestGoroleakGolden(t *testing.T) {
+	got := runTestdata(t, "goroleak", "goldms/internal/ldmsd/lintcheck", Analyzers())
+	checkGolden(t, "goroleak", got)
+}
+
+func TestGoroleakCrossPackage(t *testing.T) {
+	got := runTestdata(t, "goroleak", "goldms/internal/ldmsd/lintcheck", Analyzers())
+	if !strings.Contains(got, "calls Forever") {
+		t.Errorf("expected the leak through dep.Forever to be found, got:\n%s", got)
+	}
+}
+
+func TestErrdropGolden(t *testing.T) {
+	got := runTestdata(t, "errdrop", "goldms/internal/transport/lintcheck", Analyzers())
+	checkGolden(t, "errdrop", got)
+}
+
 func TestAnnotationGolden(t *testing.T) {
 	// Analyzed in clocksource scope: the reasonless //ldms:wallclock is
 	// both an annotation diagnostic and a void suppression, so the

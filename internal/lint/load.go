@@ -26,13 +26,20 @@ type Package struct {
 }
 
 // loader parses and type-checks packages of one module with a shared
-// FileSet and a shared source importer, so imported packages (stdlib
-// and goldms/*) are resolved once and reused across packages.
+// FileSet, a package cache, and a shared source importer for the
+// standard library. The loader is itself the types.Importer for
+// module-internal paths, so every goldms/* package is parsed and
+// type-checked exactly once per process no matter how many analyzers
+// run or how many other packages import it — the analyzed *Package and
+// the *types.Package seen by importers are the same object, which also
+// gives cross-package fact passes stable types.Object identity.
 type loader struct {
 	root    string // absolute module root (directory holding go.mod)
 	modPath string
 	fset    *token.FileSet
-	imp     types.Importer
+	base    types.Importer      // stdlib (and any non-module) imports
+	pkgs    map[string]*Package // cache by import path
+	loading map[string]bool     // import-cycle guard
 }
 
 func newLoader(root string) (*loader, error) {
@@ -49,8 +56,29 @@ func newLoader(root string) (*loader, error) {
 		root:    abs,
 		modPath: modPath,
 		fset:    fset,
-		imp:     importer.ForCompiler(fset, "source", nil),
+		base:    importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
 	}, nil
+}
+
+// Import resolves an import path during type-checking. Module-internal
+// paths go through the loader's own cache (one type-check per package);
+// everything else falls through to the source importer, which keeps its
+// own cache.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+		return l.base.Import(path)
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(l.relPath(path)))
+	pkg, err := l.load(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("lint: no type information for %s", path)
+	}
+	return pkg.Types, nil
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -164,14 +192,35 @@ func goFileNames(dir string) ([]string, error) {
 	return names, nil
 }
 
-// load parses and type-checks the package in dir. A non-empty
-// importPath overrides the path derived from the directory's location
-// under the module root. Type errors are collected, not fatal: the
-// runner reports them as diagnostics.
+// load parses and type-checks the package in dir, returning the cached
+// result when the package was already loaded (as an analysis target or
+// as a dependency of one). A non-empty importPath overrides the path
+// derived from the directory's location under the module root. Type
+// errors are collected, not fatal: the runner reports them as
+// diagnostics.
 func (l *loader) load(dir, importPath string) (*Package, error) {
 	if !filepath.IsAbs(dir) {
 		dir = filepath.Join(l.root, dir)
 	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			importPath = l.modPath
+		} else {
+			importPath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
 	names, err := goFileNames(dir)
 	if err != nil {
 		return nil, err
@@ -187,17 +236,6 @@ func (l *loader) load(dir, importPath string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
-	if importPath == "" {
-		rel, err := filepath.Rel(l.root, dir)
-		if err != nil {
-			return nil, err
-		}
-		if rel == "." {
-			importPath = l.modPath
-		} else {
-			importPath = l.modPath + "/" + filepath.ToSlash(rel)
-		}
-	}
 	pkg := &Package{
 		Path:  importPath,
 		Dir:   dir,
@@ -211,12 +249,13 @@ func (l *loader) load(dir, importPath string) (*Package, error) {
 		},
 	}
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
 	}
 	// Check returns an error exactly when TypeErrs is non-empty; the
 	// partial result is still usable for reporting.
 	pkg.Types, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	l.pkgs[importPath] = pkg
 	return pkg, nil
 }
 

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lockorderAnalyzer collects the module-wide "held while acquiring"
+// graph over sync.Mutex/RWMutex lock classes in the daemon packages —
+// including acquisitions that happen transitively inside calls made
+// with a lock held — and reports every acquisition edge that sits on a
+// cycle. A cycle means two code paths take the same pair of lock
+// classes in opposite orders: the classic ABBA deadlock, needing only
+// the right interleaving to freeze both. Self-edges (a lock class
+// acquired while an instance of the same class is held) are reported
+// too: on the same instance that is an immediate deadlock, and on
+// distinct instances it is safe only under a documented instance
+// order, which is exactly what the //ldms:lockorder <reason>
+// annotation should state.
+var lockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order across daemon mutexes must be acyclic",
+	Include: []string{
+		"internal/ldmsd",
+		"internal/transport",
+		"internal/query",
+		"internal/tier",
+		"internal/obs",
+	},
+	Suppress: "lockorder",
+	Run:      runLockorder,
+}
+
+func runLockorder(p *Pass, facts *Facts) {
+	rel := p.relPkg()
+	for _, e := range facts.Graph.lockCycleEdges(p.Analyzer) {
+		if e.edge.Pkg != rel {
+			continue
+		}
+		p.Reportf(e.edge.Pos, "%s", e.msg)
+	}
+}
+
+// cycleFinding pairs a cycle-participating edge with its rendered
+// message.
+type cycleFinding struct {
+	edge lockEdge
+	msg  string
+}
+
+// lockCycleEdges computes (once per run) the set of acquisition sites
+// participating in a lock-order cycle, restricted to edges whose site
+// lies in the analyzer's package scope.
+func (g *Graph) lockCycleEdges(a *Analyzer) []cycleFinding {
+	if g.cycleDone {
+		return g.cycleFindings
+	}
+	g.cycleDone = true
+
+	// Deduplicate edges by (from, to, pos): the same call site expands
+	// once per held lock and once per transitively acquired lock.
+	type edgeKey struct {
+		from, to LockID
+		pos      string
+	}
+	seen := make(map[edgeKey]bool)
+	var edges []lockEdge
+	adj := make(map[LockID][]LockID)
+	adjSeen := make(map[[2]LockID]bool)
+	for _, ff := range g.Funcs {
+		if !a.inScope(ff.Pkg) {
+			continue
+		}
+		for _, e := range ff.Edges {
+			k := edgeKey{e.From, e.To, g.pos(e.Pos).String()}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			edges = append(edges, e)
+			ak := [2]LockID{e.From, e.To}
+			if !adjSeen[ak] {
+				adjSeen[ak] = true
+				adj[e.From] = append(adj[e.From], e.To)
+			}
+		}
+	}
+	for from := range adj {
+		tos := adj[from]
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+	}
+
+	scc := stronglyConnected(adj)
+	for _, e := range edges {
+		inCycle := e.From == e.To || (scc[e.From] != 0 && scc[e.From] == scc[e.To])
+		if !inCycle {
+			continue
+		}
+		g.cycleFindings = append(g.cycleFindings, cycleFinding{edge: e, msg: g.renderCycle(e, adj)})
+	}
+	sort.Slice(g.cycleFindings, func(i, j int) bool {
+		a, b := g.pos(g.cycleFindings[i].edge.Pos), g.pos(g.cycleFindings[j].edge.Pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return g.cycleFindings[i].msg < g.cycleFindings[j].msg
+	})
+	return g.cycleFindings
+}
+
+// renderCycle builds the diagnostic for one cycle edge, including the
+// shortest path that closes the loop back to the held lock.
+func (g *Graph) renderCycle(e lockEdge, adj map[LockID][]LockID) string {
+	fromName, toName := g.lockName(e.From), g.lockName(e.To)
+	via := ""
+	if e.Via != "" {
+		via = fmt.Sprintf(" (via call to %s)", e.Via)
+	}
+	if e.From == e.To {
+		return fmt.Sprintf("%s acquired while an instance of %s is already held%s; "+
+			"deadlock if both are the same instance — restructure, or annotate //ldms:lockorder <reason> stating the instance order",
+			toName, fromName, via)
+	}
+	path := shortestLockPath(adj, e.To, e.From)
+	cycle := []string{fromName, toName}
+	for _, hop := range path[1:] {
+		cycle = append(cycle, g.lockName(hop))
+	}
+	return fmt.Sprintf("%s acquired while holding %s%s, but the reverse order also exists (cycle: %s); "+
+		"pick one order or annotate //ldms:lockorder <reason>",
+		toName, fromName, via, strings.Join(cycle, " -> "))
+}
+
+// lockName resolves a LockID's display name.
+func (g *Graph) lockName(id LockID) string {
+	if m := g.Locks[id]; m != nil {
+		return m.Name
+	}
+	return string(id)
+}
+
+// shortestLockPath returns the node sequence from src to dst over adj
+// (BFS; both endpoints included). Returns nil when unreachable.
+func shortestLockPath(adj map[LockID][]LockID, src, dst LockID) []LockID {
+	prev := map[LockID]LockID{src: src}
+	queue := []LockID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			var path []LockID
+			for cur := dst; ; cur = prev[cur] {
+				path = append([]LockID{cur}, path...)
+				if cur == src {
+					return path
+				}
+			}
+		}
+		for _, next := range adj[n] {
+			if _, ok := prev[next]; !ok {
+				prev[next] = n
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// stronglyConnected assigns every node participating in a multi-node
+// strongly connected component a non-zero component id (Tarjan,
+// iterative bookkeeping kept simple with recursion — lock graphs are
+// tiny).
+func stronglyConnected(adj map[LockID][]LockID) map[LockID]int {
+	nodes := make([]LockID, 0, len(adj))
+	inGraph := make(map[LockID]bool)
+	for from, tos := range adj {
+		if !inGraph[from] {
+			inGraph[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !inGraph[to] {
+				inGraph[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	index := make(map[LockID]int)
+	low := make(map[LockID]int)
+	onStack := make(map[LockID]bool)
+	comp := make(map[LockID]int)
+	var stack []LockID
+	next, compID := 1, 0
+
+	var strongconnect func(v LockID)
+	strongconnect = func(v LockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []LockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

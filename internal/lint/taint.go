@@ -1,0 +1,549 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Wire-taint dataflow. An integer decoded from a frame — a
+// binary.LittleEndian.Uint16/32/64 call, a byte read out of a []byte
+// buffer, or the result of an in-module helper that returns such a
+// value — is attacker-controlled until it has been compared against
+// something. Tainted values flowing into a make size, a slice bound or
+// index, an io read/limit size, or a parameter of an in-module
+// function that itself forwards the parameter into such a sink are
+// wirebound findings.
+//
+// Sanitization is any comparison mentioning the value (relational or
+// equality, including switch tags): the analyzer cannot see which
+// branch survives, so "was compared at all" is the enforced invariant
+// — the same one the ISSUE states and the hand-written decoders
+// follow. The walk is linear in source order: a sink before the check
+// still fires.
+
+// taintKind distinguishes the two origins the walker tracks.
+type taintKind int
+
+const (
+	taintWire  taintKind = iota // decoded from an untrusted frame
+	taintParam                  // value of a function parameter (summary mode)
+)
+
+// taintVal describes one tracked value.
+type taintVal struct {
+	kind  taintKind
+	param int    // parameter index, for taintParam
+	desc  string // human description of the source, for findings
+}
+
+// taintWalker runs the per-function dataflow. The same walker serves
+// two modes: summary building (params seeded as taintParam, results
+// and param-sinks recorded on the Graph) and finding reporting
+// (onWireSink receives every unsanitized wire-tainted sink).
+type taintWalker struct {
+	g       *Graph
+	info    *types.Info
+	tainted map[types.Object]taintVal
+
+	onWireSink  func(pos token.Pos, val taintVal, sink string)
+	onParamSink func(param int, sink string)
+	onResult    func(i int)
+
+	namedResults []types.Object // named result vars, for bare returns
+}
+
+// ioSizeParams maps stdlib io functions to the index of their
+// caller-controlled size argument.
+var ioSizeParams = map[string]int{
+	"io.CopyN":       2,
+	"io.LimitReader": 1,
+}
+
+// walkTaint analyzes one function body. params maps parameter objects
+// to their indices; nil disables parameter seeding (finding mode).
+func (g *Graph) walkTaint(info *types.Info, fn *ast.FuncDecl, params map[types.Object]int,
+	onWireSink func(token.Pos, taintVal, string), onParamSink func(int, string), onResult func(int)) {
+	w := &taintWalker{
+		g:           g,
+		info:        info,
+		tainted:     make(map[types.Object]taintVal),
+		onWireSink:  onWireSink,
+		onParamSink: onParamSink,
+		onResult:    onResult,
+	}
+	for obj, i := range params {
+		if isIntegerType(obj.Type()) {
+			w.tainted[obj] = taintVal{kind: taintParam, param: i, desc: "parameter " + obj.Name()}
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, fld := range fn.Type.Results.List {
+			for _, name := range fld.Names {
+				if obj := info.Defs[name]; obj != nil {
+					w.namedResults = append(w.namedResults, obj)
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, w.visit)
+}
+
+func (w *taintWalker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(x)
+	case *ast.GenDecl:
+		for _, spec := range x.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					w.setVar(w.info.Defs[name], vs.Values[i])
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if isComparison(x.Op) {
+			w.sanitizeExpr(x.X)
+			w.sanitizeExpr(x.Y)
+		}
+	case *ast.SwitchStmt:
+		if x.Tag != nil {
+			w.sanitizeExpr(x.Tag)
+		}
+	case *ast.CallExpr:
+		w.checkCallSinks(x)
+	case *ast.SliceExpr:
+		for _, bound := range []ast.Expr{x.Low, x.High, x.Max} {
+			if bound == nil {
+				continue
+			}
+			if val, ok := w.exprTaint(bound); ok {
+				w.sink(bound.Pos(), val, "slice bound")
+			}
+		}
+	case *ast.IndexExpr:
+		if t := w.info.Types[x.X].Type; t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+				if val, ok := w.exprTaint(x.Index); ok {
+					w.sink(x.Index.Pos(), val, "index")
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if w.onResult == nil {
+			break
+		}
+		if len(x.Results) == 0 {
+			for i, obj := range w.namedResults {
+				if val, ok := w.tainted[obj]; ok && val.kind == taintWire {
+					w.onResult(i)
+				}
+			}
+			break
+		}
+		for i, res := range x.Results {
+			if val, ok := w.exprTaint(res); ok && val.kind == taintWire {
+				w.onResult(i)
+			}
+		}
+	}
+	return true
+}
+
+// assign updates variable taint for one assignment statement.
+func (w *taintWalker) assign(x *ast.AssignStmt) {
+	if len(x.Lhs) > 1 && len(x.Rhs) == 1 {
+		// Tuple assignment from a call: use the callee's per-result
+		// taint summary.
+		call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results := w.calleeTaintedResults(call)
+		for i, lhs := range x.Lhs {
+			obj := w.lhsObj(lhs)
+			if obj == nil {
+				continue
+			}
+			if i < len(results) && results[i] {
+				w.tainted[obj] = taintVal{kind: taintWire, desc: "wire-decoded result of " + callDisplay(w.info, call)}
+			} else {
+				delete(w.tainted, obj)
+			}
+		}
+		return
+	}
+	for i, lhs := range x.Lhs {
+		if i >= len(x.Rhs) {
+			break
+		}
+		obj := w.lhsObj(lhs)
+		if obj == nil {
+			continue
+		}
+		if x.Tok == token.ASSIGN || x.Tok == token.DEFINE {
+			w.setVarObj(obj, x.Rhs[i])
+		} else {
+			// Op-assign (+=, |=, <<=, ...): the target stays tainted if it
+			// was, and becomes tainted if the operand is.
+			if val, ok := w.exprTaint(x.Rhs[i]); ok {
+				if _, already := w.tainted[obj]; !already {
+					w.tainted[obj] = val
+				}
+			}
+		}
+	}
+}
+
+func (w *taintWalker) setVar(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	w.setVarObj(obj, rhs)
+}
+
+func (w *taintWalker) setVarObj(obj types.Object, rhs ast.Expr) {
+	if val, ok := w.exprTaint(rhs); ok {
+		w.tainted[obj] = val
+	} else {
+		delete(w.tainted, obj)
+	}
+}
+
+// lhsObj resolves an assignment target to a trackable object (plain
+// variables only; stores through fields or elements are not tracked).
+func (w *taintWalker) lhsObj(lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := w.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.info.Uses[id]
+}
+
+// sanitizeExpr clears taint from every tracked variable mentioned in a
+// comparison operand.
+func (w *taintWalker) sanitizeExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.info.Uses[id]; obj != nil {
+				delete(w.tainted, obj)
+			}
+		}
+		return true
+	})
+}
+
+// sink dispatches one tainted-value-reaches-sink event by origin.
+func (w *taintWalker) sink(pos token.Pos, val taintVal, sinkDesc string) {
+	switch val.kind {
+	case taintWire:
+		if w.onWireSink != nil {
+			w.onWireSink(pos, val, sinkDesc)
+		}
+	case taintParam:
+		if w.onParamSink != nil {
+			w.onParamSink(val.param, sinkDesc)
+		}
+	}
+}
+
+// checkCallSinks flags tainted arguments in size positions: make,
+// io.CopyN/LimitReader, and in-module functions whose summary marks
+// the parameter as sink-reaching.
+func (w *taintWalker) checkCallSinks(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "make" {
+				for _, sz := range call.Args[1:] {
+					if val, ok := w.exprTaint(sz); ok {
+						w.sink(sz.Pos(), val, "make size")
+					}
+				}
+			}
+			return
+		}
+	}
+	if fn := staticCallee(w.info, call); fn != nil {
+		full := ""
+		if fn.Pkg() != nil {
+			full = fn.Pkg().Path() + "." + fn.Name()
+		}
+		if idx, ok := ioSizeParams[full]; ok && idx < len(call.Args) {
+			if val, ok := w.exprTaint(call.Args[idx]); ok {
+				w.sink(call.Args[idx].Pos(), val, full+" size")
+			}
+		}
+		if w.g.inModule(fn) {
+			if ff := w.g.Funcs[w.g.FuncIDOf(fn)]; ff != nil {
+				for idx, sp := range ff.SinkParams {
+					if idx < len(call.Args) {
+						if val, ok := w.exprTaint(call.Args[idx]); ok {
+							w.sink(call.Args[idx].Pos(), val,
+								fmt.Sprintf("argument %d of %s (reaches %s)", idx+1, ff.Name, sp.Sink))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeTaintedResults returns the per-result taint of a call, from
+// the in-module callee's summary.
+func (w *taintWalker) calleeTaintedResults(call *ast.CallExpr) []bool {
+	fn := staticCallee(w.info, call)
+	if fn == nil || !w.g.inModule(fn) {
+		return nil
+	}
+	if ff := w.g.Funcs[w.g.FuncIDOf(fn)]; ff != nil {
+		return ff.TaintedResults
+	}
+	return nil
+}
+
+// exprTaint computes the taint of an expression bottom-up.
+func (w *taintWalker) exprTaint(e ast.Expr) (taintVal, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := w.info.Uses[x]; obj != nil {
+			val, ok := w.tainted[obj]
+			return val, ok
+		}
+	case *ast.ParenExpr:
+		return w.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.XOR:
+			return w.exprTaint(x.X)
+		}
+	case *ast.BinaryExpr:
+		if isComparison(x.Op) || x.Op == token.LAND || x.Op == token.LOR {
+			return taintVal{}, false
+		}
+		if val, ok := w.exprTaint(x.X); ok {
+			return val, true
+		}
+		return w.exprTaint(x.Y)
+	case *ast.IndexExpr:
+		// A byte read out of an untrusted buffer is itself wire data:
+		// single-byte counts and role/kind octets come from the frame.
+		if w.isByteBufferRead(x) {
+			return taintVal{kind: taintWire, desc: "byte read from a wire buffer"}, true
+		}
+	case *ast.CallExpr:
+		return w.callTaint(x)
+	}
+	return taintVal{}, false
+}
+
+// callTaint computes the taint of a call or conversion result.
+func (w *taintWalker) callTaint(call *ast.CallExpr) (taintVal, bool) {
+	tv := w.info.Types[call.Fun]
+	if tv.IsType() && len(call.Args) == 1 {
+		// Conversion: int(x) keeps x's taint.
+		return w.exprTaint(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+			// min() bounds its result; len/cap are trusted sizes. Every
+			// other builtin result is clean for our purposes — max() is
+			// not, but also never bounds an allocation downward.
+			switch b.Name() {
+			case "max":
+				for _, arg := range call.Args {
+					if val, ok := w.exprTaint(arg); ok {
+						return val, true
+					}
+				}
+			}
+			return taintVal{}, false
+		}
+	}
+	if isWireDecode(w.info, call) {
+		return taintVal{kind: taintWire, desc: "integer decoded from the wire by " + callDisplay(w.info, call)}, true
+	}
+	if results := w.calleeTaintedResultsFor(call); len(results) == 1 && results[0] {
+		return taintVal{kind: taintWire, desc: "wire-decoded result of " + callDisplay(w.info, call)}, true
+	}
+	return taintVal{}, false
+}
+
+// calleeTaintedResultsFor is calleeTaintedResults restricted to
+// single-result callees (multi-result calls are handled in assign).
+func (w *taintWalker) calleeTaintedResultsFor(call *ast.CallExpr) []bool {
+	fn := staticCallee(w.info, call)
+	if fn == nil || !w.g.inModule(fn) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil
+	}
+	if ff := w.g.Funcs[w.g.FuncIDOf(fn)]; ff != nil {
+		return ff.TaintedResults
+	}
+	return nil
+}
+
+// isByteBufferRead reports whether an index expression reads a byte
+// out of a []byte or [N]byte value.
+func (w *taintWalker) isByteBufferRead(x *ast.IndexExpr) bool {
+	t := w.info.Types[x.X].Type
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Pointer:
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			elem = a.Elem()
+		}
+	}
+	if elem == nil {
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// isWireDecode recognizes the multi-byte endian decode entry points.
+func isWireDecode(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch fn.Name() {
+	case "Uint16", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}
+
+// callDisplay renders a call target for diagnostics.
+func callDisplay(info *types.Info, call *ast.CallExpr) string {
+	if fn := staticCallee(info, call); fn != nil {
+		return shortFuncName(fn)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "call"
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// propagateTaint iterates the per-function taint summaries to a
+// fixpoint: a helper that forwards a parameter into a sink makes its
+// callers' arguments sinks, and a helper returning decoded bytes makes
+// its call sites sources.
+func (g *Graph) propagateTaint(ids []FuncID) {
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, id := range ids {
+			ff := g.Funcs[id]
+			if ff.Decl == nil {
+				continue
+			}
+			params := paramObjects(ff.Info, ff.Decl)
+			nResults := numResults(ff.Decl)
+			if ff.TaintedResults == nil {
+				ff.TaintedResults = make([]bool, nResults)
+			}
+			g.walkTaint(ff.Info, ff.Decl, params,
+				nil,
+				func(param int, sinkDesc string) {
+					if _, ok := ff.SinkParams[param]; !ok {
+						ff.SinkParams[param] = sinkParam{Sink: sinkDesc}
+						changed = true
+					}
+				},
+				func(i int) {
+					if i < len(ff.TaintedResults) && !ff.TaintedResults[i] {
+						ff.TaintedResults[i] = true
+						changed = true
+					}
+				})
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// paramObjects maps a function's parameter objects to their indices.
+func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]int {
+	params := make(map[types.Object]int)
+	i := 0
+	for _, fld := range fn.Type.Params.List {
+		if len(fld.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range fld.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = i
+			}
+			i++
+		}
+	}
+	return params
+}
+
+// numResults counts a function's results.
+func numResults(fn *ast.FuncDecl) int {
+	if fn.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, fld := range fn.Type.Results.List {
+		if len(fld.Names) == 0 {
+			n++
+		} else {
+			n += len(fld.Names)
+		}
+	}
+	return n
+}
+
+// sortedSinkParams renders a summary's sink params deterministically
+// (used by tests and debugging).
+func sortedSinkParams(ff *funcFacts) []int {
+	idxs := make([]int, 0, len(ff.SinkParams))
+	for i := range ff.SinkParams {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}

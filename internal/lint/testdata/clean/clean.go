@@ -1,0 +1,17 @@
+// Package clean is a diagnostic-free package for the CLI exit-code
+// regression test: known directives with reasons parse silently, so
+// ldms-lint must exit zero here.
+package clean
+
+import "sync"
+
+var mu sync.Mutex
+
+// Tick is annotation-grammar-clean: a reasoned suppression parses
+// without producing a diagnostic.
+func Tick() int {
+	//ldms:errok nothing here returns an error; exercises the grammar only
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}

@@ -1,0 +1,11 @@
+// Package dirty always produces diagnostics, for the CLI exit-code
+// regression test: an unknown directive and a reasonless suppression
+// are findings in any package, regardless of analyzer scope.
+package dirty
+
+// Bad carries an unknown directive and a reasonless suppression.
+func Bad() int {
+	//ldms:nosuchcheck
+	//ldms:errok
+	return 1
+}

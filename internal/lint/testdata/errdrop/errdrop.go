@@ -1,0 +1,75 @@
+// Errdrop testdata: analyzed under a fake transport import path, so
+// the package's own functions count as transport callees whose errors
+// must not be dropped. Exercises the statement, blank-assign, tuple
+// and defer drop shapes, the handled/bound clean shapes, and
+// suppression with and without a reason.
+package errdrop
+
+import "errors"
+
+type conn struct{ closed bool }
+
+// Close tears the connection down.
+func (c *conn) Close() error {
+	if c.closed {
+		return errors.New("already closed")
+	}
+	c.closed = true
+	return nil
+}
+
+// push sends a frame and reports how much was written.
+func push(c *conn, b []byte) (int, error) {
+	if c.closed {
+		return 0, errors.New("closed")
+	}
+	return len(b), nil
+}
+
+// statement drops the error on the floor.
+func statement(c *conn) {
+	c.Close() // want: discarded error
+}
+
+// blank discards it explicitly.
+func blank(c *conn) {
+	_ = c.Close() // want: discarded error
+}
+
+// tupleBlank drops the error slot of a multi-result call.
+func tupleBlank(c *conn, b []byte) int {
+	n, _ := push(c, b) // want: discarded error slot
+	return n
+}
+
+// deferred drops it on the way out.
+func deferred(c *conn) {
+	defer c.Close() // want: discarded error
+}
+
+// handled binds and checks: clean.
+func handled(c *conn) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bound keeps both results: clean.
+func bound(c *conn, b []byte) (int, error) {
+	n, err := push(c, b)
+	return n, err
+}
+
+// suppressed documents the drop.
+func suppressed(c *conn) {
+	//ldms:errok closing a conn already torn down by the peer cannot fail
+	c.Close()
+}
+
+// reasonless carries a reasonless suppression: reported as an
+// annotation diagnostic, and the finding below stays.
+func reasonless(c *conn) {
+	//ldms:errok
+	c.Close() // want: still reported
+}

@@ -1,0 +1,11 @@
+// Package dep provides a cross-package leaker for the goroleak golden
+// test: a goroutine that calls Forever leaks through the call graph.
+package dep
+
+// Forever spins with no way out.
+func Forever() {
+	n := 0
+	for {
+		n++
+	}
+}

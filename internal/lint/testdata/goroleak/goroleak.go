@@ -1,0 +1,137 @@
+// Goroleak testdata: analyzed under a fake daemon-package import path
+// so the goroleak analyzer is in scope. Exercises bare spinners, the
+// legitimate exit constructs (select, receive, channel range, return),
+// a break that binds to a switch instead of the loop, leaks through
+// named callees and cross-package calls, a loop that blocks in a
+// waiting helper, and suppression with and without a reason.
+package goroleak
+
+import (
+	"goldms/internal/lint/testdata/goroleak/dep"
+)
+
+type worker struct {
+	stop chan struct{}
+	work chan int
+	n    int
+}
+
+// spin launches a loop with no exit.
+func (w *worker) spin() {
+	go func() { // want: no reachable exit
+		for {
+			w.n++
+		}
+	}()
+}
+
+// selectLoop blocks on the stop channel each turn: clean.
+func (w *worker) selectLoop() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.work:
+				w.n += v
+			}
+		}
+	}()
+}
+
+// recvLoop receives directly: clean.
+func (w *worker) recvLoop() {
+	go func() {
+		for {
+			v := <-w.work
+			w.n += v
+		}
+	}()
+}
+
+// rangeLoop exits when the channel closes: clean.
+func (w *worker) rangeLoop() {
+	go func() {
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}
+
+// returnLoop has a reachable return: clean.
+func (w *worker) returnLoop() {
+	go func() {
+		for {
+			if w.n > 10 {
+				return
+			}
+			w.n++
+		}
+	}()
+}
+
+// switchBreak only breaks the switch, never the loop.
+func (w *worker) switchBreak() {
+	go func() { // want: break binds to the switch
+		for {
+			switch {
+			case w.n > 0:
+				break
+			}
+			w.n++
+		}
+	}()
+}
+
+// named launches a method whose body loops forever.
+func (w *worker) named() {
+	go w.run() // want: leak through the named callee's body
+}
+
+func (w *worker) run() {
+	for {
+		w.n++
+	}
+}
+
+// crossCall leaks through a helper in another package.
+func (w *worker) crossCall() {
+	go func() { // want: leak through dep.Forever
+		dep.Forever()
+	}()
+}
+
+// viaWaiter loops but blocks in a waiting helper each turn: clean,
+// because waitOne's Waits fact propagates through the call graph.
+func (w *worker) viaWaiter() {
+	go func() {
+		for {
+			w.waitOne()
+		}
+	}()
+}
+
+func (w *worker) waitOne() {
+	<-w.stop
+}
+
+// daemonic is deliberate and documented: suppressed.
+func (w *worker) daemonic() {
+	//ldms:daemonize heartbeat spinner runs for the process lifetime by design
+	go func() {
+		for {
+			w.n++
+		}
+	}()
+}
+
+// reasonless carries a reasonless suppression: reported as an
+// annotation diagnostic, and the finding below stays.
+func (w *worker) reasonless() {
+	//ldms:daemonize
+	go func() { // want: still reported
+		for {
+			w.n++
+		}
+	}()
+}

@@ -1,0 +1,19 @@
+// Package dep provides a cross-package lock class for the lockorder
+// golden test: the main testdata package acquires Locker.Mu both
+// directly (the exported field) and transitively (through Grab).
+package dep
+
+import "sync"
+
+// Locker is a lock class declared outside the analyzed package.
+type Locker struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Grab bumps the counter under Mu.
+func (l *Locker) Grab() {
+	l.Mu.Lock()
+	l.n++
+	l.Mu.Unlock()
+}

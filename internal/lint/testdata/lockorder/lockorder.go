@@ -1,0 +1,96 @@
+// Lockorder testdata: analyzed under a fake daemon-package import path
+// so the lockorder analyzer is in scope. Exercises an ABBA cycle, a
+// self-edge on one lock class, a cross-package cycle leg established
+// through a callee's transitive acquires, and suppression with and
+// without a reason.
+package lockorder
+
+import (
+	"sync"
+
+	"goldms/internal/lint/testdata/lockorder/dep"
+)
+
+type server struct {
+	mu sync.Mutex
+	n  int
+}
+
+type conn struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ab acquires server.mu then conn.mu.
+func ab(s *server, c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.mu.Lock() // want: cycle with ba
+	c.n++
+	c.mu.Unlock()
+}
+
+// ba acquires the same pair in the reverse order.
+func ba(s *server, c *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock() // want: cycle with ab
+	s.n++
+	s.mu.Unlock()
+}
+
+// crossHold holds server.mu while calling into dep, which acquires
+// dep.Locker.Mu: the edge comes from the callee's transitive facts.
+func crossHold(s *server, l *dep.Locker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l.Grab() // want: edge server.mu -> Locker.Mu via the call
+}
+
+// crossBack holds dep.Locker.Mu while acquiring server.mu, closing the
+// cross-package cycle.
+func crossBack(s *server, l *dep.Locker) {
+	l.Mu.Lock()
+	defer l.Mu.Unlock()
+	s.mu.Lock() // want: reverse leg of the cross-package cycle
+	s.n++
+	s.mu.Unlock()
+}
+
+// iterate holds one conn's lock while taking another's: a self-edge on
+// the conn.mu lock class.
+func iterate(a, b *conn) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want: self-edge on conn.mu
+	b.n++
+	b.mu.Unlock()
+}
+
+// suppressedPair documents the instance order, silencing the self-edge.
+func suppressedPair(a, b *conn) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//ldms:lockorder b is always a's child; children lock after parents
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// reasonlessPair carries a reasonless suppression: the annotation is
+// itself a diagnostic and does not silence the finding.
+func reasonlessPair(a, b *conn) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//ldms:lockorder
+	b.mu.Lock() // want: still reported
+	b.n++
+	b.mu.Unlock()
+}
+
+// fine takes a single lock: no edges, no findings.
+func fine(s *server) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

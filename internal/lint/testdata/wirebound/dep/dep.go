@@ -1,0 +1,16 @@
+// Package dep provides cross-package taint endpoints for the wirebound
+// golden test: ReadLen is a source (its result derives from a wire
+// decode) and Alloc is a sink (its parameter reaches a make size).
+package dep
+
+import "encoding/binary"
+
+// ReadLen decodes a u16 length from the head of a frame.
+func ReadLen(b []byte) int {
+	return int(binary.LittleEndian.Uint16(b))
+}
+
+// Alloc returns a fresh buffer of n bytes.
+func Alloc(n int) []byte {
+	return make([]byte, n)
+}

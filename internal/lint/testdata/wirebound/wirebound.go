@@ -1,0 +1,68 @@
+// Wirebound testdata: analyzed under a fake transport import path so
+// the wirebound analyzer is in scope. Exercises direct decode-to-make
+// flows, byte-read counts, slice and index sinks, sanitization by
+// comparison, cross-package sources and sinks, and suppression with
+// and without a reason.
+package wirebound
+
+import (
+	"encoding/binary"
+
+	"goldms/internal/lint/testdata/wirebound/dep"
+)
+
+const maxChunk = 1 << 16
+
+// decodeUnchecked sizes a buffer straight off the wire.
+func decodeUnchecked(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n) // want: unchecked make size
+}
+
+// decodeChecked compares the length first: clean.
+func decodeChecked(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxChunk {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// byteCount slices by a count byte without checking it.
+func byteCount(b []byte) []byte {
+	c := int(b[0])
+	return b[1 : 1+c] // want: unchecked slice bound
+}
+
+// offsetIndex indexes by an unchecked decoded offset.
+func offsetIndex(b []byte) byte {
+	off := binary.LittleEndian.Uint16(b)
+	return b[off] // want: unchecked index
+}
+
+// crossSource shows a helper-decoded value is still wire data.
+func crossSource(b []byte) []byte {
+	n := dep.ReadLen(b)
+	return make([]byte, n) // want: tainted via dep.ReadLen's summary
+}
+
+// crossSink passes unchecked wire data into a sizing helper.
+func crossSink(b []byte) []byte {
+	n := binary.LittleEndian.Uint16(b)
+	return dep.Alloc(int(n)) // want: reaches make size inside dep.Alloc
+}
+
+// suppressed documents why the unchecked size is safe.
+func suppressed(b []byte) []byte {
+	n := binary.LittleEndian.Uint16(b)
+	//ldms:bounded a u16 length cannot exceed the 64 KiB the pool pre-sizes
+	return make([]byte, n)
+}
+
+// reasonless carries a reasonless suppression: reported as an
+// annotation diagnostic, and the finding below stays.
+func reasonless(b []byte) []byte {
+	n := binary.LittleEndian.Uint16(b)
+	//ldms:bounded
+	return make([]byte, n) // want: still reported
+}

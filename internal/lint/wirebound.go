@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// wireboundAnalyzer enforces the hostile-input invariant on the wire
+// decoders: every length, count or offset decoded from a frame — in
+// internal/transport and in internal/obs's TRC1 trace codec — is
+// attacker-controlled until it has been compared against a bound.
+// Letting such a value reach a make size, a slice bound or index, or
+// an io read/limit size hands a remote peer an allocation amount or a
+// panic. PRs 8 and 9 hand-hardened these paths (frame length caps,
+// chunked payload reads, per-field bound checks in the trace decoder);
+// this analyzer turns that discipline into a machine-checked
+// invariant. The dataflow (see taint.go) follows values through
+// assignments, arithmetic, conversions, and in-module helper calls via
+// the call-graph fact layer; a comparison mentioning the value clears
+// it. Deliberate unbounded uses carry //ldms:bounded <reason>.
+var wireboundAnalyzer = &Analyzer{
+	Name: "wirebound",
+	Doc:  "wire-decoded lengths must be bounds-checked before sizing allocations or slices",
+	Include: []string{
+		"internal/transport",
+		"internal/obs",
+	},
+	Suppress: "bounded",
+	Run:      runWirebound,
+}
+
+func runWirebound(p *Pass, facts *Facts) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			facts.Graph.walkTaint(p.Pkg.Info, fn, nil,
+				func(pos token.Pos, val taintVal, sink string) {
+					p.Reportf(pos, "%s flows into %s without a bound check; compare it against a limit first or annotate //ldms:bounded <reason>",
+						val.desc, sink)
+				}, nil, nil)
+		}
+	}
+}

@@ -400,6 +400,7 @@ func (sc *sockConn) registerHandle(set *metric.Set) uint32 {
 // retain payload past return (readLoop recycles it).
 func (sc *sockConn) serveRequest(typ byte, id uint64, payload []byte) error {
 	replyErr := func(msg string) error {
+		//ldms:errok appendString only fails on strings over maxWireString, which clipString just bounded
 		p, _ := appendString(nil, clipString(msg))
 		return sc.send(msgErrResp, id, p)
 	}
